@@ -1,0 +1,90 @@
+// Adaptable concurrency control experiment (the direction referenced as
+// [8] at the end of Section IV): the vector size k adapts to the observed
+// abort rate, growing under contention per the Section VI-B guidelines and
+// shrinking when conflicts vanish. Shows the adaptation trajectory and
+// compares against fixed-k schedulers on the same workloads.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table_printer.h"
+#include "sched/adaptive.h"
+#include "sched/mtk_online.h"
+#include "sim/simulator.h"
+
+namespace mdts {
+namespace {
+
+SimOptions Workload(uint32_t items, uint64_t seed) {
+  SimOptions sim;
+  sim.num_txns = 300;
+  sim.concurrency = 10;
+  sim.seed = seed;
+  sim.workload.num_items = items;
+  sim.workload.min_ops = 2;
+  sim.workload.max_ops = 4;
+  sim.workload.read_fraction = 0.5;
+  return sim;
+}
+
+int Run() {
+  std::printf("=== Adaptive MT(k): vector size follows the abort rate ===\n\n");
+
+  TablePrinter table({"items", "scheduler", "committed", "aborts",
+                      "throughput", "final k", "switches"});
+  for (uint32_t items : {4u, 12u, 60u}) {
+    for (int which = 0; which < 3; ++which) {
+      std::unique_ptr<Scheduler> s;
+      AdaptiveMtScheduler* adaptive = nullptr;
+      if (which == 0) {
+        MtkOptions o;
+        o.k = 1;
+        o.starvation_fix = true;
+        s = std::make_unique<MtkOnline>(o);
+      } else if (which == 1) {
+        MtkOptions o;
+        o.k = 5;
+        o.starvation_fix = true;
+        s = std::make_unique<MtkOnline>(o);
+      } else {
+        AdaptiveOptions o;
+        o.initial_k = 1;
+        o.epoch_ops = 100;
+        auto a = std::make_unique<AdaptiveMtScheduler>(o);
+        adaptive = a.get();
+        s = std::move(a);
+      }
+      SimResult r = RunSimulation(s.get(), Workload(items, 808));
+      table.AddRow({std::to_string(items), s->name(),
+                    std::to_string(r.committed), std::to_string(r.aborts),
+                    FormatDouble(r.throughput, 3),
+                    adaptive ? std::to_string(adaptive->current_k()) : "-",
+                    adaptive ? std::to_string(adaptive->switches()) : "-"});
+      if (adaptive != nullptr) {
+        std::printf("adaptation trajectory (%u items): k =", items);
+        size_t shown = 0;
+        for (size_t k : adaptive->k_history()) {
+          if (++shown > 20) {
+            std::printf(" ...");
+            break;
+          }
+          std::printf(" %zu", k);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("Expected shape: under contention the adaptive scheduler\n"
+              "climbs toward the fixed large-k performance; without\n"
+              "contention it stays at k = 1 and pays nothing. Each switch\n"
+              "restarts the active transactions (Algorithm 2's discipline),\n"
+              "so switching itself costs aborts - visible at moderate\n"
+              "contention.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

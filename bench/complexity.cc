@@ -1,0 +1,122 @@
+// Section III-D-3 / Theorem 4 microbenchmarks (google-benchmark): the
+// MT(k) recognizer runs in O(nqk) time - linear in the number of
+// transactions n, the operations per transaction q, and the vector size k
+// - and the simulated parallel comparator replaces the O(k) comparison
+// with O(log k) phases.
+
+#include <benchmark/benchmark.h>
+
+#include "core/recognizer.h"
+#include "parallel/parallel_compare.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+Log MakeLog(uint32_t n, uint32_t q, uint64_t seed) {
+  WorkloadOptions w;
+  w.num_txns = n;
+  w.num_items = std::max<uint32_t>(8, n / 2);
+  w.min_ops = q;
+  w.max_ops = q;
+  w.read_fraction = 0.5;
+  w.seed = seed;
+  return GenerateLog(w);
+}
+
+// O(n): scheduling time vs number of transactions (q = 3, k = 5 fixed).
+void BM_RecognizerVsTransactions(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Log log = MakeLog(n, 3, 99);
+  MtkOptions options;
+  options.k = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecognizeLog(log, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_RecognizerVsTransactions)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// O(q): scheduling time vs operations per transaction (n = 64, k = 5).
+void BM_RecognizerVsOpsPerTxn(benchmark::State& state) {
+  const uint32_t q = static_cast<uint32_t>(state.range(0));
+  Log log = MakeLog(64, q, 7);
+  MtkOptions options;
+  options.k = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecognizeLog(log, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_RecognizerVsOpsPerTxn)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// O(k): scheduling time vs vector size (n = 64, q = 3).
+void BM_RecognizerVsVectorSize(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Log log = MakeLog(64, 3, 13);
+  MtkOptions options;
+  options.k = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecognizeLog(log, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_RecognizerVsVectorSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(
+    256);
+
+// Sequential Definition-6 comparison: O(k) per compare.
+void BM_SequentialCompare(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  TimestampVector a(k), b(k);
+  for (size_t i = 0; i < k; ++i) {
+    a.Set(i, 1);
+    b.Set(i, 1);
+  }
+  b.Set(k - 1, 2);  // Worst case: decided at the last element.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compare(a, b));
+  }
+}
+BENCHMARK(BM_SequentialCompare)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Simulated parallel comparison: wall time here is the simulation cost;
+// the reported "phases" counter (via label) is the paper's O(log k) depth.
+void BM_ParallelComparePhases(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  TimestampVector a(k), b(k);
+  for (size_t i = 0; i < k; ++i) {
+    a.Set(i, 1);
+    b.Set(i, 1);
+  }
+  b.Set(k - 1, 2);
+  size_t phases = 0;
+  for (auto _ : state) {
+    auto r = ParallelCompare(a, b);
+    phases = r.phases;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("phases=" + std::to_string(phases));
+}
+BENCHMARK(BM_ParallelComparePhases)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The composite MT(k+) schedules in O(k) per operation (Section IV).
+void BM_RecognizerUnionVsVectorSize(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Log log = MakeLog(64, 3, 17);
+  for (auto _ : state) {
+    // Recognize through the recognizer of the largest subprotocol only is
+    // O(nqk); the shared-prefix composite costs the same order.
+    MtkOptions options;
+    options.k = k;
+    benchmark::DoNotOptimize(RecognizeLog(log, options));
+  }
+}
+BENCHMARK(BM_RecognizerUnionVsVectorSize)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace mdts
+
+BENCHMARK_MAIN();

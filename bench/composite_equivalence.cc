@@ -1,0 +1,73 @@
+// Section IV experiment: the shared-prefix composite MT(k+) (Algorithm 2)
+// against running MT(1..k) independently - identical decisions at O(k)
+// instead of O(k^2) column work per operation.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "composite/mtk_plus.h"
+#include "composite/naive_union.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+int failures = 0;
+
+int Run() {
+  std::printf("=== MT(k+): shared prefix vs independent subprotocols ===\n\n");
+
+  TablePrinter table({"k", "logs", "decision mismatches",
+                      "columns/op (shared)", "elements/op (naive, approx)"});
+  for (size_t k : {2u, 3u, 5u, 8u, 12u}) {
+    uint64_t mismatches = 0;
+    uint64_t shared_cols = 0, shared_ops = 0;
+    uint64_t naive_elems = 0;
+    const int rounds = 300;
+    for (int i = 0; i < rounds; ++i) {
+      WorkloadOptions w;
+      w.num_txns = 8;
+      w.num_items = 5;
+      w.min_ops = 2;
+      w.max_ops = 4;
+      w.seed = 500 + static_cast<uint64_t>(i);
+      Log log = GenerateLog(w);
+
+      NaiveUnionRecognizer naive(k, /*with_old_read_path=*/false);
+      MtkPlus shared(k);
+      for (const Op& op : log.ops()) {
+        const OpDecision dn = naive.Process(op);
+        const OpDecision ds = shared.Process(op);
+        if (dn != ds) ++mismatches;
+        if (dn == OpDecision::kReject) break;
+      }
+      shared_cols += shared.stats().columns_touched;
+      shared_ops += shared.stats().accepted + shared.stats().rejected;
+      for (size_t h = 1; h <= k; ++h) {
+        naive_elems += naive.Sub(h).stats().element_comparisons;
+      }
+    }
+    table.AddRow({std::to_string(k), std::to_string(rounds),
+                  std::to_string(mismatches),
+                  FormatDouble(static_cast<double>(shared_cols) /
+                                   static_cast<double>(shared_ops),
+                               2),
+                  FormatDouble(static_cast<double>(naive_elems) /
+                                   static_cast<double>(shared_ops),
+                               2)});
+    if (mismatches != 0) ++failures;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("[%s] zero decision mismatches at every k\n",
+              failures == 0 ? "ok" : "REPRODUCTION FAILURE");
+  std::printf("\nExpected shape: shared-prefix column work grows linearly\n"
+              "in k while the independent subprotocols' total comparison\n"
+              "work grows roughly quadratically (Section IV's O(nqk) vs\n"
+              "O(nqk^2) claim).\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,97 @@
+// Section V-B experiment: the decentralized protocol DMT(k).
+// Measures message overhead per operation, response time, and load balance
+// as the number of sites grows; verifies deadlock-free completion and
+// global serializability; shows the effect of periodic counter
+// synchronization under unbalanced load.
+
+#include <cstdio>
+
+#include "classify/classes.h"
+#include "common/table_printer.h"
+#include "dist/dmt_system.h"
+
+namespace mdts {
+namespace {
+
+int failures = 0;
+
+DmtOptions Base(uint64_t seed) {
+  DmtOptions options;
+  options.k = 3;
+  options.num_txns = 150;
+  options.concurrency = 10;
+  options.message_latency = 0.5;
+  options.seed = seed;
+  options.workload.num_items = 18;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 4;
+  options.workload.read_fraction = 0.6;
+  return options;
+}
+
+int Run() {
+  std::printf("=== DMT(k): decentralized concurrency control ===\n\n");
+
+  TablePrinter table({"sites", "committed", "aborts", "messages",
+                      "msgs/op", "lock waits", "avg response", "DSR audit"});
+  for (uint32_t sites : {1u, 2u, 4u, 8u}) {
+    DmtOptions options = Base(5);
+    options.num_sites = sites;
+    DmtResult r = RunDmtSimulation(options);
+    const bool dsr = IsDsr(r.committed_history);
+    if (!dsr || r.committed + r.gave_up != options.num_txns) ++failures;
+    table.AddRow({std::to_string(sites), std::to_string(r.committed),
+                  std::to_string(r.aborts), std::to_string(r.messages_sent),
+                  FormatDouble(r.ops_scheduled
+                                   ? static_cast<double>(r.messages_sent) /
+                                         static_cast<double>(r.ops_scheduled)
+                                   : 0.0,
+                               2),
+                  std::to_string(r.lock_waits),
+                  FormatDouble(r.avg_response_time, 2),
+                  dsr ? "ok" : "FAILED"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("[%s] every configuration completed deadlock-free with a\n"
+              "     serializable global history\n\n",
+              failures == 0 ? "ok" : "REPRODUCTION FAILURE");
+
+  std::printf("--- message overhead is bounded per operation ---\n");
+  std::printf("Each operation locks at most 4 objects (item + up to 3\n"
+              "vectors), each costing at most 3 messages: request, grant\n"
+              "with value, combined write-back/release - the paper's\n"
+              "\"message overhead proportionate to the size of the "
+              "vector\".\n\n");
+
+  std::printf("--- counter synchronization (unbalanced load) ---\n");
+  TablePrinter sync({"sync interval", "committed", "aborts", "messages"});
+  for (double interval : {0.0, 20.0, 5.0}) {
+    DmtOptions options = Base(7);
+    options.num_sites = 4;
+    options.workload.zipf_theta = 1.2;  // Skewed items -> skewed sites.
+    options.workload.distinct_items_per_txn = false;
+    options.counter_sync_interval = interval;
+    DmtResult r = RunDmtSimulation(options);
+    if (!IsDsr(r.committed_history)) ++failures;
+    sync.AddRow({interval == 0.0 ? "none" : FormatDouble(interval, 0),
+                 std::to_string(r.committed), std::to_string(r.aborts),
+                 std::to_string(r.messages_sent)});
+  }
+  std::printf("%s\n", sync.ToString().c_str());
+
+  std::printf("--- load balance across sites (4 sites) ---\n");
+  DmtOptions options = Base(11);
+  options.num_sites = 4;
+  DmtResult r = RunDmtSimulation(options);
+  TablePrinter load({"site", "operations scheduled"});
+  for (uint32_t s = 0; s < 4; ++s) {
+    load.AddRow({std::to_string(s), std::to_string(r.ops_per_site[s])});
+  }
+  std::printf("%s\n", load.ToString().c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,74 @@
+// Regenerates paper Fig. 1 (Section I-A, Example 1): the motivating
+// comparison between conventional one-dimensional timestamp ordering and
+// the two-dimensional protocol MT(2) on
+//     L = W1[x] W1[y] R3[x] R2[y] ... W3[y].
+//
+// Output: the dependency digraph at both log stages, the timestamp vectors
+// MT(2) assigns (Fig. 1b/1c), and the decisions of TO(1) vs MT(2).
+
+#include <cstdio>
+
+#include "classify/dependency_graph.h"
+#include "common/table_printer.h"
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+#include "core/recognizer.h"
+#include "sched/to1_scheduler.h"
+
+namespace mdts {
+namespace {
+
+void PrintVectors(MtkScheduler* s, const char* caption) {
+  std::printf("%s\n", caption);
+  TablePrinter table({"txn", "TS"});
+  for (TxnId t = 1; t <= 3; ++t) {
+    table.AddRow({"T" + std::to_string(t), s->Ts(t).ToString()});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+int Run() {
+  std::printf("=== Fig. 1 / Example 1: why multidimensional timestamps ===\n\n");
+
+  const Log stage1 = *Log::Parse("W1[x] W1[y] R3[x] R2[y]");
+  const Log full = *Log::Parse("W1[x] W1[y] R3[x] R2[y] W3[y]");
+
+  std::printf("Log prefix: %s\n", stage1.ToString().c_str());
+  std::printf("\nFig. 1(a): dependency digraph of the prefix\n%s\n",
+              DependencyGraph::FromLog(stage1).ToDot("fig1a").c_str());
+
+  MtkOptions options;
+  options.k = 2;
+  MtkScheduler mt2(options);
+  for (const Op& op : stage1.ops()) mt2.Process(op);
+  PrintVectors(&mt2, "Fig. 1(b): MT(2) vectors after the prefix\n"
+                     "(T2 and T3 share <2,*>: their order stays open)");
+
+  std::printf("Full log:  %s\n", full.ToString().c_str());
+  std::printf("\nFig. 1(c): after W3[y], R2[y] conflicts with W3[y], so the\n"
+              "2nd dimension encodes T2 -> T3:\n");
+  mt2.Process(full.at(4));
+  PrintVectors(&mt2, "");
+  auto order = mt2.SerializationOrder({1, 2, 3});
+  std::printf("Serializability order: T%u T%u T%u (no abort needed)\n\n",
+              order[0], order[1], order[2]);
+
+  std::printf("Conventional TO(1) on the same log:\n");
+  To1Scheduler to1;
+  for (size_t i = 0; i < full.size(); ++i) {
+    auto outcome = to1.OnOperation(full.at(i));
+    std::printf("  %-6s -> %s\n", OpName(full.at(i)).c_str(),
+                SchedOutcomeName(outcome));
+  }
+  std::printf("\nClass membership: log in TO(1)? %s    log in TO(2)? %s\n",
+              IsToK(full, 1) ? "yes" : "no", IsToK(full, 2) ? "yes" : "no");
+  std::printf("\nPaper's claim reproduced: the scalar timestamp prematurely\n"
+              "ordered T3 before T2 and must abort T3; MT(2) accepts the "
+              "whole log.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,63 @@
+// Regenerates paper Figs. 6-7 (Section III-E): the five-phase parallel
+// vector-comparison walkthrough on TS(1) = <1,3,2,2> vs TS(2) = <1,3,5,2>,
+// the partial-OR processor tree, and Theorem 4's O(log k) depth as a
+// depth-vs-k table (sequential element comparisons vs parallel phases).
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "parallel/parallel_compare.h"
+
+namespace mdts {
+namespace {
+
+int Run() {
+  std::printf("=== Figs. 6-7: parallel timestamp-vector comparison ===\n\n");
+
+  TimestampVector a(4), b(4);
+  const TsElement va[4] = {1, 3, 2, 2};
+  const TsElement vb[4] = {1, 3, 5, 2};
+  for (size_t i = 0; i < 4; ++i) {
+    a.Set(i, va[i]);
+    b.Set(i, vb[i]);
+  }
+  std::printf("input:  TS(1) = %s\n        TS(2) = %s\n\n",
+              a.ToString().c_str(), b.ToString().c_str());
+
+  std::vector<std::string> trace;
+  auto r = ParallelCompareTraced(a, b, &trace);
+  for (const std::string& line : trace) std::printf("%s\n", line.c_str());
+  std::printf("\nresult: %s at column %zu (1-based %zu), %zu phases, "
+              "%zu processors\n",
+              VectorOrderName(r.order), r.index, r.index + 1, r.phases,
+              r.processors);
+  const bool fig6_ok =
+      r.order == VectorOrder::kLess && r.index == 2 && r.phases == 6;
+  std::printf("[%s] Fig. 6 walkthrough: 3rd elements decide TS(1) < TS(2)\n\n",
+              fig6_ok ? "ok" : "REPRODUCTION FAILURE");
+
+  std::printf("Theorem 4: depth vs vector size k (the Fig. 7 tree has\n"
+              "height ceil(log2 k); sequential comparison costs O(k)):\n\n");
+  TablePrinter table({"k", "sequential element steps (worst)",
+                      "parallel phases (4 + ceil(log2 k))"});
+  for (size_t k : {2u, 4u, 8u, 16u, 64u, 256u, 1024u, 4096u}) {
+    TimestampVector x(k), y(k);
+    for (size_t i = 0; i < k; ++i) {
+      x.Set(i, 1);
+      y.Set(i, 1);
+    }
+    y.Set(k - 1, 2);  // Worst case: decided at the last column.
+    auto rr = ParallelCompare(x, y);
+    table.AddRow({std::to_string(k), std::to_string(k),
+                  std::to_string(rr.phases)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Shape reproduced: parallel depth grows logarithmically while\n"
+              "the sequential scan grows linearly, as Theorem 4 states.\n");
+  return fig6_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,135 @@
+// Section VI-A experiment: MT(k)'s timestamp vectors against Bayer-style
+// dynamic timestamp intervals on identical workloads. The paper's
+// qualitative arguments become measurements:
+//  1) vectors "shrink from both ends" and stay balanced; intervals shrink
+//     one-endedly and fragment (exponentially shrinking overlaps),
+//  2) more dimensions -> more concurrency, in a controllable way,
+//  3) restarting with a fixed full interval recreates the starvation case.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table_printer.h"
+#include "sched/interval_scheduler.h"
+#include "sched/mtk_online.h"
+#include "sim/simulator.h"
+
+namespace mdts {
+namespace {
+
+SimOptions Workload(uint64_t seed, uint32_t items, double read_fraction) {
+  SimOptions options;
+  options.num_txns = 200;
+  options.concurrency = 10;
+  options.seed = seed;
+  options.workload.num_items = items;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 4;
+  options.workload.read_fraction = read_fraction;
+  return options;
+}
+
+int Run() {
+  std::printf("=== MT(k) vs dynamic timestamp intervals (Bayer [1]) ===\n\n");
+
+  TablePrinter table({"items", "reads", "scheduler", "committed", "aborts",
+                      "gave up", "throughput", "avg response"});
+  for (uint32_t items : {6u, 12u, 24u}) {
+    for (double rf : {0.5, 0.8}) {
+      for (int which = 0; which < 3; ++which) {
+        std::unique_ptr<Scheduler> s;
+        if (which == 0) {
+          MtkOptions o;
+          o.k = 3;
+          o.starvation_fix = true;
+          s = std::make_unique<MtkOnline>(o);
+        } else if (which == 1) {
+          MtkOptions o;
+          o.k = 7;
+          o.starvation_fix = true;
+          s = std::make_unique<MtkOnline>(o);
+        } else {
+          s = std::make_unique<IntervalScheduler>();
+        }
+        SimResult r = RunSimulation(s.get(), Workload(77, items, rf));
+        table.AddRow({std::to_string(items), FormatDouble(rf, 1), s->name(),
+                      std::to_string(r.committed), std::to_string(r.aborts),
+                      std::to_string(r.gave_up),
+                      FormatDouble(r.throughput, 3),
+                      FormatDouble(r.avg_response_time, 2)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Fragmentation microbenchmark: a long-running transaction whose
+  // interval is bounded on both sides (someone already depends on it) is
+  // squeezed by a chain of new dependencies; midpoint splitting halves the
+  // remaining overlap each time.
+  std::printf("--- interval fragmentation (paper's point 3) ---\n");
+  IntervalScheduler::Options io;
+  io.min_split_width = 1e-6;
+  IntervalScheduler interval(io);
+  // Bound T1 from above: T1 writes an item that T99 then reads.
+  interval.OnOperation(Op{1, OpType::kWrite, 300});
+  interval.OnOperation(Op{99, OpType::kRead, 300});
+  int splits_until_abort = 0;
+  TxnId other = 200;  // Disjoint from the bounding reader T99.
+  for (ItemId item = 0; item < 200; ++item) {
+    if (interval.OnOperation(Op{other, OpType::kWrite, item}) !=
+        SchedOutcome::kAccepted) {
+      break;
+    }
+    if (interval.OnOperation(Op{1, OpType::kRead, item}) !=
+        SchedOutcome::kAccepted) {
+      break;
+    }
+    ++splits_until_abort;
+    ++other;
+  }
+  std::printf("midpoint splitting survived %d dependencies before the\n"
+              "overlap fragmented below 1e-6 (width halves every split);\n"
+              "an MT(k) vector encodes the same chain without ever running\n"
+              "out of range:\n",
+              splits_until_abort);
+  MtkOptions mo;
+  mo.k = 3;
+  MtkOnline mtk(mo);
+  mtk.OnOperation(Op{1, OpType::kWrite, 300});
+  mtk.OnOperation(Op{99, OpType::kRead, 300});
+  int mtk_chain = 0;
+  other = 200;
+  for (ItemId item = 0; item < 200; ++item) {
+    if (mtk.OnOperation(Op{other, OpType::kWrite, item}) !=
+        SchedOutcome::kAccepted) {
+      break;
+    }
+    if (mtk.OnOperation(Op{1, OpType::kRead, item}) !=
+        SchedOutcome::kAccepted) {
+      break;
+    }
+    ++mtk_chain;
+    ++other;
+  }
+  std::printf("  interval scheduler: %d, MT(3): %d (all %d offered)\n\n",
+              splits_until_abort, mtk_chain, 200);
+
+  std::printf(
+      "Interpretation (Section VI-A, honest reading): given the same\n"
+      "dependency-discovery mechanism (which the paper notes [1] did not\n"
+      "specify) and an unbounded timestamp domain, intervals with\n"
+      "real-valued split points behave like vectors with very many\n"
+      "dimensions and are competitive in the closed-loop simulation. The\n"
+      "paper's structural criticisms remain measurable: (a) a transaction\n"
+      "bounded on both sides fragments after ~log2(range/min-width)\n"
+      "dependencies while MT(k) encodes the same chain with O(1) integer\n"
+      "elements, and (b) the interval representation needs real/word-pair\n"
+      "precision per transaction where MT(k) uses k small integers with\n"
+      "an explicit, provable saturation point (Theorem 3).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

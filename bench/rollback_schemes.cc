@@ -1,0 +1,87 @@
+// Section VI-C experiment: the two rollback-overhead reduction schemes.
+//  1) Partial rollback: a restarted transaction keeps the computation
+//     results of the prefix before the rejected operation - measured as
+//     think-time-free replays and wasted work.
+//  2) Two-phase commit per write (deferred writes): writes stay invisible
+//     until commit; aborts never cascade and committed transactions are
+//     final - measured against immediate-write MT(k) on the same load.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table_printer.h"
+#include "sched/deferred_write.h"
+#include "sched/mtk_online.h"
+#include "sim/simulator.h"
+
+namespace mdts {
+namespace {
+
+SimOptions Contended(uint64_t seed) {
+  SimOptions options;
+  options.num_txns = 250;
+  options.concurrency = 10;
+  options.seed = seed;
+  options.workload.num_items = 6;
+  options.workload.min_ops = 4;
+  options.workload.max_ops = 6;
+  options.workload.read_fraction = 0.5;
+  return options;
+}
+
+int Run() {
+  std::printf("=== Rollback schemes (Section VI-C) ===\n\n");
+
+  std::printf("--- 1) full restart vs partial rollback (MT(3)+fix) ---\n");
+  TablePrinter t1({"policy", "committed", "aborts", "ops wasted",
+                   "prefix ops replayed free", "throughput"});
+  for (bool partial : {false, true}) {
+    MtkOptions o;
+    o.k = 3;
+    o.starvation_fix = true;
+    MtkOnline s(o);
+    SimOptions options = Contended(9);
+    options.partial_rollback = partial;
+    SimResult r = RunSimulation(&s, options);
+    t1.AddRow({partial ? "partial rollback" : "full restart",
+               std::to_string(r.committed), std::to_string(r.aborts),
+               std::to_string(r.ops_wasted),
+               std::to_string(r.ops_replayed_free),
+               FormatDouble(r.throughput, 3)});
+  }
+  std::printf("%s\n", t1.ToString().c_str());
+  std::printf("Expected shape: partial rollback converts wasted operations\n"
+              "into free replays, preserving the computation results up to\n"
+              "the restart point (paper VI-C-1).\n\n");
+
+  std::printf("--- 2) immediate writes vs deferred writes ---\n");
+  TablePrinter t2({"scheduler", "committed", "aborts", "gave up",
+                   "throughput", "avg response"});
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<Scheduler> s;
+    MtkOptions o;
+    o.k = 3;
+    if (which == 0) {
+      o.starvation_fix = true;
+      s = std::make_unique<MtkOnline>(o);
+    } else {
+      s = std::make_unique<MtkDeferredWrite>(o);
+    }
+    SimResult r = RunSimulation(s.get(), Contended(21));
+    t2.AddRow({s->name(), std::to_string(r.committed),
+               std::to_string(r.aborts), std::to_string(r.gave_up),
+               FormatDouble(r.throughput, 3),
+               FormatDouble(r.avg_response_time, 2)});
+  }
+  std::printf("%s\n", t2.ToString().c_str());
+  std::printf("Properties the deferred scheme guarantees (VI-C-2), both\n"
+              "checked structurally in the test suite: an uncommitted\n"
+              "abort affects no other transaction (no write was visible),\n"
+              "and a committed transaction is never aborted afterwards.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,58 @@
+// Section III-D-4 experiment: starvation behavior under load. The
+// deterministic Fig. 5 scenario is replayed in bench/fig5_starvation; here
+// the fix's effect is measured statistically: distribution of consecutive
+// aborts and completion under adversarial contention, with and without the
+// seeding fix.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "sched/mtk_online.h"
+#include "sim/simulator.h"
+
+namespace mdts {
+namespace {
+
+int Run() {
+  std::printf("=== Starvation rates (Section III-D-4) ===\n\n");
+
+  TablePrinter table({"k", "fix", "seed", "committed", "gave up", "aborts",
+                      "max consecutive aborts", "throughput"});
+  for (size_t k : {2u, 4u}) {
+    for (bool fix : {false, true}) {
+      for (uint64_t seed : {3u, 11u, 19u}) {
+        MtkOptions o;
+        o.k = k;
+        o.starvation_fix = fix;
+        MtkOnline s(o);
+        SimOptions options;
+        options.num_txns = 150;
+        options.concurrency = 10;
+        options.seed = seed;
+        options.max_attempts = 60;
+        options.workload.num_items = 4;  // Brutal contention.
+        options.workload.min_ops = 2;
+        options.workload.max_ops = 4;
+        options.workload.read_fraction = 0.3;
+        SimResult r = RunSimulation(&s, options);
+        table.AddRow({std::to_string(k), fix ? "yes" : "no",
+                      std::to_string(seed), std::to_string(r.committed),
+                      std::to_string(r.gave_up), std::to_string(r.aborts),
+                      std::to_string(r.max_consecutive_aborts),
+                      FormatDouble(r.throughput, 3)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Interpretation: the fix guarantees a transaction is never\n"
+              "re-aborted by the SAME blocker (the deterministic guarantee\n"
+              "of Fig. 5); under random contention blockers change, so\n"
+              "consecutive-abort counts fluctuate but give-ups should not\n"
+              "be systematically worse with the fix.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

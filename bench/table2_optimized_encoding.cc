@@ -1,0 +1,143 @@
+// Regenerates paper Table II (Section III-D-5, Example 3): a frequently
+// accessed item x drives the middle of the log R1[x] W2[x] W3[x], and the
+// normal encoding rules build a total order that also drags in the
+// bystander T4 = <1,4>. The optimized right-end encoding avoids this.
+// A quantitative ablation then measures acceptance on Zipf-hot workloads
+// with and without optimized encoding.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+#include "core/recognizer.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+int failures = 0;
+
+void Expect(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "REPRODUCTION FAILURE", what);
+  if (!ok) ++failures;
+}
+
+// Prefix that manufactures the bystander TS(4) = <1,4> of Table II (two
+// undefined-pair encodings consume ucount values (1,2) and (3,4)).
+constexpr char kPrefix[] = "R6[4] R7[5] W7[4] R4[6] R8[7] W4[7]";
+
+void ReplayTable2() {
+  std::printf("--- Table II replay (k = 2, normal encoding) ---\n");
+  MtkOptions options;
+  options.k = 2;
+  MtkScheduler s(options);
+  const Log prefix = *Log::Parse(kPrefix);
+  for (const Op& op : prefix.ops()) s.Process(op);
+  Expect(s.Ts(4).ToString() == "<1,4>", "precondition TS(4) = <1,4>");
+
+  TablePrinter table({"dependency", "TS(0)", "TS(1)", "TS(2)", "TS(3)",
+                      "TS(4)"});
+  auto row = [&](const char* label) {
+    table.AddRow({label, s.Ts(0).ToString(), s.Ts(1).ToString(),
+                  s.Ts(2).ToString(), s.Ts(3).ToString(),
+                  s.Ts(4).ToString()});
+  };
+  row("vectors just before the middle");
+  s.Process(Op{1, OpType::kRead, 0});
+  row("T0 -> T1 (R1[x])");
+  s.Process(Op{2, OpType::kWrite, 0});
+  row("T1 -> T2 (W2[x])");
+  s.Process(Op{3, OpType::kWrite, 0});
+  row("T2 -> T3 (W3[x])");
+  std::printf("%s", table.ToString().c_str());
+
+  Expect(s.Ts(1).ToString() == "<1,*>" && s.Ts(2).ToString() == "<2,*>" &&
+             s.Ts(3).ToString() == "<3,*>" && s.Ts(4).ToString() == "<1,4>",
+         "resulting vectors match Table II");
+  Expect(VectorLess(s.Ts(4), s.Ts(2)) && VectorLess(s.Ts(4), s.Ts(3)),
+         "hot item created a total order: T4 ordered against T2 and T3 "
+         "although they never conflicted");
+  std::printf("\n");
+}
+
+void ShowOptimizedVariant() {
+  std::printf("--- Section III-D-5 optimized encoding (k = 4) ---\n");
+  std::printf("Worked example: encode T1 -> T2 when TS(1) = <1,3,*,*> and\n"
+              "TS(2) is fully undefined, via a hot item:\n");
+  MtkOptions options;
+  options.k = 4;
+  options.optimized_encoding = true;
+  options.hot_item_threshold = 3;
+  MtkScheduler s(options);
+  const Log setup = *Log::Parse("R5[4] R6[5] W5[5] R1[6] W1[4]");
+  for (const Op& op : setup.ops()) s.Process(op);
+  Expect(s.Ts(1).ToString() == "<1,3,*,*>", "setup TS(1) = <1,3,*,*>");
+  const Log hot_ops = *Log::Parse("R9[7] R9[7] R1[7] W2[7]");
+  for (const Op& op : hot_ops.ops()) s.Process(op);
+  std::printf("  TS(1) = %s   TS(2) = %s\n", s.Ts(1).ToString().c_str(),
+              s.Ts(2).ToString().c_str());
+  Expect(s.Ts(1).ToString() == "<1,3,1,*>" &&
+             s.Ts(2).ToString() == "<1,3,2,*>",
+         "prefix copied, dependency encoded at the right end "
+         "(paper's <1,3,1,*> / <1,3,2,*>)");
+  std::printf("\n");
+}
+
+void Ablation() {
+  std::printf("--- Ablation: acceptance rate on Zipf-hot workloads ---\n");
+  TablePrinter table({"zipf theta", "k", "accepted (normal)",
+                      "accepted (optimized)", "logs"});
+  for (double theta : {0.0, 0.9, 1.4}) {
+    for (size_t k : {4u, 6u}) {
+      int normal = 0, optimized = 0;
+      const int rounds = 400;
+      for (int i = 0; i < rounds; ++i) {
+        WorkloadOptions w;
+        w.num_txns = 8;
+        w.num_items = 8;
+        w.min_ops = 2;
+        w.max_ops = 3;
+        w.zipf_theta = theta;
+        w.read_fraction = 0.6;
+        w.distinct_items_per_txn = false;
+        w.seed = 1000 + i;
+        Log log = GenerateLog(w);
+
+        MtkOptions base;
+        base.k = k;
+        if (RecognizeLog(log, base).accepted) ++normal;
+        MtkOptions opt = base;
+        opt.optimized_encoding = true;
+        opt.hot_item_threshold = 4;
+        if (RecognizeLog(log, opt).accepted) ++optimized;
+      }
+      table.AddRow({FormatDouble(theta, 1), std::to_string(k),
+                    std::to_string(normal), std::to_string(optimized),
+                    std::to_string(rounds)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Interpretation: on random whole-log acceptance the two encodings\n"
+      "are statistically indistinguishable - the optimized rules keep\n"
+      "bystanders unordered (the structural effect shown exactly above)\n"
+      "but also assign more elements per dependency, and the two effects\n"
+      "offset. The paper's example-level claim is reproduced exactly; its\n"
+      "'higher concurrency in the future' holds for the bystander pattern\n"
+      "of Example 3, not as a blanket acceptance-rate win.\n");
+}
+
+int Run() {
+  std::printf("=== Table II + Section III-D-5: optimized encoding ===\n\n");
+  ReplayTable2();
+  ShowOptimizedVariant();
+  Ablation();
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

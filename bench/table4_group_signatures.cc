@@ -1,0 +1,86 @@
+// Regenerates paper Table IV (Section V-A, Example 6): two groups defined
+// by read/write-set signatures
+//     G1 = { T : read_set = {x,z}, write_set = {y,z} }
+//     G2 = { T : read_set = {y,w}, write_set = {x,w} }
+// We generate transactions matching both signatures, auto-partition them
+// with PartitionByReadWriteSignature, run MT(2,2), and demonstrate the
+// inter-group antisymmetry the paper highlights.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/log.h"
+#include "nested/nested_scheduler.h"
+#include "nested/partition.h"
+
+namespace mdts {
+namespace {
+
+int failures = 0;
+
+void Expect(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "REPRODUCTION FAILURE", what);
+  if (!ok) ++failures;
+}
+
+int Run() {
+  std::printf("=== Table IV: groups by read/write-set signature ===\n\n");
+  std::printf("         x     y     z     w\n");
+  std::printf("  G1     R     W     R,W\n");
+  std::printf("  G2     W     R           R,W\n\n");
+
+  // T1, T3 follow G1's signature; T2, T4 follow G2's. The G1 transactions
+  // run before the G2 transactions on the shared items x and y, so every
+  // inter-group dependency points G1 -> G2 (groups make the data flow
+  // one-directional - the antisymmetry the paper emphasizes).
+  const Log log = *Log::Parse(
+      "R1[x] R1[z] W1[y] W1[z] "
+      "R3[x] R3[z] W3[y] W3[z] "
+      "R2[y] R2[w] W2[x] W2[w] "
+      "R4[y] R4[w] W4[x] W4[w]");
+
+  auto partition = PartitionByReadWriteSignature(log);
+  TablePrinter table({"txn", "read set", "write set", "group"});
+  for (TxnId t = 1; t <= log.num_txns(); ++t) {
+    std::string reads, writes;
+    for (ItemId x : log.ReadSet(t)) reads += ItemName(x) + " ";
+    for (ItemId x : log.WriteSet(t)) writes += ItemName(x) + " ";
+    table.AddRow({"T" + std::to_string(t), reads, writes,
+                  "G" + std::to_string(partition[t - 1])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  Expect(partition[0] == partition[2] && partition[1] == partition[3] &&
+             partition[0] != partition[1],
+         "signatures induce exactly the two groups of Table IV");
+
+  NestedMtScheduler s({2, 2});
+  Expect(RegisterPartition(&s, partition).ok(), "partition registered");
+
+  std::printf("\nRunning the interleaved log through MT(2,2):\n");
+  bool all_accepted = true;
+  for (const Op& op : log.ops()) {
+    const OpDecision d = s.Process(op);
+    if (d != OpDecision::kAccept) all_accepted = false;
+    std::printf("  %-6s -> %s\n", OpName(op).c_str(), OpDecisionName(d));
+  }
+  Expect(all_accepted, "serial-per-group interleaving accepted");
+  std::printf("\n%s\n", s.DumpTables(4).c_str());
+
+  // Antisymmetry: G1 accessed x before G2 wrote it (R1[x] < W2[x]), fixing
+  // G1 -> G2; a later G2-member output feeding a G1 member is refused.
+  std::printf("Antisymmetry: T3 (G1) now tries to read w, last written by "
+              "T4 (G2),\nwhich would imply G2 -> G1:\n");
+  const OpDecision d = s.Process(Op{3, OpType::kRead, 3});
+  std::printf("  R3[w] -> %s\n", OpDecisionName(d));
+  Expect(d == OpDecision::kReject,
+         "reverse inter-group dependency rejected (antisymmetric, as the "
+         "paper notes this can also be a semantic requirement)");
+
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,63 @@
+// Section VI-B experiment: guidelines to choose the timestamp vector size.
+// Measures acceptance rate vs k across conflict levels and transaction
+// lengths, locating the knee the paper predicts at k = 2q-1, and showing
+// that high-conflict workloads profit from larger k while low-conflict
+// ones do not.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "core/recognizer.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+double AcceptRate(uint32_t items, uint32_t q, size_t k, int rounds) {
+  int accepted = 0;
+  for (int i = 0; i < rounds; ++i) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = items;
+    w.min_ops = q;
+    w.max_ops = q;
+    w.read_fraction = 0.5;
+    w.seed = 42'000 + static_cast<uint64_t>(i) * 13 + items * 7 + q;
+    if (IsToK(GenerateLog(w), k)) ++accepted;
+  }
+  return 100.0 * accepted / rounds;
+}
+
+int Run() {
+  std::printf("=== Vector-size guidelines (Section VI-B) ===\n\n");
+  const int rounds = 800;
+
+  for (uint32_t q : {2u, 3u, 4u}) {
+    const size_t kstar = 2 * q - 1;
+    std::printf("--- q = %u (sufficient size 2q-1 = %zu) ---\n", q, kstar);
+    TablePrinter table({"k", "high conflict (4 items) %",
+                        "medium (8 items) %", "low (32 items) %"});
+    for (size_t k = 1; k <= kstar + 2; ++k) {
+      table.AddRow({std::to_string(k) + (k == kstar ? "  <= 2q-1" : ""),
+                    FormatDouble(AcceptRate(4, q, k, rounds), 1),
+                    FormatDouble(AcceptRate(8, q, k, rounds), 1),
+                    FormatDouble(AcceptRate(32, q, k, rounds), 1)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("Expected shape (paper's guidelines):\n"
+              " a) under high conflict, acceptance varies with k and large\n"
+              "    k pays off; under low conflict every k accepts almost\n"
+              "    everything,\n"
+              " b) rows beyond k = 2q-1 are identical to the k = 2q-1 row\n"
+              "    (Theorem 3): storage beyond 2q-1 is wasted,\n"
+              " c) acceptance need not be monotone in k below 2q-1 (the\n"
+              "    classes are incomparable), which is why MT(k+) exists.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main() { return mdts::Run(); }

@@ -1,0 +1,111 @@
+// Banking example: account transfers and balance checks through the
+// discrete-event simulator, comparing MT(3) against 2PL and conventional
+// timestamp ordering on the exact same transaction mix.
+//
+// Transfers are read-read-write-write transactions over two accounts;
+// audits read a handful of accounts. A few "hot" accounts (merchant
+// accounts) attract a disproportionate share of transfers - the situation
+// where the paper's multidimensional timestamps shine.
+//
+//   $ ./build/examples/banking_sim
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "sched/mtk_online.h"
+#include "sched/to1_scheduler.h"
+#include "sched/two_pl_scheduler.h"
+#include "sim/simulator.h"
+
+using namespace mdts;
+
+namespace {
+
+constexpr ItemId kNumAccounts = 32;
+constexpr ItemId kNumHot = 3;  // Merchant accounts.
+
+// A transfer: read both balances, then update both.
+std::vector<Op> MakeTransfer(Rng* rng) {
+  const bool hot = rng->Chance(0.5);
+  const ItemId from =
+      hot ? static_cast<ItemId>(rng->Uniform(0, kNumHot - 1))
+          : static_cast<ItemId>(rng->Uniform(kNumHot, kNumAccounts - 1));
+  ItemId to = from;
+  while (to == from) {
+    to = static_cast<ItemId>(rng->Uniform(0, kNumAccounts - 1));
+  }
+  return {Op{0, OpType::kRead, from}, Op{0, OpType::kRead, to},
+          Op{0, OpType::kWrite, from}, Op{0, OpType::kWrite, to}};
+}
+
+// An audit: read several random accounts.
+std::vector<Op> MakeAudit(Rng* rng) {
+  std::vector<Op> ops;
+  const int n = static_cast<int>(rng->Uniform(3, 6));
+  for (int i = 0; i < n; ++i) {
+    ops.push_back(Op{0, OpType::kRead,
+                     static_cast<ItemId>(rng->Uniform(0, kNumAccounts - 1))});
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== banking_sim: transfers + audits, 300 transactions ===\n\n");
+
+  // Build the transaction mix once; every scheduler replays the same mix.
+  Rng mix_rng(2024);
+  std::vector<std::vector<Op>> programs;
+  for (int i = 0; i < 300; ++i) {
+    programs.push_back(mix_rng.Chance(0.7) ? MakeTransfer(&mix_rng)
+                                           : MakeAudit(&mix_rng));
+  }
+
+  TablePrinter table({"scheduler", "committed", "aborts", "blocks",
+                      "throughput", "avg response"});
+  for (int which = 0; which < 4; ++which) {
+    std::unique_ptr<Scheduler> s;
+    switch (which) {
+      case 0: {
+        MtkOptions o;
+        o.k = 3;
+        o.starvation_fix = true;
+        s = std::make_unique<MtkOnline>(o);
+        break;
+      }
+      case 1: {
+        MtkOptions o;
+        o.k = 3;
+        o.starvation_fix = true;
+        o.thomas_write_rule = true;
+        s = std::make_unique<MtkOnline>(o);
+        break;
+      }
+      case 2:
+        s = std::make_unique<TwoPlScheduler>();
+        break;
+      default:
+        s = std::make_unique<To1Scheduler>();
+    }
+
+    SimOptions options;
+    options.programs = programs;
+    options.concurrency = 12;
+    options.mean_think_time = 1.0;
+    options.seed = 99;
+    SimResult r = RunSimulation(s.get(), options);
+    table.AddRow({s->name(), std::to_string(r.committed),
+                  std::to_string(r.aborts), std::to_string(r.block_events),
+                  FormatDouble(r.throughput, 3),
+                  FormatDouble(r.avg_response_time, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("All schedulers processed the identical transfer/audit mix;\n"
+              "the committed histories are serializable by construction\n"
+              "(the property tests audit this continuously).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Classifier tour: pass a log in the paper's notation and see exactly
+// where it falls in the Fig. 4 hierarchy, along with its dependency
+// digraph and a serialization witness.
+//
+//   $ ./build/examples/classifier_tour "W1[x] R2[x] W2[y] R1[y]"
+//   $ ./build/examples/classifier_tour            # uses a default tour
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "classify/classes.h"
+#include "classify/dependency_graph.h"
+#include "classify/hierarchy.h"
+#include "core/log.h"
+#include "core/recognizer.h"
+
+using namespace mdts;
+
+namespace {
+
+void Tour(const std::string& text) {
+  auto parsed = Log::Parse(text);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  const Log& log = parsed.value();
+  std::printf("log: %s\n", log.ToString().c_str());
+  std::printf("  %u transactions, %u items, q = %zu ops/txn, two-step: %s\n",
+              log.num_txns(), log.num_items(), log.MaxOpsPerTxn(),
+              log.IsTwoStep() ? "yes" : "no");
+
+  DependencyGraph g = DependencyGraph::FromLog(log);
+  std::printf("\ndependency digraph:\n%s", g.ToDot("log").c_str());
+
+  std::printf("\nclass membership:\n");
+  std::printf("  DSR (conflict-serializable): %s\n",
+              IsDsr(log) ? "yes" : "no");
+  auto order = DsrSerialOrder(log);
+  if (!order.empty()) {
+    std::printf("  serialization witness:");
+    for (TxnId t : order) std::printf(" T%u", t);
+    std::printf("\n");
+  }
+  for (size_t k = 1; k <= 2 * log.MaxOpsPerTxn() - 1 && k <= 9; ++k) {
+    std::printf("  TO(%zu): %s\n", k, IsToK(log, k) ? "yes" : "no");
+  }
+  std::printf("  2PL: %s\n", IsTwoPl(log) ? "yes" : "no");
+  if (log.num_txns() <= kMaxBruteForceTxns) {
+    auto ssr = IsSsr(log);
+    auto vsr = IsViewSerializable(log);
+    auto fsr = IsFinalStateSerializable(log);
+    if (ssr.ok()) std::printf("  SSR: %s\n", *ssr ? "yes" : "no");
+    if (vsr.ok()) {
+      std::printf("  view-serializable: %s\n", *vsr ? "yes" : "no");
+    }
+    if (fsr.ok()) {
+      std::printf("  final-state serializable (SR): %s\n",
+                  *fsr ? "yes" : "no");
+    }
+    auto m = ClassifyLog(log);
+    if (m.ok()) {
+      std::printf("  Fig. 4 signature: %s (region %d)\n",
+                  MembershipSignature(*m).c_str(), Fig4Region(*m));
+    }
+  } else {
+    std::printf("  (brute-force classes skipped: more than %u txns)\n",
+                kMaxBruteForceTxns);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    Tour(argv[1]);
+    return 0;
+  }
+  std::printf("=== classifier tour (default logs) ===\n\n");
+  // One log per interesting hierarchy position.
+  Tour("R1[x] W1[x] R2[x] W2[x]");               // Everything.
+  Tour("W1[x] W1[y] R3[x] R2[y] W3[y]");         // TO(2) - TO(1).
+  Tour("R1[x] W2[x] W3[y] W1[y]");               // DSR - 2PL.
+  Tour("R2[y] R1[x] W1[y] R3[z] W2[z] W3[w]");   // DSR n SR - SSR.
+  Tour("R1[x] W2[x] W1[x] W3[x]");               // VSR - DSR.
+  Tour("R1[x] R2[x] W1[x] W2[x]");               // Lost update: outside SR.
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Distributed demo: DMT(k) across three sites.
+//
+// Items and timestamp vectors are partitioned by id across the sites;
+// scheduling an operation locks the involved objects in the predefined
+// linear order (deadlock-free) and exchanges messages with their home
+// sites. The demo prints the message economics and verifies the global
+// history stayed serializable.
+//
+//   $ ./build/examples/distributed_demo
+
+#include <cstdio>
+
+#include "classify/classes.h"
+#include "common/table_printer.h"
+#include "dist/dmt_system.h"
+
+using namespace mdts;
+
+int main() {
+  std::printf("=== distributed_demo: DMT(3) on 3 sites ===\n\n");
+
+  DmtOptions options;
+  options.k = 3;
+  options.num_sites = 3;
+  options.num_txns = 90;
+  options.concurrency = 9;
+  options.message_latency = 1.0;
+  options.seed = 4242;
+  options.workload.num_items = 12;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 4;
+  options.workload.read_fraction = 0.6;
+
+  DmtResult r = RunDmtSimulation(options);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"transactions committed", std::to_string(r.committed)});
+  table.AddRow({"aborts", std::to_string(r.aborts)});
+  table.AddRow({"operations scheduled", std::to_string(r.ops_scheduled)});
+  table.AddRow({"network messages", std::to_string(r.messages_sent)});
+  table.AddRow(
+      {"messages per op",
+       FormatDouble(r.ops_scheduled > 0
+                        ? static_cast<double>(r.messages_sent) /
+                              static_cast<double>(r.ops_scheduled)
+                        : 0.0,
+                    2)});
+  table.AddRow({"lock-queue waits", std::to_string(r.lock_waits)});
+  table.AddRow({"makespan (sim time)", FormatDouble(r.makespan, 1)});
+  table.AddRow({"avg response time", FormatDouble(r.avg_response_time, 2)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("per-site scheduling load:");
+  for (size_t s = 0; s < r.ops_per_site.size(); ++s) {
+    std::printf("  site %zu: %llu", s,
+                static_cast<unsigned long long>(r.ops_per_site[s]));
+  }
+  std::printf("\n\nglobal committed history is DSR: %s\n",
+              IsDsr(r.committed_history) ? "yes" : "NO (bug!)");
+  std::printf("\nEvery operation locked at most four objects (the item\n"
+              "record plus up to three timestamp vectors) in ascending\n"
+              "object order, so no two operations could deadlock - the\n"
+              "paper's Section V-B design.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// mdts_cli: drive any scheduler in the library over a log from the command
+// line or stdin - the tool a downstream user reaches for first.
+//
+// Usage:
+//   mdts_cli [--scheduler=NAME] [--k=K] ["LOG TEXT"]
+//
+//   NAME: mt (default) | mt+ | mv | 2pl | to1 | occ | interval | nested
+//   K:    vector size for mt/mt+/mv (default 3)
+//
+// With no log argument, reads one log per line from stdin. Logs use the
+// paper's notation: "W1[x] R2[y] W2(x) ...".
+//
+// Examples:
+//   $ ./build/examples/mdts_cli "W1[x] W1[y] R3[x] R2[y] W3[y]"
+//   $ ./build/examples/mdts_cli --scheduler=2pl "R1[x] W2[x] W3[y] W1[y]"
+//   $ echo "R1[x] W2[x]" | ./build/examples/mdts_cli --scheduler=mv --k=2
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "composite/mtk_plus.h"
+#include "core/explain.h"
+#include "core/log.h"
+#include "mvcc/mv_online.h"
+#include "sched/interval_scheduler.h"
+#include "sched/mtk_online.h"
+#include "sched/occ_scheduler.h"
+#include "sched/to1_scheduler.h"
+#include "sched/two_pl_scheduler.h"
+
+using namespace mdts;
+
+namespace {
+
+struct Cli {
+  std::string scheduler = "mt";
+  size_t k = 3;
+  bool explain = false;
+};
+
+int RunLog(const Cli& cli, const std::string& text) {
+  auto parsed = Log::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Log& log = parsed.value();
+  std::printf("log: %s\n", log.ToString().c_str());
+
+  if (cli.explain) {
+    MtkOptions o;
+    o.k = cli.k;
+    std::printf("%s", ExplainRejection(log, o).ToString().c_str());
+    return 0;
+  }
+
+  if (cli.scheduler == "mt+") {
+    MtkPlus composite(cli.k);
+    for (const Op& op : log.ops()) {
+      const OpDecision d = composite.Process(op);
+      std::printf("  %-8s -> %s  (live subprotocols: %zu)\n",
+                  OpName(op).c_str(), OpDecisionName(d),
+                  composite.live_count());
+    }
+    std::printf("%s", composite.DumpTables(log.num_txns()).c_str());
+    return 0;
+  }
+
+  std::unique_ptr<Scheduler> s;
+  if (cli.scheduler == "mt") {
+    MtkOptions o;
+    o.k = cli.k;
+    s = std::make_unique<MtkOnline>(o);
+  } else if (cli.scheduler == "mv") {
+    MvMtkOptions o;
+    o.k = cli.k;
+    o.starvation_fix = true;
+    s = std::make_unique<MvOnline>(o);
+  } else if (cli.scheduler == "2pl") {
+    s = std::make_unique<TwoPlScheduler>();
+  } else if (cli.scheduler == "to1") {
+    s = std::make_unique<To1Scheduler>();
+  } else if (cli.scheduler == "occ") {
+    s = std::make_unique<OccScheduler>();
+  } else if (cli.scheduler == "interval") {
+    s = std::make_unique<IntervalScheduler>();
+  } else {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", cli.scheduler.c_str());
+    return 2;
+  }
+
+  std::printf("scheduler: %s\n", s->name().c_str());
+  for (const Op& op : log.ops()) {
+    const SchedOutcome outcome = s->OnOperation(op);
+    std::printf("  %-8s -> %s", OpName(op).c_str(),
+                SchedOutcomeName(outcome));
+    if (outcome == SchedOutcome::kBlocked) {
+      std::printf("  (would wait; offline replay treats this as stuck)");
+    }
+    std::printf("\n");
+    for (TxnId t : s->TakeUnblocked()) {
+      std::printf("           T%u unblocked\n", t);
+    }
+  }
+  for (TxnId t = 1; t <= log.num_txns(); ++t) {
+    std::printf("  commit T%u -> %s\n", t,
+                SchedOutcomeName(s->OnCommit(t)));
+    for (TxnId u : s->TakeUnblocked()) {
+      std::printf("           T%u unblocked\n", u);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::string log_text;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scheduler=", 0) == 0) {
+      cli.scheduler = arg.substr(std::strlen("--scheduler="));
+    } else if (arg.rfind("--k=", 0) == 0) {
+      cli.k = static_cast<size_t>(std::stoul(arg.substr(4)));
+    } else if (arg == "--explain") {
+      cli.explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mdts_cli [--scheduler=mt|mt+|mv|2pl|to1|occ|"
+                  "interval] [--k=K] [--explain] [\"LOG\"]\n");
+      return 0;
+    } else {
+      log_text = arg;
+    }
+  }
+  if (!log_text.empty()) return RunLog(cli, log_text);
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    rc |= RunLog(cli, line);
+  }
+  return rc;
+}

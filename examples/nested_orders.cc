@@ -1,0 +1,79 @@
+// Nested/grouped example: order processing with MT(k1, k2).
+//
+// An order-processing system runs ingestion transactions (new orders) and
+// fulfilment transactions (pick + ship). Per the paper's Section V-A, the
+// two kinds form groups: the protocol keeps inter-group dependencies
+// antisymmetric (ingestion feeds fulfilment, never the other way within an
+// epoch), while transactions inside a group are serialized with their own
+// timestamp vectors.
+//
+//   $ ./build/examples/nested_orders
+
+#include <cstdio>
+
+#include "core/log.h"
+#include "nested/nested_scheduler.h"
+
+using namespace mdts;
+
+namespace {
+
+// Items: 0-3 order slots, 4-7 inventory records.
+constexpr ItemId kOrder0 = 0, kOrder1 = 1;
+constexpr ItemId kStockA = 4, kStockB = 5;
+
+constexpr GroupId kIngestion = 1;
+constexpr GroupId kFulfilment = 2;
+
+const char* Decide(NestedMtScheduler* s, const Op& op) {
+  return OpDecisionName(s->Process(op));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== nested_orders: MT(2,2) with ingestion/fulfilment groups "
+              "===\n\n");
+  NestedMtScheduler s({2, 2});
+
+  // T1, T2 ingest orders; T3, T4 fulfil them.
+  (void)s.RegisterTxn(1, {kIngestion});
+  (void)s.RegisterTxn(2, {kIngestion});
+  (void)s.RegisterTxn(3, {kFulfilment});
+  (void)s.RegisterTxn(4, {kFulfilment});
+
+  std::printf("ingestion (group G1):\n");
+  std::printf("  T1 writes order0        -> %s\n",
+              Decide(&s, Op{1, OpType::kWrite, kOrder0}));
+  std::printf("  T2 reads order0 (dedup) -> %s\n",
+              Decide(&s, Op{2, OpType::kRead, kOrder0}));
+  std::printf("  T2 writes order1        -> %s\n",
+              Decide(&s, Op{2, OpType::kWrite, kOrder1}));
+
+  std::printf("\nfulfilment (group G2) consumes ingestion output:\n");
+  std::printf("  T3 reads order0         -> %s\n",
+              Decide(&s, Op{3, OpType::kRead, kOrder0}));
+  std::printf("  T3 writes stockA        -> %s\n",
+              Decide(&s, Op{3, OpType::kWrite, kStockA}));
+  std::printf("  T4 reads order1         -> %s\n",
+              Decide(&s, Op{4, OpType::kRead, kOrder1}));
+  std::printf("  T4 writes stockB        -> %s\n",
+              Decide(&s, Op{4, OpType::kWrite, kStockB}));
+
+  std::printf("\ncurrent tables:\n%s\n", s.DumpTables(4).c_str());
+
+  // The group dependency G1 -> G2 is now fixed. An ingestion transaction
+  // reading fulfilment output inside this epoch would invert it:
+  std::printf("antisymmetry: T2 (ingestion) tries to read stockA, last\n"
+              "written by fulfilment:\n");
+  std::printf("  T2 reads stockA         -> %s   (G2 -> G1 forbidden)\n",
+              Decide(&s, Op{2, OpType::kRead, kStockA}));
+
+  std::printf("\nwithin-group conflicts stay fine-grained: T1 and T2 were\n"
+              "ordered by their own vectors (TS(1) < TS(2)): %s\n",
+              VectorLess(s.TxnTs(1), s.TxnTs(2)) ? "yes" : "no");
+  std::printf("\nThe same scheduler generalizes to deeper hierarchies\n"
+              "(MT(k1,k2,k3) with supergroups) - see "
+              "tests/nested_test.cc.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef MDTS_CLASSIFY_CLASSES_H_
+#define MDTS_CLASSIFY_CLASSES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/log.h"
+#include "core/types.h"
+
+namespace mdts {
+
+/// D-serializability (paper Definition 2 / Theorem 1): the log's conflict
+/// dependency relation is a partial order, i.e. the dependency digraph is
+/// acyclic. Polynomial.
+bool IsDsr(const Log& log);
+
+/// A serial order witnessing DSR membership (topological order of the
+/// dependency digraph); empty if the log is not DSR.
+std::vector<TxnId> DsrSerialOrder(const Log& log);
+
+/// Definition 4's direct one-dimensional test: with s_i fixed to the
+/// position of T_i's first operation, all four dependency conditions
+/// (write-read, read-write, write-write, and the added read-read condition
+/// iv) must order s values consistently. This is a *necessary-condition*
+/// check; the class TO(1) recognized by MT(1) is slightly larger because of
+/// Algorithm 1's line 9 (see IsToK in core/recognizer.h).
+bool IsTo1ByDefinition(const Log& log);
+
+/// Transactions brute-force equivalence tests enumerate n! serial orders;
+/// they refuse logs with more transactions than this.
+inline constexpr TxnId kMaxBruteForceTxns = 8;
+
+/// View serializability: some serial order is view-equivalent to the log
+/// (same reads-from relation and same final writers). Brute force;
+/// FailedPrecondition beyond kMaxBruteForceTxns transactions.
+Result<bool> IsViewSerializable(const Log& log);
+
+/// Final-state serializability under Herbrand semantics: some serial order
+/// produces the same final symbolic value for every item (each write is an
+/// uninterpreted function of the values its transaction read earlier). This
+/// is Papadimitriou's class SR. Brute force with the same guard.
+Result<bool> IsFinalStateSerializable(const Log& log);
+
+/// Strict serializability (SSR): some serial order is view-equivalent to
+/// the log *and* extends the real-time order (T_i's last operation before
+/// T_j's first implies T_i earlier). Brute force with the same guard.
+Result<bool> IsSsr(const Log& log);
+
+/// Conflict-based sufficient test for SSR usable at any size: dependency
+/// digraph plus real-time edges is acyclic. Implies IsSsr.
+bool IsSsrConflict(const Log& log);
+
+/// Membership in the two-phase-locking class: the log could have been
+/// produced, with this exact operation order, by a 2PL scheduler using
+/// shared/exclusive locks where each transaction holds one continuous lock
+/// window per item (no upgrades). Decided by difference-constraint
+/// feasibility over lock windows and lock points; polynomial.
+bool IsTwoPl(const Log& log);
+
+}  // namespace mdts
+
+#endif  // MDTS_CLASSIFY_CLASSES_H_

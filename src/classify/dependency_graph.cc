@@ -1,0 +1,109 @@
+#include "classify/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mdts {
+
+void DependencyGraph::EnsureSize(TxnId txn) {
+  if (txn > num_txns_) num_txns_ = txn;
+  if (adj_.size() <= num_txns_) {
+    adj_.resize(num_txns_ + 1);
+    for (auto& row : adj_) row.resize(num_txns_ + 1, false);
+  }
+}
+
+void DependencyGraph::AddEdge(TxnId from, TxnId to, size_t pos_from,
+                              size_t pos_to) {
+  EnsureSize(std::max(from, to));
+  if (adj_[from][to]) return;
+  adj_[from][to] = true;
+  edges_.push_back(Edge{from, to, pos_from, pos_to});
+}
+
+bool DependencyGraph::HasEdge(TxnId from, TxnId to) const {
+  if (from >= adj_.size() || to >= adj_.size()) return false;
+  return adj_[from][to];
+}
+
+DependencyGraph DependencyGraph::FromLog(const Log& log) {
+  DependencyGraph g;
+  g.EnsureSize(log.num_txns());
+  const auto& ops = log.ops();
+  for (size_t b = 0; b < ops.size(); ++b) {
+    for (size_t a = 0; a < b; ++a) {
+      if (Conflicts(ops[a], ops[b])) {
+        g.AddEdge(ops[a].txn, ops[b].txn, a, b);
+      }
+    }
+  }
+  return g;
+}
+
+void DependencyGraph::AddRealtimeEdges(const Log& log) {
+  const TxnId n = log.num_txns();
+  EnsureSize(n);
+  std::vector<size_t> first(n + 1, kNoPosition);
+  std::vector<size_t> last(n + 1, kNoPosition);
+  const auto& ops = log.ops();
+  for (size_t p = 0; p < ops.size(); ++p) {
+    if (first[ops[p].txn] == kNoPosition) first[ops[p].txn] = p;
+    last[ops[p].txn] = p;
+  }
+  for (TxnId i = 1; i <= n; ++i) {
+    if (last[i] == kNoPosition) continue;
+    for (TxnId j = 1; j <= n; ++j) {
+      if (i == j || first[j] == kNoPosition) continue;
+      if (last[i] < first[j]) AddEdge(i, j, last[i], first[j]);
+    }
+  }
+}
+
+bool DependencyGraph::HasCycle() const {
+  return TopologicalOrder().empty() && num_txns_ > 0;
+}
+
+std::vector<TxnId> DependencyGraph::TopologicalOrder() const {
+  const TxnId n = num_txns_;
+  std::vector<size_t> indegree(n + 1, 0);
+  for (TxnId a = 1; a <= n; ++a) {
+    for (TxnId b = 1; b <= n; ++b) {
+      if (a != b && adj_[a][b]) ++indegree[b];
+    }
+  }
+  std::vector<TxnId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n + 1, false);
+  for (TxnId round = 1; round <= n; ++round) {
+    TxnId pick = 0;
+    for (TxnId c = 1; c <= n && pick == 0; ++c) {
+      if (!placed[c] && indegree[c] == 0) pick = c;
+    }
+    if (pick == 0) return {};  // Cycle.
+    placed[pick] = true;
+    order.push_back(pick);
+    for (TxnId b = 1; b <= n; ++b) {
+      if (b != pick && adj_[pick][b]) --indegree[b];
+    }
+  }
+  return order;
+}
+
+std::string DependencyGraph::ToDot(const std::string& name) const {
+  std::string out = "digraph " + name + " {\n";
+  for (TxnId t = 1; t <= num_txns_; ++t) {
+    out += "  T" + std::to_string(t) + ";\n";
+  }
+  for (const Edge& e : edges_) {
+    out += "  T" + std::to_string(e.from) + " -> T" + std::to_string(e.to);
+    if (e.pos_from != kNoPosition) {
+      out += " [label=\"" + std::to_string(e.pos_from) + "<" +
+             std::to_string(e.pos_to) + "\"]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mdts

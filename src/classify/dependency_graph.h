@@ -1,0 +1,71 @@
+#ifndef MDTS_CLASSIFY_DEPENDENCY_GRAPH_H_
+#define MDTS_CLASSIFY_DEPENDENCY_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/log.h"
+#include "core/types.h"
+
+namespace mdts {
+
+/// The dependency digraph of a log (paper Definition 7 / Fig. 1, 3, 5, 12):
+/// node per transaction, edge T_i -> T_j for each pair of conflicting
+/// operations O_i before O_j. Used for DSR recognition (Theorem 1: a log is
+/// DSR iff the dependency relation is a partial order, i.e. the digraph is
+/// acyclic) and for rendering the paper's digraph figures.
+class DependencyGraph {
+ public:
+  struct Edge {
+    TxnId from = 0;
+    TxnId to = 0;
+    /// Positions of the two operations that created the edge; kNoPosition
+    /// for synthetic edges (virtual-transaction or real-time edges).
+    size_t pos_from = kNoPosition;
+    size_t pos_to = kNoPosition;
+  };
+  static constexpr size_t kNoPosition = static_cast<size_t>(-1);
+
+  DependencyGraph() = default;
+
+  /// Builds the conflict-dependency digraph of the log: one edge per ordered
+  /// pair of transactions with at least one conflicting operation pair
+  /// (annotated with the earliest such pair). The virtual transaction T0 is
+  /// not included.
+  static DependencyGraph FromLog(const Log& log);
+
+  /// Adds the real-time precedence edges used by the conflict-based strict
+  /// serializability test: T_i -> T_j whenever T_i's last operation precedes
+  /// T_j's first operation in the log.
+  void AddRealtimeEdges(const Log& log);
+
+  /// Adds an edge (deduplicated on (from, to)).
+  void AddEdge(TxnId from, TxnId to, size_t pos_from = kNoPosition,
+               size_t pos_to = kNoPosition);
+
+  bool HasEdge(TxnId from, TxnId to) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+  TxnId num_txns() const { return num_txns_; }
+
+  /// True iff the digraph contains a directed cycle.
+  bool HasCycle() const;
+
+  /// Topological order of transactions 1..num_txns (smallest ids first among
+  /// ties); empty if the digraph is cyclic.
+  std::vector<TxnId> TopologicalOrder() const;
+
+  /// Graphviz rendering (used by the figure benches).
+  std::string ToDot(const std::string& name) const;
+
+ private:
+  std::vector<std::vector<bool>> adj_;  // adj_[a][b]: edge a -> b.
+  std::vector<Edge> edges_;
+  TxnId num_txns_ = 0;
+
+  void EnsureSize(TxnId txn);
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_CLASSIFY_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "classify/hierarchy.h"
+
+#include "classify/classes.h"
+#include "core/recognizer.h"
+
+namespace mdts {
+
+Result<ClassMembership> ClassifyLog(const Log& log) {
+  ClassMembership m;
+  auto sr = IsFinalStateSerializable(log);
+  if (!sr.ok()) return sr.status();
+  auto ssr = IsSsr(log);
+  if (!ssr.ok()) return ssr.status();
+  m.sr = *sr;
+  m.ssr = *ssr;
+  m.dsr = IsDsr(log);
+  m.two_pl = IsTwoPl(log);
+  m.to1 = IsToK(log, 1);
+  m.to2 = IsToK(log, 2);
+  m.to3 = IsToK(log, 3);
+  return m;
+}
+
+std::string MembershipSignature(const ClassMembership& m) {
+  auto tag = [](bool member, const char* name) {
+    return std::string(member ? "+" : "-") + name;
+  };
+  return tag(m.sr, "SR") + tag(m.dsr, "DSR") + tag(m.ssr, "SSR") +
+         tag(m.two_pl, "2PL") + tag(m.to1, "TO1") + tag(m.to2, "TO2") +
+         tag(m.to3, "TO3");
+}
+
+int Fig4Region(const ClassMembership& m) {
+  // Containments that must hold (Definition 3, and the standard facts
+  // 2PL subset DSR subset SR): any violation yields region 0, which the
+  // enumeration bench treats as a reproduction failure.
+  if ((m.two_pl || m.to1 || m.to3 || m.ssr) && !m.sr) {
+    // SSR subset SR by definition; lock/timestamp classes produce
+    // serializable logs.
+    if (!m.sr && (m.two_pl || m.to1 || m.to3)) return 0;
+    if (m.ssr && !m.sr) return 0;
+  }
+  if ((m.two_pl || m.to1 || m.to3) && !m.dsr) return 0;
+  if (m.dsr && !m.sr) return 0;
+
+  // Deterministic numbering of the consistent membership combinations for
+  // the two-step model (TO(2) is not part of Fig. 4 and is ignored here).
+  // Region 1 is the innermost intersection; higher numbers move outward,
+  // ending with 12 = outside SR. The regions the paper pins down by its
+  // composite-log arguments keep their paper numbers:
+  //   2 = TO(3) n SSR n 2PL - TO(1),   6 = TO(3) n SSR n TO(1) - 2PL,
+  //   7 = TO(3) n SSR - TO(1) - 2PL,   9 = DSR n SSR - TO(3) - 2PL - TO(1).
+  struct Entry {
+    bool dsr, ssr, two_pl, to1, to3;
+    int region;
+  };
+  static constexpr Entry kTable[] = {
+      // dsr  ssr  2pl  to1  to3
+      {true, true, true, true, true, 1},
+      {true, true, true, false, true, 2},
+      {true, true, true, true, false, 3},
+      {true, true, true, false, false, 4},
+      {true, false, true, true, true, 5},
+      {true, true, false, true, true, 6},
+      {true, true, false, false, true, 7},
+      {true, true, false, true, false, 8},
+      {true, true, false, false, false, 9},
+      {true, false, true, false, true, 10},
+      {true, false, true, true, false, 11},
+      {true, false, true, false, false, 12},
+      {true, false, false, true, true, 13},
+      {true, false, false, false, true, 14},
+      {true, false, false, true, false, 15},
+      {true, false, false, false, false, 16},
+      {false, true, false, false, false, 17},   // SSR - DSR (inside SR).
+      {false, false, false, false, false, 18},  // SR only / outside SR.
+  };
+  for (const Entry& e : kTable) {
+    if (m.dsr == e.dsr && m.ssr == e.ssr && m.two_pl == e.two_pl &&
+        m.to1 == e.to1 && m.to3 == e.to3) {
+      if (!m.dsr && !m.ssr) return m.sr ? 18 : 19;  // SR-only vs non-SR.
+      return e.region;
+    }
+  }
+  return 0;
+}
+
+}  // namespace mdts

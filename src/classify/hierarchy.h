@@ -1,0 +1,48 @@
+#ifndef MDTS_CLASSIFY_HIERARCHY_H_
+#define MDTS_CLASSIFY_HIERARCHY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/log.h"
+
+namespace mdts {
+
+/// Membership of a log in every class of the paper's Fig. 4 hierarchy
+/// (two-step transaction model, q = 2, so TO(3) = TO(k) for all k >= 3 by
+/// Theorem 3). SR is final-state serializability (Papadimitriou's SR).
+struct ClassMembership {
+  bool sr = false;
+  bool dsr = false;
+  bool ssr = false;
+  bool two_pl = false;
+  bool to1 = false;
+  bool to2 = false;
+  bool to3 = false;
+
+  friend bool operator==(const ClassMembership& a, const ClassMembership& b) {
+    return a.sr == b.sr && a.dsr == b.dsr && a.ssr == b.ssr &&
+           a.two_pl == b.two_pl && a.to1 == b.to1 && a.to2 == b.to2 &&
+           a.to3 == b.to3;
+  }
+};
+
+/// Classifies a log against every Fig. 4 class. Uses brute-force
+/// serializability tests, so the log must have at most kMaxBruteForceTxns
+/// transactions (FailedPrecondition otherwise).
+Result<ClassMembership> ClassifyLog(const Log& log);
+
+/// Canonical signature like "SR+DSR+SSR-2PL+TO1-TO3" ('+' member,
+/// '-' non-member), used by the Fig. 4 enumeration bench to bucket logs
+/// into hierarchy regions.
+std::string MembershipSignature(const ClassMembership& m);
+
+/// Maps a membership vector onto the paper's Fig. 4 region numbering
+/// (1-12) for the two-step model. Returns 0 for combinations that violate
+/// the hierarchy's containments (which the enumeration bench would flag as
+/// a reproduction failure).
+int Fig4Region(const ClassMembership& m);
+
+}  // namespace mdts
+
+#endif  // MDTS_CLASSIFY_HIERARCHY_H_

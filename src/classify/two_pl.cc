@@ -1,0 +1,139 @@
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "classify/classes.h"
+
+namespace mdts {
+
+namespace {
+
+// Difference-constraint system "x_u - x_v <= w" solved by Bellman-Ford
+// negative-cycle detection (feasible iff no negative cycle).
+class DifferenceSystem {
+ public:
+  size_t NewVar() {
+    ++num_vars_;
+    return num_vars_ - 1;
+  }
+
+  // Adds constraint u - v <= w.
+  void AddUpperBound(size_t u, size_t v, int64_t w) {
+    edges_.push_back({v, u, w});
+  }
+
+  bool Feasible() const {
+    // Initializing all distances to 0 is equivalent to adding a virtual
+    // source with 0-weight edges to every variable, so negative cycles are
+    // found regardless of reachability.
+    std::vector<int64_t> dist(num_vars_, 0);
+    for (size_t round = 0; round + 1 < num_vars_ + 1; ++round) {
+      bool changed = false;
+      for (const auto& e : edges_) {
+        if (dist[e.from] + e.weight < dist[e.to]) {
+          dist[e.to] = dist[e.from] + e.weight;
+          changed = true;
+        }
+      }
+      if (!changed) return true;
+    }
+    // One more pass: any further relaxation proves a negative cycle.
+    for (const auto& e : edges_) {
+      if (dist[e.from] + e.weight < dist[e.to]) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Edge {
+    size_t from;
+    size_t to;
+    int64_t weight;
+  };
+  size_t num_vars_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+bool IsTwoPl(const Log& log) {
+  // Model: in a 2PL execution producing exactly this operation order, each
+  // transaction T_i holds one continuous lock window [s_ix, r_ix] on every
+  // item x it accesses (strong enough for all its accesses; no upgrades),
+  // with a lock point LP_i such that s_ix <= LP_i <= r_ix (two-phase rule).
+  // Conflicting transactions' windows on the same item must be disjoint and
+  // ordered as the log orders their conflicting operations. Feasibility of
+  // these ordering constraints is a difference-constraint system.
+  const TxnId n = log.num_txns();
+  const auto& ops = log.ops();
+
+  DifferenceSystem sys;
+  const size_t z = sys.NewVar();  // Reference point: "time zero".
+  std::vector<size_t> lock_point(n + 1, 0);
+  for (TxnId t = 1; t <= n; ++t) lock_point[t] = sys.NewVar();
+
+  struct Window {
+    size_t acquire = 0;
+    size_t release = 0;
+    size_t first_pos = 0;
+    size_t last_pos = 0;
+  };
+  std::map<std::pair<TxnId, ItemId>, Window> windows;
+
+  for (size_t p = 0; p < ops.size(); ++p) {
+    auto key = std::make_pair(ops[p].txn, ops[p].item);
+    auto it = windows.find(key);
+    if (it == windows.end()) {
+      Window w;
+      w.acquire = sys.NewVar();
+      w.release = sys.NewVar();
+      w.first_pos = w.last_pos = p;
+      windows.emplace(key, w);
+    } else {
+      it->second.last_pos = p;
+    }
+  }
+
+  // Operation p executes at time p * scale. The gap between adjacent
+  // operations must be wide enough for every lock event that can legally
+  // fall between them (at most one release and one acquire per window, plus
+  // slack), so the scale exceeds the total variable count.
+  const int64_t scale = static_cast<int64_t>(1 + n + 2 * windows.size()) + 2;
+
+  for (const auto& [key, w] : windows) {
+    const TxnId txn = key.first;
+    // Acquire strictly before the first access, release strictly after the
+    // last access.
+    sys.AddUpperBound(w.acquire, z,
+                      static_cast<int64_t>(w.first_pos) * scale - 1);
+    sys.AddUpperBound(z, w.release,
+                      -(static_cast<int64_t>(w.last_pos) * scale + 1));
+    // Two-phase rule through the lock point.
+    sys.AddUpperBound(w.acquire, lock_point[txn], 0);
+    sys.AddUpperBound(lock_point[txn], w.release, 0);
+  }
+
+  // Window-disjointness constraints, one per ordered conflicting
+  // (T_i, T_j, item) triple.
+  std::set<std::tuple<TxnId, TxnId, ItemId>> seen;
+  for (size_t b = 0; b < ops.size(); ++b) {
+    for (size_t a = 0; a < b; ++a) {
+      if (!Conflicts(ops[a], ops[b])) continue;
+      const ItemId x = ops[a].item;
+      const TxnId i = ops[a].txn;
+      const TxnId j = ops[b].txn;
+      if (!seen.insert({i, j, x}).second) continue;
+      // T_i must release x before T_j acquires it.
+      const Window& wi = windows.at({i, x});
+      const Window& wj = windows.at({j, x});
+      sys.AddUpperBound(wi.release, wj.acquire, -1);
+    }
+  }
+
+  return sys.Feasible();
+}
+
+}  // namespace mdts

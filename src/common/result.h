@@ -1,0 +1,64 @@
+#ifndef MDTS_COMMON_RESULT_H_
+#define MDTS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mdts {
+
+/// Value-or-Status return type: either holds a T (status is OK) or carries a
+/// non-OK Status explaining why no value is available.
+///
+/// Usage:
+///   Result<Log> r = ParseLog(text);
+///   if (!r.ok()) return r.status();
+///   UseLog(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result); mirrors absl::StatusOr,
+  /// where this implicit conversion is the expected ergonomic style.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a T.
+  std::optional<T> value_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_RESULT_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdts {
+
+ZipfPicker::ZipfPicker(size_t n, double theta) {
+  assert(n > 0);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+size_t ZipfPicker::Pick(Rng* rng) const {
+  double u = rng->UniformReal();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace mdts

@@ -1,0 +1,71 @@
+#ifndef MDTS_COMMON_RNG_H_
+#define MDTS_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mdts {
+
+/// Seeded pseudo-random source used by every stochastic component
+/// (workload generation, simulation think times, property-test sweeps),
+/// so that every experiment in the repository is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed item picker over {0, .., n-1} with skew theta >= 0
+/// (theta = 0 is uniform; larger theta concentrates accesses on few items).
+/// Uses the standard inverse-CDF table; O(n) setup, O(log n) per sample.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double theta);
+
+  /// Draws one item id in [0, n).
+  size_t Pick(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_RNG_H_

@@ -1,0 +1,64 @@
+#ifndef MDTS_COMMON_STATUS_H_
+#define MDTS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mdts {
+
+/// Error-handling result type in the RocksDB style: the library does not throw
+/// exceptions; fallible operations return a Status (or Result<T>, see
+/// result.h) that the caller must inspect.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kOutOfRange,
+    kInternal,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_STATUS_H_

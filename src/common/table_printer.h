@@ -1,0 +1,35 @@
+#ifndef MDTS_COMMON_TABLE_PRINTER_H_
+#define MDTS_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mdts {
+
+/// Renders rows of strings as an aligned ASCII table. Used by the bench
+/// binaries to regenerate the paper's tables (Table I-IV) and experiment
+/// result grids in a readable, diffable form.
+class TablePrinter {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a data row; short rows are padded with empty cells, long rows
+  /// are truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_TABLE_PRINTER_H_

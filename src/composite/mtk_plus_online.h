@@ -1,0 +1,71 @@
+#ifndef MDTS_COMPOSITE_MTK_PLUS_ONLINE_H_
+#define MDTS_COMPOSITE_MTK_PLUS_ONLINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "composite/mtk_plus.h"
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Online adapter of the composite protocol MT(k+) implementing Algorithm
+/// 2's full lifecycle, including case 4(i): when every subprotocol has been
+/// stopped, "abort all the active transactions and rollback; restart all
+/// the aborted transactions; go to 0". Realized with a generation counter:
+/// the composite is rebuilt from scratch (all subprotocols live again) and
+/// transactions begun under the previous generation are aborted at their
+/// next interaction, restarting under the fresh tables.
+class MtkPlusOnline : public Scheduler {
+ public:
+  explicit MtkPlusOnline(size_t k) : k_(k) { Rebuild(); }
+
+  std::string name() const override {
+    return "MT(" + std::to_string(k_) + "+)";
+  }
+
+  void OnBegin(TxnId txn) override {
+    if (txn_generation_.size() <= txn) txn_generation_.resize(txn + 1, 0);
+    txn_generation_[txn] = generation_;
+  }
+
+  SchedOutcome OnOperation(const Op& op) override {
+    if (IsStale(op.txn)) return SchedOutcome::kAborted;
+    const OpDecision d = inner_->Process(op);
+    if (d == OpDecision::kAccept) return SchedOutcome::kAccepted;
+    // Every subprotocol is stopped: Algorithm 2 case 4(i).
+    Rebuild();
+    ++generation_;
+    ++full_restarts_;
+    return SchedOutcome::kAborted;
+  }
+
+  SchedOutcome OnCommit(TxnId txn) override {
+    if (IsStale(txn)) return SchedOutcome::kAborted;
+    return SchedOutcome::kAccepted;
+  }
+
+  void OnRestart(TxnId txn) override { (void)txn; }
+
+  size_t live_subprotocols() const { return inner_->live_count(); }
+  uint64_t full_restarts() const { return full_restarts_; }
+
+ private:
+  bool IsStale(TxnId txn) const {
+    return txn >= txn_generation_.size() ||
+           txn_generation_[txn] != generation_;
+  }
+
+  void Rebuild() { inner_ = std::make_unique<MtkPlus>(k_); }
+
+  size_t k_;
+  std::unique_ptr<MtkPlus> inner_;
+  uint32_t generation_ = 0;
+  std::vector<uint32_t> txn_generation_;
+  uint64_t full_restarts_ = 0;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_COMPOSITE_MTK_PLUS_ONLINE_H_

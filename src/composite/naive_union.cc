@@ -1,0 +1,46 @@
+#include "composite/naive_union.h"
+
+namespace mdts {
+
+NaiveUnionRecognizer::NaiveUnionRecognizer(size_t k, bool with_old_read_path)
+    : stopped_(k, false) {
+  subs_.reserve(k);
+  for (size_t h = 1; h <= k; ++h) {
+    MtkOptions options;
+    options.k = h;
+    options.disable_old_read_path = !with_old_read_path;
+    subs_.push_back(std::make_unique<MtkScheduler>(options));
+  }
+}
+
+OpDecision NaiveUnionRecognizer::Process(const Op& op) {
+  bool any_accepted = false;
+  for (size_t h = 0; h < subs_.size(); ++h) {
+    if (stopped_[h]) continue;
+    const OpDecision d = subs_[h]->Process(op);
+    if (d == OpDecision::kReject) {
+      stopped_[h] = true;  // MT(h+1) is out of the race for this log.
+    } else {
+      any_accepted = true;
+    }
+  }
+  return any_accepted ? OpDecision::kAccept : OpDecision::kReject;
+}
+
+size_t NaiveUnionRecognizer::live_count() const {
+  size_t live = 0;
+  for (bool s : stopped_) {
+    if (!s) ++live;
+  }
+  return live;
+}
+
+bool IsToKPlus(const Log& log, size_t k) {
+  NaiveUnionRecognizer composite(k);
+  for (const Op& op : log.ops()) {
+    if (composite.Process(op) == OpDecision::kReject) return false;
+  }
+  return true;
+}
+
+}  // namespace mdts

@@ -1,0 +1,55 @@
+#ifndef MDTS_COMPOSITE_NAIVE_UNION_H_
+#define MDTS_COMPOSITE_NAIVE_UNION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+
+namespace mdts {
+
+/// The reference construction of the composite protocol MT(k+) from the
+/// start of Section IV: run MT(1), MT(2), ..., MT(k) independently, each
+/// with its own timestamp table. An operation is accepted if at least one
+/// still-running subprotocol accepts it; a subprotocol that rejects an
+/// operation is stopped for good ("the log will not be in the class TO(h)
+/// once an operation of the log is rejected by MT(h)"). The composite
+/// rejects only when every subprotocol has been stopped.
+///
+/// By construction this recognizes exactly
+///   TO(k+) = TO(1) u TO(2) u ... u TO(k).
+class NaiveUnionRecognizer {
+ public:
+  /// If with_old_read_path is false, every subprotocol runs with Algorithm
+  /// 1's lines 9-10 crossed out (the Theorem-5 mode that the shared-prefix
+  /// implementation MtkPlus mirrors exactly).
+  explicit NaiveUnionRecognizer(size_t k, bool with_old_read_path = true);
+
+  /// Feeds one operation to every live subprotocol. Returns kAccept if any
+  /// live subprotocol accepted (or Thomas-ignored) it; kReject otherwise.
+  OpDecision Process(const Op& op);
+
+  size_t k() const { return subs_.size(); }
+
+  /// Number of subprotocols that have not been stopped yet.
+  size_t live_count() const;
+
+  /// True iff subprotocol MT(h) (1-based h) is still running.
+  bool IsLive(size_t h) const { return !stopped_[h - 1]; }
+
+  /// The subprotocol's scheduler, for table inspection (1-based h).
+  const MtkScheduler& Sub(size_t h) const { return *subs_[h - 1]; }
+  MtkScheduler& Sub(size_t h) { return *subs_[h - 1]; }
+
+ private:
+  std::vector<std::unique_ptr<MtkScheduler>> subs_;
+  std::vector<bool> stopped_;
+};
+
+/// TO(k+) membership: the log is accepted by at least one of MT(1..k).
+bool IsToKPlus(const Log& log, size_t k);
+
+}  // namespace mdts
+
+#endif  // MDTS_COMPOSITE_NAIVE_UNION_H_

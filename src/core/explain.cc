@@ -1,0 +1,74 @@
+#include "core/explain.h"
+
+#include <map>
+#include <queue>
+
+namespace mdts {
+
+std::string RejectionExplanation::ToString() const {
+  if (!rejected) return "log accepted: nothing to explain\n";
+  std::string out = "operation " + OpName(rejected_op) + " (position " +
+                    std::to_string(rejected_at) + ") rejected: T" +
+                    std::to_string(rejected_op.txn) +
+                    " is already ordered before the blocking T" +
+                    std::to_string(blocker) + "\n";
+  if (chain.empty()) {
+    out += "  (the order follows from counter values of independent "
+           "encodings,\n   not from a single dependency chain)\n";
+    return out;
+  }
+  out += "the blocking order was fixed by this dependency chain:\n";
+  for (const EncodingEvent& e : chain) {
+    out += "  T" + std::to_string(e.from) + " < T" + std::to_string(e.to) +
+           "   encoded while scheduling " + OpName(e.op) + " (position " +
+           std::to_string(e.position) + ")\n";
+  }
+  return out;
+}
+
+RejectionExplanation ExplainRejection(const Log& log,
+                                      const MtkOptions& options) {
+  MtkOptions traced = options;
+  traced.record_encodings = true;
+  MtkScheduler scheduler(traced);
+
+  RejectionExplanation result;
+  for (size_t pos = 0; pos < log.size(); ++pos) {
+    if (scheduler.Process(log.at(pos)) != OpDecision::kReject) continue;
+    result.rejected = true;
+    result.rejected_at = pos;
+    result.rejected_op = log.at(pos);
+    result.blocker = scheduler.LastBlocker();
+
+    // BFS for the shortest encoded-dependency path
+    // rejected_txn -> ... -> blocker.
+    std::map<TxnId, std::vector<const EncodingEvent*>> out_edges;
+    for (const EncodingEvent& e : scheduler.encodings()) {
+      out_edges[e.from].push_back(&e);
+    }
+    std::map<TxnId, const EncodingEvent*> via;  // Node -> incoming edge.
+    std::queue<TxnId> frontier;
+    frontier.push(result.rejected_op.txn);
+    via[result.rejected_op.txn] = nullptr;
+    while (!frontier.empty() && via.find(result.blocker) == via.end()) {
+      const TxnId node = frontier.front();
+      frontier.pop();
+      for (const EncodingEvent* e : out_edges[node]) {
+        if (via.emplace(e->to, e).second) frontier.push(e->to);
+      }
+    }
+    auto it = via.find(result.blocker);
+    if (it != via.end()) {
+      std::vector<EncodingEvent> reversed;
+      for (const EncodingEvent* e = it->second; e != nullptr;
+           e = via[e->from]) {
+        reversed.push_back(*e);
+      }
+      result.chain.assign(reversed.rbegin(), reversed.rend());
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace mdts

@@ -1,0 +1,41 @@
+#ifndef MDTS_CORE_EXPLAIN_H_
+#define MDTS_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+
+namespace mdts {
+
+/// Why a log was rejected by MT(k): the rejected operation, the blocking
+/// transaction (the T_j with TS(i) < TS(j) already fixed), and the chain of
+/// previously encoded dependencies that fixed that order - each link
+/// annotated with the operation that created it.
+struct RejectionExplanation {
+  bool rejected = false;       // False: the log was fully accepted.
+  size_t rejected_at = 0;      // Log position of the rejected operation.
+  Op rejected_op;
+  TxnId blocker = kVirtualTxn;
+
+  /// Encoding events forming a path blocker-wards: chain[0].from ==
+  /// rejected_op.txn is not required (the order may be transitive); the
+  /// links compose rejected_txn -> ... -> blocker through the recorded
+  /// encodings.
+  std::vector<EncodingEvent> chain;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+/// Replays the log through MT(k) with encoding recording enabled and, if an
+/// operation is rejected, reconstructs the shortest chain of encoded
+/// dependencies that fixed the blocking order. Useful for debugging
+/// workloads ("why did this abort?") and for teaching the protocol.
+RejectionExplanation ExplainRejection(const Log& log,
+                                      const MtkOptions& options);
+
+}  // namespace mdts
+
+#endif  // MDTS_CORE_EXPLAIN_H_

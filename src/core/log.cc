@@ -1,0 +1,182 @@
+#include "core/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace mdts {
+
+namespace {
+
+constexpr const char* kItemLetters = "xyzw";
+
+}  // namespace
+
+std::string ItemName(ItemId item) {
+  if (item < 4) return std::string(1, kItemLetters[item]);
+  return "i" + std::to_string(item);
+}
+
+std::string OpName(const Op& op) {
+  std::string out(1, op.type == OpType::kRead ? 'R' : 'W');
+  out += std::to_string(op.txn);
+  out += '[';
+  out += ItemName(op.item);
+  out += ']';
+  return out;
+}
+
+Log::Log(std::vector<Op> ops) {
+  for (const Op& op : ops) Append(op);
+}
+
+void Log::Append(const Op& op) {
+  ops_.push_back(op);
+  num_txns_ = std::max(num_txns_, op.txn);
+  num_items_ = std::max(num_items_, op.item + 1);
+}
+
+Result<Log> Log::Parse(std::string_view text) {
+  Log log;
+  // Item names are interned in first-appearance order, except that the
+  // canonical letters x, y, z, w always map to items 0-3 so that parsed
+  // examples match the paper exactly.
+  std::map<std::string, ItemId> items;
+  items["x"] = 0;
+  items["y"] = 1;
+  items["z"] = 2;
+  items["w"] = 3;
+  ItemId next_item = 4;
+  ItemId max_used = 0;
+  bool any_named = false;
+
+  size_t i = 0;
+  auto err = [&](const std::string& what) {
+    return Status::InvalidArgument(what + " at offset " + std::to_string(i) +
+                                   " in log text");
+  };
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    char c = text[i];
+    if (c != 'R' && c != 'W' && c != 'r' && c != 'w') {
+      return err("expected R or W");
+    }
+    OpType type = (c == 'R' || c == 'r') ? OpType::kRead : OpType::kWrite;
+    ++i;
+    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return err("expected transaction number");
+    }
+    uint64_t txn = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      txn = txn * 10 + static_cast<uint64_t>(text[i] - '0');
+      ++i;
+    }
+    if (txn == 0) return err("transaction id 0 is reserved for virtual T0");
+    // Accept both R1[x] and R1(x) bracket styles (the paper uses both).
+    if (i >= text.size() || (text[i] != '[' && text[i] != '(')) {
+      return err("expected [ or (");
+    }
+    char close = text[i] == '[' ? ']' : ')';
+    ++i;
+    std::string name;
+    while (i < text.size() && text[i] != close) {
+      name += text[i];
+      ++i;
+    }
+    if (i >= text.size()) return err("unterminated item name");
+    ++i;  // Consume the closing bracket.
+    if (name.empty()) return err("empty item name");
+
+    ItemId item = 0;
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+      item = static_cast<ItemId>(std::stoul(name));
+    } else {
+      auto it = items.find(name);
+      if (it == items.end()) {
+        it = items.emplace(name, next_item++).first;
+      }
+      item = it->second;
+      any_named = true;
+    }
+    max_used = std::max(max_used, item);
+    log.Append(Op{static_cast<TxnId>(txn), type, item});
+  }
+  (void)any_named;
+  (void)max_used;
+  return log;
+}
+
+std::vector<ItemId> Log::ReadSet(TxnId txn) const {
+  std::vector<ItemId> out;
+  for (const Op& op : ops_) {
+    if (op.txn == txn && op.type == OpType::kRead &&
+        std::find(out.begin(), out.end(), op.item) == out.end()) {
+      out.push_back(op.item);
+    }
+  }
+  return out;
+}
+
+std::vector<ItemId> Log::WriteSet(TxnId txn) const {
+  std::vector<ItemId> out;
+  for (const Op& op : ops_) {
+    if (op.txn == txn && op.type == OpType::kWrite &&
+        std::find(out.begin(), out.end(), op.item) == out.end()) {
+      out.push_back(op.item);
+    }
+  }
+  return out;
+}
+
+size_t Log::OpsOfTxn(TxnId txn) const {
+  size_t count = 0;
+  for (const Op& op : ops_) {
+    if (op.txn == txn) ++count;
+  }
+  return count;
+}
+
+size_t Log::MaxOpsPerTxn() const {
+  std::vector<size_t> counts(num_txns_ + 1, 0);
+  for (const Op& op : ops_) ++counts[op.txn];
+  size_t q = 0;
+  for (size_t c : counts) q = std::max(q, c);
+  return q;
+}
+
+bool Log::IsTwoStep() const {
+  // Every transaction's reads must all precede its writes.
+  std::vector<bool> wrote(num_txns_ + 1, false);
+  for (const Op& op : ops_) {
+    if (op.type == OpType::kWrite) {
+      wrote[op.txn] = true;
+    } else if (wrote[op.txn]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Log Log::Concat(const Log& other, bool disjoint_items) const {
+  Log out = *this;
+  TxnId txn_base = num_txns_;
+  ItemId item_base = disjoint_items ? num_items_ : 0;
+  for (const Op& op : other.ops_) {
+    out.Append(Op{op.txn + txn_base, op.type, op.item + item_base});
+  }
+  return out;
+}
+
+std::string Log::ToString() const {
+  std::string out;
+  for (const Op& op : ops_) {
+    if (!out.empty()) out += ' ';
+    out += OpName(op);
+  }
+  return out;
+}
+
+}  // namespace mdts

@@ -1,0 +1,84 @@
+#ifndef MDTS_CORE_LOG_H_
+#define MDTS_CORE_LOG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/types.h"
+
+namespace mdts {
+
+/// A log in the paper's sense (Section II): the interleaved sequence of
+/// atomic read/write operations produced by a set of transactions. The
+/// quintuple <D, T, Sigma, S, pi> is represented implicitly: D and T by the
+/// dense id spaces, Sigma by the operation vector, the access function S by
+/// ReadSet/WriteSet, and pi by each operation's index.
+class Log {
+ public:
+  Log() = default;
+
+  /// Builds a log from an explicit operation sequence.
+  explicit Log(std::vector<Op> ops);
+
+  /// Parses the paper's textual notation, e.g. "W1[x] W1[y] R3[x] R2[y]".
+  /// Items may be the letters x/y/z/w, arbitrary lowercase identifiers, or
+  /// numbers; whitespace between operations is optional. Returns
+  /// InvalidArgument on malformed input or on use of transaction id 0
+  /// (reserved for the virtual transaction).
+  static Result<Log> Parse(std::string_view text);
+
+  /// Appends one operation.
+  void Append(const Op& op);
+  void Append(TxnId txn, OpType type, ItemId item) {
+    Append(Op{txn, type, item});
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const Op& at(size_t pos) const { return ops_[pos]; }
+
+  /// Largest transaction id appearing in the log (0 if empty). Transactions
+  /// are assumed to be numbered densely 1..num_txns.
+  TxnId num_txns() const { return num_txns_; }
+
+  /// One past the largest item id appearing in the log.
+  ItemId num_items() const { return num_items_; }
+
+  /// Distinct items read (resp. written) by the transaction, in first-access
+  /// order: the paper's S(R_i) and S(W_i).
+  std::vector<ItemId> ReadSet(TxnId txn) const;
+  std::vector<ItemId> WriteSet(TxnId txn) const;
+
+  /// Number of operations issued by the transaction.
+  size_t OpsOfTxn(TxnId txn) const;
+
+  /// Maximum number of operations in any single transaction: the paper's q.
+  size_t MaxOpsPerTxn() const;
+
+  /// True iff the log follows the two-step transaction model: every
+  /// transaction's reads all precede its writes.
+  bool IsTwoStep() const;
+
+  /// Concatenation of two logs over disjoint transaction (and, if
+  /// disjoint_items, item) name spaces: the paper's L1 . L2 operator used in
+  /// the Fig. 4 membership arguments. The other log's transactions are
+  /// renumbered to follow this log's; its items are either shared verbatim
+  /// (disjoint_items = false) or shifted past this log's items.
+  Log Concat(const Log& other, bool disjoint_items = true) const;
+
+  /// Renders in the textual notation accepted by Parse.
+  std::string ToString() const;
+
+ private:
+  std::vector<Op> ops_;
+  TxnId num_txns_ = 0;
+  ItemId num_items_ = 0;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_CORE_LOG_H_

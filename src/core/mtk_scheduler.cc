@@ -1,0 +1,353 @@
+#include "core/mtk_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/table_printer.h"
+
+namespace mdts {
+
+const char* OpDecisionName(OpDecision d) {
+  switch (d) {
+    case OpDecision::kAccept:
+      return "ACCEPT";
+    case OpDecision::kReject:
+      return "REJECT";
+    case OpDecision::kIgnore:
+      return "IGNORE";
+  }
+  return "?";
+}
+
+MtkScheduler::MtkScheduler(const MtkOptions& options) : options_(options) {
+  assert(options_.k >= 1);
+  // Line 2 of Algorithm 1: the virtual transaction T0, which conceptually
+  // read and wrote every item first, starts with TS(0) = <0, *, ..., *> and
+  // is permanently committed. Lines 3-4: RT(x) = WT(x) = 0 is realized by
+  // TopLive falling back to kVirtualTxn on empty stacks; lcount/ucount start
+  // at 0 / 1.
+  txns_.emplace_back(options_.k);
+  txns_[0].ts = TimestampVector::Virtual(options_.k);
+  txns_[0].committed = true;
+}
+
+MtkScheduler::TxnState& MtkScheduler::State(TxnId txn) {
+  while (txns_.size() <= txn) txns_.emplace_back(options_.k);
+  return txns_[txn];
+}
+
+MtkScheduler::ItemState& MtkScheduler::Item(ItemId item) {
+  if (items_.size() <= item) items_.resize(item + 1);
+  return items_[item];
+}
+
+bool MtkScheduler::IsLiveAccess(const Access& access) {
+  const TxnState& s = State(access.txn);
+  return access.incarnation == s.incarnation && !s.aborted;
+}
+
+TxnId MtkScheduler::TopLive(std::vector<Access>* stack) {
+  while (!stack->empty() && !IsLiveAccess(stack->back())) {
+    stack->pop_back();
+  }
+  return stack->empty() ? kVirtualTxn : stack->back().txn;
+}
+
+VectorCompareResult MtkScheduler::CompareTs(TxnId a, TxnId b) {
+  VectorCompareResult r = Compare(State(a).ts, State(b).ts);
+  stats_.element_comparisons += r.index + 1;
+  return r;
+}
+
+void MtkScheduler::RecordEncoding(TxnId from, TxnId to) {
+  if (options_.record_encodings) {
+    encodings_.push_back(EncodingEvent{from, to, current_op_, ops_processed_});
+  }
+}
+
+void MtkScheduler::EncodePairAt(TxnId j, TxnId i, size_t m) {
+  // Algorithm 1's '=' case below the last column: the two elements are set
+  // to the constants 1 < 2. Columns other than the k-th may therefore hold
+  // equal values across different vectors, which is what lets MT(k) keep
+  // transactions unordered longer than MT(k-1) (Section III-C).
+  State(j).ts.Set(m, 1);
+  State(i).ts.Set(m, 2);
+  stats_.elements_assigned += 2;
+}
+
+bool MtkScheduler::Set(TxnId j, TxnId i, bool hot_item) {
+  if (j == i) return true;  // Line 15.
+  ++stats_.set_calls;
+  const size_t k = options_.k;
+  const VectorCompareResult cr = CompareTs(j, i);
+  const size_t m = cr.index;
+  TimestampVector& tj = State(j).ts;
+  TimestampVector& ti = State(i).ts;
+
+  switch (cr.order) {
+    case VectorOrder::kLess:
+      return true;  // Line 17: the dependency is already encoded.
+    case VectorOrder::kGreater:
+      return false;  // Line 18: the opposite order is fixed; must reject.
+    case VectorOrder::kIdentical:
+      // All k elements equal and defined. Algorithm 1's distinct k-th
+      // elements make this unreachable between live transactions (the paper:
+      // "otherwise we cannot enforce any further dependency"), but an
+      // externally seeded vector could in principle collide; refuse safely.
+      return false;
+    case VectorOrder::kEqual: {
+      // Line 19: both elements undefined; encode TS(j,m) < TS(i,m).
+      // The optimized paths write into TS(j) as well, so they are skipped
+      // when j is the virtual transaction: TS(0) must stay <0,*,...,*>.
+      if (options_.optimized_encoding && hot_item && j != kVirtualTxn &&
+          m + 1 < k) {
+        // Section III-D-5: a dependency born on a hot item is pushed toward
+        // the right end of the vectors so the hot item does not force a
+        // total order. Both prefixes are extended with equal filler values
+        // up to column k-2, where the 1 < 2 pair is placed.
+        const size_t e = k - 2;
+        for (size_t h = m; h < e; ++h) {
+          tj.Set(h, 0);
+          ti.Set(h, 0);
+          stats_.elements_assigned += 2;
+        }
+        EncodePairAt(j, i, e);
+      } else if (m + 1 == k) {
+        // Last column: use the global counters so every fully assigned
+        // vector stays distinguishable from every other.
+        tj.Set(m, ucount_);
+        ti.Set(m, ucount_ + 1);
+        ucount_ += 2;
+        stats_.elements_assigned += 2;
+      } else {
+        EncodePairAt(j, i, m);
+      }
+      RecordEncoding(j, i);
+      return true;
+    }
+    case VectorOrder::kUndetermined: {
+      // Line 20: exactly one of the two elements is undefined.
+      if (!ti.IsDefined(m)) {
+        // TS(i,m) is the undefined one.
+        const size_t p = tj.DefinedPrefixLength();
+        const bool optimize =
+            options_.optimized_encoding && hot_item && j != kVirtualTxn;
+        if (optimize && p + 1 < k) {
+          // Section III-D-5, the worked variant: copy TS(j)'s defined
+          // prefix into TS(i) and encode the dependency just past it
+          // (e.g. <1,3,*,*> vs <*,*,*,*> becomes <1,3,1,*> vs <1,3,2,*>).
+          for (size_t h = m; h < p; ++h) {
+            ti.Set(h, tj.Get(h));
+            ++stats_.elements_assigned;
+          }
+          EncodePairAt(j, i, p);
+        } else if (optimize && p + 1 == k) {
+          for (size_t h = m; h < p; ++h) {
+            ti.Set(h, tj.Get(h));
+            ++stats_.elements_assigned;
+          }
+          tj.Set(p, ucount_);
+          ti.Set(p, ucount_ + 1);
+          ucount_ += 2;
+          stats_.elements_assigned += 2;
+        } else if (m + 1 == k) {
+          ti.Set(m, ucount_);
+          ucount_ += 1;
+          ++stats_.elements_assigned;
+        } else {
+          ti.Set(m, tj.Get(m) + 1);
+          ++stats_.elements_assigned;
+        }
+      } else {
+        // TS(j,m) is the undefined one: shrink from the low side.
+        if (m + 1 == k) {
+          tj.Set(m, lcount_);
+          lcount_ -= 1;
+          ++stats_.elements_assigned;
+        } else {
+          tj.Set(m, ti.Get(m) - 1);
+          ++stats_.elements_assigned;
+        }
+      }
+      RecordEncoding(j, i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MtkScheduler::ApplyStarvationSeed(TxnId aborted, TxnId blocker) {
+  // Section III-D-4: flush out TS(i) and seed TS(i,1) := TS(j,1) + 1 so the
+  // restarted incarnation is ordered after the blocking transaction.
+  TimestampVector& ti = State(aborted).ts;
+  const TimestampVector& tj = State(blocker).ts;
+  assert(tj.IsDefined(0));
+  ti.Reset();
+  ti.Set(0, tj.Get(0) + 1);
+}
+
+OpDecision MtkScheduler::Process(const Op& op) {
+  ++ops_processed_;
+  current_op_ = op;
+  const TxnId i = op.txn;
+  if (i == kVirtualTxn) {
+    ++stats_.rejected;
+    return OpDecision::kReject;  // T0 is virtual; it issues no operations.
+  }
+  TxnState& state = State(i);
+  if (state.aborted || state.committed) {
+    ++stats_.rejected;
+    return OpDecision::kReject;
+  }
+  ItemState& item = Item(op.item);
+  const bool hot = item.access_count >= options_.hot_item_threshold;
+  ++item.access_count;
+
+  // Lines 5-6: j is whichever of RT(x), WT(x) has the larger timestamp,
+  // with RT(x) winning ties and undetermined comparisons.
+  const TxnId jr = TopLive(&item.readers);
+  const TxnId jw = TopLive(&item.writers);
+  const TxnId j =
+      CompareTs(jr, jw).order == VectorOrder::kLess ? jw : jr;
+
+  auto reject = [&](TxnId blocker) {
+    last_blocker_ = blocker;
+    state.aborted = true;
+    if (options_.starvation_fix) ApplyStarvationSeed(i, blocker);
+    ++stats_.rejected;
+    return OpDecision::kReject;
+  };
+
+  if (op.type == OpType::kRead) {
+    if (Set(j, i, hot)) {
+      item.readers.push_back({i, state.incarnation});  // Line 7: RT(x) := i.
+      ++stats_.accepted;
+      return OpDecision::kAccept;
+    }
+    // Line 9: a read older than the most recent reader is still safe if it
+    // follows the most recent writer. The relaxed variant (noted after
+    // Theorem 3) encodes the WT dependency with Set instead of testing it.
+    if (j == jr && !options_.disable_old_read_path) {
+      const bool write_ordered =
+          options_.relaxed_read_path
+              ? Set(jw, i, hot)
+              : CompareTs(jw, i).order == VectorOrder::kLess;
+      if (write_ordered) {
+        ++stats_.accepted;
+        return OpDecision::kAccept;  // Line 10; RT(x) is not updated.
+      }
+    }
+    return reject(j);  // Line 11.
+  }
+
+  // Write.
+  if (Set(j, i, hot)) {
+    item.writers.push_back({i, state.incarnation});  // Line 12: WT(x) := i.
+    ++stats_.accepted;
+    return OpDecision::kAccept;
+  }
+  if (options_.thomas_write_rule) {
+    // Section III-D-6c: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
+    // obsolete and can be ignored rather than aborting T_i.
+    const bool after_reads = CompareTs(jr, i).order == VectorOrder::kLess;
+    const bool before_writer = CompareTs(i, jw).order == VectorOrder::kLess;
+    if (after_reads && before_writer) {
+      ++stats_.ignored_writes;
+      return OpDecision::kIgnore;
+    }
+  }
+  return reject(j);  // Line 14.
+}
+
+void MtkScheduler::CommitTxn(TxnId txn) {
+  TxnState& s = State(txn);
+  assert(!s.aborted);
+  s.committed = true;
+}
+
+void MtkScheduler::RestartTxn(TxnId txn) {
+  TxnState& s = State(txn);
+  assert(s.aborted);
+  s.aborted = false;
+  s.committed = false;
+  ++s.incarnation;  // Invalidates the previous incarnation's item accesses.
+  if (!options_.starvation_fix) {
+    s.ts.Reset();  // Fresh, fully undefined vector.
+  }
+  // With the fix the seeded vector from ApplyStarvationSeed is kept.
+}
+
+bool MtkScheduler::IsAborted(TxnId txn) const {
+  return txn < txns_.size() && txns_[txn].aborted;
+}
+
+bool MtkScheduler::IsCommitted(TxnId txn) const {
+  return txn < txns_.size() && txns_[txn].committed;
+}
+
+const TimestampVector& MtkScheduler::Ts(TxnId txn) { return State(txn).ts; }
+
+TxnId MtkScheduler::Rt(ItemId item) { return TopLive(&Item(item).readers); }
+
+TxnId MtkScheduler::Wt(ItemId item) { return TopLive(&Item(item).writers); }
+
+void MtkScheduler::CompactItemHistories() {
+  for (ItemState& item : items_) {
+    const TxnId r = TopLive(&item.readers);
+    const TxnId w = TopLive(&item.writers);
+    item.readers.clear();
+    item.writers.clear();
+    if (r != kVirtualTxn) item.readers.push_back({r, State(r).incarnation});
+    if (w != kVirtualTxn) item.writers.push_back({w, State(w).incarnation});
+  }
+}
+
+std::vector<TxnId> MtkScheduler::SerializationOrder(std::vector<TxnId> txns) {
+  // Kahn's algorithm over the determined (Definition 6) order; stable with
+  // respect to the input order among unordered transactions. The relation is
+  // a strict partial order by Lemmas 1 and 2, so the sort always completes.
+  const size_t n = txns.size();
+  std::vector<TxnId> out;
+  out.reserve(n);
+  std::vector<bool> placed(n, false);
+  for (size_t round = 0; round < n; ++round) {
+    size_t pick = n;
+    for (size_t c = 0; c < n && pick == n; ++c) {
+      if (placed[c]) continue;
+      bool minimal = true;
+      for (size_t d = 0; d < n && minimal; ++d) {
+        if (d == c || placed[d]) continue;
+        if (VectorLess(State(txns[d]).ts, State(txns[c]).ts)) minimal = false;
+      }
+      if (minimal) pick = c;
+    }
+    assert(pick < n && "determined order must be acyclic (Lemmas 1-2)");
+    if (pick == n) {  // Defensive fallback in release builds.
+      for (size_t c = 0; c < n; ++c) {
+        if (!placed[c]) {
+          pick = c;
+          break;
+        }
+      }
+    }
+    placed[pick] = true;
+    out.push_back(txns[pick]);
+  }
+  return out;
+}
+
+std::string MtkScheduler::DumpTable(TxnId max_txn) {
+  std::vector<std::string> header = {"txn", "TS", "state"};
+  TablePrinter table(header);
+  for (TxnId t = 0; t <= max_txn; ++t) {
+    const TxnState& s = State(t);
+    std::string st = t == kVirtualTxn ? "virtual"
+                     : s.aborted      ? "aborted"
+                     : s.committed    ? "committed"
+                                      : "active";
+    table.AddRow({"T" + std::to_string(t), s.ts.ToString(), st});
+  }
+  return table.ToString();
+}
+
+}  // namespace mdts

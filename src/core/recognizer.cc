@@ -1,0 +1,40 @@
+#include "core/recognizer.h"
+
+namespace mdts {
+
+RecognizeResult RecognizeLog(const Log& log, const MtkOptions& options) {
+  MtkScheduler scheduler(options);
+  RecognizeResult result;
+  for (size_t pos = 0; pos < log.size(); ++pos) {
+    if (scheduler.Process(log.at(pos)) == OpDecision::kReject) {
+      result.accepted = false;
+      result.rejected_at = pos;
+      return result;
+    }
+  }
+  result.accepted = true;
+  return result;
+}
+
+bool IsToK(const Log& log, size_t k) {
+  MtkOptions options;
+  options.k = k;
+  return RecognizeLog(log, options).accepted;
+}
+
+Log EffectiveHistory(const Log& log, const MtkOptions& options) {
+  MtkScheduler scheduler(options);
+  std::vector<bool> accepted(log.size(), false);
+  for (size_t pos = 0; pos < log.size(); ++pos) {
+    accepted[pos] = scheduler.Process(log.at(pos)) == OpDecision::kAccept;
+  }
+  Log effective;
+  for (size_t pos = 0; pos < log.size(); ++pos) {
+    if (accepted[pos] && !scheduler.IsAborted(log.at(pos).txn)) {
+      effective.Append(log.at(pos));
+    }
+  }
+  return effective;
+}
+
+}  // namespace mdts

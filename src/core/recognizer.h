@@ -1,0 +1,43 @@
+#ifndef MDTS_CORE_RECOGNIZER_H_
+#define MDTS_CORE_RECOGNIZER_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+
+namespace mdts {
+
+/// Result of running a fixed log through an MT(k) scheduler.
+struct RecognizeResult {
+  /// True iff every operation of the log was accepted: the log is a member
+  /// of the class recognized by the configured protocol (TO(k) for vanilla
+  /// options).
+  bool accepted = false;
+
+  /// Index of the first rejected operation; kNoReject when accepted.
+  size_t rejected_at = kNoReject;
+
+  static constexpr size_t kNoReject = std::numeric_limits<size_t>::max();
+};
+
+/// Feeds the log's operations in order to a freshly constructed
+/// MtkScheduler with the given options and reports whether all were
+/// accepted. Writes ignored under the Thomas rule count as accepted.
+RecognizeResult RecognizeLog(const Log& log, const MtkOptions& options);
+
+/// TO(k) membership (Definition 3 realized by Algorithm 1 with default
+/// options): true iff MT(k) accepts every operation of the log.
+bool IsToK(const Log& log, size_t k);
+
+/// Runs the scheduler over the whole log without stopping at rejections
+/// (transactions whose operations are rejected stay aborted) and returns the
+/// effective history: the accepted, non-ignored operations of transactions
+/// that were never aborted. Theorem 2 guarantees this history is always
+/// D-serializable, whatever the options.
+Log EffectiveHistory(const Log& log, const MtkOptions& options);
+
+}  // namespace mdts
+
+#endif  // MDTS_CORE_RECOGNIZER_H_

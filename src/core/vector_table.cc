@@ -1,0 +1,80 @@
+#include "core/vector_table.h"
+
+#include <cassert>
+
+namespace mdts {
+
+VectorTable::VectorTable(size_t k) : k_(k) {
+  assert(k_ >= 1);
+  vectors_.push_back(TimestampVector::Virtual(k_));
+}
+
+TimestampVector& VectorTable::Mutable(uint32_t id) {
+  while (vectors_.size() <= id) vectors_.emplace_back(k_);
+  return vectors_[id];
+}
+
+const TimestampVector& VectorTable::Ts(uint32_t id) { return Mutable(id); }
+
+VectorCompareResult VectorTable::CompareIds(uint32_t a, uint32_t b) {
+  VectorCompareResult r = Compare(Mutable(a), Mutable(b));
+  element_comparisons_ += r.index + 1;
+  return r;
+}
+
+bool VectorTable::Set(uint32_t j, uint32_t i) {
+  if (j == i) return true;
+  const VectorCompareResult cr = CompareIds(j, i);
+  const size_t m = cr.index;
+  TimestampVector& tj = Mutable(j);
+  TimestampVector& ti = Mutable(i);
+  switch (cr.order) {
+    case VectorOrder::kLess:
+      return true;
+    case VectorOrder::kGreater:
+    case VectorOrder::kIdentical:
+      return false;
+    case VectorOrder::kEqual:
+      if (m + 1 == k_) {
+        tj.Set(m, ucount_);
+        ti.Set(m, ucount_ + 1);
+        ucount_ += 2;
+      } else {
+        tj.Set(m, 1);
+        ti.Set(m, 2);
+      }
+      elements_assigned_ += 2;
+      return true;
+    case VectorOrder::kUndetermined:
+      if (!ti.IsDefined(m)) {
+        if (m + 1 == k_) {
+          ti.Set(m, ucount_);
+          ucount_ += 1;
+        } else {
+          ti.Set(m, tj.Get(m) + 1);
+        }
+      } else {
+        if (m + 1 == k_) {
+          tj.Set(m, lcount_);
+          lcount_ -= 1;
+        } else {
+          tj.Set(m, ti.Get(m) - 1);
+        }
+      }
+      ++elements_assigned_;
+      return true;
+  }
+  return false;
+}
+
+void VectorTable::Reset(uint32_t id) { Mutable(id).Reset(); }
+
+void VectorTable::SeedAfter(uint32_t id, uint32_t blocker) {
+  const TimestampVector& b = Mutable(blocker);
+  const TsElement seed = b.IsDefined(0) ? b.Get(0) + 1 : 1;
+  TimestampVector& v = Mutable(id);
+  v.Reset();
+  v.Set(0, seed);
+}
+
+}  // namespace mdts

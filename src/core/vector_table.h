@@ -1,0 +1,60 @@
+#ifndef MDTS_CORE_VECTOR_TABLE_H_
+#define MDTS_CORE_VECTOR_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "core/timestamp_vector.h"
+
+namespace mdts {
+
+/// A reusable timestamp table implementing Algorithm 1's comparison and
+/// Set(j, i) encoding rules over an arbitrary id space (transactions,
+/// groups of the nested protocol MT(k1,k2), or supergroups). This is the
+/// normal-encoding core of MtkScheduler without the item bookkeeping;
+/// higher-level protocols compose one table per hierarchy level.
+class VectorTable {
+ public:
+  /// Creates a table of k-element vectors. Entity 0 is initialized as the
+  /// virtual entity <0, *, ..., *>; all others start fully undefined.
+  explicit VectorTable(size_t k);
+
+  size_t k() const { return k_; }
+
+  /// The entity's current vector (auto-creating it fully undefined).
+  const TimestampVector& Ts(uint32_t id);
+
+  /// Definition-6 comparison of two entities' vectors.
+  VectorCompareResult CompareIds(uint32_t a, uint32_t b);
+
+  /// Algorithm 1's Set(j, i): ensures TS(j) < TS(i), encoding the
+  /// dependency if undetermined. Returns false iff TS(j) > TS(i) is
+  /// already fixed (the caller must reject the operation).
+  bool Set(uint32_t j, uint32_t i);
+
+  /// Resets an entity's vector to fully undefined (abort support).
+  void Reset(uint32_t id);
+
+  /// Section III-D-4 starvation seeding: flushes the entity's vector and
+  /// sets its first element just past the blocker's, so the restarted
+  /// incarnation is ordered after the transaction that caused the abort.
+  void SeedAfter(uint32_t id, uint32_t blocker);
+
+  /// Element-comparison and assignment counters (complexity accounting).
+  uint64_t element_comparisons() const { return element_comparisons_; }
+  uint64_t elements_assigned() const { return elements_assigned_; }
+
+ private:
+  TimestampVector& Mutable(uint32_t id);
+
+  size_t k_;
+  std::deque<TimestampVector> vectors_;
+  TsElement lcount_ = 0;
+  TsElement ucount_ = 1;
+  uint64_t element_comparisons_ = 0;
+  uint64_t elements_assigned_ = 0;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_CORE_VECTOR_TABLE_H_

@@ -1,0 +1,481 @@
+#include "dist/dmt_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace mdts {
+
+namespace {
+
+// Global lockable-object numbering: the predefined linear order of Section
+// V-B. All item records precede all timestamp vectors, each ordered by id;
+// since an operation must consult the item record first (to learn RT/WT)
+// and vector ids are all larger, every context acquires locks in strictly
+// ascending order and no deadlock can occur.
+using ObjectId = uint64_t;
+
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;
+  enum class Kind {
+    kIssue,         // Transaction issues its next op (or commits).
+    kRestart,       // Aborted transaction restarts.
+    kLockArrive,    // Lock request arrives at the object's home site.
+    kGrantArrive,   // Grant (with value) arrives back at the context.
+    kReleaseArrive, // Release (with writeback) arrives at the home site.
+    kCounterSync,   // Periodic ucount/lcount synchronization.
+  } kind = Kind::kIssue;
+  TxnId txn = 0;
+  uint64_t ctx = 0;
+  ObjectId object = 0;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct OpContext {
+  TxnId txn = 0;
+  Op op;
+  uint32_t site = 0;           // Site executing the schedule (item's home).
+  std::vector<ObjectId> lock_plan;  // Ascending; grows after item lock.
+  size_t next_lock = 0;
+  bool item_locked = false;
+  bool done = false;
+};
+
+struct LockState {
+  bool held = false;
+  uint64_t holder_ctx = 0;
+  std::deque<uint64_t> waiters;
+};
+
+struct TxnRuntime {
+  std::vector<Op> program;
+  size_t next_op = 0;
+  uint32_t attempts = 0;
+  uint32_t incarnation = 0;
+  bool aborted = false;
+  bool done = false;
+  bool started = false;
+  bool committed = false;
+  uint32_t committed_incarnation = 0;
+  double first_start = 0.0;
+};
+
+// Globally ordered record of accepted operations, filtered at the end to
+// committed incarnations for the serializability audit.
+struct ExecutedOp {
+  Op op;
+  uint32_t incarnation = 0;
+};
+
+struct Access {
+  TxnId txn = kVirtualTxn;
+  uint32_t incarnation = 0;
+};
+
+struct ItemState {
+  std::vector<Access> readers;
+  std::vector<Access> writers;
+};
+
+class DmtSim {
+ public:
+  explicit DmtSim(const DmtOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  DmtResult Run();
+
+ private:
+  uint32_t ItemSite(ItemId x) const { return x % options_.num_sites; }
+  uint32_t VectorSite(TxnId t) const { return t % options_.num_sites; }
+  ObjectId ItemObject(ItemId x) const { return x; }
+  ObjectId VectorObject(TxnId t) const {
+    return static_cast<ObjectId>(num_items_) + t;
+  }
+  uint32_t ObjectSite(ObjectId o) const {
+    return o < num_items_ ? ItemSite(static_cast<ItemId>(o))
+                          : VectorSite(static_cast<TxnId>(o - num_items_));
+  }
+
+  TimestampVector& Ts(TxnId t) {
+    while (vectors_.size() <= t) vectors_.emplace_back(options_.k);
+    return vectors_[t];
+  }
+
+  ItemState& Item(ItemId x) {
+    if (items_.size() <= x) items_.resize(x + 1);
+    return items_[x];
+  }
+
+  bool IsLive(const Access& a) {
+    const TxnRuntime& rt = txns_[a.txn];
+    return a.txn == kVirtualTxn ||
+           (a.incarnation == rt.incarnation && !rt.aborted);
+  }
+
+  TxnId TopLive(std::vector<Access>* stack) {
+    while (!stack->empty() && !IsLive(stack->back())) stack->pop_back();
+    return stack->empty() ? kVirtualTxn : stack->back().txn;
+  }
+
+  /// Globally unique last-column value from a site's upper counter: the
+  /// paper's "concatenate the site number as low order bits".
+  TsElement UpperValue(uint32_t site) {
+    const TsElement v = ucount_[site] * options_.num_sites + site;
+    ucount_[site] += 1;
+    return v;
+  }
+  TsElement LowerValue(uint32_t site) {
+    const TsElement v = lcount_[site] * options_.num_sites + site;
+    lcount_[site] -= 1;
+    return v;
+  }
+
+  /// Algorithm 1's Set(j, i) with per-site counters for the last column.
+  bool DistSet(TxnId j, TxnId i, uint32_t site);
+
+  /// Full scheduling decision for a context whose locks are all held.
+  bool Decide(OpContext* ctx);
+
+  void Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
+            ObjectId object);
+  void StartNextTxn(double at);
+  void IssueNext(TxnId txn, double at);
+  void BeginLocking(uint64_t ctx_id);
+  void RequestLock(uint64_t ctx_id, ObjectId object);
+  void OnLockArrive(const Event& ev);
+  void OnGrantArrive(const Event& ev);
+  void OnReleaseArrive(const Event& ev);
+  void FinishOp(uint64_t ctx_id);
+  void HandleAbort(TxnId txn);
+
+  double Latency(uint32_t from, uint32_t to) {
+    if (from == to) return 0.0;
+    ++result_.messages_sent;
+    return options_.message_latency;
+  }
+
+  DmtOptions options_;
+  Rng rng_;
+  DmtResult result_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+
+  uint32_t num_items_ = 0;
+  std::vector<TxnRuntime> txns_;
+  std::deque<TimestampVector> vectors_;
+  std::vector<ItemState> items_;
+  std::map<ObjectId, LockState> locks_;
+  std::vector<OpContext> contexts_;
+  std::vector<TsElement> ucount_;
+  std::vector<TsElement> lcount_;
+  std::vector<ExecutedOp> executed_;
+  TxnId next_to_start_ = 1;
+  double total_response_ = 0.0;
+};
+
+void DmtSim::Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
+                  ObjectId object) {
+  queue_.push(Event{time, ++seq_, kind, txn, ctx, object});
+}
+
+bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site) {
+  if (j == i) return true;
+  const VectorCompareResult cr = Compare(Ts(j), Ts(i));
+  const size_t m = cr.index;
+  const size_t k = options_.k;
+  TimestampVector& tj = Ts(j);
+  TimestampVector& ti = Ts(i);
+  switch (cr.order) {
+    case VectorOrder::kLess:
+      return true;
+    case VectorOrder::kGreater:
+    case VectorOrder::kIdentical:
+      return false;
+    case VectorOrder::kEqual:
+      if (m + 1 == k) {
+        tj.Set(m, UpperValue(site));
+        ti.Set(m, UpperValue(site));
+      } else {
+        tj.Set(m, 1);
+        ti.Set(m, 2);
+      }
+      return true;
+    case VectorOrder::kUndetermined:
+      if (!ti.IsDefined(m)) {
+        ti.Set(m, m + 1 == k ? UpperValue(site) : tj.Get(m) + 1);
+      } else {
+        tj.Set(m, m + 1 == k ? LowerValue(site) : ti.Get(m) - 1);
+      }
+      return true;
+  }
+  return false;
+}
+
+bool DmtSim::Decide(OpContext* ctx) {
+  const TxnId i = ctx->txn;
+  ItemState& item = Item(ctx->op.item);
+  const TxnId jr = TopLive(&item.readers);
+  const TxnId jw = TopLive(&item.writers);
+  const TxnId j =
+      Compare(Ts(jr), Ts(jw)).order == VectorOrder::kLess ? jw : jr;
+  TxnRuntime& rt = txns_[i];
+  if (ctx->op.type == OpType::kRead) {
+    if (DistSet(j, i, ctx->site)) {
+      item.readers.push_back({i, rt.incarnation});
+      return true;
+    }
+    if (j == jr && Compare(Ts(jw), Ts(i)).order == VectorOrder::kLess) {
+      return true;
+    }
+    return false;
+  }
+  if (DistSet(j, i, ctx->site)) {
+    item.writers.push_back({i, rt.incarnation});
+    return true;
+  }
+  return false;
+}
+
+void DmtSim::StartNextTxn(double at) {
+  if (next_to_start_ > options_.num_txns) return;
+  const TxnId t = next_to_start_++;
+  txns_[t].started = true;
+  txns_[t].first_start = at;
+  Push(at, Event::Kind::kIssue, t, 0, 0);
+}
+
+void DmtSim::IssueNext(TxnId txn, double at) {
+  Push(at, Event::Kind::kIssue, txn, 0, 0);
+}
+
+void DmtSim::BeginLocking(uint64_t ctx_id) {
+  OpContext& ctx = contexts_[ctx_id];
+  ctx.lock_plan = {ItemObject(ctx.op.item)};
+  ctx.next_lock = 0;
+  RequestLock(ctx_id, ctx.lock_plan[0]);
+}
+
+void DmtSim::RequestLock(uint64_t ctx_id, ObjectId object) {
+  OpContext& ctx = contexts_[ctx_id];
+  const double arrive = now_ + Latency(ctx.site, ObjectSite(object));
+  Push(arrive, Event::Kind::kLockArrive, ctx.txn, ctx_id, object);
+}
+
+void DmtSim::OnLockArrive(const Event& ev) {
+  LockState& lock = locks_[ev.object];
+  if (lock.held) {
+    ++result_.lock_waits;
+    lock.waiters.push_back(ev.ctx);
+    return;
+  }
+  lock.held = true;
+  lock.holder_ctx = ev.ctx;
+  OpContext& ctx = contexts_[ev.ctx];
+  const double back = now_ + Latency(ObjectSite(ev.object), ctx.site);
+  Push(back, Event::Kind::kGrantArrive, ctx.txn, ev.ctx, ev.object);
+}
+
+void DmtSim::OnGrantArrive(const Event& ev) {
+  OpContext& ctx = contexts_[ev.ctx];
+  if (!ctx.item_locked) {
+    // The item record is locked: RT/WT are now stable; extend the plan
+    // with the timestamp-vector objects, ascending. The virtual T0's
+    // vector is an immutable constant replicated everywhere and needs no
+    // lock.
+    ctx.item_locked = true;
+    ItemState& item = Item(ctx.op.item);
+    std::set<TxnId> vec_txns;
+    const TxnId jr = TopLive(&item.readers);
+    const TxnId jw = TopLive(&item.writers);
+    if (jr != kVirtualTxn) vec_txns.insert(jr);
+    if (jw != kVirtualTxn) vec_txns.insert(jw);
+    vec_txns.insert(ctx.txn);
+    for (TxnId t : vec_txns) ctx.lock_plan.push_back(VectorObject(t));
+    std::sort(ctx.lock_plan.begin() + 1, ctx.lock_plan.end());
+  }
+  ++ctx.next_lock;
+  if (ctx.next_lock < ctx.lock_plan.size()) {
+    RequestLock(ev.ctx, ctx.lock_plan[ctx.next_lock]);
+    return;
+  }
+  FinishOp(ev.ctx);
+}
+
+void DmtSim::FinishOp(uint64_t ctx_id) {
+  OpContext& ctx = contexts_[ctx_id];
+  const bool accepted = Decide(&ctx);
+  ++result_.ops_scheduled;
+  result_.ops_per_site[ctx.site] += 1;
+
+  // Write back and unlock every object (one combined message per remote
+  // object; grants to waiters happen when the release arrives home).
+  for (ObjectId object : ctx.lock_plan) {
+    const double arrive = now_ + Latency(ctx.site, ObjectSite(object));
+    Push(arrive, Event::Kind::kReleaseArrive, ctx.txn, ctx_id, object);
+  }
+  ctx.done = true;
+
+  TxnRuntime& rt = txns_[ctx.txn];
+  if (accepted) {
+    executed_.push_back(ExecutedOp{ctx.op, rt.incarnation});
+    ++rt.next_op;
+    IssueNext(ctx.txn, now_ + rng_.Exponential(options_.mean_think_time));
+  } else {
+    rt.aborted = true;
+    HandleAbort(ctx.txn);
+  }
+}
+
+void DmtSim::OnReleaseArrive(const Event& ev) {
+  LockState& lock = locks_[ev.object];
+  assert(lock.held);
+  if (lock.waiters.empty()) {
+    lock.held = false;
+    return;
+  }
+  const uint64_t next = lock.waiters.front();
+  lock.waiters.pop_front();
+  lock.holder_ctx = next;
+  OpContext& ctx = contexts_[next];
+  const double back = now_ + Latency(ObjectSite(ev.object), ctx.site);
+  Push(back, Event::Kind::kGrantArrive, ctx.txn, next, ev.object);
+}
+
+void DmtSim::HandleAbort(TxnId txn) {
+  TxnRuntime& rt = txns_[txn];
+  ++result_.aborts;
+  ++rt.attempts;
+  if (rt.attempts >= options_.max_attempts) {
+    ++result_.gave_up;
+    rt.done = true;
+    StartNextTxn(now_ + options_.restart_delay);
+    return;
+  }
+  // Jittered restart delay (see sim/simulator.cc): prevents lockstep
+  // retry livelocks between mutually conflicting transactions.
+  Push(now_ + rng_.Exponential(options_.restart_delay), Event::Kind::kRestart,
+       txn, 0, 0);
+}
+
+DmtResult DmtSim::Run() {
+  WorkloadOptions w = options_.workload;
+  w.num_txns = options_.num_txns;
+  Rng wrng(options_.seed * 6151 + 3);
+  const auto programs = GenerateTxnPrograms(w, &wrng);
+  num_items_ = w.num_items;
+
+  txns_.resize(options_.num_txns + 1);
+  for (TxnId t = 1; t <= options_.num_txns; ++t) {
+    txns_[t].program = programs[t - 1];
+  }
+  ucount_.assign(options_.num_sites, 1);
+  lcount_.assign(options_.num_sites, 0);
+  result_.ops_per_site.assign(options_.num_sites, 0);
+
+  const uint32_t initial = std::min(options_.concurrency, options_.num_txns);
+  for (uint32_t c = 0; c < initial; ++c) {
+    StartNextTxn(rng_.Exponential(options_.mean_think_time) * 0.1);
+  }
+  if (options_.counter_sync_interval > 0) {
+    Push(options_.counter_sync_interval, Event::Kind::kCounterSync, 0, 0, 0);
+  }
+
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    switch (ev.kind) {
+      case Event::Kind::kCounterSync: {
+        // Synchronize all local counters to the global extremes, modeling
+        // the paper's periodic clock synchronization.
+        TsElement umax = 1, lmin = 0;
+        for (uint32_t s = 0; s < options_.num_sites; ++s) {
+          umax = std::max(umax, ucount_[s]);
+          lmin = std::min(lmin, lcount_[s]);
+        }
+        ucount_.assign(options_.num_sites, umax);
+        lcount_.assign(options_.num_sites, lmin);
+        // Stop scheduling syncs once all work is done.
+        if (result_.committed + result_.gave_up < options_.num_txns) {
+          Push(now_ + options_.counter_sync_interval,
+               Event::Kind::kCounterSync, 0, 0, 0);
+        }
+        break;
+      }
+      case Event::Kind::kRestart: {
+        TxnRuntime& rt = txns_[ev.txn];
+        if (rt.done) break;
+        rt.aborted = false;
+        ++rt.incarnation;
+        rt.next_op = 0;
+        Ts(ev.txn).Reset();
+        Push(now_, Event::Kind::kIssue, ev.txn, 0, 0);
+        break;
+      }
+      case Event::Kind::kIssue: {
+        TxnRuntime& rt = txns_[ev.txn];
+        if (rt.done || rt.aborted) break;
+        if (rt.next_op >= rt.program.size()) {
+          ++result_.committed;
+          rt.done = true;
+          rt.committed = true;
+          rt.committed_incarnation = rt.incarnation;
+          total_response_ += now_ - rt.first_start;
+          StartNextTxn(now_ +
+                       rng_.Exponential(options_.mean_think_time) * 0.1);
+          break;
+        }
+        contexts_.push_back(OpContext{});
+        OpContext& ctx = contexts_.back();
+        ctx.txn = ev.txn;
+        ctx.op = rt.program[rt.next_op];
+        ctx.site = ItemSite(ctx.op.item);
+        BeginLocking(contexts_.size() - 1);
+        break;
+      }
+      case Event::Kind::kLockArrive:
+        OnLockArrive(ev);
+        break;
+      case Event::Kind::kGrantArrive:
+        OnGrantArrive(ev);
+        break;
+      case Event::Kind::kReleaseArrive:
+        OnReleaseArrive(ev);
+        break;
+    }
+  }
+
+  for (const ExecutedOp& e : executed_) {
+    const TxnRuntime& rt = txns_[e.op.txn];
+    if (rt.committed && e.incarnation == rt.committed_incarnation) {
+      result_.committed_history.Append(e.op);
+    }
+  }
+
+  result_.makespan = now_;
+  if (result_.committed > 0) {
+    result_.avg_response_time =
+        total_response_ / static_cast<double>(result_.committed);
+  }
+  return result_;
+}
+
+}  // namespace
+
+DmtResult RunDmtSimulation(const DmtOptions& options) {
+  return DmtSim(options).Run();
+}
+
+}  // namespace mdts

@@ -1,0 +1,64 @@
+#ifndef MDTS_NESTED_NESTED_ONLINE_H_
+#define MDTS_NESTED_NESTED_ONLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "nested/nested_scheduler.h"
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Online adapter of MT(k1, ..., kl) to the uniform Scheduler interface.
+/// Transactions are assigned to level-1 groups by a caller-provided
+/// assignment function evaluated at first contact (round-robin by default),
+/// mirroring Example 5's by-site partitioning.
+class NestedOnline : public Scheduler {
+ public:
+  /// groups: number of level-1 groups (round-robin assignment txn -> group
+  /// 1 + (txn-1) % groups).
+  NestedOnline(std::vector<size_t> ks, GroupId groups)
+      : inner_(std::move(ks)), groups_(groups) {}
+
+  std::string name() const override {
+    return "MT(k1,k2)x" + std::to_string(groups_);
+  }
+
+  void OnBegin(TxnId txn) override {
+    // Static membership: register once, keep across restarts.
+    (void)inner_.RegisterTxn(txn, {1 + (txn - 1) % groups_});
+  }
+
+  SchedOutcome OnOperation(const Op& op) override {
+    if (op.txn == kVirtualTxn) return SchedOutcome::kAborted;
+    OnBegin(op.txn);  // Idempotent; covers direct use without OnBegin.
+    switch (inner_.Process(op)) {
+      case OpDecision::kAccept:
+        return SchedOutcome::kAccepted;
+      case OpDecision::kIgnore:
+        return SchedOutcome::kIgnored;
+      case OpDecision::kReject:
+        return SchedOutcome::kAborted;
+    }
+    return SchedOutcome::kAborted;
+  }
+
+  SchedOutcome OnCommit(TxnId txn) override {
+    (void)txn;
+    return SchedOutcome::kAccepted;
+  }
+
+  void OnRestart(TxnId txn) override {
+    if (inner_.IsAborted(txn)) inner_.RestartTxn(txn);
+  }
+
+  NestedMtScheduler& inner() { return inner_; }
+
+ private:
+  NestedMtScheduler inner_;
+  GroupId groups_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_NESTED_NESTED_ONLINE_H_

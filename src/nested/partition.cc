@@ -1,0 +1,39 @@
+#include "nested/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mdts {
+
+std::vector<GroupId> PartitionByReadWriteSignature(const Log& log) {
+  std::map<std::pair<std::vector<ItemId>, std::vector<ItemId>>, GroupId>
+      signature_group;
+  std::vector<GroupId> partition(log.num_txns());
+  GroupId next_group = 1;
+  for (TxnId t = 1; t <= log.num_txns(); ++t) {
+    std::vector<ItemId> reads = log.ReadSet(t);
+    std::vector<ItemId> writes = log.WriteSet(t);
+    std::sort(reads.begin(), reads.end());
+    std::sort(writes.begin(), writes.end());
+    auto key = std::make_pair(std::move(reads), std::move(writes));
+    auto [it, inserted] = signature_group.emplace(key, next_group);
+    if (inserted) ++next_group;
+    partition[t - 1] = it->second;
+  }
+  return partition;
+}
+
+std::vector<GroupId> PartitionBySite(const std::vector<uint32_t>& txn_site) {
+  return txn_site;
+}
+
+Status RegisterPartition(NestedMtScheduler* scheduler,
+                         const std::vector<GroupId>& partition) {
+  for (TxnId t = 1; t <= partition.size(); ++t) {
+    Status s = scheduler->RegisterTxn(t, {partition[t - 1]});
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdts

@@ -1,0 +1,33 @@
+#ifndef MDTS_NESTED_PARTITION_H_
+#define MDTS_NESTED_PARTITION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/log.h"
+#include "nested/nested_scheduler.h"
+
+namespace mdts {
+
+/// Partition rules for MT(k1, k2) (paper Section V-A, Examples 5 and 6).
+
+/// Example 6 / Table IV: transactions with identical read and write sets
+/// form a group ("to partition transactions in the same group, they must
+/// share some common properties"). Returns the group id (>= 1) of every
+/// transaction 1..num_txns, assigning ids in order of first appearance of
+/// each (read set, write set) signature.
+std::vector<GroupId> PartitionByReadWriteSignature(const Log& log);
+
+/// Example 5: transactions initiated at the same site belong to the site's
+/// group. The caller supplies the site of each transaction (1-based ids);
+/// returned group ids equal site ids.
+std::vector<GroupId> PartitionBySite(const std::vector<uint32_t>& txn_site);
+
+/// Registers a level-1 partition with the scheduler: partition[t-1] is the
+/// group of transaction t.
+Status RegisterPartition(NestedMtScheduler* scheduler,
+                         const std::vector<GroupId>& partition);
+
+}  // namespace mdts
+
+#endif  // MDTS_NESTED_PARTITION_H_

@@ -1,0 +1,136 @@
+#include "parallel/parallel_compare.h"
+
+#include <cassert>
+
+namespace mdts {
+
+size_t PartialOrRounds(size_t k) {
+  size_t rounds = 0;
+  size_t span = 1;
+  while (span < k) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+namespace {
+
+std::string RowToString(const char* label, const std::vector<int>& row) {
+  std::string out = label;
+  out += ": ";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(row[i]);
+  }
+  return out;
+}
+
+std::string ElemToString(TsElement e) {
+  return e == kUndefinedElement ? std::string("*") : std::to_string(e);
+}
+
+ParallelCompareResult Run(const TimestampVector& a, const TimestampVector& b,
+                          std::vector<std::string>* trace) {
+  assert(a.size() == b.size());
+  const size_t k = a.size();
+  ParallelCompareResult result;
+  result.processors = 4 * k;  // Rows a, b, c, d of the Fig. 6 array.
+
+  // Phase 1: load the vector elements (all columns in parallel).
+  if (trace != nullptr) {
+    std::string ra = "a:", rb = "b:";
+    for (size_t i = 0; i < k; ++i) {
+      ra += " " + ElemToString(a.Get(i));
+      rb += " " + ElemToString(b.Get(i));
+    }
+    trace->push_back("phase 1 (load)");
+    trace->push_back(ra);
+    trace->push_back(rb);
+  }
+
+  // Phase 2: columnwise subtraction; c_i = 0 iff the elements are equal
+  // (both defined with the same value), 1 otherwise.
+  std::vector<int> c(k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    const bool equal = a.IsDefined(i) && b.IsDefined(i) && a.Get(i) == b.Get(i);
+    c[i] = equal ? 0 : 1;
+  }
+  if (trace != nullptr) {
+    trace->push_back("phase 2 (subtract)");
+    trace->push_back(RowToString("c", c));
+  }
+
+  // Phase 3: parallel partial OR d_i = c_1 | ... | c_i in ceil(log2 k)
+  // doubling rounds.
+  std::vector<int> d = c;
+  size_t rounds = 0;
+  for (size_t span = 1; span < k; span *= 2) {
+    std::vector<int> next = d;
+    for (size_t i = span; i < k; ++i) next[i] = d[i] | d[i - span];
+    d = std::move(next);
+    ++rounds;
+    if (trace != nullptr) {
+      trace->push_back("phase 3 round " + std::to_string(rounds) +
+                       " (partial OR, span " + std::to_string(span) + ")");
+      trace->push_back(RowToString("d", d));
+    }
+  }
+  assert(rounds == PartialOrRounds(k));
+
+  // Phase 4: the unique processor with d_i = 1 and d_{i-1} = 0 identifies
+  // the first unequal column.
+  size_t first = k;
+  for (size_t i = 0; i < k; ++i) {
+    const int left = i == 0 ? 0 : d[i - 1];
+    if (d[i] == 1 && left == 0) {
+      first = i;
+      break;
+    }
+  }
+  if (trace != nullptr) {
+    trace->push_back(first == k
+                         ? "phase 4: no unequal column (identical vectors)"
+                         : "phase 4: first unequal column = " +
+                               std::to_string(first + 1) + " (1-based)");
+  }
+
+  // Phase 5: the order follows from the pair at that column.
+  if (first == k) {
+    result.order = VectorOrder::kIdentical;
+    result.index = k;
+  } else {
+    result.index = first;
+    const bool da = a.IsDefined(first);
+    const bool db = b.IsDefined(first);
+    if (da && db) {
+      result.order = a.Get(first) < b.Get(first) ? VectorOrder::kLess
+                                                 : VectorOrder::kGreater;
+    } else if (!da && !db) {
+      result.order = VectorOrder::kEqual;
+    } else {
+      result.order = VectorOrder::kUndetermined;
+    }
+  }
+  if (trace != nullptr) {
+    trace->push_back(std::string("phase 5: order = ") +
+                     VectorOrderName(result.order));
+  }
+  result.phases = 4 + rounds;
+  return result;
+}
+
+}  // namespace
+
+ParallelCompareResult ParallelCompare(const TimestampVector& a,
+                                      const TimestampVector& b) {
+  return Run(a, b, nullptr);
+}
+
+ParallelCompareResult ParallelCompareTraced(const TimestampVector& a,
+                                            const TimestampVector& b,
+                                            std::vector<std::string>* trace) {
+  return Run(a, b, trace);
+}
+
+}  // namespace mdts

@@ -1,0 +1,49 @@
+#ifndef MDTS_PARALLEL_PARALLEL_COMPARE_H_
+#define MDTS_PARALLEL_PARALLEL_COMPARE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/timestamp_vector.h"
+
+namespace mdts {
+
+/// Result of the simulated parallel vector comparison (paper Section III-E,
+/// Figs. 6-7): the same order/index a sequential Definition-6 scan yields,
+/// plus the parallel cost model - the number of lockstep phases executed by
+/// the simulated processor array. Phases 1, 2, 4, 5 are constant time; the
+/// partial-OR phase 3 takes ceil(log2 k) rounds on the prefix tree, which
+/// is Theorem 4's O(log k) bound.
+struct ParallelCompareResult {
+  VectorOrder order = VectorOrder::kIdentical;
+  size_t index = 0;
+
+  /// Total lockstep phases: 4 + ceil(log2 k).
+  size_t phases = 0;
+
+  /// Processors in the array (rows a, b, c, d of Fig. 6 share k columns).
+  size_t processors = 0;
+};
+
+/// Simulates the five-phase processor-array comparison of two equal-size
+/// vectors. Extends the paper's algorithm to undefined elements (the paper:
+/// "the algorithm can be easily refined without affecting the time
+/// complexity"): a position counts as unequal when the two elements are not
+/// both-defined-equal; the first such position is then classified exactly
+/// as Definition 6 classifies it.
+ParallelCompareResult ParallelCompare(const TimestampVector& a,
+                                      const TimestampVector& b);
+
+/// As ParallelCompare, additionally appending a human-readable row trace of
+/// every phase (the Fig. 6 walkthrough) to *trace.
+ParallelCompareResult ParallelCompareTraced(const TimestampVector& a,
+                                            const TimestampVector& b,
+                                            std::vector<std::string>* trace);
+
+/// Number of partial-OR rounds for vector size k: ceil(log2 k), 0 for k=1.
+size_t PartialOrRounds(size_t k);
+
+}  // namespace mdts
+
+#endif  // MDTS_PARALLEL_PARALLEL_COMPARE_H_

@@ -1,0 +1,98 @@
+#include "sched/adaptive.h"
+
+#include <algorithm>
+
+namespace mdts {
+
+AdaptiveMtScheduler::AdaptiveMtScheduler(const AdaptiveOptions& options)
+    : options_(options), current_k_(options.initial_k) {
+  Rebuild(current_k_);
+}
+
+void AdaptiveMtScheduler::Rebuild(size_t k) {
+  MtkOptions o;
+  o.k = k;
+  o.starvation_fix = options_.starvation_fix;
+  inner_ = std::make_unique<MtkScheduler>(o);
+  current_k_ = k;
+}
+
+void AdaptiveMtScheduler::NoteDecision(bool aborted) {
+  ++epoch_decisions_;
+  if (aborted) ++epoch_aborts_;
+  if (epoch_decisions_ < options_.epoch_ops) return;
+
+  const double rate = static_cast<double>(epoch_aborts_) /
+                      static_cast<double>(epoch_decisions_);
+  epoch_decisions_ = 0;
+  epoch_aborts_ = 0;
+  size_t target = current_k_;
+  if (rate > options_.grow_threshold && current_k_ < options_.max_k) {
+    target = current_k_ + 1;
+  } else if (rate < options_.shrink_threshold &&
+             current_k_ > options_.min_k) {
+    target = current_k_ - 1;
+  }
+  k_history_.push_back(target);
+  if (target != current_k_) pending_k_ = target;
+}
+
+void AdaptiveMtScheduler::MaybeSwitch() {
+  if (pending_k_ == 0) return;
+  // Algorithm 2's switching discipline: restart from a fresh table and
+  // abort every transaction begun under the old one ("abort all the
+  // active transactions and rollback; restart"). Stale transactions are
+  // detected by their epoch and turned away until the environment
+  // restarts them.
+  Rebuild(pending_k_);
+  pending_k_ = 0;
+  ++generation_;
+  ++switches_;
+}
+
+void AdaptiveMtScheduler::OnBegin(TxnId txn) {
+  if (txn_generation_.size() <= txn) txn_generation_.resize(txn + 1, 0);
+  txn_generation_[txn] = generation_;
+}
+
+bool AdaptiveMtScheduler::IsStale(TxnId txn) const {
+  return txn >= txn_generation_.size() || txn_generation_[txn] != generation_;
+}
+
+SchedOutcome AdaptiveMtScheduler::OnOperation(const Op& op) {
+  MaybeSwitch();
+  if (IsStale(op.txn)) {
+    // Begun under a previous table: must roll back and restart.
+    return SchedOutcome::kAborted;
+  }
+  switch (inner_->Process(op)) {
+    case OpDecision::kAccept:
+      NoteDecision(false);
+      return SchedOutcome::kAccepted;
+    case OpDecision::kIgnore:
+      NoteDecision(false);
+      return SchedOutcome::kIgnored;
+    case OpDecision::kReject:
+      NoteDecision(true);
+      return SchedOutcome::kAborted;
+  }
+  return SchedOutcome::kAborted;
+}
+
+SchedOutcome AdaptiveMtScheduler::OnCommit(TxnId txn) {
+  if (IsStale(txn)) return SchedOutcome::kAborted;
+  if (!inner_->IsCommitted(txn) && !inner_->IsAborted(txn)) {
+    inner_->CommitTxn(txn);
+  }
+  MaybeSwitch();
+  return SchedOutcome::kAccepted;
+}
+
+void AdaptiveMtScheduler::OnRestart(TxnId txn) {
+  // After a switch the fresh inner never saw this transaction; only
+  // restart it where it is actually marked aborted.
+  if (!IsStale(txn) && inner_->IsAborted(txn)) inner_->RestartTxn(txn);
+  MaybeSwitch();
+}
+
+}  // namespace mdts

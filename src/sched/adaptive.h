@@ -1,0 +1,85 @@
+#ifndef MDTS_SCHED_ADAPTIVE_H_
+#define MDTS_SCHED_ADAPTIVE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/mtk_scheduler.h"
+#include "sched/mtk_online.h"
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Options for the adaptable scheduler.
+struct AdaptiveOptions {
+  size_t initial_k = 2;
+  size_t min_k = 1;
+  size_t max_k = 7;
+
+  /// Decisions per adaptation epoch.
+  size_t epoch_ops = 200;
+
+  /// Abort-rate thresholds: above grow_threshold the vector size is
+  /// increased, below shrink_threshold it is decreased.
+  double grow_threshold = 0.10;
+  double shrink_threshold = 0.02;
+
+  bool starvation_fix = true;
+};
+
+/// Adaptable concurrency control on top of MT(k): the direction the paper
+/// points to at the end of Section IV ("we have found that the timestamp
+/// vector is a useful tool for switching between classes of concurrency
+/// algorithms... This work is being used for the design of adaptable
+/// concurrency control mechanisms [8]") combined with the Section VI-B
+/// guidelines (high conflict -> larger vectors pay off).
+///
+/// The scheduler monitors the abort rate over fixed-size epochs and grows
+/// or shrinks the vector size k between min_k and max_k. Switching uses
+/// Algorithm 2's restart discipline ("abort all the active transactions
+/// and rollback; restart"): the new MT(k) instance starts from a fresh
+/// table, and transactions begun under the old one are aborted when they
+/// next interact with the scheduler, restarting under the new table.
+class AdaptiveMtScheduler : public Scheduler {
+ public:
+  explicit AdaptiveMtScheduler(const AdaptiveOptions& options);
+
+  std::string name() const override {
+    return "Adaptive-MT(" + std::to_string(current_k_) + ")";
+  }
+
+  void OnBegin(TxnId txn) override;
+  SchedOutcome OnOperation(const Op& op) override;
+  SchedOutcome OnCommit(TxnId txn) override;
+  void OnRestart(TxnId txn) override;
+
+  size_t current_k() const { return current_k_; }
+
+  /// The k in force after each completed epoch (adaptation trajectory).
+  const std::vector<size_t>& k_history() const { return k_history_; }
+
+  uint64_t switches() const { return switches_; }
+
+ private:
+  void NoteDecision(bool aborted);
+  void MaybeSwitch();
+  void Rebuild(size_t k);
+  bool IsStale(TxnId txn) const;
+
+  AdaptiveOptions options_;
+  size_t current_k_;
+  size_t pending_k_ = 0;  // Nonzero: switch to this k at the next boundary.
+  std::unique_ptr<MtkScheduler> inner_;
+  uint32_t generation_ = 0;               // Bumped at every switch.
+  std::vector<uint32_t> txn_generation_;  // Generation each txn began in.
+  uint64_t epoch_decisions_ = 0;
+  uint64_t epoch_aborts_ = 0;
+  uint64_t switches_ = 0;
+  std::vector<size_t> k_history_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_ADAPTIVE_H_

@@ -1,0 +1,79 @@
+#ifndef MDTS_SCHED_DEFERRED_WRITE_H_
+#define MDTS_SCHED_DEFERRED_WRITE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mtk_scheduler.h"
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// The two-phase-commit-per-write rollback scheme of Section VI-C-2 layered
+/// over MT(k): reads are validated immediately as in Algorithm 1, but each
+/// write only produces a temporary copy invisible to other transactions.
+/// At commit time every buffered write is validated (and its timestamp
+/// ordering encoded) through the underlying MT(k) scheduler; if all writes
+/// still preserve serializability the transaction commits, otherwise it
+/// aborts. Advantages realized here: an aborted transaction never published
+/// a write, so no other transaction can depend on it, and a committed
+/// transaction can never be aborted afterwards.
+class MtkDeferredWrite : public Scheduler {
+ public:
+  explicit MtkDeferredWrite(const MtkOptions& options)
+      : inner_(options), options_(options) {}
+
+  std::string name() const override {
+    return "MT(" + std::to_string(options_.k) + ")+deferred";
+  }
+  bool deferred_writes() const override { return true; }
+
+  SchedOutcome OnOperation(const Op& op) override {
+    if (op.type == OpType::kWrite) {
+      pending_writes_[op.txn].push_back(op);
+      return SchedOutcome::kAccepted;  // Private workspace; no validation.
+    }
+    switch (inner_.Process(op)) {
+      case OpDecision::kAccept:
+        return SchedOutcome::kAccepted;
+      case OpDecision::kIgnore:
+        return SchedOutcome::kIgnored;
+      case OpDecision::kReject:
+        pending_writes_.erase(op.txn);
+        return SchedOutcome::kAborted;
+    }
+    return SchedOutcome::kAborted;
+  }
+
+  SchedOutcome OnCommit(TxnId txn) override {
+    auto it = pending_writes_.find(txn);
+    if (it != pending_writes_.end()) {
+      for (const Op& write : it->second) {
+        if (inner_.Process(write) == OpDecision::kReject) {
+          pending_writes_.erase(it);
+          return SchedOutcome::kAborted;
+        }
+      }
+      pending_writes_.erase(it);
+    }
+    inner_.CommitTxn(txn);
+    return SchedOutcome::kAccepted;
+  }
+
+  void OnRestart(TxnId txn) override {
+    pending_writes_.erase(txn);
+    inner_.RestartTxn(txn);
+  }
+
+  MtkScheduler& inner() { return inner_; }
+
+ private:
+  MtkScheduler inner_;
+  MtkOptions options_;
+  std::map<TxnId, std::vector<Op>> pending_writes_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_DEFERRED_WRITE_H_

@@ -1,0 +1,49 @@
+#include "sched/occ_scheduler.h"
+
+namespace mdts {
+
+OccScheduler::TxnState& OccScheduler::State(TxnId txn) { return txns_[txn]; }
+
+void OccScheduler::OnBegin(TxnId txn) {
+  TxnState& s = State(txn);
+  s.start_tn = commit_counter_;
+  s.read_set.clear();
+  s.write_set.clear();
+  s.active = true;
+}
+
+SchedOutcome OccScheduler::OnOperation(const Op& op) {
+  TxnState& s = State(op.txn);
+  if (!s.active) OnBegin(op.txn);
+  if (op.type == OpType::kRead) {
+    s.read_set.insert(op.item);
+  } else {
+    s.write_set.insert(op.item);  // Writes go to a private workspace.
+  }
+  return SchedOutcome::kAccepted;  // The read phase never blocks or aborts.
+}
+
+SchedOutcome OccScheduler::OnCommit(TxnId txn) {
+  TxnState& s = State(txn);
+  // Backward validation: check write sets of transactions that committed
+  // while this one was running against our read set.
+  for (auto it = committed_.rbegin(); it != committed_.rend(); ++it) {
+    if (it->commit_tn <= s.start_tn) break;  // Older than our start.
+    for (ItemId item : s.read_set) {
+      if (it->write_set.count(item) > 0) {
+        ++validations_failed_;
+        s.active = false;
+        return SchedOutcome::kAborted;
+      }
+    }
+  }
+  committed_.push_back(CommittedRecord{++commit_counter_, s.write_set});
+  s.active = false;
+  return SchedOutcome::kAccepted;
+}
+
+void OccScheduler::OnRestart(TxnId txn) {
+  State(txn).active = false;  // OnBegin will reinitialize on first op.
+}
+
+}  // namespace mdts

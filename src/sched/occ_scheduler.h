@@ -1,0 +1,58 @@
+#ifndef MDTS_SCHED_OCC_SCHEDULER_H_
+#define MDTS_SCHED_OCC_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Optimistic concurrency control with backward validation (Kung-Robinson
+/// [13], serial-validation variant): transactions read and buffer writes
+/// freely; at commit, a transaction validates against every transaction
+/// that committed after it began - if any such committer wrote an item the
+/// validating transaction read, it aborts. The paper contrasts MT(k)'s
+/// immediate read validation and dynamic partial-order timestamps with this
+/// end-of-transaction decision (Sections I and VI-C).
+class OccScheduler : public Scheduler {
+ public:
+  OccScheduler() = default;
+
+  std::string name() const override { return "OCC"; }
+  bool deferred_writes() const override { return true; }
+
+  void OnBegin(TxnId txn) override;
+  SchedOutcome OnOperation(const Op& op) override;
+  SchedOutcome OnCommit(TxnId txn) override;
+  void OnRestart(TxnId txn) override;
+
+  uint64_t validations_failed() const { return validations_failed_; }
+
+ private:
+  struct TxnState {
+    uint64_t start_tn = 0;  // Value of the commit counter at begin.
+    std::set<ItemId> read_set;
+    std::set<ItemId> write_set;
+    bool active = false;
+  };
+
+  struct CommittedRecord {
+    uint64_t commit_tn = 0;
+    std::set<ItemId> write_set;
+  };
+
+  TxnState& State(TxnId txn);
+
+  uint64_t commit_counter_ = 0;
+  std::map<TxnId, TxnState> txns_;
+  std::vector<CommittedRecord> committed_;  // Ordered by commit_tn.
+  uint64_t validations_failed_ = 0;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_OCC_SCHEDULER_H_

@@ -1,0 +1,68 @@
+#ifndef MDTS_SCHED_SCHEDULER_H_
+#define MDTS_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mdts {
+
+/// Outcome of submitting one event to an online scheduler.
+enum class SchedOutcome {
+  kAccepted,  // The operation executed (or the commit succeeded).
+  kIgnored,   // The write was skipped (Thomas rule); the txn continues.
+  kBlocked,   // The txn must wait; the scheduler reports it via
+              // TakeUnblocked when it may retry the same operation.
+  kAborted,   // The txn must abort and restart from scratch.
+};
+
+const char* SchedOutcomeName(SchedOutcome o);
+
+/// Uniform interface over every concurrency-control protocol in the
+/// repository, used by the discrete-event simulator (sim/) and the
+/// cross-protocol benches: MT(k) and its variants, two-phase locking,
+/// conventional single-value timestamp ordering, optimistic (Kung-Robinson)
+/// validation, and Bayer-style dynamic timestamp intervals.
+///
+/// Lifecycle per transaction incarnation:
+///   OnBegin -> OnOperation* -> OnCommit          (happy path)
+///   ... any step may return kAborted; the environment later calls
+///   OnRestart(txn) and replays the transaction as a new incarnation.
+/// A kBlocked outcome parks the transaction; once the scheduler lists it in
+/// TakeUnblocked, the same operation is submitted again.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True for schedulers that buffer writes in a private workspace until
+  /// commit (OCC, deferred-write MT(k)). The simulator then records write
+  /// operations at commit time in the audited history, which is when they
+  /// actually take effect.
+  virtual bool deferred_writes() const { return false; }
+
+  /// A new incarnation of the transaction starts.
+  virtual void OnBegin(TxnId txn) { (void)txn; }
+
+  /// One read/write operation of a live transaction.
+  virtual SchedOutcome OnOperation(const Op& op) = 0;
+
+  /// The transaction finished its operations and asks to commit.
+  /// Optimistic schedulers validate here. Never returns kBlocked.
+  virtual SchedOutcome OnCommit(TxnId txn) = 0;
+
+  /// The environment acknowledges an abort (after a kAborted outcome or an
+  /// external decision, e.g. deadlock victim). Must release every resource
+  /// the incarnation holds.
+  virtual void OnRestart(TxnId txn) { (void)txn; }
+
+  /// Transactions whose blocking condition cleared since the last call.
+  /// The environment re-submits their pending operation.
+  virtual std::vector<TxnId> TakeUnblocked() { return {}; }
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_SCHEDULER_H_

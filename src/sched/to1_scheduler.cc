@@ -1,0 +1,63 @@
+#include "sched/to1_scheduler.h"
+
+#include <algorithm>
+
+namespace mdts {
+
+const char* SchedOutcomeName(SchedOutcome o) {
+  switch (o) {
+    case SchedOutcome::kAccepted:
+      return "ACCEPTED";
+    case SchedOutcome::kIgnored:
+      return "IGNORED";
+    case SchedOutcome::kBlocked:
+      return "BLOCKED";
+    case SchedOutcome::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+To1Scheduler::To1Scheduler(const Options& options) : options_(options) {}
+
+void To1Scheduler::OnBegin(TxnId txn) {
+  if (txn_ts_.size() <= txn) txn_ts_.resize(txn + 1, 0);
+  txn_ts_[txn] = ++clock_;
+}
+
+void To1Scheduler::OnRestart(TxnId txn) {
+  // A restarted incarnation gets a fresh (larger) timestamp at OnBegin.
+  if (txn_ts_.size() <= txn) txn_ts_.resize(txn + 1, 0);
+  txn_ts_[txn] = 0;
+}
+
+uint64_t To1Scheduler::TimestampOf(TxnId txn) const {
+  return txn < txn_ts_.size() ? txn_ts_[txn] : 0;
+}
+
+SchedOutcome To1Scheduler::OnOperation(const Op& op) {
+  if (txn_ts_.size() <= op.txn || txn_ts_[op.txn] == 0) {
+    OnBegin(op.txn);  // Lazily timestamp transactions at first operation.
+  }
+  const uint64_t ts = txn_ts_[op.txn];
+  if (items_.size() <= op.item) items_.resize(op.item + 1);
+  ItemTs& item = items_[op.item];
+
+  if (op.type == OpType::kRead) {
+    if (ts < item.max_write) return SchedOutcome::kAborted;
+    item.max_read = std::max(item.max_read, ts);
+    return SchedOutcome::kAccepted;
+  }
+  if (ts < item.max_read) return SchedOutcome::kAborted;
+  if (ts < item.max_write) {
+    // Obsolete write: ignorable under the Thomas rule.
+    return options_.thomas_write_rule ? SchedOutcome::kIgnored
+                                      : SchedOutcome::kAborted;
+  }
+  item.max_write = ts;
+  return SchedOutcome::kAccepted;
+}
+
+SchedOutcome To1Scheduler::OnCommit(TxnId) { return SchedOutcome::kAccepted; }
+
+}  // namespace mdts

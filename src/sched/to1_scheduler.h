@@ -1,0 +1,54 @@
+#ifndef MDTS_SCHED_TO1_SCHEDULER_H_
+#define MDTS_SCHED_TO1_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Conventional single-value timestamp ordering (the paper's "protocol P4
+/// in [4]", SDD-1 style): every transaction incarnation receives a unique
+/// scalar timestamp at begin time; all conflicting operations must occur in
+/// timestamp order, enforced with per-item max read / max write timestamps.
+/// This is the baseline whose premature ordering the multidimensional
+/// protocols are designed to avoid (paper Section I, Example 1).
+class To1Scheduler : public Scheduler {
+ public:
+  struct Options {
+    /// Apply the Thomas write rule to obsolete writes instead of aborting.
+    bool thomas_write_rule = false;
+  };
+
+  To1Scheduler() : To1Scheduler(Options()) {}
+  explicit To1Scheduler(const Options& options);
+
+  std::string name() const override {
+    return options_.thomas_write_rule ? "TO(1)+thomas" : "TO(1)";
+  }
+
+  void OnBegin(TxnId txn) override;
+  SchedOutcome OnOperation(const Op& op) override;
+  SchedOutcome OnCommit(TxnId txn) override;
+  void OnRestart(TxnId txn) override;
+
+  /// The scalar timestamp of the transaction's current incarnation.
+  uint64_t TimestampOf(TxnId txn) const;
+
+ private:
+  struct ItemTs {
+    uint64_t max_read = 0;
+    uint64_t max_write = 0;
+  };
+
+  Options options_;
+  uint64_t clock_ = 0;
+  std::vector<uint64_t> txn_ts_;  // 0 = no timestamp yet.
+  std::vector<ItemTs> items_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_TO1_SCHEDULER_H_

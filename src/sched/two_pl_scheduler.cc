@@ -1,0 +1,180 @@
+#include "sched/two_pl_scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mdts {
+
+TwoPlScheduler::LockState& TwoPlScheduler::Lock(ItemId item) {
+  if (locks_.size() <= item) locks_.resize(item + 1);
+  return locks_[item];
+}
+
+bool TwoPlScheduler::CanGrant(const LockState& lock,
+                              const Request& request) const {
+  if (request.upgrade) {
+    // Upgrade S -> X: grantable once the requester is the sole holder.
+    return lock.holders.size() == 1 &&
+           lock.holders.begin()->first == request.txn;
+  }
+  // Mode compatibility with every current holder.
+  for (const auto& [holder, mode] : lock.holders) {
+    if (holder == request.txn) continue;
+    if (mode == Mode::kExclusive || request.mode == Mode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TxnId> TwoPlScheduler::WaitTargets(TxnId txn, ItemId item,
+                                               Mode mode) const {
+  std::vector<TxnId> targets;
+  if (item >= locks_.size()) return targets;
+  const LockState& lock = locks_[item];
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;
+    if (held_mode == Mode::kExclusive || mode == Mode::kExclusive) {
+      targets.push_back(holder);
+    }
+  }
+  // FIFO fairness: also wait for earlier conflicting waiters.
+  for (const Request& r : lock.queue) {
+    if (r.txn == txn) continue;
+    if (r.mode == Mode::kExclusive || mode == Mode::kExclusive) {
+      targets.push_back(r.txn);
+    }
+  }
+  return targets;
+}
+
+bool TwoPlScheduler::WouldDeadlock(TxnId requester, ItemId item, Mode mode) {
+  // DFS over the waits-for graph starting from the hypothetical new edges.
+  std::set<TxnId> visited;
+  std::vector<TxnId> stack = WaitTargets(requester, item, mode);
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (t == requester) return true;
+    if (!visited.insert(t).second) continue;
+    auto it = waiting_on_.find(t);
+    if (it == waiting_on_.end()) continue;
+    const LockState& lock = locks_[it->second];
+    // Find t's queued request to know its mode.
+    Mode t_mode = Mode::kExclusive;
+    for (const Request& r : lock.queue) {
+      if (r.txn == t) {
+        t_mode = r.mode;
+        break;
+      }
+    }
+    for (TxnId target : WaitTargets(t, it->second, t_mode)) {
+      stack.push_back(target);
+    }
+  }
+  return false;
+}
+
+SchedOutcome TwoPlScheduler::OnOperation(const Op& op) {
+  const Mode mode =
+      op.type == OpType::kRead ? Mode::kShared : Mode::kExclusive;
+  LockState& lock = Lock(op.item);
+
+  auto held = lock.holders.find(op.txn);
+  if (held != lock.holders.end()) {
+    if (held->second == Mode::kExclusive || mode == Mode::kShared) {
+      return SchedOutcome::kAccepted;  // Already strong enough.
+    }
+    // Upgrade request.
+    Request request{op.txn, Mode::kExclusive, /*upgrade=*/true};
+    if (CanGrant(lock, request)) {
+      held->second = Mode::kExclusive;
+      return SchedOutcome::kAccepted;
+    }
+    if (WouldDeadlock(op.txn, op.item, Mode::kExclusive)) {
+      ++deadlocks_;
+      ReleaseAll(op.txn);
+      return SchedOutcome::kAborted;
+    }
+    // Upgrades go to the front of the queue.
+    lock.queue.insert(lock.queue.begin(), request);
+    waiting_on_[op.txn] = op.item;
+    ++blocks_;
+    return SchedOutcome::kBlocked;
+  }
+
+  Request request{op.txn, mode, /*upgrade=*/false};
+  if (lock.queue.empty() && CanGrant(lock, request)) {
+    lock.holders[op.txn] = mode;
+    held_[op.txn].push_back(op.item);
+    return SchedOutcome::kAccepted;
+  }
+  if (WouldDeadlock(op.txn, op.item, mode)) {
+    ++deadlocks_;
+    ReleaseAll(op.txn);
+    return SchedOutcome::kAborted;
+  }
+  lock.queue.push_back(request);
+  waiting_on_[op.txn] = op.item;
+  ++blocks_;
+  return SchedOutcome::kBlocked;
+}
+
+void TwoPlScheduler::GrantFromQueue(ItemId item) {
+  LockState& lock = Lock(item);
+  bool granted = true;
+  while (granted && !lock.queue.empty()) {
+    granted = false;
+    Request front = lock.queue.front();
+    if (!CanGrant(lock, front)) break;
+    lock.queue.erase(lock.queue.begin());
+    if (front.upgrade) {
+      lock.holders[front.txn] = Mode::kExclusive;
+    } else {
+      lock.holders[front.txn] = front.mode;
+      held_[front.txn].push_back(item);
+    }
+    waiting_on_.erase(front.txn);
+    unblocked_.push_back(front.txn);
+    granted = true;
+  }
+}
+
+void TwoPlScheduler::ReleaseAll(TxnId txn) {
+  // Remove any queued request.
+  auto waiting = waiting_on_.find(txn);
+  if (waiting != waiting_on_.end()) {
+    LockState& lock = Lock(waiting->second);
+    lock.queue.erase(
+        std::remove_if(lock.queue.begin(), lock.queue.end(),
+                       [&](const Request& r) { return r.txn == txn; }),
+        lock.queue.end());
+    waiting_on_.erase(waiting);
+  }
+  // Release held locks, then wake eligible waiters.
+  auto held = held_.find(txn);
+  if (held == held_.end()) return;
+  std::vector<ItemId> items = std::move(held->second);
+  held_.erase(held);
+  for (ItemId item : items) Lock(item).holders.erase(txn);
+  for (ItemId item : items) GrantFromQueue(item);
+}
+
+SchedOutcome TwoPlScheduler::OnCommit(TxnId txn) {
+  // Strict 2PL: all locks released at commit.
+  ReleaseAll(txn);
+  return SchedOutcome::kAccepted;
+}
+
+void TwoPlScheduler::OnRestart(TxnId txn) {
+  // Locks were already released when the abort was decided; make sure.
+  ReleaseAll(txn);
+}
+
+std::vector<TxnId> TwoPlScheduler::TakeUnblocked() {
+  std::vector<TxnId> out = std::move(unblocked_);
+  unblocked_.clear();
+  return out;
+}
+
+}  // namespace mdts

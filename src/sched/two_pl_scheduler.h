@@ -1,0 +1,74 @@
+#ifndef MDTS_SCHED_TWO_PL_SCHEDULER_H_
+#define MDTS_SCHED_TWO_PL_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace mdts {
+
+/// Strict two-phase locking with shared/exclusive locks, FIFO wait queues,
+/// lock upgrades, and waits-for deadlock detection (the requester of the
+/// closing edge is the victim). This is the paper's primary baseline
+/// protocol family [9]; all locks are held to commit/abort, so the
+/// serialization order follows lock points trivially.
+class TwoPlScheduler : public Scheduler {
+ public:
+  TwoPlScheduler() = default;
+
+  std::string name() const override { return "2PL"; }
+
+  SchedOutcome OnOperation(const Op& op) override;
+  SchedOutcome OnCommit(TxnId txn) override;
+  void OnRestart(TxnId txn) override;
+  std::vector<TxnId> TakeUnblocked() override;
+
+  /// Statistics for the benches.
+  uint64_t deadlocks_detected() const { return deadlocks_; }
+  uint64_t blocks() const { return blocks_; }
+
+ private:
+  enum class Mode : uint8_t { kShared, kExclusive };
+
+  struct Request {
+    TxnId txn = 0;
+    Mode mode = Mode::kShared;
+    bool upgrade = false;  // Requester already holds a shared lock.
+  };
+
+  struct LockState {
+    std::map<TxnId, Mode> holders;
+    std::vector<Request> queue;
+  };
+
+  LockState& Lock(ItemId item);
+
+  /// True iff the transaction may be granted the lock right now.
+  bool CanGrant(const LockState& lock, const Request& request) const;
+
+  /// Grants every eligible queued request of the item.
+  void GrantFromQueue(ItemId item);
+
+  /// Releases everything the transaction holds or waits for.
+  void ReleaseAll(TxnId txn);
+
+  /// True iff blocking `requester` on `item` would close a waits-for cycle.
+  bool WouldDeadlock(TxnId requester, ItemId item, Mode mode);
+
+  /// Transactions `txn` would wait for if enqueued on `item`.
+  std::vector<TxnId> WaitTargets(TxnId txn, ItemId item, Mode mode) const;
+
+  std::vector<LockState> locks_;
+  std::map<TxnId, std::vector<ItemId>> held_;     // Items each txn locks.
+  std::map<TxnId, ItemId> waiting_on_;            // Blocked txn -> item.
+  std::vector<TxnId> unblocked_;
+  uint64_t deadlocks_ = 0;
+  uint64_t blocks_ = 0;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_SCHED_TWO_PL_SCHEDULER_H_

@@ -1,0 +1,242 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mdts {
+
+namespace {
+
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;  // FIFO tie-break for equal times.
+  TxnId txn = 0;
+  enum class Kind { kIssue, kRestart } kind = Kind::kIssue;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct TxnRuntime {
+  std::vector<Op> program;
+  size_t next_op = 0;
+  size_t rejected_at = 0;       // Op index of the last rejection.
+  size_t replay_until = 0;      // Prefix replayed for free (partial rb).
+  uint32_t attempts = 0;        // Also the incarnation number.
+  uint32_t consecutive_aborts = 0;
+  bool started = false;
+  bool blocked = false;
+  bool done = false;            // Committed or gave up.
+  bool committed = false;
+  uint32_t committed_attempt = 0;
+  double first_start = 0.0;
+  size_t incarnation_op_count = 0;  // Accepted ops of this incarnation.
+  std::vector<Op> deferred_write_ops;  // Buffered writes (deferred mode).
+};
+
+// One globally ordered record per accepted operation, so the committed
+// history used by the serializability audit preserves the true execution
+// interleaving (filtered at the end to committed incarnations).
+struct ExecutedOp {
+  Op op;
+  uint32_t attempt = 0;
+};
+
+}  // namespace
+
+SimResult RunSimulation(Scheduler* scheduler, const SimOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<Op>> programs;
+  if (!options.programs.empty()) {
+    programs = options.programs;
+    // Explicit programs must use transaction ids 1..n in order.
+    for (size_t i = 0; i < programs.size(); ++i) {
+      for (Op& op : programs[i]) op.txn = static_cast<TxnId>(i + 1);
+    }
+  } else {
+    WorkloadOptions w = options.workload;
+    w.num_txns = options.num_txns;
+    w.seed = options.seed * 7919 + 17;
+    Rng wrng(w.seed);
+    programs = GenerateTxnPrograms(w, &wrng);
+  }
+  const uint32_t num_txns = static_cast<uint32_t>(programs.size());
+
+  SimResult result;
+  std::vector<ExecutedOp> executed;
+  std::vector<TxnRuntime> txns(num_txns + 1);
+  for (TxnId t = 1; t <= num_txns; ++t) {
+    txns[t].program = programs[t - 1];
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  uint64_t seq = 0;
+  double now = 0.0;
+
+  TxnId next_to_start = 1;
+  auto start_next_txn = [&](double at) {
+    if (next_to_start > num_txns) return;
+    const TxnId t = next_to_start++;
+    txns[t].started = true;
+    txns[t].first_start = at;
+    scheduler->OnBegin(t);
+    queue.push(Event{at, ++seq, t, Event::Kind::kIssue});
+  };
+
+  const uint32_t initial =
+      std::min(options.concurrency, num_txns);
+  for (uint32_t c = 0; c < initial; ++c) {
+    start_next_txn(rng.Exponential(options.mean_think_time) * 0.1);
+  }
+
+  double total_response = 0.0;
+
+  auto handle_abort = [&](TxnRuntime& rt, TxnId t) {
+    ++result.aborts;
+    ++rt.consecutive_aborts;
+    result.max_consecutive_aborts =
+        std::max<uint64_t>(result.max_consecutive_aborts,
+                           rt.consecutive_aborts);
+    rt.rejected_at = rt.next_op;
+    // Think time spent on this incarnation's accepted ops beyond any free
+    // replay is wasted.
+    const size_t paid = rt.incarnation_op_count >= rt.replay_until
+                            ? rt.incarnation_op_count - rt.replay_until
+                            : 0;
+    result.ops_wasted += paid;
+    rt.incarnation_op_count = 0;
+    rt.deferred_write_ops.clear();
+    ++rt.attempts;
+    if (rt.attempts >= options.max_attempts) {
+      ++result.gave_up;
+      rt.done = true;
+      scheduler->OnRestart(t);  // Release any scheduler state.
+      start_next_txn(now + options.restart_delay);
+      return;
+    }
+    // Jittered restart delay: a deterministic delay lets pairs of
+    // transactions that invalidate each other's reads retry in lockstep
+    // forever (OCC-style livelock); exponential jitter desynchronizes them.
+    queue.push(Event{now + rng.Exponential(options.restart_delay), ++seq, t,
+                     Event::Kind::kRestart});
+  };
+
+  auto drain_unblocked = [&]() {
+    for (TxnId t : scheduler->TakeUnblocked()) {
+      TxnRuntime& rt = txns[t];
+      if (rt.done || !rt.blocked) continue;
+      rt.blocked = false;
+      // The blocked operation executed once the lock was granted: count it
+      // as accepted now.
+      ++result.ops_executed;
+      executed.push_back(ExecutedOp{rt.program[rt.next_op], rt.attempts});
+      ++rt.incarnation_op_count;
+      ++rt.next_op;
+      queue.push(Event{now + rng.Exponential(options.mean_think_time), ++seq,
+                       t, Event::Kind::kIssue});
+    }
+  };
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    now = ev.time;
+    TxnRuntime& rt = txns[ev.txn];
+    if (rt.done) continue;
+
+    if (ev.kind == Event::Kind::kRestart) {
+      rt.next_op = 0;
+      rt.replay_until = options.partial_rollback ? rt.rejected_at : 0;
+      scheduler->OnRestart(ev.txn);
+      scheduler->OnBegin(ev.txn);
+      queue.push(Event{now, ++seq, ev.txn, Event::Kind::kIssue});
+      continue;
+    }
+
+    if (rt.blocked) continue;  // Superseded event.
+
+    if (rt.next_op >= rt.program.size()) {
+      // Commit attempt.
+      const SchedOutcome outcome = scheduler->OnCommit(ev.txn);
+      drain_unblocked();
+      if (outcome == SchedOutcome::kAccepted) {
+        ++result.committed;
+        rt.consecutive_aborts = 0;
+        rt.done = true;
+        rt.committed = true;
+        rt.committed_attempt = rt.attempts;
+        for (const Op& write : rt.deferred_write_ops) {
+          executed.push_back(ExecutedOp{write, rt.attempts});
+        }
+        rt.deferred_write_ops.clear();
+        total_response += now - rt.first_start;
+        start_next_txn(now + rng.Exponential(options.mean_think_time) * 0.1);
+      } else {
+        handle_abort(rt, ev.txn);
+      }
+      continue;
+    }
+
+    const Op& op = rt.program[rt.next_op];
+    const SchedOutcome outcome = scheduler->OnOperation(op);
+    switch (outcome) {
+      case SchedOutcome::kAccepted:
+      case SchedOutcome::kIgnored: {
+        if (outcome == SchedOutcome::kAccepted) {
+          ++result.ops_executed;
+          // Deferred-write schedulers buffer writes privately; the write's
+          // effect happens at commit, so the audit records it there.
+          if (op.type == OpType::kWrite && scheduler->deferred_writes()) {
+            rt.deferred_write_ops.push_back(op);
+          } else {
+            executed.push_back(ExecutedOp{op, rt.attempts});
+          }
+          ++rt.incarnation_op_count;
+        }
+        const bool free_replay = rt.next_op < rt.replay_until;
+        if (free_replay) ++result.ops_replayed_free;
+        ++rt.next_op;
+        const double delay =
+            free_replay ? 0.0 : rng.Exponential(options.mean_think_time);
+        queue.push(Event{now + delay, ++seq, ev.txn, Event::Kind::kIssue});
+        break;
+      }
+      case SchedOutcome::kBlocked:
+        ++result.block_events;
+        rt.blocked = true;
+        break;
+      case SchedOutcome::kAborted:
+        handle_abort(rt, ev.txn);
+        break;
+    }
+    drain_unblocked();
+  }
+
+  // Committed history: accepted operations of committed incarnations, in
+  // true execution order.
+  for (const ExecutedOp& e : executed) {
+    const TxnRuntime& rt = txns[e.op.txn];
+    if (rt.committed && e.attempt == rt.committed_attempt) {
+      result.committed_history.Append(e.op);
+    }
+  }
+
+  result.makespan = now;
+  if (result.committed > 0) {
+    result.avg_response_time =
+        total_response / static_cast<double>(result.committed);
+  }
+  if (result.makespan > 0) {
+    result.throughput =
+        static_cast<double>(result.committed) / result.makespan;
+  }
+  return result;
+}
+
+}  // namespace mdts

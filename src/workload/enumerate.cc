@@ -1,0 +1,73 @@
+#include "workload/enumerate.h"
+
+namespace mdts {
+
+namespace {
+
+bool InterleaveRecurse(const std::vector<std::vector<Op>>& programs,
+                       std::vector<size_t>* next, std::vector<Op>* ops,
+                       const std::function<bool(const Log&)>& fn) {
+  bool any_left = false;
+  for (size_t t = 0; t < programs.size(); ++t) {
+    if ((*next)[t] >= programs[t].size()) continue;
+    any_left = true;
+    ops->push_back(programs[t][(*next)[t]]);
+    ++(*next)[t];
+    const bool keep_going = InterleaveRecurse(programs, next, ops, fn);
+    --(*next)[t];
+    ops->pop_back();
+    if (!keep_going) return false;
+  }
+  if (!any_left) return fn(Log(*ops));
+  return true;
+}
+
+}  // namespace
+
+bool ForEachInterleaving(const std::vector<std::vector<Op>>& programs,
+                         const std::function<bool(const Log&)>& fn) {
+  std::vector<size_t> next(programs.size(), 0);
+  std::vector<Op> ops;
+  return InterleaveRecurse(programs, &next, &ops, fn);
+}
+
+bool ForEachTwoStepLog(TxnId num_txns, ItemId num_items,
+                       const std::function<bool(const Log&)>& fn) {
+  // Item choices: 2 * num_txns digits in base num_items (read item and
+  // write item per transaction).
+  const size_t digits = 2 * static_cast<size_t>(num_txns);
+  std::vector<ItemId> choice(digits, 0);
+  while (true) {
+    std::vector<std::vector<Op>> programs(num_txns);
+    for (TxnId t = 1; t <= num_txns; ++t) {
+      programs[t - 1] = {Op{t, OpType::kRead, choice[2 * (t - 1)]},
+                         Op{t, OpType::kWrite, choice[2 * (t - 1) + 1]}};
+    }
+    if (!ForEachInterleaving(programs, fn)) return false;
+
+    // Next item-choice vector (odometer).
+    size_t d = 0;
+    while (d < digits) {
+      if (++choice[d] < num_items) break;
+      choice[d] = 0;
+      ++d;
+    }
+    if (d == digits) return true;
+  }
+}
+
+uint64_t CountInterleavings(const std::vector<size_t>& lengths) {
+  // Multinomial (sum len_i)! / prod(len_i!), computed as a product of
+  // binomial coefficients; every intermediate value is integral.
+  uint64_t result = 1;
+  uint64_t placed = 0;
+  for (size_t len : lengths) {
+    for (size_t i = 1; i <= len; ++i) {
+      ++placed;
+      result = result * placed / i;
+    }
+  }
+  return result;
+}
+
+}  // namespace mdts

@@ -1,0 +1,33 @@
+#ifndef MDTS_WORKLOAD_ENUMERATE_H_
+#define MDTS_WORKLOAD_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/log.h"
+
+namespace mdts {
+
+/// Calls fn for every interleaving of the given per-transaction operation
+/// sequences (preserving each sequence's internal order). Transaction ids
+/// inside the sequences are taken as given. Enumeration stops early if fn
+/// returns false. Returns false iff stopped early.
+bool ForEachInterleaving(const std::vector<std::vector<Op>>& programs,
+                         const std::function<bool(const Log&)>& fn);
+
+/// Calls fn for every two-step log with num_txns transactions over
+/// num_items items, where transaction T_i is R_i[a_i] W_i[b_i] for every
+/// choice of items a_i, b_i and every interleaving. This is the exhaustive
+/// universe used to regenerate the paper's Fig. 4 hierarchy (q = 2).
+/// Enumeration stops early if fn returns false; returns false iff stopped.
+bool ForEachTwoStepLog(TxnId num_txns, ItemId num_items,
+                       const std::function<bool(const Log&)>& fn);
+
+/// Number of interleavings of sequences with the given lengths
+/// (multinomial coefficient); guards against accidental explosion in tests.
+uint64_t CountInterleavings(const std::vector<size_t>& lengths);
+
+}  // namespace mdts
+
+#endif  // MDTS_WORKLOAD_ENUMERATE_H_

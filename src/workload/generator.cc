@@ -1,0 +1,76 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdts {
+
+std::vector<std::vector<Op>> GenerateTxnPrograms(
+    const WorkloadOptions& options, Rng* rng) {
+  assert(options.num_txns >= 1);
+  assert(options.num_items >= 1);
+  assert(options.min_ops >= 1 && options.min_ops <= options.max_ops);
+
+  ZipfPicker picker(options.num_items, options.zipf_theta);
+  std::vector<std::vector<Op>> programs(options.num_txns);
+  for (TxnId t = 1; t <= options.num_txns; ++t) {
+    const size_t q = static_cast<size_t>(
+        rng->Uniform(options.min_ops, options.max_ops));
+    std::vector<Op>& ops = programs[t - 1];
+    std::vector<bool> used(options.num_items, false);
+    size_t used_count = 0;
+    for (size_t o = 0; o < q; ++o) {
+      ItemId item = static_cast<ItemId>(picker.Pick(rng));
+      if (options.distinct_items_per_txn) {
+        if (used_count >= options.num_items) break;  // All items taken.
+        while (used[item]) item = static_cast<ItemId>(picker.Pick(rng));
+        used[item] = true;
+        ++used_count;
+      }
+      const OpType type = rng->Chance(options.read_fraction)
+                              ? OpType::kRead
+                              : OpType::kWrite;
+      ops.push_back(Op{t, type, item});
+    }
+    if (options.two_step) {
+      // Stable partition keeps per-kind item order: reads first, writes
+      // after, as in the two-step transaction model.
+      std::stable_partition(ops.begin(), ops.end(), [](const Op& op) {
+        return op.type == OpType::kRead;
+      });
+    }
+  }
+  return programs;
+}
+
+Log InterleavePrograms(const std::vector<std::vector<Op>>& programs,
+                       Rng* rng) {
+  std::vector<size_t> next(programs.size(), 0);
+  size_t remaining = 0;
+  for (const auto& p : programs) remaining += p.size();
+
+  Log log;
+  while (remaining > 0) {
+    // Pick the next operation from a random transaction, weighted by its
+    // remaining length so the interleaving is uniform over all shuffles.
+    int64_t target = rng->Uniform(1, static_cast<int64_t>(remaining));
+    for (size_t t = 0; t < programs.size(); ++t) {
+      const int64_t left = static_cast<int64_t>(programs[t].size() - next[t]);
+      if (target <= left) {
+        log.Append(programs[t][next[t]++]);
+        --remaining;
+        break;
+      }
+      target -= left;
+    }
+  }
+  return log;
+}
+
+Log GenerateLog(const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  const auto programs = GenerateTxnPrograms(options, &rng);
+  return InterleavePrograms(programs, &rng);
+}
+
+}  // namespace mdts

@@ -1,0 +1,59 @@
+#ifndef MDTS_WORKLOAD_GENERATOR_H_
+#define MDTS_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/log.h"
+
+namespace mdts {
+
+/// Parameters of the synthetic transaction-log generator. The generator is
+/// deterministic given a seed: every experiment in the repository is
+/// reproducible.
+struct WorkloadOptions {
+  /// Number of transactions (ids 1..num_txns).
+  uint32_t num_txns = 10;
+
+  /// Number of database items (0..num_items-1).
+  uint32_t num_items = 20;
+
+  /// Operations per transaction, drawn uniformly from [min_ops, max_ops]
+  /// (the paper's q is max_ops).
+  uint32_t min_ops = 2;
+  uint32_t max_ops = 4;
+
+  /// Probability that an operation is a read.
+  double read_fraction = 0.5;
+
+  /// Zipf skew for item selection; 0 = uniform, larger = hotter hot items.
+  double zipf_theta = 0.0;
+
+  /// If true, each transaction's reads all precede its writes (the paper's
+  /// two-step transaction model).
+  bool two_step = false;
+
+  /// If true, a transaction never accesses the same item twice.
+  bool distinct_items_per_txn = true;
+
+  uint64_t seed = 1;
+};
+
+/// Generates per-transaction operation sequences and a uniformly random
+/// interleaving of them.
+Log GenerateLog(const WorkloadOptions& options);
+
+/// Generates only the per-transaction operation sequences (no
+/// interleaving); useful for the online simulator, which interleaves
+/// according to simulated time.
+std::vector<std::vector<Op>> GenerateTxnPrograms(const WorkloadOptions& options,
+                                                 Rng* rng);
+
+/// Interleaves fixed per-transaction programs uniformly at random
+/// (preserving each program's internal order).
+Log InterleavePrograms(const std::vector<std::vector<Op>>& programs, Rng* rng);
+
+}  // namespace mdts
+
+#endif  // MDTS_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,40 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mdts {
+
+Status SaveLogToFile(const Log& log, const std::string& path,
+                     const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << "\n";
+  }
+  out << "# " << log.num_txns() << " transactions, " << log.num_items()
+      << " items, " << log.size() << " operations\n";
+  for (const Op& op : log.ops()) out << OpName(op) << "\n";
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<Log> LoadLogFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    text += line;
+    text += ' ';
+  }
+  return Log::Parse(text);
+}
+
+}  // namespace mdts

@@ -1,0 +1,23 @@
+#ifndef MDTS_WORKLOAD_TRACE_H_
+#define MDTS_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/log.h"
+
+namespace mdts {
+
+/// Saves the log in the textual trace format: one operation per line in
+/// the paper's notation, '#' comment lines allowed, blank lines ignored.
+/// Returns an error if the file cannot be written.
+Status SaveLogToFile(const Log& log, const std::string& path,
+                     const std::string& comment = "");
+
+/// Loads a log from the trace format written by SaveLogToFile (also
+/// accepts multiple operations per line).
+Result<Log> LoadLogFromFile(const std::string& path);
+
+}  // namespace mdts
+
+#endif  // MDTS_WORKLOAD_TRACE_H_

@@ -1,0 +1,217 @@
+#include "common/status.h"
+
+#include <map>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/vector_table.h"
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad log");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad log");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad log");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NOT_FOUND: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FAILED_PRECONDITION: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OUT_OF_RANGE: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// --- Rng / Zipf ---
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(rng.Uniform(4, 4), 4);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(9), b(9), c(10);
+  EXPECT_EQ(a.Uniform(0, 1 << 20), b.Uniform(0, 1 << 20));
+  // Overwhelmingly likely to differ.
+  bool differed = false;
+  for (int i = 0; i < 8 && !differed; ++i) {
+    differed = a.Uniform(0, 1 << 20) != c.Uniform(0, 1 << 20);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRoughlyRightMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfPicker picker(10, 0.0);
+  Rng rng(17);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[picker.Pick(&rng)];
+  for (const auto& [item, c] : counts) {
+    EXPECT_NEAR(c, 2000, 300) << "item " << item;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowIds) {
+  ZipfPicker picker(10, 1.2);
+  Rng rng(19);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[picker.Pick(&rng)];
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+// --- TablePrinter ---
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.AddRow({"xxxxx", "y"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out,
+            "| a     | long-header |\n"
+            "|-------|-------------|\n"
+            "| xxxxx | y           |\n");
+}
+
+TEST(TablePrinterTest, PadsAndTruncatesRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"only-one"});
+  t.AddRow({"1", "2", "3-dropped"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  EXPECT_EQ(out.find("3-dropped"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// --- VectorTable (the reusable Algorithm-1 encoder) ---
+
+TEST(VectorTableTest, VirtualEntityInitialized) {
+  VectorTable t(3);
+  EXPECT_EQ(t.Ts(0).ToString(), "<0,*,*>");
+  EXPECT_EQ(t.Ts(5).ToString(), "<*,*,*>");
+}
+
+TEST(VectorTableTest, SetEncodesAndRefusesReversal) {
+  VectorTable t(2);
+  EXPECT_TRUE(t.Set(0, 1));  // T0 -> T1: <1,*>.
+  EXPECT_EQ(t.Ts(1).ToString(), "<1,*>");
+  EXPECT_TRUE(t.Set(1, 2));  // <2,*>.
+  EXPECT_TRUE(t.Set(1, 2));  // Idempotent (already determined).
+  EXPECT_FALSE(t.Set(2, 1)) << "reversal must be refused";
+}
+
+TEST(VectorTableTest, EqualCaseUsesCountersAtLastColumn) {
+  VectorTable t(2);
+  EXPECT_TRUE(t.Set(0, 1));
+  EXPECT_TRUE(t.Set(0, 2));  // Both now <1,*>: wait, Set(0,2) gives <1,*>.
+  EXPECT_TRUE(t.Set(1, 2));  // kEqual at last column -> ucount pair.
+  EXPECT_EQ(t.Ts(1).ToString(), "<1,1>");
+  EXPECT_EQ(t.Ts(2).ToString(), "<1,2>");
+}
+
+TEST(VectorTableTest, EqualCaseUsesPairConstantsMidColumn) {
+  VectorTable t(3);
+  EXPECT_TRUE(t.Set(0, 1));
+  EXPECT_TRUE(t.Set(0, 2));
+  EXPECT_TRUE(t.Set(1, 2));  // kEqual at column 2 (not last): {1,2}.
+  EXPECT_EQ(t.Ts(1).ToString(), "<1,1,*>");
+  EXPECT_EQ(t.Ts(2).ToString(), "<1,2,*>");
+}
+
+TEST(VectorTableTest, SeedAfterOrdersRestartAfterBlocker) {
+  VectorTable t(2);
+  EXPECT_TRUE(t.Set(0, 1));
+  EXPECT_TRUE(t.Set(1, 2));  // T2 = <2,*>.
+  t.SeedAfter(3, 2);
+  EXPECT_EQ(t.Ts(3).ToString(), "<3,*>");
+  EXPECT_TRUE(VectorLess(t.Ts(2), t.Ts(3)));
+  // Seeding after an entity with undefined first element seeds to 1.
+  t.SeedAfter(4, 9);
+  EXPECT_EQ(t.Ts(4).ToString(), "<1,*>");
+}
+
+TEST(VectorTableTest, CountersTrackWork) {
+  VectorTable t(2);
+  (void)t.Set(0, 1);
+  (void)t.Set(1, 2);
+  EXPECT_GT(t.element_comparisons(), 0u);
+  EXPECT_GT(t.elements_assigned(), 0u);
+}
+
+TEST(VectorTableTest, TransitivityAcrossManyEntities) {
+  VectorTable t(4);
+  for (uint32_t i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(t.Set(i - 1, i));
+  }
+  // Chain implies every earlier < every later.
+  for (uint32_t a = 0; a <= 20; ++a) {
+    for (uint32_t b = a + 1; b <= 20; ++b) {
+      EXPECT_TRUE(VectorLess(t.Ts(a), t.Ts(b))) << a << " vs " << b;
+      EXPECT_FALSE(t.Set(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdts

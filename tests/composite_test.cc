@@ -1,0 +1,296 @@
+#include "composite/mtk_plus.h"
+
+#include "classify/classes.h"
+#include "composite/mtk_plus_online.h"
+#include "composite/naive_union.h"
+#include "core/log.h"
+#include "core/recognizer.h"
+#include "sim/simulator.h"
+#include "gtest/gtest.h"
+#include "workload/enumerate.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+Log L(const char* text) { return *Log::Parse(text); }
+
+// --- Union semantics of the naive construction ---
+
+TEST(NaiveUnionTest, AcceptsLogInAnySubclass) {
+  // Example 1's log is in TO(2) but not TO(1): MT(2+) accepts it.
+  Log log = L("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  EXPECT_FALSE(IsToKPlus(log, 1));
+  EXPECT_TRUE(IsToKPlus(log, 2));
+  EXPECT_TRUE(IsToKPlus(log, 3));
+}
+
+TEST(NaiveUnionTest, StopsSubprotocolThatRejects) {
+  NaiveUnionRecognizer composite(2);
+  const Log log = L("W1[x] W1[y] R3[x] R2[y]");
+  for (const Op& op : log.ops()) {
+    EXPECT_EQ(composite.Process(op), OpDecision::kAccept);
+  }
+  EXPECT_EQ(composite.live_count(), 2u);
+  // W3[y] kills MT(1) but not MT(2).
+  EXPECT_EQ(composite.Process(Op{3, OpType::kWrite, 1}), OpDecision::kAccept);
+  EXPECT_EQ(composite.live_count(), 1u);
+  EXPECT_FALSE(composite.IsLive(1));
+  EXPECT_TRUE(composite.IsLive(2));
+}
+
+TEST(NaiveUnionTest, UnionEqualsDisjunctionOfMemberships) {
+  for (uint64_t seed = 1; seed <= 80; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed;
+    Log log = GenerateLog(w);
+    for (size_t k = 1; k <= 4; ++k) {
+      bool any = false;
+      for (size_t h = 1; h <= k; ++h) any = any || IsToK(log, h);
+      EXPECT_EQ(IsToKPlus(log, k), any) << "k=" << k << " " << log.ToString();
+    }
+  }
+}
+
+TEST(NaiveUnionTest, InclusivityChainIsMonotone) {
+  // TO(1+) subset TO(2+) subset ... : if MT(k+) accepts, MT(k'+) accepts
+  // for all k' >= k. Verified over the exhaustive two-step universe.
+  ForEachTwoStepLog(3, 2, [](const Log& log) {
+    bool prev = IsToKPlus(log, 1);
+    for (size_t k = 2; k <= 4; ++k) {
+      bool cur = IsToKPlus(log, k);
+      EXPECT_TRUE(!prev || cur) << "k=" << k << " " << log.ToString();
+      prev = cur;
+    }
+    return !::testing::Test::HasFailure();
+  });
+}
+
+TEST(NaiveUnionTest, StrictlyMoreConcurrentThanAnySingleProtocol) {
+  // TO(3+) strictly contains both TO(1) and TO(3): witnesses both ways.
+  Log in_to2_not_to3 =
+      L("R1[x] R2[y] W1[y] R3[z] R4[w] W3[w] W4[x] W2[4]");
+  EXPECT_FALSE(IsToK(in_to2_not_to3, 3));
+  EXPECT_TRUE(IsToKPlus(in_to2_not_to3, 3));
+
+  Log in_to2_not_to1 = L("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  EXPECT_FALSE(IsToK(in_to2_not_to1, 1));
+  EXPECT_TRUE(IsToKPlus(in_to2_not_to1, 2));
+}
+
+// --- Shared-prefix implementation (Algorithm 2) ---
+
+TEST(MtkPlusTest, ViewsStartUndefinedExceptVirtual) {
+  MtkPlus composite(3);
+  EXPECT_EQ(composite.ViewOf(1, 0).ToString(), "<0>");
+  EXPECT_EQ(composite.ViewOf(2, 0).ToString(), "<0,*>");
+  EXPECT_EQ(composite.ViewOf(3, 0).ToString(), "<0,*,*>");
+  EXPECT_EQ(composite.ViewOf(3, 1).ToString(), "<*,*,*>");
+}
+
+TEST(MtkPlusTest, AcceptsExample1AndStopsMt1) {
+  MtkPlus composite(2);
+  const Log log = L("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  for (const Op& op : log.ops()) {
+    EXPECT_EQ(composite.Process(op), OpDecision::kAccept)
+        << composite.DumpTables(3);
+  }
+  EXPECT_FALSE(composite.IsLive(1));
+  EXPECT_TRUE(composite.IsLive(2));
+}
+
+TEST(MtkPlusTest, RejectsWhenAllSubprotocolsStopped) {
+  // A non-DSR log is outside every TO(h).
+  MtkPlus composite(3);
+  Log log = L("R1[x] W2[x] W2[y] W1[y]");
+  OpDecision last = OpDecision::kAccept;
+  for (const Op& op : log.ops()) last = composite.Process(op);
+  EXPECT_EQ(last, OpDecision::kReject);
+  EXPECT_EQ(composite.live_count(), 0u);
+  // Once everything is stopped, every further operation is rejected.
+  EXPECT_EQ(composite.Process(Op{3, OpType::kRead, 0}), OpDecision::kReject);
+}
+
+TEST(MtkPlusTest, DumpShowsPrefixAndLastcolColumns) {
+  MtkPlus composite(3);
+  const Log log = L("R1[x] R2[y] W1[y]");
+  for (const Op& op : log.ops()) composite.Process(op);
+  std::string dump = composite.DumpTables(2);
+  EXPECT_NE(dump.find("PREFIX(1)"), std::string::npos);
+  EXPECT_NE(dump.find("LASTCOL(3)"), std::string::npos);
+}
+
+// --- Differential equivalence: Algorithm 2 vs the naive union ---
+// (Both in the Theorem-5 mode: subprotocols without lines 9-10.)
+
+class MtkPlusEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MtkPlusEquivalence, MatchesNaiveUnionDecisionForDecision) {
+  Rng meta(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = static_cast<uint32_t>(meta.Uniform(2, 6));
+    w.min_ops = 1;
+    w.max_ops = static_cast<uint32_t>(meta.Uniform(2, 4));
+    w.read_fraction = 0.3 + 0.4 * meta.UniformReal();
+    w.seed = meta.Uniform(1, 1 << 30);
+    Log log = GenerateLog(w);
+
+    for (size_t k : {1u, 2u, 3u, 5u}) {
+      NaiveUnionRecognizer naive(k, /*with_old_read_path=*/false);
+      MtkPlus shared(k);
+      for (size_t pos = 0; pos < log.size(); ++pos) {
+        const OpDecision dn = naive.Process(log.at(pos));
+        const OpDecision ds = shared.Process(log.at(pos));
+        ASSERT_EQ(dn, ds) << "k=" << k << " pos=" << pos << " op "
+                          << OpName(log.at(pos)) << "\nlog " << log.ToString()
+                          << "\n"
+                          << shared.DumpTables(log.num_txns());
+        // Stopped-subprotocol sets must agree as well.
+        for (size_t h = 1; h <= k; ++h) {
+          ASSERT_EQ(naive.IsLive(h), shared.IsLive(h))
+              << "k=" << k << " h=" << h << " pos=" << pos << " log "
+              << log.ToString();
+        }
+        if (dn == OpDecision::kReject) break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtkPlusEquivalence,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(MtkPlusTest, Theorem5PrefixEqualityAgainstStandaloneSubprotocols) {
+  // Theorem 5: if a log is accepted by both MT(k1) and MT(k2), k1 <= k2,
+  // their vectors agree on the first k1 - 1 elements. Checked against
+  // independently run MT(k1)/MT(k2) (lines 9-10 disabled).
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed;
+    Log log = GenerateLog(w);
+
+    for (size_t k1 = 2; k1 <= 3; ++k1) {
+      for (size_t k2 = k1; k2 <= 5; ++k2) {
+        MtkOptions o1, o2;
+        o1.k = k1;
+        o2.k = k2;
+        o1.disable_old_read_path = o2.disable_old_read_path = true;
+        if (!RecognizeLog(log, o1).accepted) continue;
+        if (!RecognizeLog(log, o2).accepted) continue;
+
+        MtkScheduler s1(o1), s2(o2);
+        for (const Op& op : log.ops()) {
+          s1.Process(op);
+          s2.Process(op);
+        }
+        for (TxnId t = 0; t <= log.num_txns(); ++t) {
+          for (size_t c = 0; c + 1 < k1; ++c) {
+            EXPECT_EQ(s1.Ts(t).Get(c), s2.Ts(t).Get(c))
+                << "k1=" << k1 << " k2=" << k2 << " txn=" << t << " col=" << c
+                << " log=" << log.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MtkPlusTest, SharedImplementationTouchesLinearlyManyColumns) {
+  // Section IV's cost claim: O(k) columns per operation for MT(k+),
+  // against O(k^2) when the subprotocols run independently.
+  WorkloadOptions w;
+  w.num_txns = 30;
+  w.num_items = 10;
+  w.min_ops = 2;
+  w.max_ops = 4;
+  w.seed = 5;
+  Log log = GenerateLog(w);
+
+  const size_t k = 8;
+  MtkPlus shared(k);
+  for (const Op& op : log.ops()) shared.Process(op);
+  // Each operation walks at most 2k columns (one LASTCOL and one PREFIX
+  // cell per step).
+  EXPECT_LE(shared.stats().columns_touched,
+            2 * k * (shared.stats().accepted + shared.stats().rejected));
+}
+
+TEST(MtkPlusTest, SoundnessEffectiveHistoriesAreDsr) {
+  // Whatever MT(k+) accepts must still be D-serializable: feed logs whole
+  // (no early stop) and check the accepted prefix... the composite rejects
+  // everything after the first total rejection, so the accepted prefix is
+  // exactly the recognized part.
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = 3;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed + 500;
+    Log log = GenerateLog(w);
+    MtkPlus composite(3);
+    Log accepted;
+    for (const Op& op : log.ops()) {
+      if (composite.Process(op) == OpDecision::kAccept) accepted.Append(op);
+    }
+    EXPECT_TRUE(IsDsr(accepted)) << log.ToString();
+  }
+}
+
+TEST(MtkPlusOnlineTest, FullRestartOnTotalRejection) {
+  MtkPlusOnline s(2);
+  s.OnBegin(1);
+  s.OnBegin(2);
+  // Drive a non-DSR pattern that stops every subprotocol:
+  // R1[x] W2[x] (1 < 2 fixed everywhere), then W2[y] R1-after... use the
+  // classic cycle: R1[x] W2[x] W2[y] W1[y].
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 1}), SchedOutcome::kAborted);
+  EXPECT_EQ(s.full_restarts(), 1u);
+  EXPECT_EQ(s.live_subprotocols(), 2u) << "all subprotocols restarted";
+  // T2 was begun under the old generation: stale, aborted at next touch.
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 2}), SchedOutcome::kAborted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAborted);
+  // After restart both run under fresh tables.
+  s.OnRestart(1);
+  s.OnBegin(1);
+  s.OnRestart(2);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+}
+
+TEST(MtkPlusOnlineTest, SimulationCommitsSerializableHistories) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    MtkPlusOnline s(3);
+    SimOptions sim;
+    sim.num_txns = 60;
+    sim.concurrency = 8;
+    sim.seed = seed * 97;
+    sim.workload.num_items = 5;
+    sim.workload.min_ops = 2;
+    sim.workload.max_ops = 4;
+    sim.workload.read_fraction = 0.5;
+    SimResult r = RunSimulation(&s, sim);
+    EXPECT_EQ(r.committed + r.gave_up, 60u);
+    EXPECT_GT(r.committed, 0u);
+    EXPECT_TRUE(IsDsr(r.committed_history)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,130 @@
+#include "dist/dmt_system.h"
+
+#include "classify/classes.h"
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+DmtOptions BaseOptions(uint64_t seed) {
+  DmtOptions options;
+  options.k = 3;
+  options.num_sites = 3;
+  options.num_txns = 40;
+  options.concurrency = 6;
+  options.message_latency = 0.5;
+  options.mean_think_time = 1.0;
+  options.restart_delay = 3.0;
+  options.seed = seed;
+  options.workload.num_items = 9;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 3;
+  options.workload.read_fraction = 0.6;
+  return options;
+}
+
+TEST(DmtTest, CompletesAllTransactions) {
+  DmtResult r = RunDmtSimulation(BaseOptions(1));
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(DmtTest, DeterministicGivenSeed) {
+  DmtResult a = RunDmtSimulation(BaseOptions(5));
+  DmtResult b = RunDmtSimulation(BaseOptions(5));
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.committed_history.ToString(), b.committed_history.ToString());
+}
+
+TEST(DmtTest, GlobalHistoryIsSerializable) {
+  // The decentralized protocol must still only commit DSR histories, for
+  // every seed and site count.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (uint32_t sites : {1u, 2u, 4u}) {
+      DmtOptions options = BaseOptions(seed * 31);
+      options.num_sites = sites;
+      options.workload.num_items = 6;  // Contention.
+      DmtResult r = RunDmtSimulation(options);
+      EXPECT_GT(r.committed, 0u);
+      EXPECT_TRUE(IsDsr(r.committed_history))
+          << "sites=" << sites << " seed=" << seed << "\n"
+          << r.committed_history.ToString();
+    }
+  }
+}
+
+TEST(DmtTest, SingleSiteSendsNoMessages) {
+  DmtOptions options = BaseOptions(9);
+  options.num_sites = 1;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.messages_sent, 0u);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+}
+
+TEST(DmtTest, MoreSitesMoreMessages) {
+  DmtOptions options = BaseOptions(13);
+  options.num_sites = 2;
+  const uint64_t m2 = RunDmtSimulation(options).messages_sent;
+  options.num_sites = 6;
+  const uint64_t m6 = RunDmtSimulation(options).messages_sent;
+  EXPECT_GT(m6, m2);
+}
+
+TEST(DmtTest, MessageCountBoundedPerOperation) {
+  // The paper: "the message overhead tends to be proportionate"; each
+  // operation locks at most 4 objects, each costing at most 3 messages
+  // (request, grant, combined writeback/release).
+  DmtOptions options = BaseOptions(17);
+  options.num_sites = 4;
+  DmtResult r = RunDmtSimulation(options);
+  ASSERT_GT(r.ops_scheduled, 0u);
+  EXPECT_LE(r.messages_sent, 12 * r.ops_scheduled);
+}
+
+TEST(DmtTest, DeadlockFreedomUnderHighContention) {
+  // Ordered locking means the run always terminates with all transactions
+  // resolved, even with many sites and tiny item space.
+  DmtOptions options = BaseOptions(21);
+  options.num_sites = 5;
+  options.num_txns = 60;
+  options.concurrency = 12;
+  options.workload.num_items = 5;
+  options.workload.read_fraction = 0.4;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 60u);
+  EXPECT_TRUE(IsDsr(r.committed_history));
+}
+
+TEST(DmtTest, OpsPerSiteCoversAllSites) {
+  DmtOptions options = BaseOptions(25);
+  options.num_sites = 3;
+  options.workload.num_items = 9;  // 3 items per site.
+  DmtResult r = RunDmtSimulation(options);
+  ASSERT_EQ(r.ops_per_site.size(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_GT(r.ops_per_site[s], 0u) << "site " << s;
+  }
+}
+
+TEST(DmtTest, CounterSyncKeepsRunsSerializable) {
+  DmtOptions options = BaseOptions(29);
+  options.counter_sync_interval = 5.0;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_TRUE(IsDsr(r.committed_history));
+}
+
+TEST(DmtTest, HigherLatencyStretchesMakespan) {
+  DmtOptions options = BaseOptions(33);
+  options.message_latency = 0.1;
+  const double fast = RunDmtSimulation(options).makespan;
+  options.message_latency = 5.0;
+  const double slow = RunDmtSimulation(options).makespan;
+  EXPECT_GT(slow, fast);
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,151 @@
+// Cross-module integration tests and API edge cases.
+
+#include "classify/classes.h"
+#include "classify/dependency_graph.h"
+#include "core/recognizer.h"
+#include "gtest/gtest.h"
+#include "nested/nested_online.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+Log L(const char* text) { return *Log::Parse(text); }
+
+// --- Recognizer / EffectiveHistory edge cases ---
+
+TEST(RecognizerEdgeTest, EmptyLogAccepted) {
+  EXPECT_TRUE(IsToK(Log(), 1));
+  EXPECT_TRUE(IsToK(Log(), 5));
+  MtkOptions o;
+  o.k = 2;
+  EXPECT_TRUE(EffectiveHistory(Log(), o).empty());
+}
+
+TEST(RecognizerEdgeTest, SingleOperationLog) {
+  EXPECT_TRUE(IsToK(L("R1[x]"), 1));
+  EXPECT_TRUE(IsToK(L("W1[x]"), 1));
+}
+
+TEST(RecognizerEdgeTest, RepeatedIdenticalOperations) {
+  EXPECT_TRUE(IsToK(L("R1[x] R1[x] R1[x] W1[x] W1[x]"), 2));
+}
+
+TEST(RecognizerEdgeTest, RejectedAtIndexReported) {
+  MtkOptions o;
+  o.k = 1;
+  auto r = RecognizeLog(L("W1[x] W1[y] R3[x] R2[y] W3[y]"), o);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.rejected_at, 4u) << "W3[y] is the rejected operation";
+}
+
+TEST(RecognizerEdgeTest, EffectiveHistoryDropsAbortedTxnOps) {
+  MtkOptions o;
+  o.k = 1;
+  Log log = L("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  Log eff = EffectiveHistory(log, o);
+  // T3's ops are dropped (it aborted at W3[y]); T1 and T2 survive whole.
+  for (const Op& op : eff.ops()) EXPECT_NE(op.txn, 3u);
+  EXPECT_EQ(eff.OpsOfTxn(1), 2u);
+  EXPECT_EQ(eff.OpsOfTxn(2), 1u);
+}
+
+TEST(RecognizerEdgeTest, SerializationOrderAgreesWithDependencyGraph) {
+  // Integration: MT(k)'s induced order must be one of the dependency
+  // digraph's topological orders (same partial order, Theorem 1 + 2).
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed + 8800;
+    Log log = GenerateLog(w);
+    MtkOptions o;
+    o.k = 5;
+    MtkScheduler s(o);
+    bool ok = true;
+    for (const Op& op : log.ops()) {
+      if (s.Process(op) != OpDecision::kAccept) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    std::vector<TxnId> txns;
+    for (TxnId t = 1; t <= log.num_txns(); ++t) txns.push_back(t);
+    auto order = s.SerializationOrder(txns);
+    // Position index per txn.
+    std::vector<size_t> pos(log.num_txns() + 1, 0);
+    for (size_t p = 0; p < order.size(); ++p) pos[order[p]] = p;
+    DependencyGraph g = DependencyGraph::FromLog(log);
+    for (const auto& e : g.edges()) {
+      EXPECT_LT(pos[e.from], pos[e.to])
+          << "T" << e.from << " -> T" << e.to << " violated in "
+          << log.ToString();
+    }
+  }
+}
+
+// --- Committed transactions are closed ---
+
+TEST(RecognizerEdgeTest, CommittedTransactionOpsRejected) {
+  MtkOptions o;
+  o.k = 2;
+  MtkScheduler s(o);
+  EXPECT_EQ(s.Process(Op{1, OpType::kRead, 0}), OpDecision::kAccept);
+  s.CommitTxn(1);
+  EXPECT_EQ(s.Process(Op{1, OpType::kWrite, 0}), OpDecision::kReject);
+}
+
+// --- Nested online adapter ---
+
+TEST(NestedOnlineTest, SimulationCommitsSerializableHistories) {
+  for (GroupId groups : {1u, 2u, 4u}) {
+    NestedOnline s({2, 2}, groups);
+    SimOptions sim;
+    sim.num_txns = 60;
+    sim.concurrency = 6;
+    sim.seed = 1000 + groups;
+    sim.workload.num_items = 6;
+    sim.workload.min_ops = 2;
+    sim.workload.max_ops = 3;
+    sim.workload.read_fraction = 0.6;
+    SimResult r = RunSimulation(&s, sim);
+    EXPECT_EQ(r.committed + r.gave_up, 60u) << groups << " groups";
+    EXPECT_GT(r.committed, 0u);
+    EXPECT_TRUE(IsDsr(r.committed_history)) << groups << " groups";
+  }
+}
+
+TEST(NestedOnlineTest, ArbitraryPartitionsAreCostly) {
+  // The grouped protocol enforces sticky, antisymmetric GROUP orders:
+  // shared group vectors are never reset (other members rely on them), so
+  // a semantically meaningless round-robin partition accumulates permanent
+  // constraints and aborts far more than singleton groups (where a
+  // restarting sole member resets its own group vector and the protocol
+  // reduces to plain MT). Groups are a semantic tool (Table IV), not a
+  // throughput knob - measured here.
+  auto aborts_with = [](GroupId groups) {
+    NestedOnline s({2, 2}, groups);
+    SimOptions sim;
+    sim.num_txns = 120;
+    sim.concurrency = 8;
+    sim.seed = 4242;
+    sim.workload.num_items = 8;
+    sim.workload.min_ops = 2;
+    sim.workload.max_ops = 3;
+    sim.workload.read_fraction = 0.6;
+    return RunSimulation(&s, sim).aborts;
+  };
+  const uint64_t singleton = aborts_with(200);  // >= num_txns: all alone.
+  const uint64_t shared2 = aborts_with(2);
+  EXPECT_LT(singleton, shared2)
+      << "singleton groups (" << singleton
+      << " aborts) must beat a meaningless 2-way partition (" << shared2
+      << ")";
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,102 @@
+#include "core/log.h"
+
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+TEST(LogParseTest, ParsesPaperExample1) {
+  auto r = Log::Parse("W1[x] W1[y] R3[x] R2[y]");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Log& log = r.value();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.at(0), (Op{1, OpType::kWrite, 0}));
+  EXPECT_EQ(log.at(1), (Op{1, OpType::kWrite, 1}));
+  EXPECT_EQ(log.at(2), (Op{3, OpType::kRead, 0}));
+  EXPECT_EQ(log.at(3), (Op{2, OpType::kRead, 1}));
+  EXPECT_EQ(log.num_txns(), 3u);
+  EXPECT_EQ(log.num_items(), 2u);
+}
+
+TEST(LogParseTest, AcceptsParenthesesAndNoWhitespace) {
+  // The paper's starvation example uses parentheses: W1(x)W2(x)R3(y)W3(x).
+  auto r = Log::Parse("W1(x)W2(x)R3(y)W3(x)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(r->at(3), (Op{3, OpType::kWrite, 0}));
+}
+
+TEST(LogParseTest, NumericItemsAndMultiDigitTxns) {
+  auto r = Log::Parse("R12[7] W3[0]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0).txn, 12u);
+  EXPECT_EQ(r->at(0).item, 7u);
+  EXPECT_EQ(r->num_items(), 8u);
+}
+
+TEST(LogParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Log::Parse("X1[x]").ok());
+  EXPECT_FALSE(Log::Parse("R[x]").ok());
+  EXPECT_FALSE(Log::Parse("R1x]").ok());
+  EXPECT_FALSE(Log::Parse("R1[x").ok());
+  EXPECT_FALSE(Log::Parse("R1[]").ok());
+  EXPECT_FALSE(Log::Parse("R0[x]").ok()) << "txn 0 is the virtual txn";
+}
+
+TEST(LogTest, RoundTripToString) {
+  auto r = Log::Parse("R1[x] W1[y] W1[z] R2[y] W2[x] R3[z] W3[y]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "R1[x] W1[y] W1[z] R2[y] W2[x] R3[z] W3[y]");
+  auto again = Log::Parse(r->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), r->ToString());
+}
+
+TEST(LogTest, ReadAndWriteSets) {
+  auto r = Log::Parse("R1[x] R1[z] W1[y] W1[x] R2[y]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadSet(1), (std::vector<ItemId>{0, 2}));
+  EXPECT_EQ(r->WriteSet(1), (std::vector<ItemId>{1, 0}));
+  EXPECT_EQ(r->ReadSet(2), (std::vector<ItemId>{1}));
+  EXPECT_TRUE(r->WriteSet(2).empty());
+  EXPECT_EQ(r->OpsOfTxn(1), 4u);
+  EXPECT_EQ(r->MaxOpsPerTxn(), 4u);
+}
+
+TEST(LogTest, DuplicateAccessesDedupedInSets) {
+  auto r = Log::Parse("R1[x] R1[x] W1[x] W1[x]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadSet(1).size(), 1u);
+  EXPECT_EQ(r->WriteSet(1).size(), 1u);
+}
+
+TEST(LogTest, TwoStepDetection) {
+  EXPECT_TRUE(Log::Parse("R1[x] R2[y] W1[x] W2[y]")->IsTwoStep());
+  EXPECT_TRUE(Log::Parse("R1[x] R1[y] W1[x]")->IsTwoStep());
+  // A read after a write of the same transaction breaks the model.
+  EXPECT_FALSE(Log::Parse("W1[x] R1[y]")->IsTwoStep());
+  // Interleaving across transactions is fine.
+  EXPECT_TRUE(Log::Parse("R1[x] W2[y] W1[x]")->IsTwoStep());
+}
+
+TEST(LogTest, ConcatRenumbersTransactions) {
+  Log a = *Log::Parse("R1[x] W2[x]");
+  Log b = *Log::Parse("R1[x] W1[y]");
+  Log c = a.Concat(b, /*disjoint_items=*/true);
+  EXPECT_EQ(c.ToString(), "R1[x] W2[x] R3[y] W3[z]");
+  EXPECT_EQ(c.num_txns(), 3u);
+
+  Log d = a.Concat(b, /*disjoint_items=*/false);
+  EXPECT_EQ(d.ToString(), "R1[x] W2[x] R3[x] W3[y]");
+}
+
+TEST(LogTest, EmptyLogProperties) {
+  Log log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.num_txns(), 0u);
+  EXPECT_EQ(log.MaxOpsPerTxn(), 0u);
+  EXPECT_TRUE(log.IsTwoStep());
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,246 @@
+#include "nested/nested_scheduler.h"
+
+#include "classify/classes.h"
+#include "core/log.h"
+#include "gtest/gtest.h"
+#include "nested/partition.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+Log L(const char* text) { return *Log::Parse(text); }
+
+// --- Paper Section V-A, Example 4 (Fig. 12 + Table III) ---
+// G1 = {T1, T2}, G2 = {T3}, k1 = k2 = 2.
+// Log R1[x] R2[y] W2[x] W3[y] creates the edges
+//   a: G0 -> G1 (R1[x]),   b: G0 -> G1 (R2[y], already implied),
+//   c: T1 -> T2 (W2[x] conflicts with R1[x], same group),
+//   d: G1 -> G2 (W3[y] conflicts with R2[y], different groups).
+
+class Example4Test : public ::testing::Test {
+ protected:
+  Example4Test() : s_({2, 2}) {
+    EXPECT_TRUE(s_.RegisterTxn(1, {1}).ok());
+    EXPECT_TRUE(s_.RegisterTxn(2, {1}).ok());
+    EXPECT_TRUE(s_.RegisterTxn(3, {2}).ok());
+  }
+  NestedMtScheduler s_;
+};
+
+TEST_F(Example4Test, ReproducesTableIII) {
+  // Initialization row.
+  EXPECT_EQ(s_.GroupTs(1, 0).ToString(), "<0,*>");
+  EXPECT_EQ(s_.TxnTs(0).ToString(), "<0,*>");
+  EXPECT_EQ(s_.GroupTs(1, 1).ToString(), "<*,*>");
+
+  // Edge a: R1[x] encodes G0 -> G1 in group timestamps only.
+  EXPECT_EQ(s_.Process(Op{1, OpType::kRead, 0}), OpDecision::kAccept);
+  EXPECT_EQ(s_.GroupTs(1, 1).ToString(), "<1,*>");
+  EXPECT_EQ(s_.TxnTs(1).ToString(), "<*,*>");
+
+  // Edge b: R2[y], G0 -> G1 already encoded; no vector changes.
+  EXPECT_EQ(s_.Process(Op{2, OpType::kRead, 1}), OpDecision::kAccept);
+  EXPECT_EQ(s_.GroupTs(1, 1).ToString(), "<1,*>");
+  EXPECT_EQ(s_.TxnTs(2).ToString(), "<*,*>");
+
+  // Edge c: W2[x] conflicts with R1[x]; same group, transaction
+  // timestamps encode T1 -> T2.
+  EXPECT_EQ(s_.Process(Op{2, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_EQ(s_.TxnTs(1).ToString(), "<1,*>");
+  EXPECT_EQ(s_.TxnTs(2).ToString(), "<2,*>");
+
+  // Edge d: W3[y] conflicts with R2[y]; different groups, group
+  // timestamps encode G1 -> G2.
+  EXPECT_EQ(s_.Process(Op{3, OpType::kWrite, 1}), OpDecision::kAccept);
+  EXPECT_EQ(s_.GroupTs(1, 2).ToString(), "<2,*>");
+  EXPECT_EQ(s_.TxnTs(3).ToString(), "<*,*>");
+
+  // Resulting-vectors row of Table III.
+  EXPECT_EQ(s_.GroupTs(1, 0).ToString(), "<0,*>");
+  EXPECT_EQ(s_.TxnTs(0).ToString(), "<0,*>");
+  EXPECT_EQ(s_.GroupTs(1, 1).ToString(), "<1,*>");
+  EXPECT_EQ(s_.TxnTs(1).ToString(), "<1,*>");
+  EXPECT_EQ(s_.TxnTs(2).ToString(), "<2,*>");
+  EXPECT_EQ(s_.GroupTs(1, 2).ToString(), "<2,*>");
+  EXPECT_EQ(s_.TxnTs(3).ToString(), "<*,*>");
+}
+
+TEST_F(Example4Test, LaterReverseGroupDependencyIsRejected) {
+  const Log log = L("R1[x] R2[y] W2[x] W3[y]");
+  for (const Op& op : log.ops()) {
+    ASSERT_EQ(s_.Process(op), OpDecision::kAccept);
+  }
+  // "If in the future a new dependency T3 -> T2 is created due to some
+  // conflict, it is disallowed since it also implies G2 -> G1."
+  // T3 writes z, then T2 reads z: dependency T3 -> T2.
+  ASSERT_EQ(s_.Process(Op{3, OpType::kWrite, 2}), OpDecision::kAccept);
+  EXPECT_EQ(s_.Process(Op{2, OpType::kRead, 2}), OpDecision::kReject);
+  EXPECT_TRUE(s_.IsAborted(2));
+}
+
+TEST_F(Example4Test, GroupDependencyIsAntisymmetric) {
+  const Log log = L("R1[x] R2[y] W2[x] W3[y]");
+  for (const Op& op : log.ops()) {
+    ASSERT_EQ(s_.Process(op), OpDecision::kAccept);
+  }
+  // G1 -> G2 holds; any same-direction dependency is still fine.
+  EXPECT_EQ(s_.Process(Op{3, OpType::kRead, 0}), OpDecision::kAccept);
+}
+
+TEST(NestedTest, RegistrationValidation) {
+  NestedMtScheduler s({2, 2});
+  EXPECT_FALSE(s.RegisterTxn(0, {1}).ok()) << "virtual txn";
+  EXPECT_FALSE(s.RegisterTxn(1, {}).ok()) << "chain length";
+  EXPECT_FALSE(s.RegisterTxn(1, {0}).ok()) << "virtual group";
+  EXPECT_TRUE(s.RegisterTxn(1, {1}).ok());
+  EXPECT_TRUE(s.RegisterTxn(1, {1}).ok()) << "idempotent re-registration";
+  EXPECT_FALSE(s.RegisterTxn(1, {2}).ok()) << "membership is static";
+}
+
+TEST(NestedTest, UnregisteredTransactionRejected) {
+  NestedMtScheduler s({2, 2});
+  EXPECT_EQ(s.Process(Op{5, OpType::kRead, 0}), OpDecision::kReject);
+}
+
+TEST(NestedTest, SingletonGroupsReduceToPlainMtk) {
+  // "If we let each group contain exactly one transaction ... MT(k1,k2)
+  // reduces to MT(k)." With singleton groups every dependency is
+  // inter-group, so the group table behaves exactly like MT(k_group).
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed + 100;
+    Log log = GenerateLog(w);
+
+    for (size_t k : {1u, 2u, 3u}) {
+      NestedMtScheduler nested({2, k});
+      for (TxnId t = 1; t <= log.num_txns(); ++t) {
+        ASSERT_TRUE(nested.RegisterTxn(t, {t}).ok());
+      }
+      MtkOptions options;
+      options.k = k;
+      MtkScheduler plain(options);
+      for (const Op& op : log.ops()) {
+        OpDecision dn = nested.Process(op);
+        OpDecision dp = plain.Process(op);
+        ASSERT_EQ(dn, dp) << "k=" << k << " op " << OpName(op) << " in "
+                          << log.ToString();
+        if (dn == OpDecision::kReject) break;  // Keep abort states aligned.
+      }
+    }
+  }
+}
+
+TEST(NestedTest, AcceptedHistoriesAreDsr) {
+  // Group-level serializability implies (coarser) transaction
+  // serializability: whatever MT(k1,k2) accepts must be DSR.
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed + 300;
+    Log log = GenerateLog(w);
+
+    NestedMtScheduler nested({2, 2});
+    // Two groups: odd transactions in G1, even in G2.
+    for (TxnId t = 1; t <= log.num_txns(); ++t) {
+      ASSERT_TRUE(nested.RegisterTxn(t, {1 + t % 2}).ok());
+    }
+    Log accepted;
+    for (const Op& op : log.ops()) {
+      if (nested.Process(op) == OpDecision::kAccept) accepted.Append(op);
+    }
+    // Drop operations of aborted transactions (their accesses are
+    // withdrawn by the scheduler).
+    Log effective;
+    for (const Op& op : accepted.ops()) {
+      if (!nested.IsAborted(op.txn)) effective.Append(op);
+    }
+    EXPECT_TRUE(IsDsr(effective)) << log.ToString();
+  }
+}
+
+TEST(NestedTest, ThreeLevelHierarchyWorks) {
+  // "G1, G2, ..., Gm can be further grouped into supergroups, and the same
+  // idea applies."
+  NestedMtScheduler s({2, 2, 2});
+  ASSERT_TRUE(s.RegisterTxn(1, {1, 1}).ok());
+  ASSERT_TRUE(s.RegisterTxn(2, {1, 1}).ok());
+  ASSERT_TRUE(s.RegisterTxn(3, {2, 1}).ok());
+  ASSERT_TRUE(s.RegisterTxn(4, {3, 2}).ok());
+
+  // T1 -> T2 same group: transaction level.
+  ASSERT_EQ(s.Process(Op{1, OpType::kRead, 0}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{2, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_TRUE(VectorLess(s.TxnTs(1), s.TxnTs(2)));
+
+  // T2 -> T3: same supergroup, different groups: level-1 vectors.
+  ASSERT_EQ(s.Process(Op{3, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_TRUE(VectorLess(s.GroupTs(1, 1), s.GroupTs(1, 2)));
+
+  // T3 -> T4: different supergroups: level-2 vectors only.
+  ASSERT_EQ(s.Process(Op{4, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_TRUE(VectorLess(s.GroupTs(2, 1), s.GroupTs(2, 2)));
+
+  // Reverse supergroup dependency T4 -> T1 is now impossible.
+  ASSERT_EQ(s.Process(Op{4, OpType::kWrite, 1}), OpDecision::kAccept);
+  EXPECT_EQ(s.Process(Op{1, OpType::kRead, 1}), OpDecision::kReject);
+}
+
+TEST(NestedTest, RestartAfterAbort) {
+  NestedMtScheduler s({2, 2});
+  ASSERT_TRUE(s.RegisterTxn(1, {1}).ok());
+  ASSERT_TRUE(s.RegisterTxn(2, {2}).ok());
+  ASSERT_TRUE(s.RegisterTxn(3, {1}).ok());
+  // Establish G1 -> G2 (W2[x] after R1[x]); then T3 (in G1) reading y,
+  // last written by T2 (G2), would imply G2 -> G1 and must be rejected.
+  ASSERT_EQ(s.Process(Op{1, OpType::kRead, 0}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{2, OpType::kWrite, 0}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{2, OpType::kWrite, 1}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{3, OpType::kRead, 1}), OpDecision::kReject);
+  ASSERT_TRUE(s.IsAborted(3));
+  // While aborted, further operations are rejected.
+  EXPECT_EQ(s.Process(Op{3, OpType::kRead, 2}), OpDecision::kReject);
+  // After restart, T3 can run against untouched items.
+  s.RestartTxn(3);
+  EXPECT_FALSE(s.IsAborted(3));
+  EXPECT_EQ(s.Process(Op{3, OpType::kRead, 2}), OpDecision::kAccept);
+}
+
+// --- Partition rules (Table IV / Examples 5-6) ---
+
+TEST(PartitionTest, ReadWriteSignatureGrouping) {
+  // Table IV: G1 reads {x,z} writes {y,z}; G2 reads {y,w} writes {x,w}.
+  // T1 and T3 share G1's signature; T2 shares G2's.
+  Log log = L(
+      "R1[x] R1[z] W1[y] W1[z] "
+      "R2[y] R2[w] W2[x] W2[w] "
+      "R3[x] R3[z] W3[y] W3[z]");
+  auto partition = PartitionByReadWriteSignature(log);
+  ASSERT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition[0], partition[2]) << "T1 and T3 share a signature";
+  EXPECT_NE(partition[0], partition[1]);
+}
+
+TEST(PartitionTest, RegisterPartitionWiresUpScheduler) {
+  Log log = L("R1[x] W1[y] R2[x] W2[y] R3[z] W3[w]");
+  auto partition = PartitionByReadWriteSignature(log);
+  NestedMtScheduler s({2, 2});
+  ASSERT_TRUE(RegisterPartition(&s, partition).ok());
+  for (const Op& op : log.ops()) {
+    EXPECT_EQ(s.Process(op), OpDecision::kAccept) << OpName(op);
+  }
+}
+
+TEST(PartitionTest, PartitionBySiteIsIdentity) {
+  EXPECT_EQ(PartitionBySite({1, 2, 1}), (std::vector<GroupId>{1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace mdts

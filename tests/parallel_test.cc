@@ -1,0 +1,121 @@
+#include "parallel/parallel_compare.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+TimestampVector Make(std::vector<TsElement> elems) {
+  TimestampVector v(elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (elems[i] != kUndefinedElement) v.Set(i, elems[i]);
+  }
+  return v;
+}
+
+constexpr TsElement U = kUndefinedElement;
+
+TEST(ParallelCompareTest, Figure6Walkthrough) {
+  // The paper's Fig. 6 input: TS(1) = <1,3,2,2>, TS(2) = <1,3,5,2>.
+  std::vector<std::string> trace;
+  auto r = ParallelCompareTraced(Make({1, 3, 2, 2}), Make({1, 3, 5, 2}),
+                                 &trace);
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  EXPECT_EQ(r.index, 2u) << "3rd element (1-based) decides";
+  // k = 4: two partial-OR rounds, 4 + 2 phases total.
+  EXPECT_EQ(r.phases, 6u);
+  EXPECT_EQ(r.processors, 16u);
+
+  // Phase 2's row c must be 0 0 1 0, and the final partial OR 0 0 1 1,
+  // exactly as in the figure.
+  bool saw_c = false, saw_d = false;
+  for (const std::string& line : trace) {
+    if (line == "c: 0 0 1 0") saw_c = true;
+    if (line == "d: 0 0 1 1") saw_d = true;
+  }
+  EXPECT_TRUE(saw_c) << "phase-2 row mismatch";
+  EXPECT_TRUE(saw_d) << "final partial-OR row mismatch";
+}
+
+TEST(ParallelCompareTest, PartialOrRoundsIsCeilLog2) {
+  EXPECT_EQ(PartialOrRounds(1), 0u);
+  EXPECT_EQ(PartialOrRounds(2), 1u);
+  EXPECT_EQ(PartialOrRounds(3), 2u);
+  EXPECT_EQ(PartialOrRounds(4), 2u);
+  EXPECT_EQ(PartialOrRounds(5), 3u);
+  EXPECT_EQ(PartialOrRounds(8), 3u);
+  EXPECT_EQ(PartialOrRounds(9), 4u);
+  EXPECT_EQ(PartialOrRounds(1024), 10u);
+}
+
+TEST(ParallelCompareTest, HandlesUndefinedElements) {
+  // Extension beyond the paper's figure: undefined elements are "unequal"
+  // and classified per Definition 6.
+  auto r = ParallelCompare(Make({1, U}), Make({1, 4}));
+  EXPECT_EQ(r.order, VectorOrder::kUndetermined);
+  EXPECT_EQ(r.index, 1u);
+
+  r = ParallelCompare(Make({2, U}), Make({2, U}));
+  EXPECT_EQ(r.order, VectorOrder::kEqual);
+  EXPECT_EQ(r.index, 1u);
+}
+
+TEST(ParallelCompareTest, IdenticalVectors) {
+  auto r = ParallelCompare(Make({3, 7}), Make({3, 7}));
+  EXPECT_EQ(r.order, VectorOrder::kIdentical);
+  EXPECT_EQ(r.index, 2u);
+}
+
+TEST(ParallelCompareTest, SingleElementVectors) {
+  auto r = ParallelCompare(Make({1}), Make({2}));
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  EXPECT_EQ(r.phases, 4u);  // No partial-OR rounds needed for k = 1.
+}
+
+// Theorem 4's heart: the parallel result must always equal the sequential
+// Definition-6 comparison, at O(log k) depth.
+class ParallelEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelEquivalence, MatchesSequentialCompareOnRandomVectors) {
+  const size_t k = GetParam();
+  Rng rng(k * 977 + 5);
+  for (int trial = 0; trial < 500; ++trial) {
+    TimestampVector a(k), b(k);
+    // Random defined prefixes with small values force frequent ties.
+    const size_t pa = static_cast<size_t>(rng.Uniform(0, k));
+    const size_t pb = static_cast<size_t>(rng.Uniform(0, k));
+    for (size_t i = 0; i < pa; ++i) a.Set(i, rng.Uniform(-2, 3));
+    for (size_t i = 0; i < pb; ++i) b.Set(i, rng.Uniform(-2, 3));
+
+    const VectorCompareResult seq = Compare(a, b);
+    const ParallelCompareResult par = ParallelCompare(a, b);
+    ASSERT_EQ(par.order, seq.order)
+        << a.ToString() << " vs " << b.ToString();
+    ASSERT_EQ(par.index, seq.index)
+        << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(par.phases, 4 + PartialOrRounds(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorSizes, ParallelEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u,
+                                           128u));
+
+TEST(ParallelCompareTest, DepthGrowsLogarithmically) {
+  // 4096-element vectors compare in 4 + 12 phases: Theorem 4's point that
+  // the parallel cost is O(log k), not O(k).
+  TimestampVector a(4096), b(4096);
+  for (size_t i = 0; i < 4096; ++i) {
+    a.Set(i, 1);
+    b.Set(i, 1);
+  }
+  b.Set(4095, 2);
+  auto r = ParallelCompare(a, b);
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  EXPECT_EQ(r.index, 4095u);
+  EXPECT_EQ(r.phases, 16u);
+}
+
+}  // namespace
+}  // namespace mdts

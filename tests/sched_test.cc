@@ -1,0 +1,312 @@
+#include "sched/scheduler.h"
+
+#include "core/log.h"
+#include "gtest/gtest.h"
+#include "sched/deferred_write.h"
+#include "sched/interval_scheduler.h"
+#include "sched/mtk_online.h"
+#include "sched/occ_scheduler.h"
+#include "sched/to1_scheduler.h"
+#include "sched/two_pl_scheduler.h"
+
+namespace mdts {
+namespace {
+
+// --- Conventional TO(1) baseline ---
+
+TEST(To1SchedulerTest, TimestampOrderEnforced) {
+  To1Scheduler s;
+  s.OnBegin(1);
+  s.OnBegin(2);
+  ASSERT_LT(s.TimestampOf(1), s.TimestampOf(2));
+  // T2 writes x, then older T1 tries to read it: abort.
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAborted);
+}
+
+TEST(To1SchedulerTest, RestartGetsFresherTimestamp) {
+  To1Scheduler s;
+  s.OnBegin(1);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAborted);
+  s.OnRestart(1);
+  s.OnBegin(1);
+  EXPECT_GT(s.TimestampOf(1), s.TimestampOf(2));
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+}
+
+TEST(To1SchedulerTest, ThomasRuleIgnoresObsoleteWrite) {
+  To1Scheduler::Options options;
+  options.thomas_write_rule = true;
+  To1Scheduler s(options);
+  s.OnBegin(1);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kIgnored);
+}
+
+TEST(To1SchedulerTest, RejectsWhatMt2Accepts) {
+  // The motivating Example 1: TO(1) aborts T3 at W3[y]; MT(2) accepts.
+  To1Scheduler to1;
+  MtkOptions mo;
+  mo.k = 2;
+  MtkOnline mt2(mo);
+  Log log = *Log::Parse("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  SchedOutcome last_to1 = SchedOutcome::kAccepted;
+  for (const Op& op : log.ops()) {
+    last_to1 = to1.OnOperation(op);
+    EXPECT_EQ(mt2.OnOperation(op), SchedOutcome::kAccepted);
+  }
+  // TO(1) assigned timestamps in first-op order T1 < T3 < T2, so the final
+  // W3[y] (conflicting with R2[y]) violates timestamp order.
+  EXPECT_EQ(last_to1, SchedOutcome::kAborted);
+}
+
+// --- Strict two-phase locking ---
+
+TEST(TwoPlSchedulerTest, SharedLocksCoexist) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kAccepted);
+}
+
+TEST(TwoPlSchedulerTest, ExclusiveConflictBlocks) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kBlocked);
+  EXPECT_TRUE(s.TakeUnblocked().empty());
+  // Commit of T1 releases the lock and wakes T2.
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.TakeUnblocked(), (std::vector<TxnId>{2}));
+}
+
+TEST(TwoPlSchedulerTest, ReacquisitionIsIdempotent) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+}
+
+TEST(TwoPlSchedulerTest, UpgradeWhenSoleHolder) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+}
+
+TEST(TwoPlSchedulerTest, UpgradeWaitsForOtherReaders) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kBlocked);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.TakeUnblocked(), (std::vector<TxnId>{1}));
+}
+
+TEST(TwoPlSchedulerTest, DeadlockDetectedAndRequesterAborted) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 1}), SchedOutcome::kBlocked);
+  // T2 requesting x closes the cycle: T2 aborts, its locks release, T1
+  // gets y.
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAborted);
+  EXPECT_EQ(s.deadlocks_detected(), 1u);
+  EXPECT_EQ(s.TakeUnblocked(), (std::vector<TxnId>{1}));
+}
+
+TEST(TwoPlSchedulerTest, UpgradeDeadlockDetected) {
+  // Two readers both upgrading is the classic upgrade deadlock.
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kBlocked);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAborted);
+  // T2's abort released its shared lock; T1's upgrade proceeds.
+  EXPECT_EQ(s.TakeUnblocked(), (std::vector<TxnId>{1}));
+}
+
+TEST(TwoPlSchedulerTest, FifoFairnessNoOvertaking) {
+  TwoPlScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kBlocked);
+  // T3's read must queue behind T2's exclusive request.
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kRead, 0}), SchedOutcome::kBlocked);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  auto unblocked = s.TakeUnblocked();
+  ASSERT_EQ(unblocked.size(), 1u);
+  EXPECT_EQ(unblocked[0], 2u);
+}
+
+// --- Optimistic (Kung-Robinson backward validation) ---
+
+TEST(OccSchedulerTest, ReadPhaseNeverAborts) {
+  OccScheduler s;
+  s.OnBegin(1);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+}
+
+TEST(OccSchedulerTest, ValidationCatchesStaleRead) {
+  OccScheduler s;
+  s.OnBegin(1);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+  // T1 read x before T2's committed write: backward validation fails.
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAborted);
+  EXPECT_EQ(s.validations_failed(), 1u);
+}
+
+TEST(OccSchedulerTest, NonOverlappingTransactionsCommit) {
+  OccScheduler s;
+  s.OnBegin(1);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+}
+
+TEST(OccSchedulerTest, RestartRevalidatesCleanly) {
+  OccScheduler s;
+  s.OnBegin(1);
+  s.OnBegin(2);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAborted);
+  s.OnRestart(1);
+  s.OnBegin(1);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+}
+
+// --- Bayer-style dynamic timestamp intervals ---
+
+TEST(IntervalSchedulerTest, DependencyShrinksBothIntervals) {
+  IntervalScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  // T1 -> T2 encoded: T1's interval now ends where T2's begins.
+  EXPECT_LE(s.hi(1), s.lo(2));
+  EXPECT_GT(s.shrinks(), 0u);
+}
+
+TEST(IntervalSchedulerTest, ReversedOrderAborts) {
+  IntervalScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kRead, 1}), SchedOutcome::kAccepted);
+  // Order T1 < T2 is fixed; T2 -> T1 must abort... construct directly:
+  // T1 is before T2; now T1 tries to read an item T2 wrote.
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 2}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 2}), SchedOutcome::kAborted);
+  EXPECT_GT(s.order_aborts(), 0u);
+}
+
+TEST(IntervalSchedulerTest, AcceptsExample1LikeMt2) {
+  // Dynamic intervals also avoid TO(1)'s premature ordering on Example 1.
+  IntervalScheduler s;
+  Log log = *Log::Parse("W1[x] W1[y] R3[x] R2[y] W3[y]");
+  for (const Op& op : log.ops()) {
+    EXPECT_EQ(s.OnOperation(op), SchedOutcome::kAccepted) << OpName(op);
+  }
+}
+
+TEST(IntervalSchedulerTest, FragmentationAfterManySplits) {
+  // The paper's criticism: "intervals may shrink exponentially in terms of
+  // the number of operations, and there tend to be fragmentation". Once a
+  // transaction's interval is bounded on both sides, every further
+  // dependency halves the remaining overlap until it cannot be split.
+  IntervalScheduler::Options options;
+  options.min_split_width = 1e-3;
+  IntervalScheduler s(options);
+  // Bound T1 from above: T1 writes y, T99 reads it (T1 -> T99 caps hi(1)).
+  ASSERT_EQ(s.OnOperation(Op{1, OpType::kWrite, 100}), SchedOutcome::kAccepted);
+  ASSERT_EQ(s.OnOperation(Op{99, OpType::kRead, 100}),
+            SchedOutcome::kAccepted);
+  ASSERT_LT(s.hi(1), 2.0);
+  // Now squeeze from below: fresh writers each force lo(1) upward inside
+  // the fixed (lo, hi) window; midpoint splitting halves the overlap every
+  // time until fragmentation aborts the dependency.
+  SchedOutcome out = SchedOutcome::kAccepted;
+  int survived = 0;
+  TxnId other = 2;
+  for (ItemId item = 0; out == SchedOutcome::kAccepted && item < 64; ++item) {
+    ASSERT_EQ(s.OnOperation(Op{other, OpType::kWrite, item}),
+              SchedOutcome::kAccepted);
+    out = s.OnOperation(Op{1, OpType::kRead, item});
+    if (out == SchedOutcome::kAccepted) ++survived;
+    ++other;
+  }
+  EXPECT_EQ(out, SchedOutcome::kAborted);
+  EXPECT_GT(s.fragmentation_aborts(), 0u);
+  // Roughly log2(1 / min_split_width) ~ 10 dependencies fit.
+  EXPECT_LT(survived, 20);
+  EXPECT_GT(survived, 3);
+}
+
+TEST(IntervalSchedulerTest, RestartGetsFullInterval) {
+  IntervalScheduler s;
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 1}), SchedOutcome::kAborted);
+  const double old_hi = s.hi(1);
+  s.OnRestart(1);
+  EXPECT_GT(s.hi(1), old_hi);
+}
+
+// --- Deferred-write MT(k) (two-phase commit per write, VI-C-2) ---
+
+TEST(DeferredWriteTest, WritesInvisibleUntilCommit) {
+  MtkOptions options;
+  options.k = 2;
+  MtkDeferredWrite s(options);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  // The write is buffered: WT(x) still belongs to the virtual txn.
+  EXPECT_EQ(s.inner().Wt(0), kVirtualTxn);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.inner().Wt(0), 1u);
+}
+
+TEST(DeferredWriteTest, CommitValidationCanAbort) {
+  MtkOptions options;
+  options.k = 2;
+  MtkDeferredWrite s(options);
+  // Both writes are buffered. T1 commits first: validating W1[x] against
+  // RT(x) = T3 encodes T3 < T1. T3 then commits: validating W3[y] against
+  // RT(y) = T1 would need T1 < T3 - the opposite order is fixed, so T3
+  // aborts at its own commit, after T1 (already committed) is untouchable.
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kRead, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kRead, 0}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(1), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(3), SchedOutcome::kAborted);
+  // The aborted T3 can restart and succeed.
+  s.OnRestart(3);
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(3), SchedOutcome::kAccepted);
+}
+
+TEST(DeferredWriteTest, AbortLeavesNoTrace) {
+  MtkOptions options;
+  options.k = 2;
+  MtkDeferredWrite s(options);
+  EXPECT_EQ(s.OnOperation(Op{1, OpType::kWrite, 0}), SchedOutcome::kAccepted);
+  // Force an abort through a read rejection.
+  EXPECT_EQ(s.OnOperation(Op{2, OpType::kWrite, 1}), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnCommit(2), SchedOutcome::kAccepted);
+  EXPECT_EQ(s.OnOperation(Op{3, OpType::kRead, 1}), SchedOutcome::kAccepted);
+  // T1's buffered write never touched the table.
+  EXPECT_EQ(s.inner().Wt(0), kVirtualTxn);
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,195 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+#include "classify/classes.h"
+#include "gtest/gtest.h"
+#include "sched/deferred_write.h"
+#include "sched/interval_scheduler.h"
+#include "sched/mtk_online.h"
+#include "sched/occ_scheduler.h"
+#include "sched/to1_scheduler.h"
+#include "sched/two_pl_scheduler.h"
+
+namespace mdts {
+namespace {
+
+SimOptions BaseOptions(uint64_t seed) {
+  SimOptions options;
+  options.num_txns = 60;
+  options.concurrency = 8;
+  options.mean_think_time = 1.0;
+  options.restart_delay = 2.0;
+  options.seed = seed;
+  options.workload.num_items = 12;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 4;
+  options.workload.read_fraction = 0.6;
+  return options;
+}
+
+std::unique_ptr<Scheduler> MakeMtk(size_t k, bool fix = true) {
+  MtkOptions options;
+  options.k = k;
+  options.starvation_fix = fix;
+  return std::make_unique<MtkOnline>(options);
+}
+
+TEST(SimulatorTest, AllTransactionsEventuallyCommitUnderMtk) {
+  auto s = MakeMtk(3);
+  SimResult r = RunSimulation(s.get(), BaseOptions(1));
+  EXPECT_EQ(r.committed + r.gave_up, 60u);
+  EXPECT_EQ(r.gave_up, 0u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  auto s1 = MakeMtk(3);
+  auto s2 = MakeMtk(3);
+  SimResult r1 = RunSimulation(s1.get(), BaseOptions(7));
+  SimResult r2 = RunSimulation(s2.get(), BaseOptions(7));
+  EXPECT_EQ(r1.committed, r2.committed);
+  EXPECT_EQ(r1.aborts, r2.aborts);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.committed_history.ToString(),
+            r2.committed_history.ToString());
+}
+
+// The master safety property: whatever any scheduler commits must be
+// D-serializable. Parameterized over all protocols.
+class CommittedHistoryAudit : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<Scheduler> Make(int which) {
+    switch (which) {
+      case 0:
+        return MakeMtk(1);
+      case 1:
+        return MakeMtk(2);
+      case 2:
+        return MakeMtk(4);
+      case 3: {
+        MtkOptions o;
+        o.k = 3;
+        o.thomas_write_rule = true;
+        o.starvation_fix = true;
+        return std::make_unique<MtkOnline>(o);
+      }
+      case 4:
+        return std::make_unique<TwoPlScheduler>();
+      case 5:
+        return std::make_unique<To1Scheduler>();
+      case 6:
+        return std::make_unique<OccScheduler>();
+      case 7:
+        return std::make_unique<IntervalScheduler>();
+      case 8: {
+        MtkOptions o;
+        o.k = 3;
+        return std::make_unique<MtkDeferredWrite>(o);
+      }
+      default:
+        return nullptr;
+    }
+  }
+};
+
+TEST_P(CommittedHistoryAudit, CommittedHistoryIsAlwaysDsr) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto scheduler = Make(GetParam());
+    ASSERT_NE(scheduler, nullptr);
+    SimOptions options = BaseOptions(seed * 13);
+    options.num_txns = 40;
+    options.workload.num_items = 6;  // High contention.
+    options.workload.read_fraction = 0.5;
+    SimResult r = RunSimulation(scheduler.get(), options);
+    EXPECT_GT(r.committed, 0u) << scheduler->name();
+    EXPECT_TRUE(IsDsr(r.committed_history))
+        << scheduler->name() << " seed " << seed << "\n"
+        << r.committed_history.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, CommittedHistoryAudit,
+                         ::testing::Range(0, 9));
+
+TEST(SimulatorTest, TwoPlBlocksButRarelyAborts) {
+  TwoPlScheduler s;
+  SimOptions options = BaseOptions(3);
+  options.workload.num_items = 6;
+  SimResult r = RunSimulation(&s, options);
+  EXPECT_EQ(r.committed + r.gave_up, 60u);
+  EXPECT_GT(r.block_events, 0u) << "2PL under contention must block";
+}
+
+TEST(SimulatorTest, StarvationFixBoundsConsecutiveAborts) {
+  SimOptions options = BaseOptions(11);
+  options.num_txns = 80;
+  options.workload.num_items = 4;  // Very high contention.
+  options.workload.read_fraction = 0.3;
+
+  auto without = MakeMtk(2, /*fix=*/false);
+  SimResult r_without = RunSimulation(without.get(), options);
+  auto with = MakeMtk(2, /*fix=*/true);
+  SimResult r_with = RunSimulation(with.get(), options);
+
+  // The fix guarantees a restarted transaction cannot be re-aborted by the
+  // SAME blocker (the deterministic Fig. 5 replay in mtk_scheduler_test
+  // pins that); under random contention with changing blockers it does not
+  // bound consecutive aborts, so here we assert only that both
+  // configurations drive the whole workload to completion.
+  EXPECT_EQ(r_with.committed + r_with.gave_up, 80u);
+  EXPECT_EQ(r_without.committed + r_without.gave_up, 80u);
+  EXPECT_GT(r_with.committed, 0u);
+  EXPECT_GT(r_without.committed, 0u);
+}
+
+TEST(SimulatorTest, PartialRollbackPreservesWork) {
+  SimOptions options = BaseOptions(17);
+  options.num_txns = 80;
+  options.workload.num_items = 5;
+  options.workload.min_ops = 4;
+  options.workload.max_ops = 6;
+  options.workload.read_fraction = 0.4;
+
+  auto full = MakeMtk(3);
+  SimResult r_full = RunSimulation(full.get(), options);
+
+  options.partial_rollback = true;
+  auto partial = MakeMtk(3);
+  SimResult r_partial = RunSimulation(partial.get(), options);
+
+  EXPECT_EQ(r_partial.committed + r_partial.gave_up, 80u);
+  if (r_partial.aborts > 0) {
+    EXPECT_GT(r_partial.ops_replayed_free, 0u)
+        << "partial rollback should replay some prefix work for free";
+  }
+  EXPECT_EQ(r_full.ops_replayed_free, 0u);
+}
+
+TEST(SimulatorTest, ZeroContentionCommitsWithoutAborts) {
+  SimOptions options = BaseOptions(23);
+  options.num_txns = 30;
+  options.workload.num_items = 500;  // Conflicts are nearly impossible.
+  auto s = MakeMtk(2);
+  SimResult r = RunSimulation(s.get(), options);
+  EXPECT_EQ(r.committed, 30u);
+  EXPECT_EQ(r.aborts, 0u);
+  EXPECT_EQ(r.ops_wasted, 0u);
+}
+
+TEST(SimulatorTest, ConcurrencyOneIsSerialAndConflictFree) {
+  SimOptions options = BaseOptions(29);
+  options.concurrency = 1;
+  options.workload.num_items = 3;
+  for (int which : {0, 4, 6}) {
+    auto s = CommittedHistoryAudit::Make(which);
+    SimResult r = RunSimulation(s.get(), options);
+    EXPECT_EQ(r.committed, 60u) << s->name();
+    EXPECT_EQ(r.aborts, 0u) << s->name();
+    EXPECT_EQ(r.block_events, 0u) << s->name();
+  }
+}
+
+}  // namespace
+}  // namespace mdts

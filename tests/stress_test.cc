@@ -1,0 +1,235 @@
+// Stress/fuzz-style invariant tests: long random command sequences
+// (operations, commits, aborts, restarts, compactions) against the
+// schedulers, checking the structural invariants the correctness arguments
+// rest on:
+//   I1  defined vector elements always form a prefix,
+//   I2  a determined pair order never reverses,
+//   I3  whatever is accepted stays D-serializable (committed projection),
+//   I4  Definition 5: serializability numbers s_i exist inside
+//       (t_i - 1, t_i) windows given by the first vector elements.
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "classify/classes.h"
+#include "common/rng.h"
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+#include "core/recognizer.h"
+#include "gtest/gtest.h"
+#include "mvcc/mv_scheduler.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+// I1: every vector's defined elements form a contiguous prefix.
+void ExpectPrefixInvariant(MtkScheduler* s, TxnId max_txn) {
+  for (TxnId t = 0; t <= max_txn; ++t) {
+    const TimestampVector& v = s->Ts(t);
+    EXPECT_EQ(v.DefinedPrefixLength(), v.DefinedCount())
+        << "txn " << t << " vector " << v.ToString();
+  }
+}
+
+class SchedulerStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerStress, InvariantsHoldUnderRandomCommandSequences) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    MtkOptions options;
+    options.k = static_cast<size_t>(rng.Uniform(1, 6));
+    options.starvation_fix = rng.Chance(0.5);
+    options.thomas_write_rule = rng.Chance(0.3);
+    options.relaxed_read_path = rng.Chance(0.3);
+    options.optimized_encoding = rng.Chance(0.3);
+    options.hot_item_threshold = static_cast<size_t>(rng.Uniform(0, 6));
+    MtkScheduler s(options);
+
+    const TxnId n = 8;
+    const ItemId m = 5;
+    // Determined-order memory for I2.
+    std::map<std::pair<TxnId, TxnId>, VectorOrder> seen;
+
+    // Abort or restart of t legitimately rewrites TS(t); forget any order
+    // observations involving t at those moments so I2 only tracks pairs
+    // whose vectors evolved monotonically.
+    auto forget = [&](TxnId t) {
+      for (auto it = seen.begin(); it != seen.end();) {
+        if (it->first.first == t || it->first.second == t) {
+          it = seen.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      const TxnId t = static_cast<TxnId>(rng.Uniform(1, n));
+      const double dice = rng.UniformReal();
+      if (s.IsAborted(t)) {
+        if (dice < 0.7) {
+          s.RestartTxn(t);
+          forget(t);
+        }
+        continue;
+      }
+      if (s.IsCommitted(t)) continue;
+      if (dice < 0.85) {
+        const Op op{t,
+                    rng.Chance(0.5) ? OpType::kRead : OpType::kWrite,
+                    static_cast<ItemId>(rng.Uniform(0, m - 1))};
+        if (s.Process(op) == OpDecision::kReject) forget(t);
+      } else if (dice < 0.92) {
+        s.CommitTxn(t);
+      } else {
+        s.CompactItemHistories();
+      }
+
+      if (step % 7 == 0) {
+        ExpectPrefixInvariant(&s, n);
+        // I2: determined orders must never reverse while both vectors
+        // evolve monotonically (no abort/restart in between).
+        for (TxnId a = 1; a <= n; ++a) {
+          for (TxnId b = a + 1; b <= n; ++b) {
+            const VectorOrder now = Compare(s.Ts(a), s.Ts(b)).order;
+            auto it = seen.find({a, b});
+            if (it != seen.end() &&
+                (it->second == VectorOrder::kLess ||
+                 it->second == VectorOrder::kGreater)) {
+              EXPECT_EQ(now, it->second)
+                  << "determined order reversed for T" << a << ", T" << b;
+            }
+            seen[{a, b}] = now;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStress,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(SchedulerStressTest, EffectiveHistoriesStayDsrUnderAllVariantCombos) {
+  // I3 across the full option grid.
+  for (int mask = 0; mask < 32; ++mask) {
+    MtkOptions options;
+    options.k = 1 + (mask % 4);
+    options.starvation_fix = mask & 1;
+    options.thomas_write_rule = mask & 2;
+    options.relaxed_read_path = mask & 4;
+    options.optimized_encoding = mask & 8;
+    options.disable_old_read_path = mask & 16;
+    options.hot_item_threshold = 2;
+
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = 3;
+    w.min_ops = 1;
+    w.max_ops = 4;
+    w.distinct_items_per_txn = false;
+    w.seed = 4000 + static_cast<uint64_t>(mask);
+    Log log = GenerateLog(w);
+    EXPECT_TRUE(IsDsr(EffectiveHistory(log, options)))
+        << "mask " << mask << " log " << log.ToString();
+  }
+}
+
+TEST(SchedulerStressTest, Definition5WitnessExistsForAcceptedLogs) {
+  // I4 / Definition 5: for an accepted log there exist serializability
+  // numbers s_i with t_i - 1 < s_i < t_i (t_i the first vector element)
+  // satisfying every dependency constraint. Construction: distinct first
+  // elements already order their windows disjointly; within an equal-t
+  // group, order by the full vector (a partial order we linearize).
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed + 6000;
+    Log log = GenerateLog(w);
+
+    MtkOptions options;
+    options.k = 4;
+    MtkScheduler s(options);
+    bool accepted = true;
+    for (const Op& op : log.ops()) {
+      if (s.Process(op) != OpDecision::kAccept) {
+        accepted = false;
+        break;
+      }
+    }
+    if (!accepted) continue;
+
+    // Assign s_i inside (t_i - 1, t_i), ordered within the window by the
+    // global serialization order.
+    std::vector<TxnId> txns;
+    for (TxnId t = 1; t <= log.num_txns(); ++t) {
+      if (log.OpsOfTxn(t) > 0) txns.push_back(t);
+    }
+    auto order = s.SerializationOrder(txns);
+    std::map<TxnId, double> s_num;
+    std::map<TsElement, int> rank_in_window;
+    for (TxnId t : order) {
+      ASSERT_TRUE(s.Ts(t).IsDefined(0)) << "active txn without t_i";
+      const TsElement ti = s.Ts(t).Get(0);
+      const int r = rank_in_window[ti]++;
+      s_num[t] = static_cast<double>(ti) - 1.0 +
+                 (static_cast<double>(r) + 1.0) /
+                     (static_cast<double>(txns.size()) + 2.0);
+      EXPECT_GT(s_num[t], static_cast<double>(ti) - 1.0);
+      EXPECT_LT(s_num[t], static_cast<double>(ti));
+    }
+    // Every dependency must respect the s numbers.
+    const auto& ops = log.ops();
+    for (size_t b = 0; b < ops.size(); ++b) {
+      for (size_t a = 0; a < b; ++a) {
+        if (Conflicts(ops[a], ops[b])) {
+          EXPECT_LT(s_num[ops[a].txn], s_num[ops[b].txn])
+              << "dependency " << OpName(ops[a]) << " -> " << OpName(ops[b])
+              << " violates Definition 5 in " << log.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(MvStressTest, RandomCommandSequencesKeepMvsgAcyclic) {
+  Rng rng(777);
+  for (int round = 0; round < 8; ++round) {
+    MvMtkOptions options;
+    options.k = static_cast<size_t>(rng.Uniform(1, 5));
+    options.starvation_fix = rng.Chance(0.5);
+    MvMtkScheduler s(options);
+    const TxnId n = 8;
+    const ItemId m = 4;
+    for (int step = 0; step < 400; ++step) {
+      const TxnId t = static_cast<TxnId>(rng.Uniform(1, n));
+      const double dice = rng.UniformReal();
+      if (s.IsAborted(t)) {
+        if (dice < 0.7) s.RestartTxn(t);
+        continue;
+      }
+      if (s.IsCommitted(t)) continue;
+      if (dice < 0.85) {
+        s.Process(Op{t, rng.Chance(0.6) ? OpType::kRead : OpType::kWrite,
+                     static_cast<ItemId>(rng.Uniform(0, m - 1))});
+      } else if (dice < 0.92) {
+        s.CommitTxn(t);
+      } else {
+        s.PruneVersions();
+      }
+      if (step % 57 == 0) {
+        EXPECT_TRUE(s.AuditMvsgAcyclic()) << "round " << round << " step "
+                                          << step;
+      }
+    }
+    EXPECT_TRUE(s.AuditMvsgAcyclic());
+  }
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,254 @@
+// Randomized and exhaustive checks of the paper's formal results:
+//   Theorem 2  - MT(k) assures serializability (accepted histories are DSR).
+//   Theorem 3  - TO(2q-1) = TO(k) for all k >= 2q-1.
+//   Lemma 4    - with k = 2q the 2q-th vector element is never assigned.
+//   Section III-C - TO(k-1) and TO(k) are incomparable below 2q-1, and
+//                   TO(k) is a proper subset of DSR.
+
+#include "classify/classes.h"
+#include "core/log.h"
+#include "core/mtk_scheduler.h"
+#include "core/recognizer.h"
+#include "gtest/gtest.h"
+#include "workload/enumerate.h"
+#include "workload/generator.h"
+
+namespace mdts {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  size_t k;
+};
+
+class Theorem2Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Theorem2Sweep, AcceptedHistoriesAreAlwaysDsr) {
+  const auto param = GetParam();
+  for (int variant = 0; variant < 8; ++variant) {
+    MtkOptions options;
+    options.k = param.k;
+    options.starvation_fix = variant & 1;
+    options.thomas_write_rule = variant & 2;
+    options.relaxed_read_path = variant & 4;
+
+    for (uint64_t round = 0; round < 20; ++round) {
+      WorkloadOptions w;
+      w.num_txns = 6;
+      w.num_items = 4;
+      w.min_ops = 1;
+      w.max_ops = 4;
+      w.read_fraction = 0.5;
+      w.seed = param.seed * 1000 + round;
+      Log log = GenerateLog(w);
+      Log effective = EffectiveHistory(log, options);
+      EXPECT_TRUE(IsDsr(effective))
+          << "variant=" << variant << " k=" << param.k
+          << " log=" << log.ToString()
+          << " effective=" << effective.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KsAndSeeds, Theorem2Sweep,
+    ::testing::Values(SweepParam{1, 1}, SweepParam{2, 1}, SweepParam{3, 2},
+                      SweepParam{4, 2}, SweepParam{5, 3}, SweepParam{6, 3},
+                      SweepParam{7, 4}, SweepParam{8, 5}, SweepParam{9, 7},
+                      SweepParam{10, 8}));
+
+TEST(Theorem2Test, OptimizedEncodingVariantAlsoSafe) {
+  MtkOptions options;
+  options.k = 4;
+  options.optimized_encoding = true;
+  options.hot_item_threshold = 2;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 6;
+    w.num_items = 3;  // Few items: everything becomes hot quickly.
+    w.min_ops = 1;
+    w.max_ops = 4;
+    w.distinct_items_per_txn = false;
+    w.seed = seed;
+    Log log = GenerateLog(w);
+    EXPECT_TRUE(IsDsr(EffectiveHistory(log, options))) << log.ToString();
+  }
+}
+
+TEST(Theorem2Test, AcceptedLogsEnforceDependenciesInVectorOrder) {
+  // The mechanism behind Theorem 2: if the whole log is accepted, every
+  // dependency T_i -> T_j is reflected as TS(i) < TS(j).
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = 3;
+    w.seed = seed;
+    Log log = GenerateLog(w);
+
+    MtkOptions options;
+    options.k = 5;
+    MtkScheduler scheduler(options);
+    bool all_accepted = true;
+    for (const Op& op : log.ops()) {
+      if (scheduler.Process(op) != OpDecision::kAccept) {
+        all_accepted = false;
+        break;
+      }
+    }
+    if (!all_accepted) continue;
+
+    const auto& ops = log.ops();
+    for (size_t b = 0; b < ops.size(); ++b) {
+      for (size_t a = 0; a < b; ++a) {
+        if (Conflicts(ops[a], ops[b])) {
+          EXPECT_TRUE(
+              VectorLess(scheduler.Ts(ops[a].txn), scheduler.Ts(ops[b].txn)))
+              << log.ToString() << " dep " << OpName(ops[a]) << " -> "
+              << OpName(ops[b]);
+        }
+      }
+    }
+  }
+}
+
+// --- Theorem 3: TO(2q-1) = TO(k) for k >= 2q-1 ---
+
+class Theorem3Sweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Theorem3Sweep, VectorSizeBeyond2qMinus1ChangesNothing) {
+  const size_t q = GetParam();
+  const size_t k_star = 2 * q - 1;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    WorkloadOptions w;
+    w.num_txns = 5;
+    w.num_items = 4;
+    w.min_ops = 1;
+    w.max_ops = static_cast<uint32_t>(q);
+    w.seed = seed * 31 + q;
+    Log log = GenerateLog(w);
+    ASSERT_LE(log.MaxOpsPerTxn(), q);
+    const bool base = IsToK(log, k_star);
+    for (size_t k = k_star + 1; k <= k_star + 3; ++k) {
+      EXPECT_EQ(IsToK(log, k), base)
+          << "q=" << q << " k=" << k << " log=" << log.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Q, Theorem3Sweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Theorem3Test, ExhaustiveTwoStepUniverse) {
+  // q = 2, so TO(3) = TO(4) = TO(5) over the whole two-step universe with
+  // 3 transactions and 2 items.
+  ForEachTwoStepLog(3, 2, [](const Log& log) {
+    const bool to3 = IsToK(log, 3);
+    EXPECT_EQ(IsToK(log, 4), to3) << log.ToString();
+    EXPECT_EQ(IsToK(log, 5), to3) << log.ToString();
+    return !::testing::Test::HasFailure();
+  });
+}
+
+// --- Lemma 4: with k = 2q the last element is never assigned ---
+
+TEST(Lemma4Test, LastElementNeverAssignedWhenKIs2q) {
+  for (size_t q : {1u, 2u, 3u}) {
+    const size_t k = 2 * q;
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      WorkloadOptions w;
+      w.num_txns = 5;
+      w.num_items = 4;
+      w.min_ops = 1;
+      w.max_ops = static_cast<uint32_t>(q);
+      w.seed = seed * 17 + q;
+      Log log = GenerateLog(w);
+
+      MtkOptions options;
+      options.k = k;
+      MtkScheduler scheduler(options);
+      bool all_accepted = true;
+      for (const Op& op : log.ops()) {
+        if (scheduler.Process(op) != OpDecision::kAccept) {
+          all_accepted = false;
+          break;
+        }
+      }
+      if (!all_accepted) continue;
+      for (TxnId t = 1; t <= log.num_txns(); ++t) {
+        EXPECT_FALSE(scheduler.Ts(t).IsDefined(k - 1))
+            << "q=" << q << " txn=" << t << " log=" << log.ToString();
+      }
+    }
+  }
+}
+
+// --- Section III-C: incomparability and strict containment in DSR ---
+
+TEST(HierarchySeparationTest, To1AndTo3AreIncomparable) {
+  bool found_to3_not_to1 = false;
+  bool found_to1_not_to3 = false;
+  ForEachTwoStepLog(3, 2, [&](const Log& log) {
+    const bool to1 = IsToK(log, 1);
+    const bool to3 = IsToK(log, 3);
+    if (to3 && !to1) found_to3_not_to1 = true;
+    if (to1 && !to3) found_to1_not_to3 = true;
+    return !(found_to3_not_to1 && found_to1_not_to3);
+  });
+  EXPECT_TRUE(found_to3_not_to1) << "no witness for TO(3) - TO(1)";
+  EXPECT_TRUE(found_to1_not_to3) << "no witness for TO(1) - TO(3)";
+}
+
+TEST(HierarchySeparationTest, To2AndTo3AreIncomparable) {
+  // The paper: for 2 <= k <= 2q-1, TO(k-1) is not a subset of TO(k),
+  // "because column k-1 of MT(k-1)'s table contains only distinct elements
+  // but column k-1 of MT(k)'s table may contain equal elements". The
+  // separation needs two independent pair encodings plus a cross
+  // dependency, i.e. four transactions:
+  //
+  // In TO(2) - TO(3): under MT(3) the pairs (T2,T1) and (T4,T3) both take
+  // column-2 values {1,2}, so TS(1)=<1,2,*> > TS(4)=<1,1,*> blocks the
+  // later dependency T1 -> T4; under MT(2) the ucount counter gives
+  // TS(4)=<1,3> > TS(1)=<1,2> and the log is accepted.
+  Log to2_only =
+      *Log::Parse("R1[x] R2[y] W1[y] R3[z] R4[w] W3[w] W4[x] W2[4]");
+  EXPECT_TRUE(IsToK(to2_only, 2));
+  EXPECT_FALSE(IsToK(to2_only, 3));
+
+  // In TO(3) - TO(2): the dependency T4 -> T2 compares <1,1,*> with
+  // <1,1,*> under MT(3) (equal, encodable in the last column) but
+  // <1,3> with <1,1> under MT(2) (already reversed).
+  Log to3_only =
+      *Log::Parse("R1[x] R2[y] W1[y] R3[z] R4[w] W3[w] W4[4] W2[4]");
+  EXPECT_FALSE(IsToK(to3_only, 2));
+  EXPECT_TRUE(IsToK(to3_only, 3));
+}
+
+TEST(HierarchySeparationTest, SmallTwoStepUniverseHasNoTo2To3Separation) {
+  // Negative space of the previous test: with only 3 transactions over 3
+  // items the two classes coincide on the whole two-step universe - the
+  // separation genuinely requires two independent pair encodings.
+  ForEachTwoStepLog(3, 3, [](const Log& log) {
+    EXPECT_EQ(IsToK(log, 2), IsToK(log, 3)) << log.ToString();
+    return !::testing::Test::HasFailure();
+  });
+}
+
+TEST(HierarchySeparationTest, ToKStrictlyInsideDsr) {
+  // Containment: every TO(k) log is DSR (Definition 3). Strictness: some
+  // DSR two-step log is outside TO(3).
+  bool found_dsr_not_to3 = false;
+  ForEachTwoStepLog(3, 2, [&](const Log& log) {
+    for (size_t k : {1u, 2u, 3u}) {
+      if (IsToK(log, k)) {
+        EXPECT_TRUE(IsDsr(log)) << "k=" << k << " " << log.ToString();
+      }
+    }
+    if (IsDsr(log) && !IsToK(log, 3)) found_dsr_not_to3 = true;
+    return !::testing::Test::HasFailure();
+  });
+  EXPECT_TRUE(found_dsr_not_to3);
+}
+
+}  // namespace
+}  // namespace mdts

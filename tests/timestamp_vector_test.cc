@@ -1,0 +1,178 @@
+#include "core/timestamp_vector.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+TimestampVector Make(std::vector<TsElement> elems) {
+  TimestampVector v(elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (elems[i] != kUndefinedElement) v.Set(i, elems[i]);
+  }
+  return v;
+}
+
+constexpr TsElement U = kUndefinedElement;
+
+TEST(TimestampVectorTest, InitiallyAllUndefined) {
+  TimestampVector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FALSE(v.IsDefined(i));
+  EXPECT_EQ(v.DefinedPrefixLength(), 0u);
+  EXPECT_EQ(v.DefinedCount(), 0u);
+  EXPECT_EQ(v.ToString(), "<*,*,*,*>");
+}
+
+TEST(TimestampVectorTest, VirtualVectorIsZeroThenUndefined) {
+  TimestampVector v = TimestampVector::Virtual(3);
+  EXPECT_TRUE(v.IsDefined(0));
+  EXPECT_EQ(v.Get(0), 0);
+  EXPECT_FALSE(v.IsDefined(1));
+  EXPECT_EQ(v.ToString(), "<0,*,*>");
+}
+
+TEST(TimestampVectorTest, SetAndReset) {
+  TimestampVector v(3);
+  v.Set(0, 5);
+  v.Set(1, -2);
+  EXPECT_EQ(v.DefinedPrefixLength(), 2u);
+  EXPECT_EQ(v.ToString(), "<5,-2,*>");
+  v.Reset();
+  EXPECT_EQ(v.DefinedCount(), 0u);
+}
+
+// --- Definition 6 comparison semantics ---
+
+TEST(CompareTest, LessAtFirstElement) {
+  auto r = Compare(Make({1, 2}), Make({2, U}));
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  EXPECT_EQ(r.index, 0u);
+}
+
+TEST(CompareTest, GreaterDecidedAtSecondElement) {
+  auto r = Compare(Make({1, 5, U}), Make({1, 3, 9}));
+  EXPECT_EQ(r.order, VectorOrder::kGreater);
+  EXPECT_EQ(r.index, 1u);
+}
+
+TEST(CompareTest, EqualWhenBothUndefined) {
+  // Paper Example 1: TS(2) = <2,*> and TS(3) = <2,*> are equal, which is the
+  // whole point of multidimensional timestamps.
+  auto r = Compare(Make({2, U}), Make({2, U}));
+  EXPECT_EQ(r.order, VectorOrder::kEqual);
+  EXPECT_EQ(r.index, 1u);
+}
+
+TEST(CompareTest, EqualAtFirstElementWhenBothFullyUndefined) {
+  auto r = Compare(Make({U, U}), Make({U, U}));
+  EXPECT_EQ(r.order, VectorOrder::kEqual);
+  EXPECT_EQ(r.index, 0u);
+}
+
+TEST(CompareTest, UndeterminedWhenExactlyOneUndefined) {
+  auto r = Compare(Make({1, U}), Make({1, 4}));
+  EXPECT_EQ(r.order, VectorOrder::kUndetermined);
+  EXPECT_EQ(r.index, 1u);
+
+  r = Compare(Make({1, 4}), Make({1, U}));
+  EXPECT_EQ(r.order, VectorOrder::kUndetermined);
+  EXPECT_EQ(r.index, 1u);
+}
+
+TEST(CompareTest, UndefinedElementNotEqualToAnyInteger) {
+  // "We assume that an undefined element is not equal to any integer":
+  // <1,*> vs <1,0> must be undetermined, not equal, even though the
+  // undefined slot could later take value 0.
+  auto r = Compare(Make({1, U}), Make({1, 0}));
+  EXPECT_EQ(r.order, VectorOrder::kUndetermined);
+}
+
+TEST(CompareTest, IdenticalFullyDefinedVectors) {
+  auto r = Compare(Make({3, 7}), Make({3, 7}));
+  EXPECT_EQ(r.order, VectorOrder::kIdentical);
+  EXPECT_EQ(r.index, 2u);
+}
+
+TEST(CompareTest, PaperFigure6Vectors) {
+  // Input of Fig. 6: TS(1) = <1,3,2,2>, TS(2) = <1,3,5,2>; the 3rd elements
+  // are the first unequal pair and decide TS(1) < TS(2).
+  auto r = Compare(Make({1, 3, 2, 2}), Make({1, 3, 5, 2}));
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  EXPECT_EQ(r.index, 2u);
+}
+
+TEST(CompareTest, NegativeElementsOrderCorrectly) {
+  // lcount counts downward, so negative elements are routine.
+  auto r = Compare(Make({1, 0}), Make({1, 2}));
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+  r = Compare(Make({1, -3}), Make({1, 0}));
+  EXPECT_EQ(r.order, VectorOrder::kLess);
+}
+
+// --- Lemma 1 (transitivity) and Lemma 2 (irreflexivity), randomized ---
+
+class CompareLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TimestampVector RandomVector(Rng* rng, size_t k) {
+  TimestampVector v(k);
+  // Random defined prefix (the invariant the scheduler maintains).
+  size_t prefix = static_cast<size_t>(rng->Uniform(0, static_cast<int64_t>(k)));
+  for (size_t i = 0; i < prefix; ++i) {
+    v.Set(i, rng->Uniform(-4, 5));
+  }
+  return v;
+}
+
+TEST_P(CompareLawsTest, LessIsTransitiveAndIrreflexive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t k = static_cast<size_t>(rng.Uniform(1, 6));
+    TimestampVector a = RandomVector(&rng, k);
+    TimestampVector b = RandomVector(&rng, k);
+    TimestampVector c = RandomVector(&rng, k);
+    // Lemma 2: irreflexive.
+    EXPECT_FALSE(VectorLess(a, a));
+    // Lemma 1: transitive.
+    if (VectorLess(a, b) && VectorLess(b, c)) {
+      EXPECT_TRUE(VectorLess(a, c))
+          << a.ToString() << " < " << b.ToString() << " < " << c.ToString();
+    }
+    // Antisymmetry follows: not both a<b and b>a reversed.
+    if (VectorLess(a, b)) {
+      EXPECT_FALSE(VectorLess(b, a));
+      EXPECT_EQ(Compare(b, a).order, VectorOrder::kGreater);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompareLawsTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1986u));
+
+TEST(CompareTest, ComparisonIsSymmetricallyConsistent) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t k = static_cast<size_t>(rng.Uniform(1, 5));
+    TimestampVector a = RandomVector(&rng, k);
+    TimestampVector b = RandomVector(&rng, k);
+    auto ab = Compare(a, b);
+    auto ba = Compare(b, a);
+    EXPECT_EQ(ab.index, ba.index);
+    switch (ab.order) {
+      case VectorOrder::kLess:
+        EXPECT_EQ(ba.order, VectorOrder::kGreater);
+        break;
+      case VectorOrder::kGreater:
+        EXPECT_EQ(ba.order, VectorOrder::kLess);
+        break;
+      default:
+        EXPECT_EQ(ba.order, ab.order);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdts
