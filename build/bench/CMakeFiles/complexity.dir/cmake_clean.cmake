@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity.dir/complexity.cc.o"
+  "CMakeFiles/complexity.dir/complexity.cc.o.d"
+  "complexity"
+  "complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

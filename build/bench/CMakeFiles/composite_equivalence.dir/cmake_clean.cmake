@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_equivalence.dir/composite_equivalence.cc.o"
+  "CMakeFiles/composite_equivalence.dir/composite_equivalence.cc.o.d"
+  "composite_equivalence"
+  "composite_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_degree.dir/concurrency_degree.cc.o"
+  "CMakeFiles/concurrency_degree.dir/concurrency_degree.cc.o.d"
+  "concurrency_degree"
+  "concurrency_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

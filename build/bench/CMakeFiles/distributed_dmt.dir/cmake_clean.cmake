@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_dmt.dir/distributed_dmt.cc.o"
+  "CMakeFiles/distributed_dmt.dir/distributed_dmt.cc.o.d"
+  "distributed_dmt"
+  "distributed_dmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_dmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_example1.dir/fig1_example1.cc.o"
+  "CMakeFiles/fig1_example1.dir/fig1_example1.cc.o.d"
+  "fig1_example1"
+  "fig1_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

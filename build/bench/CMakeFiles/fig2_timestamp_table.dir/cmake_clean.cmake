@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timestamp_table.dir/fig2_timestamp_table.cc.o"
+  "CMakeFiles/fig2_timestamp_table.dir/fig2_timestamp_table.cc.o.d"
+  "fig2_timestamp_table"
+  "fig2_timestamp_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timestamp_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

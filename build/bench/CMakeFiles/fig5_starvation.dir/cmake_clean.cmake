@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_starvation.dir/fig5_starvation.cc.o"
+  "CMakeFiles/fig5_starvation.dir/fig5_starvation.cc.o.d"
+  "fig5_starvation"
+  "fig5_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

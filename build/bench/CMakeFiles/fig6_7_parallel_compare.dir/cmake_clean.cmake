@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_parallel_compare.dir/fig6_7_parallel_compare.cc.o"
+  "CMakeFiles/fig6_7_parallel_compare.dir/fig6_7_parallel_compare.cc.o.d"
+  "fig6_7_parallel_compare"
+  "fig6_7_parallel_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_parallel_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

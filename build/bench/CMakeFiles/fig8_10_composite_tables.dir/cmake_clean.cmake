@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_10_composite_tables.dir/fig8_10_composite_tables.cc.o"
+  "CMakeFiles/fig8_10_composite_tables.dir/fig8_10_composite_tables.cc.o.d"
+  "fig8_10_composite_tables"
+  "fig8_10_composite_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_10_composite_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_comparison.dir/interval_comparison.cc.o"
+  "CMakeFiles/interval_comparison.dir/interval_comparison.cc.o.d"
+  "interval_comparison"
+  "interval_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

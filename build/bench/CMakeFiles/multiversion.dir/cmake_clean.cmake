@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiversion.dir/multiversion.cc.o"
+  "CMakeFiles/multiversion.dir/multiversion.cc.o.d"
+  "multiversion"
+  "multiversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_schemes.dir/rollback_schemes.cc.o"
+  "CMakeFiles/rollback_schemes.dir/rollback_schemes.cc.o.d"
+  "rollback_schemes"
+  "rollback_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starvation_rates.dir/starvation_rates.cc.o"
+  "CMakeFiles/starvation_rates.dir/starvation_rates.cc.o.d"
+  "starvation_rates"
+  "starvation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starvation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

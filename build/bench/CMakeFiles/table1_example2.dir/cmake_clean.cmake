@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_example2.dir/table1_example2.cc.o"
+  "CMakeFiles/table1_example2.dir/table1_example2.cc.o.d"
+  "table1_example2"
+  "table1_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimized_encoding.dir/table2_optimized_encoding.cc.o"
+  "CMakeFiles/table2_optimized_encoding.dir/table2_optimized_encoding.cc.o.d"
+  "table2_optimized_encoding"
+  "table2_optimized_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimized_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_example4_nested.dir/table3_example4_nested.cc.o"
+  "CMakeFiles/table3_example4_nested.dir/table3_example4_nested.cc.o.d"
+  "table3_example4_nested"
+  "table3_example4_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_example4_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_group_signatures.dir/table4_group_signatures.cc.o"
+  "CMakeFiles/table4_group_signatures.dir/table4_group_signatures.cc.o.d"
+  "table4_group_signatures"
+  "table4_group_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_group_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

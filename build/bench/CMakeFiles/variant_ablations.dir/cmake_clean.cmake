@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_ablations.dir/variant_ablations.cc.o"
+  "CMakeFiles/variant_ablations.dir/variant_ablations.cc.o.d"
+  "variant_ablations"
+  "variant_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_size_guidelines.dir/vector_size_guidelines.cc.o"
+  "CMakeFiles/vector_size_guidelines.dir/vector_size_guidelines.cc.o.d"
+  "vector_size_guidelines"
+  "vector_size_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_size_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

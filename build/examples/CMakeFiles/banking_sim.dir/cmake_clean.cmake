@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_sim.dir/banking_sim.cc.o"
+  "CMakeFiles/banking_sim.dir/banking_sim.cc.o.d"
+  "banking_sim"
+  "banking_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

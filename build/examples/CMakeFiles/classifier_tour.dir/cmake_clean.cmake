@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_tour.dir/classifier_tour.cc.o"
+  "CMakeFiles/classifier_tour.dir/classifier_tour.cc.o.d"
+  "classifier_tour"
+  "classifier_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

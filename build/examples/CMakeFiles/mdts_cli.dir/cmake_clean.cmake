@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_cli.dir/mdts_cli.cc.o"
+  "CMakeFiles/mdts_cli.dir/mdts_cli.cc.o.d"
+  "mdts_cli"
+  "mdts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_orders.dir/nested_orders.cc.o"
+  "CMakeFiles/nested_orders.dir/nested_orders.cc.o.d"
+  "nested_orders"
+  "nested_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classes.cc" "src/classify/CMakeFiles/mdts_classify.dir/classes.cc.o" "gcc" "src/classify/CMakeFiles/mdts_classify.dir/classes.cc.o.d"
+  "/root/repo/src/classify/dependency_graph.cc" "src/classify/CMakeFiles/mdts_classify.dir/dependency_graph.cc.o" "gcc" "src/classify/CMakeFiles/mdts_classify.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/classify/hierarchy.cc" "src/classify/CMakeFiles/mdts_classify.dir/hierarchy.cc.o" "gcc" "src/classify/CMakeFiles/mdts_classify.dir/hierarchy.cc.o.d"
+  "/root/repo/src/classify/two_pl.cc" "src/classify/CMakeFiles/mdts_classify.dir/two_pl.cc.o" "gcc" "src/classify/CMakeFiles/mdts_classify.dir/two_pl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

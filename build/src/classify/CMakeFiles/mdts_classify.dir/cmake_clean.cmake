@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_classify.dir/classes.cc.o"
+  "CMakeFiles/mdts_classify.dir/classes.cc.o.d"
+  "CMakeFiles/mdts_classify.dir/dependency_graph.cc.o"
+  "CMakeFiles/mdts_classify.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/mdts_classify.dir/hierarchy.cc.o"
+  "CMakeFiles/mdts_classify.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mdts_classify.dir/two_pl.cc.o"
+  "CMakeFiles/mdts_classify.dir/two_pl.cc.o.d"
+  "libmdts_classify.a"
+  "libmdts_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

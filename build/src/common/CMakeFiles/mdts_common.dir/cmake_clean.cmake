@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_common.dir/rng.cc.o"
+  "CMakeFiles/mdts_common.dir/rng.cc.o.d"
+  "CMakeFiles/mdts_common.dir/status.cc.o"
+  "CMakeFiles/mdts_common.dir/status.cc.o.d"
+  "CMakeFiles/mdts_common.dir/table_printer.cc.o"
+  "CMakeFiles/mdts_common.dir/table_printer.cc.o.d"
+  "libmdts_common.a"
+  "libmdts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

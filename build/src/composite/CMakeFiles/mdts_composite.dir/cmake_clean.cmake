@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_composite.dir/mtk_plus.cc.o"
+  "CMakeFiles/mdts_composite.dir/mtk_plus.cc.o.d"
+  "CMakeFiles/mdts_composite.dir/naive_union.cc.o"
+  "CMakeFiles/mdts_composite.dir/naive_union.cc.o.d"
+  "libmdts_composite.a"
+  "libmdts_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

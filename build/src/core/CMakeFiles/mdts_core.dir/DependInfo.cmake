@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/mdts_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/log.cc" "src/core/CMakeFiles/mdts_core.dir/log.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/log.cc.o.d"
+  "/root/repo/src/core/mtk_scheduler.cc" "src/core/CMakeFiles/mdts_core.dir/mtk_scheduler.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/mtk_scheduler.cc.o.d"
+  "/root/repo/src/core/recognizer.cc" "src/core/CMakeFiles/mdts_core.dir/recognizer.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/recognizer.cc.o.d"
+  "/root/repo/src/core/timestamp_vector.cc" "src/core/CMakeFiles/mdts_core.dir/timestamp_vector.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/timestamp_vector.cc.o.d"
+  "/root/repo/src/core/vector_table.cc" "src/core/CMakeFiles/mdts_core.dir/vector_table.cc.o" "gcc" "src/core/CMakeFiles/mdts_core.dir/vector_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_core.dir/explain.cc.o"
+  "CMakeFiles/mdts_core.dir/explain.cc.o.d"
+  "CMakeFiles/mdts_core.dir/log.cc.o"
+  "CMakeFiles/mdts_core.dir/log.cc.o.d"
+  "CMakeFiles/mdts_core.dir/mtk_scheduler.cc.o"
+  "CMakeFiles/mdts_core.dir/mtk_scheduler.cc.o.d"
+  "CMakeFiles/mdts_core.dir/recognizer.cc.o"
+  "CMakeFiles/mdts_core.dir/recognizer.cc.o.d"
+  "CMakeFiles/mdts_core.dir/timestamp_vector.cc.o"
+  "CMakeFiles/mdts_core.dir/timestamp_vector.cc.o.d"
+  "CMakeFiles/mdts_core.dir/vector_table.cc.o"
+  "CMakeFiles/mdts_core.dir/vector_table.cc.o.d"
+  "libmdts_core.a"
+  "libmdts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

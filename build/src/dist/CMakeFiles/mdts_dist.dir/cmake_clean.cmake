@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_dist.dir/dmt_system.cc.o"
+  "CMakeFiles/mdts_dist.dir/dmt_system.cc.o.d"
+  "libmdts_dist.a"
+  "libmdts_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

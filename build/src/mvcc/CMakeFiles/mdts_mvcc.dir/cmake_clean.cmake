@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_mvcc.dir/mv_scheduler.cc.o"
+  "CMakeFiles/mdts_mvcc.dir/mv_scheduler.cc.o.d"
+  "libmdts_mvcc.a"
+  "libmdts_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

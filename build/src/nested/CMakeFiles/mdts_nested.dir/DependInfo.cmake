@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nested/nested_scheduler.cc" "src/nested/CMakeFiles/mdts_nested.dir/nested_scheduler.cc.o" "gcc" "src/nested/CMakeFiles/mdts_nested.dir/nested_scheduler.cc.o.d"
+  "/root/repo/src/nested/partition.cc" "src/nested/CMakeFiles/mdts_nested.dir/partition.cc.o" "gcc" "src/nested/CMakeFiles/mdts_nested.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

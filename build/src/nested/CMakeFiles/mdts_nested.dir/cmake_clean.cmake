@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_nested.dir/nested_scheduler.cc.o"
+  "CMakeFiles/mdts_nested.dir/nested_scheduler.cc.o.d"
+  "CMakeFiles/mdts_nested.dir/partition.cc.o"
+  "CMakeFiles/mdts_nested.dir/partition.cc.o.d"
+  "libmdts_nested.a"
+  "libmdts_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_parallel.dir/parallel_compare.cc.o"
+  "CMakeFiles/mdts_parallel.dir/parallel_compare.cc.o.d"
+  "libmdts_parallel.a"
+  "libmdts_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

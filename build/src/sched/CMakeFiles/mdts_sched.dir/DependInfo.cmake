@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive.cc" "src/sched/CMakeFiles/mdts_sched.dir/adaptive.cc.o" "gcc" "src/sched/CMakeFiles/mdts_sched.dir/adaptive.cc.o.d"
+  "/root/repo/src/sched/interval_scheduler.cc" "src/sched/CMakeFiles/mdts_sched.dir/interval_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mdts_sched.dir/interval_scheduler.cc.o.d"
+  "/root/repo/src/sched/occ_scheduler.cc" "src/sched/CMakeFiles/mdts_sched.dir/occ_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mdts_sched.dir/occ_scheduler.cc.o.d"
+  "/root/repo/src/sched/to1_scheduler.cc" "src/sched/CMakeFiles/mdts_sched.dir/to1_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mdts_sched.dir/to1_scheduler.cc.o.d"
+  "/root/repo/src/sched/two_pl_scheduler.cc" "src/sched/CMakeFiles/mdts_sched.dir/two_pl_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mdts_sched.dir/two_pl_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_sched.dir/adaptive.cc.o"
+  "CMakeFiles/mdts_sched.dir/adaptive.cc.o.d"
+  "CMakeFiles/mdts_sched.dir/interval_scheduler.cc.o"
+  "CMakeFiles/mdts_sched.dir/interval_scheduler.cc.o.d"
+  "CMakeFiles/mdts_sched.dir/occ_scheduler.cc.o"
+  "CMakeFiles/mdts_sched.dir/occ_scheduler.cc.o.d"
+  "CMakeFiles/mdts_sched.dir/to1_scheduler.cc.o"
+  "CMakeFiles/mdts_sched.dir/to1_scheduler.cc.o.d"
+  "CMakeFiles/mdts_sched.dir/two_pl_scheduler.cc.o"
+  "CMakeFiles/mdts_sched.dir/two_pl_scheduler.cc.o.d"
+  "libmdts_sched.a"
+  "libmdts_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

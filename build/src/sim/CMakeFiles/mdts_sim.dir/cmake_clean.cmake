@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_sim.dir/simulator.cc.o"
+  "CMakeFiles/mdts_sim.dir/simulator.cc.o.d"
+  "libmdts_sim.a"
+  "libmdts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdts_workload.dir/enumerate.cc.o"
+  "CMakeFiles/mdts_workload.dir/enumerate.cc.o.d"
+  "CMakeFiles/mdts_workload.dir/generator.cc.o"
+  "CMakeFiles/mdts_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mdts_workload.dir/trace.cc.o"
+  "CMakeFiles/mdts_workload.dir/trace.cc.o.d"
+  "libmdts_workload.a"
+  "libmdts_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdts_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtk_scheduler_test.dir/mtk_scheduler_test.cc.o"
+  "CMakeFiles/mtk_scheduler_test.dir/mtk_scheduler_test.cc.o.d"
+  "mtk_scheduler_test"
+  "mtk_scheduler_test.pdb"
+  "mtk_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtk_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_vector_test.dir/timestamp_vector_test.cc.o"
+  "CMakeFiles/timestamp_vector_test.dir/timestamp_vector_test.cc.o.d"
+  "timestamp_vector_test"
+  "timestamp_vector_test.pdb"
+  "timestamp_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
