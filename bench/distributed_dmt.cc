@@ -32,8 +32,9 @@ DmtOptions Base(uint64_t seed) {
 int Run() {
   std::printf("=== DMT(k): decentralized concurrency control ===\n\n");
 
-  TablePrinter table({"sites", "committed", "aborts", "messages",
-                      "msgs/op", "lock waits", "avg response", "DSR audit"});
+  TablePrinter table({"sites", "committed", "aborts", "max consec aborts",
+                      "messages", "msgs/op", "lock waits", "avg response",
+                      "DSR audit"});
   for (uint32_t sites : {1u, 2u, 4u, 8u}) {
     DmtOptions options = Base(5);
     options.num_sites = sites;
@@ -41,7 +42,9 @@ int Run() {
     const bool dsr = IsDsr(r.committed_history);
     if (!dsr || r.committed + r.gave_up != options.num_txns) ++failures;
     table.AddRow({std::to_string(sites), std::to_string(r.committed),
-                  std::to_string(r.aborts), std::to_string(r.messages_sent),
+                  std::to_string(r.aborts),
+                  std::to_string(r.max_consecutive_aborts),
+                  std::to_string(r.messages_sent),
                   FormatDouble(r.ops_scheduled
                                    ? static_cast<double>(r.messages_sent) /
                                          static_cast<double>(r.ops_scheduled)

@@ -61,5 +61,32 @@ int main() {
               "record plus up to three timestamp vectors) in ascending\n"
               "object order, so no two operations could deadlock - the\n"
               "paper's Section V-B design.\n");
+
+  // --- The same workload over a faulty network ---
+  std::printf("\n=== rerun with injected faults: 15%% loss, jitter, one\n"
+              "    mid-run site crash/recovery ===\n\n");
+  options.fault.drop_rate = 0.15;
+  options.fault.jitter = 0.5;
+  options.fault.crashes.push_back({1, 80.0, 200.0});
+  DmtResult f = RunDmtSimulation(options);
+
+  TablePrinter faulty({"metric", "value"});
+  faulty.AddRow({"transactions committed", std::to_string(f.committed)});
+  faulty.AddRow({"gave up", std::to_string(f.gave_up)});
+  faulty.AddRow({"aborts", std::to_string(f.aborts)});
+  faulty.AddRow({"messages dropped", std::to_string(f.messages_dropped)});
+  faulty.AddRow({"lock-request retries", std::to_string(f.lock_retries)});
+  faulty.AddRow({"lease reclaims", std::to_string(f.lease_reclaims)});
+  faulty.AddRow({"down-site aborts", std::to_string(f.down_site_aborts)});
+  faulty.AddRow({"p99 response time", FormatDouble(f.p99_response_time, 2)});
+  std::printf("%s\n", faulty.ToString().c_str());
+
+  std::printf("global committed history is DSR: %s\n",
+              IsDsr(f.committed_history) ? "yes" : "NO (bug!)");
+  std::printf("\nLost requests were retried on a capped-exponential\n"
+              "timeout, locks orphaned by the crash were reclaimed by\n"
+              "lease expiry, and transactions touching the down site\n"
+              "aborted and retried with backoff - the run terminates and\n"
+              "the committed history stays serializable under fire.\n");
   return 0;
 }

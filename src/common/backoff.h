@@ -1,0 +1,51 @@
+#ifndef MDTS_COMMON_BACKOFF_H_
+#define MDTS_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace mdts {
+
+/// Capped exponential backoff shared by every retry/restart path: the
+/// closed-loop simulator's transaction restarts (sim/simulator.cc), and the
+/// distributed system's restarts and lock-request retries
+/// (dist/dmt_system.cc). Attempt 0 yields the first delay.
+///
+/// MeanDelay(a) = min(cap, base * multiplier^a). The two jitter flavors
+/// draw around that mean:
+///  - ExpJitterDelay: fully exponential jitter. A deterministic delay lets
+///    pairs of mutually conflicting transactions retry in lockstep forever
+///    (OCC-style livelock); exponential jitter desynchronizes them.
+///  - EqualJitterDelay: mean/2 + uniform[0, mean/2), so the delay is
+///    bounded on both sides - for timers that must neither fire absurdly
+///    early (spurious retries) nor absurdly late (wedged progress), such
+///    as per-message timeouts.
+struct BackoffPolicy {
+  double base = 1.0;
+  double multiplier = 2.0;
+  double cap = std::numeric_limits<double>::infinity();
+
+  double MeanDelay(uint32_t attempt) const {
+    // Iterative doubling (not std::pow) so results are bit-identical
+    // across libm implementations; the cap bounds the loop.
+    double d = base;
+    for (uint32_t i = 0; i < attempt && d < cap; ++i) d *= multiplier;
+    return std::min(d, cap);
+  }
+
+  double ExpJitterDelay(uint32_t attempt, Rng* rng) const {
+    return rng->Exponential(MeanDelay(attempt));
+  }
+
+  double EqualJitterDelay(uint32_t attempt, Rng* rng) const {
+    const double m = MeanDelay(attempt);
+    return m / 2.0 + rng->UniformReal() * (m / 2.0);
+  }
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_BACKOFF_H_

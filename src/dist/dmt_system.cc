@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <queue>
 #include <set>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 #include "core/types.h"
 
@@ -25,16 +27,23 @@ struct Event {
   double time = 0.0;
   uint64_t seq = 0;
   enum class Kind {
-    kIssue,         // Transaction issues its next op (or commits).
-    kRestart,       // Aborted transaction restarts.
-    kLockArrive,    // Lock request arrives at the object's home site.
-    kGrantArrive,   // Grant (with value) arrives back at the context.
-    kReleaseArrive, // Release (with writeback) arrives at the home site.
-    kCounterSync,   // Periodic ucount/lcount synchronization.
+    kIssue,           // Transaction issues its next op (or commits).
+    kRestart,         // Aborted transaction restarts.
+    kLockArrive,      // Lock request arrives at the object's home site.
+    kGrantArrive,     // Grant (with value) arrives back at the context.
+    kReleaseArrive,   // Release (with writeback) arrives at the home site.
+    kCounterSync,     // Periodic ucount/lcount synchronization.
+    kRequestTimeout,  // Context-local timer: the expected grant is missing.
+    kLeaseExpire,     // Home-site timer: the holder kept the lock too long.
+    kSiteCrash,       // Scheduled whole-site failure (volatile state lost).
+    kSiteRecover,     // Site rejoins; counters rebuilt via the sync path.
   } kind = Kind::kIssue;
   TxnId txn = 0;
   uint64_t ctx = 0;
   ObjectId object = 0;
+  // Lock generation (grants/releases/leases) or request epoch (timeouts);
+  // doubles as the site id for kSiteCrash/kSiteRecover.
+  uint64_t gen = 0;
 
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
@@ -42,19 +51,32 @@ struct Event {
   }
 };
 
+struct HeldLock {
+  ObjectId object = 0;
+  uint64_t generation = 0;  // Generation we were granted; stale if bumped.
+};
+
 struct OpContext {
   TxnId txn = 0;
+  uint32_t incarnation = 0;  // Incarnation of `txn` that issued this op.
   Op op;
   uint32_t site = 0;           // Site executing the schedule (item's home).
   std::vector<ObjectId> lock_plan;  // Ascending; grows after item lock.
   size_t next_lock = 0;
+  std::vector<HeldLock> held;  // Locks granted so far, with generations.
+  uint32_t retries = 0;        // Re-sends of the current lock request.
+  uint64_t request_epoch = 0;  // Bumped per (re)send; stales old timeouts.
   bool item_locked = false;
+  bool dead = false;           // Abandoned: crash, timeout, lease loss.
   bool done = false;
 };
 
 struct LockState {
   bool held = false;
   uint64_t holder_ctx = 0;
+  // Bumped on every grant and every reclaim/wipe, so grants, releases and
+  // lease timers from a previous ownership are recognized as stale.
+  uint64_t generation = 0;
   std::deque<uint64_t> waiters;
 };
 
@@ -63,6 +85,7 @@ struct TxnRuntime {
   size_t next_op = 0;
   uint32_t attempts = 0;
   uint32_t incarnation = 0;
+  uint32_t consecutive_aborts = 0;
   bool aborted = false;
   bool done = false;
   bool started = false;
@@ -91,7 +114,38 @@ struct ItemState {
 class DmtSim {
  public:
   explicit DmtSim(const DmtOptions& options)
-      : options_(options), rng_(options.seed) {}
+      : options_(options),
+        rng_(options.seed),
+        injector_(options.fault, options.seed * 0x9E3779B97F4A7C15ULL + 0xC2) {
+    // Effective fault-tolerance knobs. On a clean run both stay disabled,
+    // making the simulation bit-identical to the fault-free event loop.
+    timeout_ = options_.request_timeout;
+    if (timeout_ <= 0.0 && options_.fault.any_faults()) {
+      // Generous vs. one round trip plus jitter: spurious retries are only
+      // wasted messages (requests are idempotent), but a tight timeout
+      // thrashes under contention.
+      timeout_ = 4.0 * (options_.message_latency + options_.fault.jitter) + 1.0;
+    }
+    lease_ = options_.lock_lease;
+    if (lease_ <= 0.0 && options_.fault.any_faults()) {
+      // Long enough for a normal multi-lock acquisition; a holder that is
+      // slower than this aborts-and-retries, which is safe (the decision
+      // is validated against lock generations before it is made).
+      lease_ = 12.0 * std::max(timeout_, 1.0);
+    }
+    retry_backoff_ = BackoffPolicy{timeout_, 2.0, 4.0 * timeout_};
+    double restart_mult = options_.restart_backoff_multiplier;
+    if (restart_mult <= 0.0) {
+      // Auto: growth only pays off when outages make retries futile; on a
+      // clean run a flat jittered delay keeps throughput (and matches the
+      // closed-loop simulator's policy).
+      restart_mult = options_.fault.any_faults() ? 2.0 : 1.0;
+    }
+    restart_backoff_ = BackoffPolicy{
+        options_.restart_delay, restart_mult,
+        options_.restart_backoff_cap > 0.0 ? options_.restart_backoff_cap
+                                           : 8.0 * options_.restart_delay};
+  }
 
   DmtResult Run();
 
@@ -128,6 +182,15 @@ class DmtSim {
     return stack->empty() ? kVirtualTxn : stack->back().txn;
   }
 
+  /// A context that may still act: not abandoned, not finished, and its
+  /// transaction's current incarnation is still the one that issued it.
+  bool CtxActive(uint64_t ctx_id) const {
+    const OpContext& ctx = contexts_[ctx_id];
+    const TxnRuntime& rt = txns_[ctx.txn];
+    return !ctx.dead && !ctx.done && !rt.done && !rt.aborted &&
+           rt.incarnation == ctx.incarnation;
+  }
+
   /// Globally unique last-column value from a site's upper counter: the
   /// paper's "concatenate the site number as low order bits".
   TsElement UpperValue(uint32_t site) {
@@ -148,25 +211,35 @@ class DmtSim {
   bool Decide(OpContext* ctx);
 
   void Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
-            ObjectId object);
+            ObjectId object, uint64_t gen = 0);
+  void Send(uint32_t from, uint32_t to, Event::Kind kind, TxnId txn,
+            uint64_t ctx, ObjectId object, uint64_t gen = 0);
   void StartNextTxn(double at);
   void IssueNext(TxnId txn, double at);
   void BeginLocking(uint64_t ctx_id);
   void RequestLock(uint64_t ctx_id, ObjectId object);
+  void Grant(ObjectId object, LockState* lock, uint64_t ctx_id);
+  void GrantNextWaiter(ObjectId object, LockState* lock);
   void OnLockArrive(const Event& ev);
   void OnGrantArrive(const Event& ev);
   void OnReleaseArrive(const Event& ev);
+  void OnRequestTimeout(const Event& ev);
+  void OnLeaseExpire(const Event& ev);
+  void OnSiteCrash(uint32_t site);
+  void OnSiteRecover(uint32_t site);
+  void ResyncCounters();
   void FinishOp(uint64_t ctx_id);
+  void ReleaseHeld(uint64_t ctx_id);
+  bool AbandonContext(uint64_t ctx_id);
   void HandleAbort(TxnId txn);
-
-  double Latency(uint32_t from, uint32_t to) {
-    if (from == to) return 0.0;
-    ++result_.messages_sent;
-    return options_.message_latency;
-  }
 
   DmtOptions options_;
   Rng rng_;
+  FaultInjector injector_;
+  BackoffPolicy retry_backoff_;
+  BackoffPolicy restart_backoff_;
+  double timeout_ = 0.0;
+  double lease_ = 0.0;
   DmtResult result_;
   double now_ = 0.0;
   uint64_t seq_ = 0;
@@ -180,14 +253,36 @@ class DmtSim {
   std::vector<OpContext> contexts_;
   std::vector<TsElement> ucount_;
   std::vector<TsElement> lcount_;
+  std::vector<bool> site_up_;
   std::vector<ExecutedOp> executed_;
+  std::vector<double> response_times_;
   TxnId next_to_start_ = 1;
   double total_response_ = 0.0;
 };
 
 void DmtSim::Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
-                  ObjectId object) {
-  queue_.push(Event{time, ++seq_, kind, txn, ctx, object});
+                  ObjectId object, uint64_t gen) {
+  queue_.push(Event{time, ++seq_, kind, txn, ctx, object, gen});
+}
+
+void DmtSim::Send(uint32_t from, uint32_t to, Event::Kind kind, TxnId txn,
+                  uint64_t ctx, ObjectId object, uint64_t gen) {
+  if (!site_up_[from]) return;  // A dead site sends nothing.
+  if (from == to) {
+    // Local call: no network traversal, immune to message faults.
+    Push(now_, kind, txn, ctx, object, gen);
+    return;
+  }
+  ++result_.messages_sent;
+  const std::vector<double> deliveries =
+      injector_.Deliveries(options_.message_latency);
+  if (deliveries.empty()) ++result_.messages_dropped;
+  if (deliveries.size() > 1) {
+    result_.messages_duplicated += deliveries.size() - 1;
+  }
+  for (double latency : deliveries) {
+    Push(now_ + latency, kind, txn, ctx, object, gen);
+  }
 }
 
 bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site) {
@@ -269,26 +364,82 @@ void DmtSim::BeginLocking(uint64_t ctx_id) {
 
 void DmtSim::RequestLock(uint64_t ctx_id, ObjectId object) {
   OpContext& ctx = contexts_[ctx_id];
-  const double arrive = now_ + Latency(ctx.site, ObjectSite(object));
-  Push(arrive, Event::Kind::kLockArrive, ctx.txn, ctx_id, object);
+  ++ctx.request_epoch;  // Stales any outstanding timeout for this context.
+  Send(ctx.site, ObjectSite(object), Event::Kind::kLockArrive, ctx.txn,
+       ctx_id, object);
+  if (timeout_ > 0.0) {
+    Push(now_ + retry_backoff_.EqualJitterDelay(ctx.retries, &rng_),
+         Event::Kind::kRequestTimeout, ctx.txn, ctx_id, object,
+         ctx.request_epoch);
+  }
+}
+
+void DmtSim::Grant(ObjectId object, LockState* lock, uint64_t ctx_id) {
+  lock->held = true;
+  lock->holder_ctx = ctx_id;
+  ++lock->generation;
+  if (lease_ > 0.0) {
+    Push(now_ + lease_, Event::Kind::kLeaseExpire, 0, ctx_id, object,
+         lock->generation);
+  }
+  OpContext& ctx = contexts_[ctx_id];
+  Send(ObjectSite(object), ctx.site, Event::Kind::kGrantArrive, ctx.txn,
+       ctx_id, object, lock->generation);
+}
+
+void DmtSim::GrantNextWaiter(ObjectId object, LockState* lock) {
+  while (!lock->waiters.empty()) {
+    const uint64_t next = lock->waiters.front();
+    lock->waiters.pop_front();
+    if (!CtxActive(next)) continue;  // Waiter died while queued.
+    Grant(object, lock, next);
+    return;
+  }
 }
 
 void DmtSim::OnLockArrive(const Event& ev) {
+  if (!CtxActive(ev.ctx)) return;  // Stale request; never grant to the dead.
   LockState& lock = locks_[ev.object];
   if (lock.held) {
-    ++result_.lock_waits;
-    lock.waiters.push_back(ev.ctx);
+    if (lock.holder_ctx == ev.ctx) {
+      // Duplicate request after a lost grant: re-send the grant (requests
+      // are idempotent).
+      Send(ObjectSite(ev.object), contexts_[ev.ctx].site,
+           Event::Kind::kGrantArrive, ev.txn, ev.ctx, ev.object,
+           lock.generation);
+      return;
+    }
+    const bool queued =
+        std::find(lock.waiters.begin(), lock.waiters.end(), ev.ctx) !=
+        lock.waiters.end();
+    if (!queued) {
+      ++result_.lock_waits;
+      lock.waiters.push_back(ev.ctx);
+    }
     return;
   }
-  lock.held = true;
-  lock.holder_ctx = ev.ctx;
-  OpContext& ctx = contexts_[ev.ctx];
-  const double back = now_ + Latency(ObjectSite(ev.object), ctx.site);
-  Push(back, Event::Kind::kGrantArrive, ctx.txn, ev.ctx, ev.object);
+  Grant(ev.object, &lock, ev.ctx);
 }
 
 void DmtSim::OnGrantArrive(const Event& ev) {
   OpContext& ctx = contexts_[ev.ctx];
+  if (!CtxActive(ev.ctx)) {
+    // The context died while the grant was in flight: hand the lock
+    // straight back so waiters advance (the lease would reclaim it anyway).
+    Send(ctx.site, ObjectSite(ev.object), Event::Kind::kReleaseArrive,
+         ev.txn, ev.ctx, ev.object, ev.gen);
+    return;
+  }
+  for (const HeldLock& h : ctx.held) {
+    if (h.object == ev.object) return;  // Duplicate of a grant we hold.
+  }
+  if (ctx.next_lock >= ctx.lock_plan.size() ||
+      ctx.lock_plan[ctx.next_lock] != ev.object) {
+    return;  // Stale grant from a superseded acquisition step.
+  }
+  ctx.held.push_back({ev.object, ev.gen});
+  ctx.retries = 0;
+  ++ctx.request_epoch;  // Cancels the pending timeout for this request.
   if (!ctx.item_locked) {
     // The item record is locked: RT/WT are now stable; extend the plan
     // with the timestamp-vector objects, ascending. The virtual T0's
@@ -313,19 +464,37 @@ void DmtSim::OnGrantArrive(const Event& ev) {
   FinishOp(ev.ctx);
 }
 
+void DmtSim::ReleaseHeld(uint64_t ctx_id) {
+  OpContext& ctx = contexts_[ctx_id];
+  // One combined writeback/release message per remote object; grants to
+  // waiters happen when the release arrives home. Releases carry the
+  // granted generation so a reclaimed-and-regranted lock ignores them.
+  for (const HeldLock& h : ctx.held) {
+    Send(ctx.site, ObjectSite(h.object), Event::Kind::kReleaseArrive,
+         ctx.txn, ctx_id, h.object, h.generation);
+  }
+  ctx.held.clear();
+}
+
 void DmtSim::FinishOp(uint64_t ctx_id) {
   OpContext& ctx = contexts_[ctx_id];
+  // Defense in depth: the decision must only be made while every lock is
+  // still genuinely ours (a lease may have expired or a home site crashed
+  // while the last grant was in flight - the normal paths abandon the
+  // context first, but mutual exclusion is what DSR rests on).
+  for (const HeldLock& h : ctx.held) {
+    const LockState& lock = locks_[h.object];
+    if (!lock.held || lock.holder_ctx != ctx_id ||
+        lock.generation != h.generation) {
+      AbandonContext(ctx_id);
+      return;
+    }
+  }
   const bool accepted = Decide(&ctx);
   ++result_.ops_scheduled;
   result_.ops_per_site[ctx.site] += 1;
-
-  // Write back and unlock every object (one combined message per remote
-  // object; grants to waiters happen when the release arrives home).
-  for (ObjectId object : ctx.lock_plan) {
-    const double arrive = now_ + Latency(ctx.site, ObjectSite(object));
-    Push(arrive, Event::Kind::kReleaseArrive, ctx.txn, ctx_id, object);
-  }
   ctx.done = true;
+  ReleaseHeld(ctx_id);
 
   TxnRuntime& rt = txns_[ctx.txn];
   if (accepted) {
@@ -333,40 +502,125 @@ void DmtSim::FinishOp(uint64_t ctx_id) {
     ++rt.next_op;
     IssueNext(ctx.txn, now_ + rng_.Exponential(options_.mean_think_time));
   } else {
-    rt.aborted = true;
     HandleAbort(ctx.txn);
   }
 }
 
 void DmtSim::OnReleaseArrive(const Event& ev) {
   LockState& lock = locks_[ev.object];
-  assert(lock.held);
-  if (lock.waiters.empty()) {
-    lock.held = false;
+  if (!lock.held || lock.holder_ctx != ev.ctx ||
+      lock.generation != ev.gen) {
+    return;  // Stale: duplicated release, or the lease already reclaimed.
+  }
+  lock.held = false;
+  GrantNextWaiter(ev.object, &lock);
+}
+
+void DmtSim::OnRequestTimeout(const Event& ev) {
+  OpContext& ctx = contexts_[ev.ctx];
+  if (!CtxActive(ev.ctx)) return;
+  if (ev.gen != ctx.request_epoch) return;  // Granted or already re-sent.
+  if (ctx.retries >= options_.max_lock_retries) {
+    ++result_.timeout_give_ups;
+    AbandonContext(ev.ctx);
     return;
   }
-  const uint64_t next = lock.waiters.front();
-  lock.waiters.pop_front();
-  lock.holder_ctx = next;
-  OpContext& ctx = contexts_[next];
-  const double back = now_ + Latency(ObjectSite(ev.object), ctx.site);
-  Push(back, Event::Kind::kGrantArrive, ctx.txn, next, ev.object);
+  ++ctx.retries;
+  ++result_.lock_retries;
+  RequestLock(ev.ctx, ev.object);
+}
+
+void DmtSim::OnLeaseExpire(const Event& ev) {
+  LockState& lock = locks_[ev.object];
+  if (!lock.held || lock.generation != ev.gen) return;  // Already released.
+  ++result_.lease_reclaims;
+  const uint64_t holder = lock.holder_ctx;
+  lock.held = false;
+  ++lock.generation;  // In-flight releases from the old holder go stale.
+  GrantNextWaiter(ev.object, &lock);
+  // If the holder is mid-operation it lost mutual exclusion: abort it. A
+  // holder that already decided and released (the release was merely lost
+  // or delayed) keeps its result - the reclaim is just cleanup.
+  AbandonContext(holder);
+}
+
+void DmtSim::OnSiteCrash(uint32_t site) {
+  site_up_[site] = false;
+  // Volatile state dies with the site: the lock table is wiped (bumping
+  // generations so stale grants, releases and lease timers are ignored)
+  // and queued requests are forgotten - their owners time out and retry.
+  for (auto& [object, lock] : locks_) {
+    if (ObjectSite(object) != site) continue;
+    lock.waiters.clear();
+    if (lock.held) {
+      lock.held = false;
+      ++lock.generation;
+      if (AbandonContext(lock.holder_ctx)) ++result_.down_site_aborts;
+    }
+  }
+  // Operations coordinated at the site die with it.
+  for (size_t c = 0; c < contexts_.size(); ++c) {
+    if (contexts_[c].site == site && AbandonContext(c)) {
+      ++result_.down_site_aborts;
+    }
+  }
+}
+
+void DmtSim::OnSiteRecover(uint32_t site) {
+  site_up_[site] = true;
+  // Recovery rebuilds the site's counter state through the same
+  // resynchronization path as the periodic kCounterSync: adopt the global
+  // extremes. The site's own last value participates (it is derivable from
+  // the durable timestamp vectors it issued), so its upper counter never
+  // moves backwards and last-column uniqueness survives the crash.
+  ResyncCounters();
+}
+
+void DmtSim::ResyncCounters() {
+  TsElement umax = 1, lmin = 0;
+  for (uint32_t s = 0; s < options_.num_sites; ++s) {
+    umax = std::max(umax, ucount_[s]);
+    lmin = std::min(lmin, lcount_[s]);
+  }
+  // Only reachable sites adopt the extremes; a down site keeps its stale
+  // (durable) values until its own recovery runs this path.
+  for (uint32_t s = 0; s < options_.num_sites; ++s) {
+    if (!site_up_[s]) continue;
+    ucount_[s] = umax;
+    lcount_[s] = lmin;
+  }
+}
+
+bool DmtSim::AbandonContext(uint64_t ctx_id) {
+  OpContext& ctx = contexts_[ctx_id];
+  if (ctx.dead || ctx.done) return false;
+  ctx.dead = true;
+  ReleaseHeld(ctx_id);  // Dropped silently if the context's site is down.
+  HandleAbort(ctx.txn);
+  return true;
 }
 
 void DmtSim::HandleAbort(TxnId txn) {
   TxnRuntime& rt = txns_[txn];
+  if (rt.done || rt.aborted) return;
+  rt.aborted = true;
   ++result_.aborts;
   ++rt.attempts;
+  ++rt.consecutive_aborts;
+  result_.max_consecutive_aborts = std::max<uint64_t>(
+      result_.max_consecutive_aborts, rt.consecutive_aborts);
   if (rt.attempts >= options_.max_attempts) {
     ++result_.gave_up;
     rt.done = true;
     StartNextTxn(now_ + options_.restart_delay);
     return;
   }
-  // Jittered restart delay (see sim/simulator.cc): prevents lockstep
-  // retry livelocks between mutually conflicting transactions.
-  Push(now_ + rng_.Exponential(options_.restart_delay), Event::Kind::kRestart,
-       txn, 0, 0);
+  // Jittered, capped-exponential restart delay (shared BackoffPolicy; see
+  // sim/simulator.cc): jitter prevents lockstep retry livelocks between
+  // mutually conflicting transactions, growth sheds load during outages.
+  Push(now_ + restart_backoff_.ExpJitterDelay(rt.consecutive_aborts - 1,
+                                              &rng_),
+       Event::Kind::kRestart, txn, 0, 0);
 }
 
 DmtResult DmtSim::Run() {
@@ -382,6 +636,7 @@ DmtResult DmtSim::Run() {
   }
   ucount_.assign(options_.num_sites, 1);
   lcount_.assign(options_.num_sites, 0);
+  site_up_.assign(options_.num_sites, true);
   result_.ops_per_site.assign(options_.num_sites, 0);
 
   const uint32_t initial = std::min(options_.concurrency, options_.num_txns);
@@ -391,6 +646,15 @@ DmtResult DmtSim::Run() {
   if (options_.counter_sync_interval > 0) {
     Push(options_.counter_sync_interval, Event::Kind::kCounterSync, 0, 0, 0);
   }
+  for (const SiteCrash& crash : options_.fault.crashes) {
+    if (crash.site >= options_.num_sites) continue;
+    Push(crash.crash_time, Event::Kind::kSiteCrash, 0, 0, 0, crash.site);
+    if (std::isfinite(crash.recover_time) &&
+        crash.recover_time > crash.crash_time) {
+      Push(crash.recover_time, Event::Kind::kSiteRecover, 0, 0, 0,
+           crash.site);
+    }
+  }
 
   while (!queue_.empty()) {
     const Event ev = queue_.top();
@@ -398,15 +662,9 @@ DmtResult DmtSim::Run() {
     now_ = ev.time;
     switch (ev.kind) {
       case Event::Kind::kCounterSync: {
-        // Synchronize all local counters to the global extremes, modeling
-        // the paper's periodic clock synchronization.
-        TsElement umax = 1, lmin = 0;
-        for (uint32_t s = 0; s < options_.num_sites; ++s) {
-          umax = std::max(umax, ucount_[s]);
-          lmin = std::min(lmin, lcount_[s]);
-        }
-        ucount_.assign(options_.num_sites, umax);
-        lcount_.assign(options_.num_sites, lmin);
+        // Synchronize reachable sites' counters to the global extremes,
+        // modeling the paper's periodic clock synchronization.
+        ResyncCounters();
         // Stop scheduling syncs once all work is done.
         if (result_.committed + result_.gave_up < options_.num_txns) {
           Push(now_ + options_.counter_sync_interval,
@@ -414,6 +672,12 @@ DmtResult DmtSim::Run() {
         }
         break;
       }
+      case Event::Kind::kSiteCrash:
+        OnSiteCrash(static_cast<uint32_t>(ev.gen));
+        break;
+      case Event::Kind::kSiteRecover:
+        OnSiteRecover(static_cast<uint32_t>(ev.gen));
+        break;
       case Event::Kind::kRestart: {
         TxnRuntime& rt = txns_[ev.txn];
         if (rt.done) break;
@@ -432,27 +696,58 @@ DmtResult DmtSim::Run() {
           rt.done = true;
           rt.committed = true;
           rt.committed_incarnation = rt.incarnation;
-          total_response_ += now_ - rt.first_start;
+          rt.consecutive_aborts = 0;
+          const double response = now_ - rt.first_start;
+          total_response_ += response;
+          response_times_.push_back(response);
           StartNextTxn(now_ +
                        rng_.Exponential(options_.mean_think_time) * 0.1);
+          break;
+        }
+        const Op& op = rt.program[rt.next_op];
+        if (!site_up_[ItemSite(op.item)]) {
+          // Graceful degradation: the coordinating site is down, so the
+          // transaction aborts-and-retries (with backoff) instead of
+          // wedging; max_attempts bounds retries if the outage persists.
+          ++result_.down_site_aborts;
+          HandleAbort(ev.txn);
           break;
         }
         contexts_.push_back(OpContext{});
         OpContext& ctx = contexts_.back();
         ctx.txn = ev.txn;
-        ctx.op = rt.program[rt.next_op];
+        ctx.incarnation = rt.incarnation;
+        ctx.op = op;
         ctx.site = ItemSite(ctx.op.item);
         BeginLocking(contexts_.size() - 1);
         break;
       }
       case Event::Kind::kLockArrive:
+        if (!site_up_[ObjectSite(ev.object)]) {
+          ++result_.messages_dropped;  // Receiver is down.
+          break;
+        }
         OnLockArrive(ev);
         break;
       case Event::Kind::kGrantArrive:
+        if (!site_up_[contexts_[ev.ctx].site]) {
+          ++result_.messages_dropped;  // Receiver is down.
+          break;
+        }
         OnGrantArrive(ev);
         break;
       case Event::Kind::kReleaseArrive:
+        if (!site_up_[ObjectSite(ev.object)]) {
+          ++result_.messages_dropped;  // Receiver is down.
+          break;
+        }
         OnReleaseArrive(ev);
+        break;
+      case Event::Kind::kRequestTimeout:
+        OnRequestTimeout(ev);
+        break;
+      case Event::Kind::kLeaseExpire:
+        OnLeaseExpire(ev);
         break;
     }
   }
@@ -468,6 +763,10 @@ DmtResult DmtSim::Run() {
   if (result_.committed > 0) {
     result_.avg_response_time =
         total_response_ / static_cast<double>(result_.committed);
+    std::sort(response_times_.begin(), response_times_.end());
+    const size_t idx = (response_times_.size() * 99 + 99) / 100;
+    result_.p99_response_time =
+        response_times_[std::min(idx, response_times_.size()) - 1];
   }
   return result_;
 }

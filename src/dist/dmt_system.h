@@ -6,6 +6,7 @@
 
 #include "core/log.h"
 #include "core/timestamp_vector.h"
+#include "fault/fault.h"
 #include "workload/generator.h"
 
 namespace mdts {
@@ -16,6 +17,14 @@ namespace mdts {
 /// objects (the item record plus up to three timestamp vectors) in a
 /// predefined linear order - items before vectors, each ordered by id - so
 /// no deadlock can arise, exchanging messages with the objects' home sites.
+///
+/// Beyond the paper's perfect network, the simulation supports an injected
+/// fault model (`fault`): message loss, duplication and jitter, plus
+/// scheduled whole-site crash/recovery. Fault tolerance rests on three
+/// mechanisms: idempotent lock requests retried on a capped-exponential
+/// timeout, lock leases that reclaim locks held by crashed or wedged
+/// coordinators, and abort-and-retry for transactions touching a down
+/// site. Every run - faulty or not - must still commit only DSR histories.
 struct DmtOptions {
   size_t k = 3;
   uint32_t num_sites = 3;
@@ -26,15 +35,46 @@ struct DmtOptions {
   /// Mean think time between a transaction's operations.
   double mean_think_time = 1.0;
 
+  /// Base of the jittered, capped-exponential restart backoff (the mean
+  /// delay after a transaction's first abort).
   double restart_delay = 4.0;
+
+  /// Growth factor / cap of the restart backoff. multiplier 0 = automatic:
+  /// flat (1.0) on a clean run, doubling (2.0) when faults are injected so
+  /// retries shed load during an outage. cap 0 = 8 * restart_delay.
+  double restart_backoff_multiplier = 0.0;
+  double restart_backoff_cap = 0.0;
+
   uint32_t num_txns = 60;
   uint32_t concurrency = 8;
   uint32_t max_attempts = 100;
 
   /// If > 0, all sites' ucount/lcount counters are re-synchronized to the
   /// global extremes every this many simulated time units (the paper's
-  /// periodic synchronization for unbalanced loads).
+  /// periodic synchronization for unbalanced loads). The same path rebuilds
+  /// a recovering site's counter state after a crash.
   double counter_sync_interval = 0.0;
+
+  /// Injected faults (message loss/duplication/jitter, site crashes).
+  /// Inactive by default; a clean run is bit-identical to the fault-free
+  /// simulator.
+  FaultPlan fault;
+
+  /// Timeout before an unanswered lock request is re-sent (the interval
+  /// grows with a capped-exponential, equal-jitter backoff). 0 = automatic:
+  /// disabled on a clean run, derived from message_latency and jitter when
+  /// any fault is injected.
+  double request_timeout = 0.0;
+
+  /// Re-sends of one lock request before the operation is abandoned and
+  /// its transaction aborts-and-retries.
+  uint32_t max_lock_retries = 6;
+
+  /// Lease on every granted lock; expiry reclaims the lock from a crashed
+  /// or wedged holder and aborts that holder's transaction. 0 = automatic:
+  /// disabled on a clean run, derived from the request timeout when any
+  /// fault is injected (faulty runs need leases to guarantee progress).
+  double lock_lease = 0.0;
 
   WorkloadOptions workload;
   uint64_t seed = 1;
@@ -48,8 +88,19 @@ struct DmtResult {
   uint64_t messages_sent = 0;   // Network messages (remote hops only).
   uint64_t lock_waits = 0;      // Times an object lock was queued behind.
   uint64_t ops_scheduled = 0;
+  uint64_t max_consecutive_aborts = 0;  // Starvation indicator.
+
+  // Fault-tolerance activity (all zero on a clean run).
+  uint64_t messages_dropped = 0;     // Injector drops + deliveries to down sites.
+  uint64_t messages_duplicated = 0;  // Extra copies delivered.
+  uint64_t lock_retries = 0;         // Lock requests re-sent after a timeout.
+  uint64_t timeout_give_ups = 0;     // Ops abandoned after max_lock_retries.
+  uint64_t lease_reclaims = 0;       // Locks reclaimed from expired leases.
+  uint64_t down_site_aborts = 0;     // Aborts caused by a crashed/down site.
+
   double makespan = 0.0;
   double avg_response_time = 0.0;
+  double p99_response_time = 0.0;  // Tail response over committed txns.
 
   /// Operations scheduled at each site (load balance view).
   std::vector<uint64_t> ops_per_site;
@@ -59,7 +110,9 @@ struct DmtResult {
   Log committed_history;
 };
 
-/// Runs the decentralized simulation. Deterministic given options.seed.
+/// Runs the decentralized simulation. Deterministic given options.seed
+/// (including the fault schedule: the injector derives its own stream from
+/// the seed).
 DmtResult RunDmtSimulation(const DmtOptions& options);
 
 }  // namespace mdts

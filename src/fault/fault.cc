@@ -1,0 +1,24 @@
+#include "fault/fault.h"
+
+namespace mdts {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
+    : plan_(plan), rng_(seed) {}
+
+std::vector<double> FaultInjector::Deliveries(double base_latency) {
+  std::vector<double> out;
+  if (plan_.drop_rate > 0.0 && rng_.Chance(plan_.drop_rate)) return out;
+  uint32_t copies = 1;
+  if (plan_.duplicate_rate > 0.0 && rng_.Chance(plan_.duplicate_rate)) {
+    copies = 2;
+  }
+  out.reserve(copies);
+  for (uint32_t c = 0; c < copies; ++c) {
+    double latency = base_latency;
+    if (plan_.jitter > 0.0) latency += rng_.Exponential(plan_.jitter);
+    out.push_back(latency);
+  }
+  return out;
+}
+
+}  // namespace mdts

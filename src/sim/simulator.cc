@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 
 namespace mdts {
@@ -97,6 +98,13 @@ SimResult RunSimulation(Scheduler* scheduler, const SimOptions& options) {
 
   double total_response = 0.0;
 
+  // Restart delays go through the shared BackoffPolicy (see
+  // common/backoff.h). The closed-loop simulator uses a flat mean
+  // (multiplier 1): there is no network to shed load from, only the
+  // livelock-breaking jitter matters here.
+  const BackoffPolicy restart_backoff{options.restart_delay, 1.0,
+                                      options.restart_delay};
+
   auto handle_abort = [&](TxnRuntime& rt, TxnId t) {
     ++result.aborts;
     ++rt.consecutive_aborts;
@@ -123,8 +131,9 @@ SimResult RunSimulation(Scheduler* scheduler, const SimOptions& options) {
     // Jittered restart delay: a deterministic delay lets pairs of
     // transactions that invalidate each other's reads retry in lockstep
     // forever (OCC-style livelock); exponential jitter desynchronizes them.
-    queue.push(Event{now + rng.Exponential(options.restart_delay), ++seq, t,
-                     Event::Kind::kRestart});
+    queue.push(Event{now + restart_backoff.ExpJitterDelay(
+                               rt.consecutive_aborts - 1, &rng),
+                     ++seq, t, Event::Kind::kRestart});
   };
 
   auto drain_unblocked = [&]() {

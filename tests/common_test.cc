@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/backoff.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
@@ -115,6 +116,50 @@ TEST(ZipfTest, SkewFavorsLowIds) {
   for (int i = 0; i < 20000; ++i) ++counts[picker.Pick(&rng)];
   EXPECT_GT(counts[0], counts[9] * 5);
   EXPECT_GT(counts[0], counts[1]);
+}
+
+// --- BackoffPolicy (shared by sim restarts and dist retries) ---
+
+TEST(BackoffTest, MeanDelayGrowsExponentiallyAndCaps) {
+  BackoffPolicy p{1.0, 2.0, 10.0};
+  EXPECT_DOUBLE_EQ(p.MeanDelay(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.MeanDelay(1), 2.0);
+  EXPECT_DOUBLE_EQ(p.MeanDelay(2), 4.0);
+  EXPECT_DOUBLE_EQ(p.MeanDelay(3), 8.0);
+  EXPECT_DOUBLE_EQ(p.MeanDelay(4), 10.0);   // Capped.
+  EXPECT_DOUBLE_EQ(p.MeanDelay(100), 10.0);  // Stays capped (no overflow).
+}
+
+TEST(BackoffTest, MultiplierOneIsFlatJitteredDelay) {
+  // The closed-loop simulator's restart policy: every attempt draws from
+  // the same exponential as a bare rng.Exponential(base) would.
+  BackoffPolicy p{3.0, 1.0, 3.0};
+  Rng a(99), b(99);
+  for (uint32_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_DOUBLE_EQ(p.ExpJitterDelay(attempt, &a), b.Exponential(3.0));
+  }
+}
+
+TEST(BackoffTest, EqualJitterStaysWithinHalfToFullMean) {
+  BackoffPolicy p{2.0, 2.0, 16.0};
+  Rng rng(7);
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const double m = p.MeanDelay(attempt);
+    for (int i = 0; i < 200; ++i) {
+      const double d = p.EqualJitterDelay(attempt, &rng);
+      EXPECT_GE(d, m / 2.0);
+      EXPECT_LT(d, m);
+    }
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeed) {
+  BackoffPolicy p{1.5, 2.0, 24.0};
+  Rng a(42), b(42);
+  for (uint32_t attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_DOUBLE_EQ(p.ExpJitterDelay(attempt, &a),
+                     p.ExpJitterDelay(attempt, &b));
+  }
 }
 
 // --- TablePrinter ---

@@ -126,5 +126,140 @@ TEST(DmtTest, HigherLatencyStretchesMakespan) {
   EXPECT_GT(slow, fast);
 }
 
+TEST(DmtTest, CleanRunReportsNoFaultActivity) {
+  DmtResult r = RunDmtSimulation(BaseOptions(37));
+  EXPECT_EQ(r.messages_dropped, 0u);
+  EXPECT_EQ(r.messages_duplicated, 0u);
+  EXPECT_EQ(r.lock_retries, 0u);
+  EXPECT_EQ(r.timeout_give_ups, 0u);
+  EXPECT_EQ(r.lease_reclaims, 0u);
+  EXPECT_EQ(r.down_site_aborts, 0u);
+  EXPECT_GE(r.p99_response_time, r.avg_response_time);
+}
+
+TEST(DmtTest, MaxConsecutiveAbortsTracksStarvation) {
+  DmtOptions options = BaseOptions(41);
+  options.workload.num_items = 4;  // Heavy contention forces re-aborts.
+  options.workload.read_fraction = 0.2;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_GT(r.aborts, 0u);
+  EXPECT_GE(r.aborts, r.max_consecutive_aborts);
+  EXPECT_GT(r.max_consecutive_aborts, 0u);
+}
+
+// --- Fault injection & recovery ---
+
+DmtOptions FaultyOptions(uint64_t seed) {
+  DmtOptions options = BaseOptions(seed);
+  options.fault.drop_rate = 0.1;
+  options.fault.duplicate_rate = 0.05;
+  options.fault.jitter = 0.25;
+  return options;
+}
+
+TEST(DmtFaultTest, FaultyRunDeterministicGivenSeed) {
+  DmtOptions options = FaultyOptions(3);
+  options.fault.crashes.push_back({1, 40.0, 80.0});
+  DmtResult a = RunDmtSimulation(options);
+  DmtResult b = RunDmtSimulation(options);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.lock_retries, b.lock_retries);
+  EXPECT_EQ(a.lease_reclaims, b.lease_reclaims);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.committed_history.ToString(), b.committed_history.ToString());
+}
+
+TEST(DmtFaultTest, MessageLossRetriesAndStaysSerializable) {
+  DmtOptions options = FaultyOptions(7);
+  options.fault.drop_rate = 0.2;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);  // Nothing wedges.
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_GT(r.lock_retries, 0u);
+  EXPECT_TRUE(IsDsr(r.committed_history)) << r.committed_history.ToString();
+}
+
+// The ISSUE acceptance scenario: up to 20% message loss plus a mid-run
+// crash and recovery, for a fixed seed, must terminate with commits and a
+// DSR history.
+TEST(DmtFaultTest, LossPlusMidRunCrashRecoversAndCommits) {
+  DmtOptions options = BaseOptions(19);
+  options.fault.drop_rate = 0.2;
+  options.fault.crashes.push_back({1, 60.0, 160.0});
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.down_site_aborts, 0u);
+  EXPECT_TRUE(IsDsr(r.committed_history)) << r.committed_history.ToString();
+}
+
+TEST(DmtFaultTest, CrashWithoutRecoveryDegradesGracefully) {
+  DmtOptions options = BaseOptions(23);
+  options.max_attempts = 20;  // Bound futile retries against the dead site.
+  options.fault.crashes.push_back({2, 50.0});  // Never recovers.
+  DmtResult r = RunDmtSimulation(options);
+  // Transactions touching the dead site abort-and-retry until they give
+  // up; everything else commits, and the run still terminates.
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.down_site_aborts, 0u);
+  EXPECT_TRUE(IsDsr(r.committed_history)) << r.committed_history.ToString();
+}
+
+TEST(DmtFaultTest, LeasesReclaimLocksFromCrashedCoordinators) {
+  DmtOptions options = BaseOptions(29);
+  options.num_sites = 4;
+  options.fault.drop_rate = 0.25;  // Lost releases leave orphaned locks.
+  options.fault.crashes.push_back({0, 30.0, 90.0});
+  options.fault.crashes.push_back({3, 120.0, 170.0});
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.lease_reclaims, 0u);
+  EXPECT_TRUE(IsDsr(r.committed_history)) << r.committed_history.ToString();
+}
+
+TEST(DmtFaultTest, DuplicatedMessagesAreIdempotent) {
+  DmtOptions options = BaseOptions(31);
+  options.fault.duplicate_rate = 0.5;
+  options.fault.jitter = 0.5;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 40u);
+  EXPECT_GT(r.messages_duplicated, 0u);
+  EXPECT_TRUE(IsDsr(r.committed_history)) << r.committed_history.ToString();
+}
+
+// Seed-sweep property test: the safety claim (Theorem 2 - only DSR
+// histories commit) must survive every fault mix, counter-sync setting and
+// site count, for >= 50 random seeds.
+TEST(DmtFaultTest, SeedSweepHistoriesAlwaysDsr) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    DmtOptions options = BaseOptions(seed * 17 + 1);
+    options.num_txns = 24;
+    options.num_sites = 2 + seed % 3;
+    options.workload.num_items = 6;  // Contention.
+    if (seed % 3 == 0) options.counter_sync_interval = 4.0;
+    if (seed % 2 == 0) {
+      options.fault.drop_rate = 0.05 + 0.15 * static_cast<double>(seed % 4) / 3.0;
+      options.fault.jitter = 0.3;
+    }
+    if (seed % 4 == 1) options.fault.duplicate_rate = 0.1;
+    if (seed % 5 == 0) {
+      options.fault.crashes.push_back(
+          {static_cast<uint32_t>(seed % options.num_sites), 30.0,
+           30.0 + 10.0 * static_cast<double>(seed % 7)});
+    }
+    DmtResult r = RunDmtSimulation(options);
+    EXPECT_EQ(r.committed + r.gave_up, 24u) << "seed=" << seed;
+    EXPECT_GT(r.committed, 0u) << "seed=" << seed;
+    EXPECT_TRUE(IsDsr(r.committed_history))
+        << "seed=" << seed << " sites=" << options.num_sites << "\n"
+        << r.committed_history.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace mdts

@@ -1,0 +1,116 @@
+#include "fault/fault.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace mdts {
+namespace {
+
+TEST(FaultPlanTest, DefaultIsFaultFree) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any_faults());
+}
+
+TEST(FaultPlanTest, AnyKnobActivates) {
+  FaultPlan drop;
+  drop.drop_rate = 0.1;
+  EXPECT_TRUE(drop.any_faults());
+  FaultPlan dup;
+  dup.duplicate_rate = 0.1;
+  EXPECT_TRUE(dup.any_faults());
+  FaultPlan jitter;
+  jitter.jitter = 0.5;
+  EXPECT_TRUE(jitter.any_faults());
+  FaultPlan crash;
+  crash.crashes.push_back({0, 10.0, 20.0});
+  EXPECT_TRUE(crash.any_faults());
+}
+
+TEST(FaultPlanTest, CrashDefaultsToNoRecovery) {
+  SiteCrash c;
+  EXPECT_FALSE(std::isfinite(c.recover_time));
+}
+
+TEST(FaultInjectorTest, CleanPlanDeliversExactlyOnce) {
+  FaultInjector injector(FaultPlan{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = injector.Deliveries(0.5);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_DOUBLE_EQ(d[0], 0.5);
+  }
+}
+
+TEST(FaultInjectorTest, DropRateOneDropsEverything) {
+  FaultPlan plan;
+  plan.drop_rate = 1.0;
+  FaultInjector injector(plan, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.Deliveries(1.0).empty());
+  }
+}
+
+TEST(FaultInjectorTest, DuplicateRateOneDeliversTwice) {
+  FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  FaultInjector injector(plan, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Deliveries(1.0).size(), 2u);
+  }
+}
+
+TEST(FaultInjectorTest, DropRateIsStatisticallyHonored) {
+  FaultPlan plan;
+  plan.drop_rate = 0.3;
+  FaultInjector injector(plan, 11);
+  int dropped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.Deliveries(1.0).empty()) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.3, 0.02);
+}
+
+TEST(FaultInjectorTest, JitterDelaysButNeverReordersBelowBase) {
+  FaultPlan plan;
+  plan.jitter = 0.4;
+  FaultInjector injector(plan, 13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = injector.Deliveries(1.0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_GE(d[0], 1.0);  // Jitter only ever adds delay.
+    sum += d[0];
+  }
+  EXPECT_NEAR(sum / n, 1.4, 0.05);
+}
+
+TEST(FaultInjectorTest, DuplicateCopiesGetIndependentJitter) {
+  FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  plan.jitter = 0.5;
+  FaultInjector injector(plan, 17);
+  int distinct = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = injector.Deliveries(1.0);
+    ASSERT_EQ(d.size(), 2u);
+    if (d[0] != d[1]) ++distinct;
+  }
+  EXPECT_GT(distinct, 45);  // Ties have probability ~0.
+}
+
+TEST(FaultInjectorTest, DeterministicPerSeed) {
+  FaultPlan plan;
+  plan.drop_rate = 0.2;
+  plan.duplicate_rate = 0.2;
+  plan.jitter = 0.3;
+  FaultInjector a(plan, 23);
+  FaultInjector b(plan, 23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Deliveries(1.0), b.Deliveries(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace mdts
