@@ -1,0 +1,403 @@
+// Closed-loop multithreaded MT(k) throughput benchmark (the perf experiment
+// behind the sharded engine): sweeps threads x contention x k over the
+// thread-safe ShardedMtkEngine, and measures the single-thread speedup of
+// the optimized scheduler/engine against the real pre-refactor
+// MtkScheduler, vendored verbatim under bench/prepr/. Every
+// worker retries its transaction until it commits (a closed loop), so abort
+// handling and restart costs are part of every number and the compaction
+// watermark can always advance.
+//
+// Results go to stdout (tables) and are upserted into a JSON results file
+// (argv[1], default BENCH_core.json) keyed by benchmark name. Scaling
+// numbers are only meaningful when the machine has at least as many
+// hardware threads as the sweep uses; the record carries the detected
+// count so readers can judge.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_clock.h"
+#include "common/bench_json.h"
+#include "common/table_printer.h"
+#include "core/mtk_scheduler.h"
+#include "core/types.h"
+#include "engine/sharded_engine.h"
+#include "prepr/mtk_scheduler.h"
+
+namespace mdts {
+namespace {
+
+
+// The vendored baseline has its own OpDecision enum; both spellings of
+// "rejected" funnel through this pair so ClosedLoop stays generic.
+inline bool IsReject(OpDecision d) { return d == OpDecision::kReject; }
+inline bool IsReject(prepr::OpDecision d) {
+  return d == prepr::OpDecision::kReject;
+}
+
+// ===========================================================================
+// Workload: transaction programs generated OUTSIDE the timed loops.
+// ===========================================================================
+
+struct StreamOp {
+  uint8_t is_read;
+  uint32_t item;
+};
+
+struct Workload {
+  uint32_t items = 0;
+  uint32_t ops_per_txn = 0;
+  // ops[t] holds thread t's transaction programs back to back; a worker
+  // replays program n at offset n * ops_per_txn (mod the stream) until the
+  // transaction commits.
+  std::vector<std::vector<StreamOp>> ops;
+};
+
+// xorshift64* - tiny, deterministic, allocation-free.
+inline uint64_t NextRand(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *s = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+Workload MakeWorkload(size_t threads, uint32_t items, uint32_t ops_per_txn,
+                      double read_fraction, uint64_t seed) {
+  constexpr size_t kTxnsPerStream = 1 << 15;  // Replayed cyclically.
+  Workload w;
+  w.items = items;
+  w.ops_per_txn = ops_per_txn;
+  w.ops.resize(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    uint64_t s = seed + 0x9E3779B97F4A7C15ULL * (t + 1);
+    w.ops[t].resize(kTxnsPerStream * ops_per_txn);
+    for (StreamOp& op : w.ops[t]) {
+      const uint64_t r = NextRand(&s);
+      op.item = static_cast<uint32_t>(r % items);
+      op.is_read = (r >> 32) % 100 < static_cast<uint64_t>(read_fraction * 100)
+                       ? 1
+                       : 0;
+    }
+  }
+  return w;
+}
+
+// ===========================================================================
+// Closed-loop drivers.
+// ===========================================================================
+
+struct LoopResult {
+  uint64_t committed = 0;
+  uint64_t aborts = 0;
+  uint64_t ops_accepted = 0;
+  double seconds = 0.0;
+  std::vector<uint64_t> latencies_ns;  // Sampled per committed txn.
+
+  double ops_per_sec() const {
+    return seconds > 0 ? static_cast<double>(ops_accepted) / seconds : 0;
+  }
+  double abort_rate() const {
+    const uint64_t attempts = committed + aborts;
+    return attempts ? static_cast<double>(aborts) / attempts : 0;
+  }
+};
+
+// One worker's closed loop over any scheduler-shaped S (Process /
+// CommitTxn / RestartTxn). Transaction ids are 1 + t + n * stride so
+// multithreaded runs produce globally unique ids striped across engine
+// shards. Runs for `seconds` of wall time, checking the clock every few
+// transactions.
+template <typename S>
+LoopResult ClosedLoop(S& sched, const Workload& w, size_t t, size_t stride,
+                      double seconds) {
+  LoopResult res;
+  const std::vector<StreamOp>& stream = w.ops[t];
+  const size_t txns_in_stream = stream.size() / w.ops_per_txn;
+  res.latencies_ns.reserve(1 << 16);
+  Stopwatch total;
+  Stopwatch txn_clock;
+  uint64_t n = 0;
+  for (;; ++n) {
+    if ((n & 63) == 0) {
+      res.seconds = total.ElapsedSeconds();
+      if (res.seconds >= seconds) break;
+    }
+    const TxnId txn = static_cast<TxnId>(1 + t + n * stride);
+    const StreamOp* prog = &stream[(n % txns_in_stream) * w.ops_per_txn];
+    const bool sample = (n & 7) == 0;
+    if (sample) txn_clock.Reset();
+    for (;;) {  // Retry until this transaction commits.
+      bool ok = true;
+      for (uint32_t o = 0; o < w.ops_per_txn && ok; ++o) {
+        Op op;
+        op.txn = txn;
+        op.type = prog[o].is_read ? OpType::kRead : OpType::kWrite;
+        op.item = prog[o].item;
+        ok = !IsReject(sched.Process(op));
+        if (ok) ++res.ops_accepted;
+      }
+      if (ok) {
+        sched.CommitTxn(txn);
+        ++res.committed;
+        break;
+      }
+      ++res.aborts;
+      sched.RestartTxn(txn);
+    }
+    if (sample) res.latencies_ns.push_back(txn_clock.ElapsedNanos());
+  }
+  res.seconds = total.ElapsedSeconds();
+  return res;
+}
+
+LoopResult MergeThreadResults(std::vector<LoopResult> parts) {
+  LoopResult out;
+  for (LoopResult& p : parts) {
+    out.committed += p.committed;
+    out.aborts += p.aborts;
+    out.ops_accepted += p.ops_accepted;
+    out.seconds = std::max(out.seconds, p.seconds);
+    out.latencies_ns.insert(out.latencies_ns.end(), p.latencies_ns.begin(),
+                            p.latencies_ns.end());
+  }
+  return out;
+}
+
+LoopResult RunEngine(const EngineOptions& eo, const Workload& w,
+                     size_t threads, double seconds) {
+  ShardedMtkEngine engine(eo);
+  std::vector<LoopResult> parts(threads);
+  if (threads == 1) {
+    parts[0] = ClosedLoop(engine, w, 0, 1, seconds);
+  } else {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        parts[t] = ClosedLoop(engine, w, t, threads, seconds);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  return MergeThreadResults(std::move(parts));
+}
+
+double Mops(const LoopResult& r) { return r.ops_per_sec() / 1e6; }
+
+double LatencyUs(LoopResult& r, int pct) {
+  if (r.latencies_ns.empty()) return 0;
+  return static_cast<double>(Percentile(r.latencies_ns, pct)) / 1000.0;
+}
+
+std::string Fmt(double v, int prec = 2) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+// ===========================================================================
+// Experiments.
+// ===========================================================================
+
+constexpr uint32_t kOpsPerTxn = 6;
+constexpr double kReadFraction = 0.6;
+constexpr uint32_t kLowContentionItems = 65536;
+constexpr uint32_t kHighContentionItems = 64;
+
+int Run(const char* out_path) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== MT(k) closed-loop throughput (hardware threads: %u) ===\n\n",
+              hw);
+
+  // -------------------------------------------------------------------
+  // Part 1: single-thread speedup against the frozen pre-refactor
+  // scheduler, at k = 3 on both contention levels. "sched" is the current
+  // MtkScheduler (what MtkOnline runs), "engine x1" the sharded engine
+  // with one shard.
+  // -------------------------------------------------------------------
+  std::printf("--- single-thread, k=3, %u ops/txn, %.0f%% reads ---\n",
+              kOpsPerTxn, kReadFraction * 100);
+  TablePrinter single({"items", "prepr Mops", "sched Mops", "engine Mops",
+                       "sched/prepr", "engine/prepr", "abort rate"});
+  double speedup_sched_low = 0, speedup_engine_low = 0;
+  double prepr_low_mops = 0, sched_low_mops = 0, engine_low_mops = 0;
+  for (uint32_t items : {kLowContentionItems, kHighContentionItems}) {
+    const Workload w =
+        MakeWorkload(1, items, kOpsPerTxn, kReadFraction, 42);
+    const double secs = 1.0;
+    // Warmup + run, each system fresh.
+    LoopResult rp, rs, re;
+    prepr::MtkOptions po;
+    po.k = 3;
+    po.starvation_fix = true;
+    {
+      prepr::MtkScheduler s(po);
+      (void)ClosedLoop(s, w, 0, 1, 0.1);  // Warmup.
+    }
+    {
+      prepr::MtkScheduler s(po);
+      rp = ClosedLoop(s, w, 0, 1, secs);
+    }
+    {
+      MtkOptions mo;
+      mo.k = 3;
+      mo.starvation_fix = true;
+      MtkScheduler s(mo);
+      (void)ClosedLoop(s, w, 0, 1, 0.1);
+    }
+    {
+      MtkOptions mo;
+      mo.k = 3;
+      mo.starvation_fix = true;
+      MtkScheduler s(mo);
+      rs = ClosedLoop(s, w, 0, 1, secs);
+    }
+    {
+      EngineOptions eo;
+      eo.k = 3;
+      eo.num_shards = 1;
+      eo.starvation_fix = true;
+      re = RunEngine(eo, w, 1, secs);
+    }
+    const double sp_s = Mops(rs) / Mops(rp);
+    const double sp_e = Mops(re) / Mops(rp);
+    if (items == kLowContentionItems) {
+      speedup_sched_low = sp_s;
+      speedup_engine_low = sp_e;
+      prepr_low_mops = Mops(rp);
+      sched_low_mops = Mops(rs);
+      engine_low_mops = Mops(re);
+    }
+    single.AddRow({std::to_string(items), Fmt(Mops(rp)), Fmt(Mops(rs)),
+                   Fmt(Mops(re)), Fmt(sp_s), Fmt(sp_e),
+                   Fmt(rs.abort_rate(), 3)});
+  }
+  std::printf("%s\n", single.ToString().c_str());
+
+  UpsertBenchRecord(
+      out_path, "mt_throughput_single_thread_k3",
+      {{"hardware_threads", JsonNum(hw)},
+       {"items_low_contention", JsonNum(kLowContentionItems)},
+       {"prepr_mops", JsonNum(prepr_low_mops)},
+       {"sched_mops", JsonNum(sched_low_mops)},
+       {"engine_1shard_mops", JsonNum(engine_low_mops)},
+       {"single_thread_speedup_vs_prepr", JsonNum(speedup_sched_low)},
+       {"engine_speedup_vs_prepr", JsonNum(speedup_engine_low)}});
+
+  // -------------------------------------------------------------------
+  // Part 2: engine scaling sweep, threads x contention x k. Compaction is
+  // on, with a period scaled to the item count: the stop-the-world sweep
+  // is O(items), so a fixed small period would spend the whole run
+  // scanning 65536 item histories.
+  // -------------------------------------------------------------------
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  double scaling_4t = 0, mops_1t_low_k3 = 0, mops_4t_low_k3 = 0;
+  for (uint32_t items : {kLowContentionItems, kHighContentionItems}) {
+    for (size_t k : {1u, 3u, 7u}) {
+      std::printf("--- engine: %u items, k=%zu ---\n", items, k);
+      TablePrinter table({"threads", "Mops", "commit/s", "abort rate",
+                          "p50 us", "p99 us", "cross-shard", "released"});
+      std::string mops_list, abort_list, p50_list, p99_list;
+      for (size_t threads : thread_counts) {
+        EngineOptions eo;
+        eo.k = k;
+        eo.num_shards = 32;  // Over-provisioned so locksets rarely collide.
+        eo.starvation_fix = true;
+        // The stop-the-world sweep is O(items): scale the period with the
+        // item count so compaction stays amortized, with a floor so hot
+        // small-table runs still reclaim aggressively.
+        eo.compact_every = std::max<uint64_t>(1024, items / 2);
+        const Workload w =
+            MakeWorkload(threads, items, kOpsPerTxn, kReadFraction, 42);
+        (void)RunEngine(eo, w, threads, 0.08);  // Warmup (fresh engine).
+        ShardedMtkEngine engine(eo);
+        std::vector<LoopResult> parts(threads);
+        {
+          std::vector<std::thread> pool;
+          for (size_t t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+              parts[t] = ClosedLoop(engine, w, t, threads, 0.5);
+            });
+          }
+          for (auto& th : pool) th.join();
+        }
+        LoopResult r = MergeThreadResults(std::move(parts));
+        const EngineStats st = engine.stats();
+        const double cross_frac =
+            st.single_shard_ops + st.cross_shard_ops
+                ? static_cast<double>(st.cross_shard_ops) /
+                      static_cast<double>(st.single_shard_ops +
+                                          st.cross_shard_ops)
+                : 0;
+        const double p50 = LatencyUs(r, 50);
+        const double p99 = LatencyUs(r, 99);
+        table.AddRow({std::to_string(threads), Fmt(Mops(r)),
+                      Fmt(static_cast<double>(r.committed) / r.seconds, 0),
+                      Fmt(r.abort_rate(), 3), Fmt(p50, 1), Fmt(p99, 1),
+                      Fmt(cross_frac, 2),
+                      std::to_string(st.txns_released)});
+        if (!mops_list.empty()) {
+          mops_list += ", ";
+          abort_list += ", ";
+          p50_list += ", ";
+          p99_list += ", ";
+        }
+        mops_list += JsonNum(Mops(r));
+        abort_list += JsonNum(r.abort_rate());
+        p50_list += JsonNum(p50);
+        p99_list += JsonNum(p99);
+        if (items == kLowContentionItems && k == 3) {
+          if (threads == 1) mops_1t_low_k3 = Mops(r);
+          if (threads == 4) mops_4t_low_k3 = Mops(r);
+        }
+      }
+      std::printf("%s\n", table.ToString().c_str());
+      const std::string name = "mt_engine_scaling_items" +
+                               std::to_string(items) + "_k" +
+                               std::to_string(k);
+      UpsertBenchRecord(out_path, name,
+                        {{"hardware_threads", JsonNum(hw)},
+                         {"num_shards", JsonNum(32)},
+                         {"threads", "[1, 2, 4, 8]"},
+                         {"mops", "[" + mops_list + "]"},
+                         {"abort_rate", "[" + abort_list + "]"},
+                         {"p50_us", "[" + p50_list + "]"},
+                         {"p99_us", "[" + p99_list + "]"}});
+    }
+  }
+  scaling_4t = mops_1t_low_k3 > 0 ? mops_4t_low_k3 / mops_1t_low_k3 : 0;
+
+  UpsertBenchRecord(
+      out_path, "mt_throughput_acceptance",
+      {{"hardware_threads", JsonNum(hw)},
+       {"single_thread_speedup_vs_prepr_k3", JsonNum(speedup_sched_low)},
+       {"engine_1shard_speedup_vs_prepr_k3", JsonNum(speedup_engine_low)},
+       {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
+       {"note",
+        JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
+                        : "hardware threads < 4: scaling ratio reflects "
+                          "timeslicing, not parallel speedup")}});
+
+  std::printf(
+      "single-thread speedup vs pre-refactor scheduler (k=3, low "
+      "contention): %.2fx (sched), %.2fx (engine x1)\n",
+      speedup_sched_low, speedup_engine_low);
+  std::printf("engine scaling 4t/1t (low contention, k=3): %.2fx%s\n",
+              scaling_4t,
+              hw < 4 ? "  [hardware threads < 4: timeslicing, not a "
+                       "parallel speedup measurement]"
+                     : "");
+  std::printf("results upserted into %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+int main(int argc, char** argv) {
+  return mdts::Run(argc > 1 ? argv[1] : "BENCH_core.json");
+}

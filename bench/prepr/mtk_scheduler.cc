@@ -1,11 +1,13 @@
-#include "core/mtk_scheduler.h"
+#include "mtk_scheduler.h"
 
 #include <algorithm>
 #include <cassert>
 
 #include "common/table_printer.h"
 
-namespace mdts {
+namespace prepr {
+
+using mdts::TablePrinter;
 
 const char* OpDecisionName(OpDecision d) {
   switch (d) {
@@ -19,25 +21,21 @@ const char* OpDecisionName(OpDecision d) {
   return "?";
 }
 
-MtkScheduler::MtkScheduler(const MtkOptions& options)
-    : options_(options), t0_(options.k) {
+MtkScheduler::MtkScheduler(const MtkOptions& options) : options_(options) {
   assert(options_.k >= 1);
   // Line 2 of Algorithm 1: the virtual transaction T0, which conceptually
   // read and wrote every item first, starts with TS(0) = <0, *, ..., *> and
   // is permanently committed. Lines 3-4: RT(x) = WT(x) = 0 is realized by
   // TopLive falling back to kVirtualTxn on empty stacks; lcount/ucount start
   // at 0 / 1.
-  t0_.ts = TimestampVector::Virtual(options_.k);
-  t0_.committed = true;
+  txns_.emplace_back(options_.k);
+  txns_[0].ts = TimestampVector::Virtual(options_.k);
+  txns_[0].committed = true;
 }
 
 MtkScheduler::TxnState& MtkScheduler::State(TxnId txn) {
-  if (txn >= base_) {  // Hot path: a non-released real transaction.
-    while (base_ + txns_.size() <= txn) txns_.emplace_back(options_.k);
-    return txns_[txn - base_];
-  }
-  assert(txn == kVirtualTxn && "access to a compacted (released) txn");
-  return t0_;  // T0; also the defensive answer for released ids.
+  while (txns_.size() <= txn) txns_.emplace_back(options_.k);
+  return txns_[txn];
 }
 
 MtkScheduler::ItemState& MtkScheduler::Item(ItemId item) {
@@ -45,41 +43,20 @@ MtkScheduler::ItemState& MtkScheduler::Item(ItemId item) {
   return items_[item];
 }
 
-MtkScheduler::LiveRef MtkScheduler::TopLiveOf(Access& top,
-                                              std::vector<Access>& stack) {
-  // Fast path: the inline mirror of stack.back() is live; the stack's heap
-  // storage is never touched.
-  if (top.txn == kVirtualTxn) return {kVirtualTxn, &t0_};
-  {
-    TxnState& s = State(top.txn);
-    if (top.incarnation == s.incarnation && !s.aborted) return {top.txn, &s};
-  }
-  // Dead top: drop it and scan for the most recent live entry. Dead entries
-  // (stale incarnation or currently aborted) are popped for good.
-  stack.pop_back();
-  while (!stack.empty()) {
-    const Access& a = stack.back();
-    TxnState& s = State(a.txn);
-    if (a.incarnation == s.incarnation && !s.aborted) {
-      top = a;
-      return {a.txn, &s};
-    }
-    stack.pop_back();
-  }
-  top = Access{};
-  return {kVirtualTxn, &t0_};
+bool MtkScheduler::IsLiveAccess(const Access& access) {
+  const TxnState& s = State(access.txn);
+  return access.incarnation == s.incarnation && !s.aborted;
 }
 
-VectorCompareResult MtkScheduler::CompareStates(const TxnState& a,
-                                                const TxnState& b) {
-#ifdef MDTS_DEBUG_COMPARE
-  VectorCompareResult r = options_.naive_compare ? CompareNaive(a.ts, b.ts)
-                                                 : Compare(a.ts, b.ts);
-#else
-  VectorCompareResult r = options_.naive_compare
-                              ? CompareNaive(a.ts, b.ts)
-                              : internal::CompareFast(a.ts, b.ts);
-#endif
+TxnId MtkScheduler::TopLive(std::vector<Access>* stack) {
+  while (!stack->empty() && !IsLiveAccess(stack->back())) {
+    stack->pop_back();
+  }
+  return stack->empty() ? kVirtualTxn : stack->back().txn;
+}
+
+VectorCompareResult MtkScheduler::CompareTs(TxnId a, TxnId b) {
+  VectorCompareResult r = Compare(State(a).ts, State(b).ts);
   stats_.element_comparisons += r.index + 1;
   return r;
 }
@@ -90,25 +67,24 @@ void MtkScheduler::RecordEncoding(TxnId from, TxnId to) {
   }
 }
 
-void MtkScheduler::EncodePairAt(TxnState& sj, TxnState& si, size_t m) {
+void MtkScheduler::EncodePairAt(TxnId j, TxnId i, size_t m) {
   // Algorithm 1's '=' case below the last column: the two elements are set
   // to the constants 1 < 2. Columns other than the k-th may therefore hold
   // equal values across different vectors, which is what lets MT(k) keep
   // transactions unordered longer than MT(k-1) (Section III-C).
-  sj.ts.Set(m, 1);
-  si.ts.Set(m, 2);
+  State(j).ts.Set(m, 1);
+  State(i).ts.Set(m, 2);
   stats_.elements_assigned += 2;
 }
 
-bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
-                             bool hot_item) {
+bool MtkScheduler::Set(TxnId j, TxnId i, bool hot_item) {
   if (j == i) return true;  // Line 15.
   ++stats_.set_calls;
   const size_t k = options_.k;
-  const VectorCompareResult cr = CompareStates(sj, si);
+  const VectorCompareResult cr = CompareTs(j, i);
   const size_t m = cr.index;
-  TimestampVector& tj = sj.ts;
-  TimestampVector& ti = si.ts;
+  TimestampVector& tj = State(j).ts;
+  TimestampVector& ti = State(i).ts;
 
   switch (cr.order) {
     case VectorOrder::kLess:
@@ -137,7 +113,7 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
           ti.Set(h, 0);
           stats_.elements_assigned += 2;
         }
-        EncodePairAt(sj, si, e);
+        EncodePairAt(j, i, e);
       } else if (m + 1 == k) {
         // Last column: use the global counters so every fully assigned
         // vector stays distinguishable from every other.
@@ -146,7 +122,7 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
         ucount_ += 2;
         stats_.elements_assigned += 2;
       } else {
-        EncodePairAt(sj, si, m);
+        EncodePairAt(j, i, m);
       }
       RecordEncoding(j, i);
       return true;
@@ -166,7 +142,7 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
             ti.Set(h, tj.Get(h));
             ++stats_.elements_assigned;
           }
-          EncodePairAt(sj, si, p);
+          EncodePairAt(j, i, p);
         } else if (optimize && p + 1 == k) {
           for (size_t h = m; h < p; ++h) {
             ti.Set(h, tj.Get(h));
@@ -202,12 +178,11 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
   return false;
 }
 
-void MtkScheduler::ApplyStarvationSeed(TxnState& aborted,
-                                       const TxnState& blocker) {
+void MtkScheduler::ApplyStarvationSeed(TxnId aborted, TxnId blocker) {
   // Section III-D-4: flush out TS(i) and seed TS(i,1) := TS(j,1) + 1 so the
   // restarted incarnation is ordered after the blocking transaction.
-  TimestampVector& ti = aborted.ts;
-  const TimestampVector& tj = blocker.ts;
+  TimestampVector& ti = State(aborted).ts;
+  const TimestampVector& tj = State(blocker).ts;
   assert(tj.IsDefined(0));
   ti.Reset();
   ti.Set(0, tj.Get(0) + 1);
@@ -231,37 +206,34 @@ OpDecision MtkScheduler::Process(const Op& op) {
   ++item.access_count;
 
   // Lines 5-6: j is whichever of RT(x), WT(x) has the larger timestamp,
-  // with RT(x) winning ties and undetermined comparisons. All states are
-  // resolved to pointers once here; everything below works on them.
-  const LiveRef jr = TopLiveOf(item.top_reader, item.readers);
-  const LiveRef jw = TopLiveOf(item.top_writer, item.writers);
-  const LiveRef j =
-      CompareStates(*jr.state, *jw.state).order == VectorOrder::kLess ? jw
-                                                                      : jr;
+  // with RT(x) winning ties and undetermined comparisons.
+  const TxnId jr = TopLive(&item.readers);
+  const TxnId jw = TopLive(&item.writers);
+  const TxnId j =
+      CompareTs(jr, jw).order == VectorOrder::kLess ? jw : jr;
 
-  auto reject = [&](const LiveRef& blocker) {
-    last_blocker_ = blocker.txn;
+  auto reject = [&](TxnId blocker) {
+    last_blocker_ = blocker;
     state.aborted = true;
-    if (options_.starvation_fix) ApplyStarvationSeed(state, *blocker.state);
+    if (options_.starvation_fix) ApplyStarvationSeed(i, blocker);
     ++stats_.rejected;
     return OpDecision::kReject;
   };
 
   if (op.type == OpType::kRead) {
-    if (SetStates(*j.state, state, j.txn, i, hot)) {
+    if (Set(j, i, hot)) {
       item.readers.push_back({i, state.incarnation});  // Line 7: RT(x) := i.
-      item.top_reader = item.readers.back();
       ++stats_.accepted;
       return OpDecision::kAccept;
     }
     // Line 9: a read older than the most recent reader is still safe if it
     // follows the most recent writer. The relaxed variant (noted after
     // Theorem 3) encodes the WT dependency with Set instead of testing it.
-    if (j.txn == jr.txn && !options_.disable_old_read_path) {
+    if (j == jr && !options_.disable_old_read_path) {
       const bool write_ordered =
           options_.relaxed_read_path
-              ? SetStates(*jw.state, state, jw.txn, i, hot)
-              : CompareStates(*jw.state, state).order == VectorOrder::kLess;
+              ? Set(jw, i, hot)
+              : CompareTs(jw, i).order == VectorOrder::kLess;
       if (write_ordered) {
         ++stats_.accepted;
         return OpDecision::kAccept;  // Line 10; RT(x) is not updated.
@@ -271,19 +243,16 @@ OpDecision MtkScheduler::Process(const Op& op) {
   }
 
   // Write.
-  if (SetStates(*j.state, state, j.txn, i, hot)) {
+  if (Set(j, i, hot)) {
     item.writers.push_back({i, state.incarnation});  // Line 12: WT(x) := i.
-    item.top_writer = item.writers.back();
     ++stats_.accepted;
     return OpDecision::kAccept;
   }
   if (options_.thomas_write_rule) {
     // Section III-D-6c: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
     // obsolete and can be ignored rather than aborting T_i.
-    const bool after_reads =
-        CompareStates(*jr.state, state).order == VectorOrder::kLess;
-    const bool before_writer =
-        CompareStates(state, *jw.state).order == VectorOrder::kLess;
+    const bool after_reads = CompareTs(jr, i).order == VectorOrder::kLess;
+    const bool before_writer = CompareTs(i, jw).order == VectorOrder::kLess;
     if (after_reads && before_writer) {
       ++stats_.ignored_writes;
       return OpDecision::kIgnore;
@@ -296,11 +265,6 @@ void MtkScheduler::CommitTxn(TxnId txn) {
   TxnState& s = State(txn);
   assert(!s.aborted);
   s.committed = true;
-  if (options_.compact_every > 0 &&
-      ++commits_since_compact_ >= options_.compact_every) {
-    commits_since_compact_ = 0;
-    CompactCommitted();
-  }
 }
 
 void MtkScheduler::RestartTxn(TxnId txn) {
@@ -316,71 +280,28 @@ void MtkScheduler::RestartTxn(TxnId txn) {
 }
 
 bool MtkScheduler::IsAborted(TxnId txn) const {
-  if (txn < base_) return false;  // T0 and released (committed) txns.
-  const size_t idx = txn - base_;
-  return idx < txns_.size() && txns_[idx].aborted;
+  return txn < txns_.size() && txns_[txn].aborted;
 }
 
 bool MtkScheduler::IsCommitted(TxnId txn) const {
-  if (txn == kVirtualTxn) return t0_.committed;
-  if (txn < base_) return true;  // Only committed states are released.
-  const size_t idx = txn - base_;
-  return idx < txns_.size() && txns_[idx].committed;
+  return txn < txns_.size() && txns_[txn].committed;
 }
 
 const TimestampVector& MtkScheduler::Ts(TxnId txn) { return State(txn).ts; }
 
-TxnId MtkScheduler::Rt(ItemId item) {
-  ItemState& s = Item(item);
-  return TopLiveOf(s.top_reader, s.readers).txn;
-}
+TxnId MtkScheduler::Rt(ItemId item) { return TopLive(&Item(item).readers); }
 
-TxnId MtkScheduler::Wt(ItemId item) {
-  ItemState& s = Item(item);
-  return TopLiveOf(s.top_writer, s.writers).txn;
-}
+TxnId MtkScheduler::Wt(ItemId item) { return TopLive(&Item(item).writers); }
 
 void MtkScheduler::CompactItemHistories() {
   for (ItemState& item : items_) {
-    const LiveRef r = TopLiveOf(item.top_reader, item.readers);
-    const LiveRef w = TopLiveOf(item.top_writer, item.writers);
+    const TxnId r = TopLive(&item.readers);
+    const TxnId w = TopLive(&item.writers);
     item.readers.clear();
     item.writers.clear();
-    if (r.txn != kVirtualTxn) {
-      item.readers.push_back({r.txn, r.state->incarnation});
-      item.top_reader = item.readers.back();
-    }
-    if (w.txn != kVirtualTxn) {
-      item.writers.push_back({w.txn, w.state->incarnation});
-      item.top_writer = item.writers.back();
-    }
+    if (r != kVirtualTxn) item.readers.push_back({r, State(r).incarnation});
+    if (w != kVirtualTxn) item.writers.push_back({w, State(w).incarnation});
   }
-}
-
-size_t MtkScheduler::CompactCommitted() {
-  CompactItemHistories();
-  // Everything below the smallest id still referenced by an item history
-  // (or still live at the front of the deque) is unreachable: TopLive can
-  // never surface it again, so neither Process nor Set will compare
-  // against its vector.
-  TxnId min_referenced = static_cast<TxnId>(base_ + txns_.size());
-  for (const ItemState& item : items_) {
-    for (const Access& a : item.readers) {
-      min_referenced = std::min(min_referenced, a.txn);
-    }
-    for (const Access& a : item.writers) {
-      min_referenced = std::min(min_referenced, a.txn);
-    }
-  }
-  size_t released = 0;
-  while (!txns_.empty() && base_ < min_referenced &&
-         txns_.front().committed) {
-    txns_.pop_front();
-    ++base_;
-    ++released;
-  }
-  stats_.txns_released += released;
-  return released;
 }
 
 std::vector<TxnId> MtkScheduler::SerializationOrder(std::vector<TxnId> txns) {
@@ -421,10 +342,6 @@ std::string MtkScheduler::DumpTable(TxnId max_txn) {
   std::vector<std::string> header = {"txn", "TS", "state"};
   TablePrinter table(header);
   for (TxnId t = 0; t <= max_txn; ++t) {
-    if (t != kVirtualTxn && t < base_) {
-      table.AddRow({"T" + std::to_string(t), "(released)", "committed"});
-      continue;
-    }
     const TxnState& s = State(t);
     std::string st = t == kVirtualTxn ? "virtual"
                      : s.aborted      ? "aborted"
@@ -435,4 +352,4 @@ std::string MtkScheduler::DumpTable(TxnId max_txn) {
   return table.ToString();
 }
 
-}  // namespace mdts
+}  // namespace prepr

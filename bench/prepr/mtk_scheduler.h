@@ -1,15 +1,25 @@
-#ifndef MDTS_CORE_MTK_SCHEDULER_H_
-#define MDTS_CORE_MTK_SCHEDULER_H_
+// Frozen pre-refactor baseline, vendored verbatim from the seed tree
+// (commit 6e326b8^ lineage) with only the namespace renamed, so the
+// mt_throughput benchmark can measure the optimized core against the real
+// code it replaced inside one binary. Do not modernize this copy.
+#ifndef BENCH_PREPR_MTK_SCHEDULER_H_
+#define BENCH_PREPR_MTK_SCHEDULER_H_
 
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
 
-#include "core/timestamp_vector.h"
+#include "timestamp_vector.h"
 #include "core/types.h"
 
-namespace mdts {
+namespace prepr {
+
+using mdts::ItemId;
+using mdts::kVirtualTxn;
+using mdts::Op;
+using mdts::OpType;
+using mdts::TxnId;
 
 /// Decision of the scheduler for one incoming operation.
 enum class OpDecision {
@@ -63,18 +73,6 @@ struct MtkOptions {
   /// order) so rejections can be explained; see core/explain.h. Off by
   /// default: it costs memory proportional to the number of operations.
   bool record_encodings = false;
-
-  /// If > 0, CompactCommitted() runs automatically after every this many
-  /// commits, so a long-running scheduler's memory stays bounded by live
-  /// transactions instead of total history. Leave 0 for recognizer-style
-  /// use, where every transaction's final vector must stay inspectable.
-  uint64_t compact_every = 0;
-
-  /// Debug flag: route every comparison through CompareNaive, the literal
-  /// Definition-6 reference, instead of the optimized mask-based
-  /// comparator. Used for differential testing and as the pre-optimization
-  /// baseline in bench/mt_throughput.
-  bool naive_compare = false;
 };
 
 /// One recorded dependency encoding: processing `op` (the `position`-th
@@ -96,8 +94,6 @@ struct MtkStats {
   uint64_t elements_assigned = 0;
   /// Element-level comparison steps spent inside Compare().
   uint64_t element_comparisons = 0;
-  /// Committed-transaction states reclaimed by CompactCommitted().
-  uint64_t txns_released = 0;
 };
 
 /// The MT(k) scheduler of Section III-A (Algorithm 1).
@@ -168,22 +164,6 @@ class MtkScheduler {
   /// the storage-reclamation idea of Section III-D-6a/b.
   void CompactItemHistories();
 
-  /// Full storage reclamation: compacts the item histories, then releases
-  /// the state (vector included) of every committed transaction below the
-  /// smallest id still referenced by an item or still live. Released ids
-  /// must never be passed to Process/Ts/SerializationOrder again (IsAborted
-  /// and IsCommitted keep answering correctly); do not mix with
-  /// record_encodings, whose explain path replays arbitrary old ids.
-  /// Returns the number of transaction states released.
-  size_t CompactCommitted();
-
-  /// Transaction states currently held (virtual T0 included): the quantity
-  /// CompactCommitted() bounds.
-  size_t live_txn_states() const { return txns_.size() + 1; }
-
-  /// Smallest non-virtual id still stored (1 until the first compaction).
-  TxnId base_txn_id() const { return base_; }
-
   /// Topologically sorts the given transactions under the determined vector
   /// order (Definition 6): the serializability order the protocol enforces.
   /// Unordered pairs keep their relative input order where possible.
@@ -207,58 +187,39 @@ class MtkScheduler {
   };
 
   struct ItemState {
-    // Inline mirrors of readers.back() / writers.back() (kVirtualTxn when
-    // the stack is empty). RT(x)/WT(x) resolution reads these instead of
-    // chasing the stack vectors' heap storage; the stacks are only touched
-    // when an op is accepted (push) or the mirrored top turns out dead.
-    Access top_reader;
-    Access top_writer;
     std::vector<Access> readers;  // Accepted reads, oldest first.
     std::vector<Access> writers;  // Accepted writes, oldest first.
     uint64_t access_count = 0;    // For hot-item detection (III-D-5).
   };
 
-  /// A resolved accessor: its id plus a pointer to its state. Hot-path
-  /// helpers pass these around so each transaction's deque slot is located
-  /// once per operation (deque references are stable across growth).
-  struct LiveRef {
-    TxnId txn;
-    TxnState* state;
-  };
-
   TxnState& State(TxnId txn);
   ItemState& Item(ItemId item);
 
-  /// Top live (current-incarnation, non-aborted) entry of an access stack,
-  /// resolved; the virtual transaction if the stack drains empty. `top` is
-  /// the stack's inline mirror and is kept in sync as dead entries pop.
-  LiveRef TopLiveOf(Access& top, std::vector<Access>& stack);
+  /// True if the access entry refers to a live (current, non-aborted)
+  /// incarnation or to a committed transaction.
+  bool IsLiveAccess(const Access& access);
+
+  /// Top live entry of an access stack, or the virtual transaction.
+  TxnId TopLive(std::vector<Access>* stack);
 
   /// Algorithm 1's Set(j, i): ensure TS(j) < TS(i), encoding a new
   /// dependency if the order is not determined yet. Returns false iff the
   /// opposite order TS(j) > TS(i) already holds (or the vectors are
   /// exhausted), in which case the operation must be rejected.
-  bool SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i, bool hot_item);
+  bool Set(TxnId j, TxnId i, bool hot_item);
 
   void RecordEncoding(TxnId from, TxnId to);
 
   /// Encoding helpers (all positions 0-based; the paper's m is 1-based).
-  void EncodePairAt(TxnState& sj, TxnState& si, size_t m);
-  void ApplyStarvationSeed(TxnState& aborted, const TxnState& blocker);
+  void EncodePairAt(TxnId j, TxnId i, size_t m);
+  void ApplyStarvationSeed(TxnId aborted, TxnId blocker);
 
-  VectorCompareResult CompareStates(const TxnState& a, const TxnState& b);
+  VectorCompareResult CompareTs(TxnId a, TxnId b);
 
   MtkOptions options_;
   MtkStats stats_;
-  // The virtual T0 lives outside the compactable range: TopLive falls back
-  // to it forever, so it can never be released.
-  TxnState t0_;
-  // Deque of states for ids [base_, base_ + size()): State() hands out
-  // references that must survive later growth, and CompactCommitted pops
-  // finished front entries to keep memory bounded by live transactions.
+  // Deque: State() hands out references that must survive later growth.
   std::deque<TxnState> txns_;
-  TxnId base_ = 1;
-  uint64_t commits_since_compact_ = 0;
   std::vector<ItemState> items_;
   TsElement lcount_ = 0;  // Current lower bound for k-th elements.
   TsElement ucount_ = 1;  // Current upper bound for k-th elements.
@@ -268,6 +229,6 @@ class MtkScheduler {
   Op current_op_;  // The operation Process is currently handling.
 };
 
-}  // namespace mdts
+}  // namespace prepr
 
-#endif  // MDTS_CORE_MTK_SCHEDULER_H_
+#endif  // BENCH_PREPR_MTK_SCHEDULER_H_

@@ -1,0 +1,84 @@
+#include "timestamp_vector.h"
+
+#include <cassert>
+
+namespace prepr {
+
+TimestampVector::TimestampVector(size_t k)
+    : elems_(k, kUndefinedElement) {
+  assert(k > 0);
+}
+
+TimestampVector TimestampVector::Virtual(size_t k) {
+  TimestampVector v(k);
+  v.Set(0, 0);
+  return v;
+}
+
+size_t TimestampVector::DefinedPrefixLength() const {
+  size_t n = 0;
+  while (n < elems_.size() && elems_[n] != kUndefinedElement) ++n;
+  return n;
+}
+
+size_t TimestampVector::DefinedCount() const {
+  size_t n = 0;
+  for (TsElement e : elems_) {
+    if (e != kUndefinedElement) ++n;
+  }
+  return n;
+}
+
+void TimestampVector::Reset() {
+  for (TsElement& e : elems_) e = kUndefinedElement;
+}
+
+std::string TimestampVector::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < elems_.size(); ++i) {
+    if (i > 0) out += ',';
+    if (elems_[i] == kUndefinedElement) {
+      out += '*';
+    } else {
+      out += std::to_string(elems_[i]);
+    }
+  }
+  out += '>';
+  return out;
+}
+
+VectorCompareResult Compare(const TimestampVector& a,
+                            const TimestampVector& b) {
+  assert(a.size() == b.size());
+  const size_t k = a.size();
+  for (size_t m = 0; m < k; ++m) {
+    const bool da = a.IsDefined(m);
+    const bool db = b.IsDefined(m);
+    if (da && db) {
+      if (a.Get(m) < b.Get(m)) return {VectorOrder::kLess, m};
+      if (a.Get(m) > b.Get(m)) return {VectorOrder::kGreater, m};
+      continue;  // Equal defined elements: keep scanning.
+    }
+    if (!da && !db) return {VectorOrder::kEqual, m};
+    return {VectorOrder::kUndetermined, m};
+  }
+  return {VectorOrder::kIdentical, k};
+}
+
+const char* VectorOrderName(VectorOrder order) {
+  switch (order) {
+    case VectorOrder::kLess:
+      return "LESS";
+    case VectorOrder::kGreater:
+      return "GREATER";
+    case VectorOrder::kEqual:
+      return "EQUAL";
+    case VectorOrder::kUndetermined:
+      return "UNDETERMINED";
+    case VectorOrder::kIdentical:
+      return "IDENTICAL";
+  }
+  return "?";
+}
+
+}  // namespace prepr

@@ -1,0 +1,97 @@
+// Frozen pre-refactor baseline, vendored verbatim from the seed tree
+// (commit 6e326b8^ lineage) with only the namespace renamed, so the
+// mt_throughput benchmark can measure the optimized core against the real
+// code it replaced inside one binary. Do not modernize this copy.
+#ifndef BENCH_PREPR_TIMESTAMP_VECTOR_H_
+#define BENCH_PREPR_TIMESTAMP_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace prepr {
+
+/// A single timestamp element. Elements are drawn from a logical clock, not a
+/// real clock, and may be negative (lcount counts downward). kUndefinedElement
+/// is the paper's '*': an element that has not been assigned yet. Per the
+/// paper, "an undefined element is not equal to any integer".
+using TsElement = int64_t;
+constexpr TsElement kUndefinedElement = std::numeric_limits<int64_t>::min();
+
+/// Outcome of comparing two timestamp vectors under Definition 6.
+enum class VectorOrder {
+  kLess,          // TS(i) < TS(j): first differing defined pair orders them.
+  kGreater,       // TS(i) > TS(j).
+  kEqual,         // '=': equal prefix, then both undefined at position m.
+  kUndetermined,  // '?': equal prefix, then exactly one side undefined at m.
+  kIdentical,     // All k elements defined and pairwise equal. Algorithm 1's
+                  // counters make this unreachable between distinct live
+                  // transactions; surfaced for defensive handling.
+};
+
+/// Result of a Definition-6 comparison: the order plus the 0-based position m
+/// at which it was decided (== size() for kIdentical).
+struct VectorCompareResult {
+  VectorOrder order = VectorOrder::kIdentical;
+  size_t index = 0;
+};
+
+/// The timestamp vector TS(i) of a transaction: k elements, each an integer
+/// or undefined. Earlier (leftmost) elements are more significant; comparison
+/// is lexicographic with the undefined-element rules of Definition 6.
+class TimestampVector {
+ public:
+  /// All k elements undefined: the initial state of every real transaction.
+  explicit TimestampVector(size_t k);
+
+  /// The virtual transaction T0's vector <0, *, *, ..., *>.
+  static TimestampVector Virtual(size_t k);
+
+  size_t size() const { return elems_.size(); }
+
+  bool IsDefined(size_t m) const { return elems_[m] != kUndefinedElement; }
+  TsElement Get(size_t m) const { return elems_[m]; }
+  void Set(size_t m, TsElement v) { elems_[m] = v; }
+
+  /// Number of leading elements that are defined.
+  size_t DefinedPrefixLength() const;
+
+  /// Count of defined elements anywhere in the vector.
+  size_t DefinedCount() const;
+
+  /// Clears every element back to undefined (used by the starvation fix,
+  /// which "flushes out" an aborted transaction's vector).
+  void Reset();
+
+  /// Renders in the paper's notation, e.g. "<1,2,*>".
+  std::string ToString() const;
+
+  friend bool operator==(const TimestampVector& a, const TimestampVector& b) {
+    return a.elems_ == b.elems_;
+  }
+
+ private:
+  std::vector<TsElement> elems_;
+};
+
+/// Definition-6 comparison of TS(i) = a against TS(j) = b. Scans left to
+/// right for the first position where the elements are not both defined and
+/// equal; the pair found there decides the order:
+///   both defined, a<b  -> kLess      both defined, a>b -> kGreater
+///   both undefined     -> kEqual     exactly one undefined -> kUndetermined
+/// Vectors must have equal size.
+VectorCompareResult Compare(const TimestampVector& a, const TimestampVector& b);
+
+/// Convenience: strict Definition-6 "less than".
+inline bool VectorLess(const TimestampVector& a, const TimestampVector& b) {
+  return Compare(a, b).order == VectorOrder::kLess;
+}
+
+/// Name of a VectorOrder value, for diagnostics.
+const char* VectorOrderName(VectorOrder order);
+
+}  // namespace prepr
+
+#endif  // BENCH_PREPR_TIMESTAMP_VECTOR_H_

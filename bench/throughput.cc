@@ -6,8 +6,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "common/table_printer.h"
 #include "composite/mtk_plus_online.h"
 #include "mvcc/mv_online.h"
@@ -61,14 +63,18 @@ std::unique_ptr<Scheduler> Make(int which) {
   return nullptr;
 }
 
-int Run() {
+int Run(const char* out_path) {
   std::printf("=== Throughput comparison across protocols ===\n\n");
 
+  // One machine-readable record per contention level lands next to
+  // mt_throughput's records so cross-protocol and intra-protocol numbers
+  // share one results file.
   for (uint32_t items : {6u, 15u, 40u}) {
     std::printf("--- %u items, 200 txns, MPL 10, 2-4 ops/txn, 60%% reads ---\n",
                 items);
     TablePrinter table({"scheduler", "committed", "aborts", "blocks",
                         "gave up", "throughput", "avg response"});
+    BenchFields fields;
     for (int which = 0; which < 10; ++which) {
       auto s = Make(which);
       SimOptions options;
@@ -84,8 +90,13 @@ int Run() {
                     std::to_string(r.aborts), std::to_string(r.block_events),
                     std::to_string(r.gave_up), FormatDouble(r.throughput, 3),
                     FormatDouble(r.avg_response_time, 2)});
+      fields.emplace_back(s->name(),
+                          "{\"throughput\": " + JsonNum(r.throughput) +
+                              ", \"aborts\": " + JsonNum(r.aborts) + "}");
     }
     std::printf("%s\n", table.ToString().c_str());
+    UpsertBenchRecord(out_path,
+                      "cross_protocol_items" + std::to_string(items), fields);
   }
 
   std::printf("--- long transactions (5-8 ops), 8 items ---\n");
@@ -118,4 +129,6 @@ int Run() {
 }  // namespace
 }  // namespace mdts
 
-int main() { return mdts::Run(); }
+int main(int argc, char** argv) {
+  return mdts::Run(argc > 1 ? argv[1] : "BENCH_core.json");
+}

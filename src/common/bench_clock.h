@@ -1,0 +1,58 @@
+#ifndef MDTS_COMMON_BENCH_CLOCK_H_
+#define MDTS_COMMON_BENCH_CLOCK_H_
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace mdts {
+
+/// Monotonic wall-clock timer for benchmarks: wraps steady_clock so no
+/// bench re-derives the duration arithmetic (or accidentally uses the
+/// adjustable system clock).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Rank-based percentile over an ascending-sorted sample vector, using the
+/// ceiling rank idx = ceil(n * pct / 100) clamped to [1, n]. For pct = 99
+/// this reproduces the formula the DMT(k) simulation has always used for
+/// p99 response times, so switching callers to this helper changes no
+/// reported number.
+template <typename T>
+T PercentileSorted(const std::vector<T>& sorted, int pct) {
+  assert(!sorted.empty());
+  const size_t idx =
+      (sorted.size() * static_cast<size_t>(pct) + 99) / 100;
+  return sorted[std::min(std::max<size_t>(idx, 1), sorted.size()) - 1];
+}
+
+/// Sorts the samples in place, then returns the pct-th percentile.
+template <typename T>
+T Percentile(std::vector<T>& samples, int pct) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, pct);
+}
+
+}  // namespace mdts
+
+#endif  // MDTS_COMMON_BENCH_CLOCK_H_

@@ -1,12 +1,69 @@
 #include "core/timestamp_vector.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace mdts {
 
-TimestampVector::TimestampVector(size_t k)
-    : elems_(k, kUndefinedElement) {
+TimestampVector::TimestampVector(size_t k) : k_(static_cast<uint32_t>(k)) {
   assert(k > 0);
+  TsElement* d;
+  if (k_ <= kInlineCapacity) {
+    d = inline_;
+    for (size_t m = 0; m < kInlineCapacity; ++m) d[m] = kUndefinedElement;
+  } else {
+    d = heap_ = new TsElement[k_];
+    for (size_t m = 0; m < k_; ++m) d[m] = kUndefinedElement;
+  }
+}
+
+TimestampVector::TimestampVector(const TimestampVector& o)
+    : k_(o.k_), mask_(o.mask_) {
+  if (k_ <= kInlineCapacity) {
+    std::copy(o.inline_, o.inline_ + kInlineCapacity, inline_);
+  } else {
+    heap_ = new TsElement[k_];
+    std::copy(o.heap_, o.heap_ + k_, heap_);
+  }
+}
+
+TimestampVector::TimestampVector(TimestampVector&& o) noexcept
+    : k_(o.k_), mask_(o.mask_) {
+  if (k_ <= kInlineCapacity) {
+    std::copy(o.inline_, o.inline_ + kInlineCapacity, inline_);
+  } else {
+    heap_ = o.heap_;
+    o.heap_ = nullptr;  // Moved-from keeps k_; its dtor deletes nullptr.
+  }
+}
+
+TimestampVector& TimestampVector::operator=(const TimestampVector& o) {
+  if (this == &o) return *this;
+  if (k_ > kInlineCapacity) delete[] heap_;
+  k_ = o.k_;
+  mask_ = o.mask_;
+  if (k_ <= kInlineCapacity) {
+    std::copy(o.inline_, o.inline_ + kInlineCapacity, inline_);
+  } else {
+    heap_ = new TsElement[k_];
+    std::copy(o.heap_, o.heap_ + k_, heap_);
+  }
+  return *this;
+}
+
+TimestampVector& TimestampVector::operator=(TimestampVector&& o) noexcept {
+  if (this == &o) return *this;
+  if (k_ > kInlineCapacity) delete[] heap_;
+  k_ = o.k_;
+  mask_ = o.mask_;
+  if (k_ <= kInlineCapacity) {
+    std::copy(o.inline_, o.inline_ + kInlineCapacity, inline_);
+  } else {
+    heap_ = o.heap_;
+    o.heap_ = nullptr;
+  }
+  return *this;
 }
 
 TimestampVector TimestampVector::Virtual(size_t k) {
@@ -16,39 +73,48 @@ TimestampVector TimestampVector::Virtual(size_t k) {
 }
 
 size_t TimestampVector::DefinedPrefixLength() const {
-  size_t n = 0;
-  while (n < elems_.size() && elems_[n] != kUndefinedElement) ++n;
+  const size_t p = static_cast<size_t>(std::countr_one(mask_));
+  if (p < kMaskBits || k_ <= kMaskBits) return p < k_ ? p : k_;
+  // Mask exhausted on an oversized vector: continue with a sentinel scan.
+  size_t n = kMaskBits;
+  const TsElement* d = data();
+  while (n < k_ && d[n] != kUndefinedElement) ++n;
   return n;
 }
 
 size_t TimestampVector::DefinedCount() const {
-  size_t n = 0;
-  for (TsElement e : elems_) {
-    if (e != kUndefinedElement) ++n;
+  size_t n = static_cast<size_t>(std::popcount(mask_));
+  if (k_ > kMaskBits) {
+    const TsElement* d = data();
+    for (size_t m = kMaskBits; m < k_; ++m) {
+      if (d[m] != kUndefinedElement) ++n;
+    }
   }
   return n;
 }
 
 void TimestampVector::Reset() {
-  for (TsElement& e : elems_) e = kUndefinedElement;
+  TsElement* d = data();
+  for (size_t m = 0; m < k_; ++m) d[m] = kUndefinedElement;
+  mask_ = 0;
 }
 
 std::string TimestampVector::ToString() const {
   std::string out = "<";
-  for (size_t i = 0; i < elems_.size(); ++i) {
+  for (size_t i = 0; i < k_; ++i) {
     if (i > 0) out += ',';
-    if (elems_[i] == kUndefinedElement) {
+    if (!IsDefined(i)) {
       out += '*';
     } else {
-      out += std::to_string(elems_[i]);
+      out += std::to_string(Get(i));
     }
   }
   out += '>';
   return out;
 }
 
-VectorCompareResult Compare(const TimestampVector& a,
-                            const TimestampVector& b) {
+VectorCompareResult CompareNaive(const TimestampVector& a,
+                                 const TimestampVector& b) {
   assert(a.size() == b.size());
   const size_t k = a.size();
   for (size_t m = 0; m < k; ++m) {
@@ -63,6 +129,18 @@ VectorCompareResult Compare(const TimestampVector& a,
     return {VectorOrder::kUndetermined, m};
   }
   return {VectorOrder::kIdentical, k};
+}
+
+VectorCompareResult Compare(const TimestampVector& a,
+                            const TimestampVector& b) {
+  assert(a.size() == b.size());
+  const VectorCompareResult r = internal::CompareFast(a, b);
+#ifdef MDTS_DEBUG_COMPARE
+  const VectorCompareResult ref = CompareNaive(a, b);
+  assert(r.order == ref.order && r.index == ref.index &&
+         "optimized comparator diverged from Definition 6 reference");
+#endif
+  return r;
 }
 
 const char* VectorOrderName(VectorOrder order) {

@@ -1,11 +1,11 @@
 #ifndef MDTS_CORE_TIMESTAMP_VECTOR_H_
 #define MDTS_CORE_TIMESTAMP_VECTOR_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <vector>
 
 namespace mdts {
 
@@ -37,21 +37,54 @@ struct VectorCompareResult {
 /// The timestamp vector TS(i) of a transaction: k elements, each an integer
 /// or undefined. Earlier (leftmost) elements are more significant; comparison
 /// is lexicographic with the undefined-element rules of Definition 6.
+///
+/// Layout: the whole object is 72 bytes. Elements live inline (no heap
+/// allocation, no pointer chase) for k <= kInlineCapacity, which covers
+/// Theorem 3's k = 2q-1 for every transaction of up to 4 operations; larger
+/// vectors spill to one heap block. A bitmask mirrors which elements are
+/// defined (undefined slots also hold the kUndefinedElement sentinel), so
+/// definedness queries, the defined-prefix length, and most of Compare()
+/// resolve with mask arithmetic instead of per-element branching.
 class TimestampVector {
  public:
+  /// Largest k stored inline.
+  static constexpr size_t kInlineCapacity = 8;
+  /// Largest k whose defined-elements set fits the bitmask; larger vectors
+  /// fall back to the reference comparator and sentinel scans (no protocol
+  /// configuration in this repository goes near it: Theorem 3 needs
+  /// k = 2q-1, i.e. transactions of 16+ operations to exceed it).
+  static constexpr size_t kMaskBits = 32;
+
   /// All k elements undefined: the initial state of every real transaction.
   explicit TimestampVector(size_t k);
+
+  TimestampVector(const TimestampVector& o);
+  TimestampVector(TimestampVector&& o) noexcept;
+  TimestampVector& operator=(const TimestampVector& o);
+  TimestampVector& operator=(TimestampVector&& o) noexcept;
+  ~TimestampVector() {
+    if (k_ > kInlineCapacity) delete[] heap_;
+  }
 
   /// The virtual transaction T0's vector <0, *, *, ..., *>.
   static TimestampVector Virtual(size_t k);
 
-  size_t size() const { return elems_.size(); }
+  size_t size() const { return k_; }
 
-  bool IsDefined(size_t m) const { return elems_[m] != kUndefinedElement; }
-  TsElement Get(size_t m) const { return elems_[m]; }
-  void Set(size_t m, TsElement v) { elems_[m] = v; }
+  bool IsDefined(size_t m) const {
+    if (m < kMaskBits) return (mask_ >> m) & 1u;
+    return data()[m] != kUndefinedElement;
+  }
+  TsElement Get(size_t m) const { return data()[m]; }
+  void Set(size_t m, TsElement v) {
+    data()[m] = v;
+    if (m < kMaskBits) {
+      const uint32_t bit = uint32_t{1} << m;
+      mask_ = v == kUndefinedElement ? (mask_ & ~bit) : (mask_ | bit);
+    }
+  }
 
-  /// Number of leading elements that are defined.
+  /// Number of leading elements that are defined. O(1) for k <= kMaskBits.
   size_t DefinedPrefixLength() const;
 
   /// Count of defined elements anywhere in the vector.
@@ -64,12 +97,33 @@ class TimestampVector {
   /// Renders in the paper's notation, e.g. "<1,2,*>".
   std::string ToString() const;
 
+  /// Raw element storage (undefined slots hold kUndefinedElement).
+  const TsElement* data() const {
+    return k_ <= kInlineCapacity ? inline_ : heap_;
+  }
+
+  /// Bit m set iff element m is defined (meaningful for m < kMaskBits).
+  uint32_t defined_mask() const { return mask_; }
+
   friend bool operator==(const TimestampVector& a, const TimestampVector& b) {
-    return a.elems_ == b.elems_;
+    if (a.k_ != b.k_ || a.mask_ != b.mask_) return false;
+    const TsElement* pa = a.data();
+    const TsElement* pb = b.data();
+    for (size_t m = 0; m < a.k_; ++m) {
+      if (pa[m] != pb[m]) return false;
+    }
+    return true;
   }
 
  private:
-  std::vector<TsElement> elems_;
+  TsElement* data() { return k_ <= kInlineCapacity ? inline_ : heap_; }
+
+  union {
+    TsElement inline_[kInlineCapacity];
+    TsElement* heap_;  // Engaged iff k_ > kInlineCapacity.
+  };
+  uint32_t k_;
+  uint32_t mask_ = 0;  // Bit m set iff element m is defined (m < kMaskBits).
 };
 
 /// Definition-6 comparison of TS(i) = a against TS(j) = b. Scans left to
@@ -78,7 +132,49 @@ class TimestampVector {
 ///   both defined, a<b  -> kLess      both defined, a>b -> kGreater
 ///   both undefined     -> kEqual     exactly one undefined -> kUndetermined
 /// Vectors must have equal size.
+///
+/// This is the optimized comparator: the common defined prefix is located
+/// with one mask AND plus a count-trailing-ones, the prefix values are
+/// scanned with a branch-light memcmp-style loop, and the decision at the
+/// break position is read off the two masks. Compile with
+/// -DMDTS_DEBUG_COMPARE to cross-check every call against CompareNaive.
 VectorCompareResult Compare(const TimestampVector& a, const TimestampVector& b);
+
+/// The reference comparator: the literal per-element transcription of
+/// Definition 6. Kept for differential testing (see the MDTS_DEBUG_COMPARE
+/// flag and MtkOptions::naive_compare) and as the fallback for k > 32.
+VectorCompareResult CompareNaive(const TimestampVector& a,
+                                 const TimestampVector& b);
+
+namespace internal {
+
+/// Body of the optimized comparator, defined inline so scheduler hot loops
+/// can absorb it. Use Compare(), which adds the MDTS_DEBUG_COMPARE
+/// cross-check, unless calling from a measured hot path.
+inline VectorCompareResult CompareFast(const TimestampVector& a,
+                                       const TimestampVector& b) {
+  const size_t k = a.size();
+  if (k > TimestampVector::kMaskBits) return CompareNaive(a, b);
+  // p = first position where the elements are not both defined; everything
+  // before it is a both-defined prefix that only needs a value scan.
+  const uint32_t both = a.defined_mask() & b.defined_mask();
+  const size_t p = static_cast<size_t>(std::countr_one(both));
+  const TsElement* pa = a.data();
+  const TsElement* pb = b.data();
+  for (size_t m = 0; m < p; ++m) {
+    if (pa[m] != pb[m]) {
+      return {pa[m] < pb[m] ? VectorOrder::kLess : VectorOrder::kGreater, m};
+    }
+  }
+  if (p >= k) return {VectorOrder::kIdentical, k};
+  // Exactly one or neither side defined at p: two mask bits decide.
+  const bool da = (a.defined_mask() >> p) & 1u;
+  const bool db = (b.defined_mask() >> p) & 1u;
+  if (!da && !db) return {VectorOrder::kEqual, p};
+  return {VectorOrder::kUndetermined, p};
+}
+
+}  // namespace internal
 
 /// Convenience: strict Definition-6 "less than".
 inline bool VectorLess(const TimestampVector& a, const TimestampVector& b) {

@@ -4,17 +4,17 @@
 
 namespace mdts {
 
-VectorTable::VectorTable(size_t k) : k_(k) {
+VectorTable::VectorTable(size_t k)
+    : k_(k), virtual_(TimestampVector::Virtual(k)) {
   assert(k_ >= 1);
-  vectors_.push_back(TimestampVector::Virtual(k_));
 }
 
 TimestampVector& VectorTable::Mutable(uint32_t id) {
-  while (vectors_.size() <= id) vectors_.emplace_back(k_);
-  return vectors_[id];
+  if (id == 0) return virtual_;
+  assert(id >= base_ && "access to a released (compacted) entity");
+  while (base_ + vectors_.size() <= id) vectors_.emplace_back(k_);
+  return vectors_[id - base_];
 }
-
-const TimestampVector& VectorTable::Ts(uint32_t id) { return Mutable(id); }
 
 VectorCompareResult VectorTable::CompareIds(uint32_t a, uint32_t b) {
   VectorCompareResult r = Compare(Mutable(a), Mutable(b));
@@ -75,6 +75,16 @@ void VectorTable::SeedAfter(uint32_t id, uint32_t blocker) {
   TimestampVector& v = Mutable(id);
   v.Reset();
   v.Set(0, seed);
+}
+
+size_t VectorTable::ReleaseBelow(uint32_t min_live_id) {
+  size_t released = 0;
+  while (base_ < min_live_id && !vectors_.empty()) {
+    vectors_.pop_front();
+    ++base_;
+    ++released;
+  }
+  return released;
 }
 
 }  // namespace mdts

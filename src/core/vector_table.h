@@ -13,6 +13,11 @@ namespace mdts {
 /// groups of the nested protocol MT(k1,k2), or supergroups). This is the
 /// normal-encoding core of MtkScheduler without the item bookkeeping;
 /// higher-level protocols compose one table per hierarchy level.
+///
+/// Storage is a deque of vectors for ids [base_id(), base_id() + n) plus a
+/// permanent slot for the virtual entity 0, so a long-running owner can
+/// reclaim finished entities' vectors with ReleaseBelow: memory then stays
+/// bounded by the live id span instead of the total history.
 class VectorTable {
  public:
   /// Creates a table of k-element vectors. Entity 0 is initialized as the
@@ -22,7 +27,11 @@ class VectorTable {
   size_t k() const { return k_; }
 
   /// The entity's current vector (auto-creating it fully undefined).
-  const TimestampVector& Ts(uint32_t id);
+  const TimestampVector& Ts(uint32_t id) { return Mutable(id); }
+
+  /// Mutable access for owners that run their own encoding rules over this
+  /// table's storage (e.g. DMT(k)'s per-site counters).
+  TimestampVector& MutableTs(uint32_t id) { return Mutable(id); }
 
   /// Definition-6 comparison of two entities' vectors.
   VectorCompareResult CompareIds(uint32_t a, uint32_t b);
@@ -40,6 +49,18 @@ class VectorTable {
   /// incarnation is ordered after the transaction that caused the abort.
   void SeedAfter(uint32_t id, uint32_t blocker);
 
+  /// Compaction (Section III-D-6a/b storage reclamation, applied to the
+  /// vectors themselves): drops every vector with 0 < id < min_live_id.
+  /// The caller guarantees those ids are finished and will never be passed
+  /// to this table again; entity 0 is permanent. Returns vectors released.
+  size_t ReleaseBelow(uint32_t min_live_id);
+
+  /// Smallest non-virtual id still stored (1 until the first release).
+  uint32_t base_id() const { return base_; }
+
+  /// Vectors currently held, including the virtual entity.
+  size_t live_vectors() const { return vectors_.size() + 1; }
+
   /// Element-comparison and assignment counters (complexity accounting).
   uint64_t element_comparisons() const { return element_comparisons_; }
   uint64_t elements_assigned() const { return elements_assigned_; }
@@ -48,7 +69,9 @@ class VectorTable {
   TimestampVector& Mutable(uint32_t id);
 
   size_t k_;
-  std::deque<TimestampVector> vectors_;
+  TimestampVector virtual_;              // Entity 0, never released.
+  std::deque<TimestampVector> vectors_;  // Ids [base_, base_ + size()).
+  uint32_t base_ = 1;
   TsElement lcount_ = 0;
   TsElement ucount_ = 1;
   uint64_t element_comparisons_ = 0;

@@ -9,8 +9,10 @@
 #include <set>
 
 #include "common/backoff.h"
+#include "common/bench_clock.h"
 #include "common/rng.h"
 #include "core/types.h"
+#include "core/vector_table.h"
 
 namespace mdts {
 
@@ -116,7 +118,8 @@ class DmtSim {
   explicit DmtSim(const DmtOptions& options)
       : options_(options),
         rng_(options.seed),
-        injector_(options.fault, options.seed * 0x9E3779B97F4A7C15ULL + 0xC2) {
+        injector_(options.fault, options.seed * 0x9E3779B97F4A7C15ULL + 0xC2),
+        table_(options.k) {
     // Effective fault-tolerance knobs. On a clean run both stay disabled,
     // making the simulation bit-identical to the fault-free event loop.
     timeout_ = options_.request_timeout;
@@ -161,10 +164,7 @@ class DmtSim {
                           : VectorSite(static_cast<TxnId>(o - num_items_));
   }
 
-  TimestampVector& Ts(TxnId t) {
-    while (vectors_.size() <= t) vectors_.emplace_back(options_.k);
-    return vectors_[t];
-  }
+  TimestampVector& Ts(TxnId t) { return table_.MutableTs(t); }
 
   ItemState& Item(ItemId x) {
     if (items_.size() <= x) items_.resize(x + 1);
@@ -232,6 +232,7 @@ class DmtSim {
   void ReleaseHeld(uint64_t ctx_id);
   bool AbandonContext(uint64_t ctx_id);
   void HandleAbort(TxnId txn);
+  void MaybeCompactVectors();
 
   DmtOptions options_;
   Rng rng_;
@@ -247,7 +248,10 @@ class DmtSim {
 
   uint32_t num_items_ = 0;
   std::vector<TxnRuntime> txns_;
-  std::deque<TimestampVector> vectors_;
+  // Timestamp storage with a releasable base: MaybeCompactVectors() keeps
+  // its footprint bounded by the live transaction span instead of num_txns.
+  VectorTable table_;
+  uint64_t finishes_since_compact_ = 0;
   std::vector<ItemState> items_;
   std::map<ObjectId, LockState> locks_;
   std::vector<OpContext> contexts_;
@@ -600,6 +604,51 @@ bool DmtSim::AbandonContext(uint64_t ctx_id) {
   return true;
 }
 
+void DmtSim::MaybeCompactVectors() {
+  // Called on every transaction finish (commit or give-up); the actual
+  // sweep runs every 32 finishes to amortize the item-table scan.
+  if (++finishes_since_compact_ < 32) return;
+  finishes_since_compact_ = 0;
+  // An entry below a committed live entry can never become an item's top
+  // again (a committed incarnation stays live forever), so dropping that
+  // unreachable prefix changes no decision - it only unpins vectors.
+  auto truncate = [&](std::vector<Access>* stack) {
+    size_t keep = 0;
+    for (size_t n = stack->size(); n-- > 0;) {
+      const Access& a = (*stack)[n];
+      const TxnRuntime& rt = txns_[a.txn];
+      if (rt.committed && a.incarnation == rt.committed_incarnation) {
+        keep = n;
+        break;
+      }
+    }
+    if (keep > 0) stack->erase(stack->begin(), stack->begin() + keep);
+  };
+  for (ItemState& item : items_) {
+    truncate(&item.readers);
+    truncate(&item.writers);
+  }
+  // Smallest id whose vector may still be consulted: any unfinished
+  // transaction (its vector can still grow or reset) or any id an item
+  // stack still references (RT/WT resolution compares against it).
+  TxnId min_live = next_to_start_;
+  for (TxnId t = 1; t < next_to_start_; ++t) {
+    if (!txns_[t].done) {
+      min_live = t;
+      break;
+    }
+  }
+  for (const ItemState& item : items_) {
+    for (const Access& a : item.readers) {
+      if (a.txn != kVirtualTxn) min_live = std::min(min_live, a.txn);
+    }
+    for (const Access& a : item.writers) {
+      if (a.txn != kVirtualTxn) min_live = std::min(min_live, a.txn);
+    }
+  }
+  result_.vectors_released += table_.ReleaseBelow(min_live);
+}
+
 void DmtSim::HandleAbort(TxnId txn) {
   TxnRuntime& rt = txns_[txn];
   if (rt.done || rt.aborted) return;
@@ -612,6 +661,7 @@ void DmtSim::HandleAbort(TxnId txn) {
   if (rt.attempts >= options_.max_attempts) {
     ++result_.gave_up;
     rt.done = true;
+    MaybeCompactVectors();
     StartNextTxn(now_ + options_.restart_delay);
     return;
   }
@@ -700,6 +750,7 @@ DmtResult DmtSim::Run() {
           const double response = now_ - rt.first_start;
           total_response_ += response;
           response_times_.push_back(response);
+          MaybeCompactVectors();
           StartNextTxn(now_ +
                        rng_.Exponential(options_.mean_think_time) * 0.1);
           break;
@@ -763,11 +814,9 @@ DmtResult DmtSim::Run() {
   if (result_.committed > 0) {
     result_.avg_response_time =
         total_response_ / static_cast<double>(result_.committed);
-    std::sort(response_times_.begin(), response_times_.end());
-    const size_t idx = (response_times_.size() * 99 + 99) / 100;
-    result_.p99_response_time =
-        response_times_[std::min(idx, response_times_.size()) - 1];
+    result_.p99_response_time = Percentile(response_times_, 99);
   }
+  result_.final_live_vectors = table_.live_vectors();
   return result_;
 }
 

@@ -102,6 +102,12 @@ struct DmtResult {
   double avg_response_time = 0.0;
   double p99_response_time = 0.0;  // Tail response over committed txns.
 
+  // Vector-storage reclamation: finished transactions' timestamp vectors
+  // released during the run, and the table size left at the end (bounded
+  // by the live span, not num_txns, now that compaction runs).
+  uint64_t vectors_released = 0;
+  uint64_t final_live_vectors = 0;
+
   /// Operations scheduled at each site (load balance view).
   std::vector<uint64_t> ops_per_site;
 

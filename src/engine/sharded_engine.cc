@@ -1,0 +1,543 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mdts {
+
+ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
+    : options_(options),
+      num_shards_(options.num_shards < 1 ? 1 : options.num_shards),
+      t0_(options.k) {
+  assert(options_.k >= 1);
+  options_.num_shards = num_shards_;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_.emplace_back();
+    shards_.back().index = static_cast<uint32_t>(s);
+  }
+  // Shard 0's slot 0 is the virtual transaction, which lives outside the
+  // chunked storage (and outside compaction); real ids there start at slot 1.
+  shards_[0].base_slot.store(1, std::memory_order_relaxed);
+  shards_[0].next_slot = 1;
+  t0_.ts = TimestampVector::Virtual(options_.k);
+  t0_.life = 2;  // Committed, incarnation 0; never written again.
+}
+
+ShardedMtkEngine::~ShardedMtkEngine() {
+  for (Shard& sh : shards_) {
+    for (auto& entry : sh.dir) {
+      delete entry.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+ShardedMtkEngine::TxnState* ShardedMtkEngine::PeekState(TxnId txn) const {
+  if (txn == kVirtualTxn) return const_cast<TxnState*>(&t0_);
+  Shard& sh = ShardForTxn(txn);
+  const uint32_t slot = static_cast<uint32_t>(txn / num_shards_);
+  Chunk* c = sh.dir[slot >> kChunkBits].load(std::memory_order_acquire);
+  if (c == nullptr) return nullptr;
+  return &c->states[slot & (kChunkSize - 1)];
+}
+
+ShardedMtkEngine::TxnState& ShardedMtkEngine::StateLocked(Shard& sh,
+                                                          TxnId txn) {
+  assert(txn != kVirtualTxn && txn % num_shards_ == sh.index);
+  const uint32_t slot = static_cast<uint32_t>(txn / num_shards_);
+  assert(slot >= sh.base_slot.load(std::memory_order_relaxed) &&
+         "access to a compacted (released) txn");
+  const uint32_t ci = slot >> kChunkBits;
+  if (ci >= kDirSize) {
+    throw std::runtime_error(
+        "ShardedMtkEngine: per-shard transaction-slot capacity exceeded");
+  }
+  Chunk* c = sh.dir[ci].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    // Build the chunk fully before publication: lock-free liveness peeks
+    // may load the pointer the instant the release store lands.
+    auto* fresh = new Chunk;
+    fresh->states.reserve(kChunkSize);
+    for (uint32_t n = 0; n < kChunkSize; ++n) {
+      fresh->states.emplace_back(options_.k);
+    }
+    sh.dir[ci].store(fresh, std::memory_order_release);
+    c = fresh;
+  }
+  if (slot >= sh.next_slot) sh.next_slot = slot + 1;
+  return c->states[slot & (kChunkSize - 1)];
+}
+
+ShardedMtkEngine::ItemState& ShardedMtkEngine::ItemLocked(Shard& sh,
+                                                          ItemId item) {
+  const size_t local = item / num_shards_;
+  if (sh.items.size() <= local) sh.items.resize(local + 1);
+  return sh.items[local];
+}
+
+ShardedMtkEngine::LiveRef ShardedMtkEngine::TopLiveOf(
+    Access& top, std::vector<Access>& stack) const {
+  if (top.txn == kVirtualTxn) {
+    return {kVirtualTxn, 0, const_cast<TxnState*>(&t0_)};
+  }
+  {
+    TxnState* s = PeekState(top.txn);
+    const uint64_t w = LoadLife(*s);
+    if (LifeIncarnation(w) == top.incarnation && !LifeAborted(w)) {
+      return {top.txn, top.incarnation, s};
+    }
+  }
+  // Dead top: drop it and scan for the most recent live entry. Dead is
+  // permanent for a (txn, incarnation) pair - RestartTxn bumps the
+  // incarnation in the same store that clears the aborted bit - so popping
+  // on a lock-free liveness read is safe.
+  stack.pop_back();
+  while (!stack.empty()) {
+    const Access& a = stack.back();
+    TxnState* s = PeekState(a.txn);
+    const uint64_t w = LoadLife(*s);
+    if (LifeIncarnation(w) == a.incarnation && !LifeAborted(w)) {
+      top = a;
+      return {a.txn, a.incarnation, s};
+    }
+    stack.pop_back();
+  }
+  top = Access{};
+  return {kVirtualTxn, 0, const_cast<TxnState*>(&t0_)};
+}
+
+TsElement ShardedMtkEngine::NextUpper(Shard& sh, TsElement above) {
+  const TsElement n = static_cast<TsElement>(num_shards_);
+  TsElement raw = sh.ucount;
+  TsElement val = raw * n + static_cast<TsElement>(sh.index);
+  // The counter alone guarantees val exceeds every value this shard
+  // assigned; bump it past cross-shard values when the caller needs
+  // val > above. With one shard the loop never runs, reproducing
+  // MtkScheduler's plain ucount sequence.
+  while (above != kUndefinedElement && val <= above) {
+    ++raw;
+    val += n;
+  }
+  sh.ucount = raw + 1;
+  return val;
+}
+
+TsElement ShardedMtkEngine::NextLower(Shard& sh, TsElement below) {
+  const TsElement n = static_cast<TsElement>(num_shards_);
+  TsElement raw = sh.lcount;
+  TsElement val = raw * n + static_cast<TsElement>(sh.index);
+  while (val >= below) {
+    --raw;
+    val -= n;
+  }
+  sh.lcount = raw - 1;
+  return val;
+}
+
+VectorCompareResult ShardedMtkEngine::CompareStates(Shard& shx,
+                                                    const TxnState& a,
+                                                    const TxnState& b) {
+  const VectorCompareResult r = Compare(a.ts, b.ts);
+  shx.stats.element_comparisons += r.index + 1;
+  return r;
+}
+
+bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
+                                 TxnId j, TxnId i) {
+  if (j == i) return true;  // Line 15.
+  ++shx.stats.set_calls;
+  const size_t k = options_.k;
+  const VectorCompareResult cr = CompareStates(shx, sj, si);
+  const size_t m = cr.index;
+  TimestampVector& tj = sj.ts;
+  TimestampVector& ti = si.ts;
+  switch (cr.order) {
+    case VectorOrder::kLess:
+      return true;  // Line 17: the dependency is already encoded.
+    case VectorOrder::kGreater:
+    case VectorOrder::kIdentical:
+      return false;  // Line 18 (kIdentical defensively, as in MtkScheduler).
+    case VectorOrder::kEqual:
+      // Line 19: both elements undefined. j == T0 is unreachable here (T0
+      // has element 0 defined and no live vector carries 0 there), but
+      // refusing is cheaper than proving it in release builds, and TS(0)
+      // must never be written: it is read lock-free by every shard.
+      if (j == kVirtualTxn) return false;
+      if (m + 1 == k) {
+        const TsElement a = NextUpper(shx, kUndefinedElement);
+        const TsElement b = NextUpper(shx, a);
+        tj.Set(m, a);
+        ti.Set(m, b);
+      } else {
+        tj.Set(m, 1);
+        ti.Set(m, 2);
+      }
+      shx.stats.elements_assigned += 2;
+      return true;
+    case VectorOrder::kUndetermined:
+      // Line 20: exactly one of the two elements is undefined.
+      if (!ti.IsDefined(m)) {
+        ti.Set(m, m + 1 == k ? NextUpper(shx, tj.Get(m)) : tj.Get(m) + 1);
+      } else {
+        if (j == kVirtualTxn) return false;  // Unreachable; see above.
+        tj.Set(m, m + 1 == k ? NextLower(shx, ti.Get(m)) : ti.Get(m) - 1);
+      }
+      ++shx.stats.elements_assigned;
+      return true;
+  }
+  return false;
+}
+
+OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
+                                          ItemState& item, TxnState& si,
+                                          const LiveRef& jr,
+                                          const LiveRef& jw) {
+  EngineStats& st = shx.stats;
+  const TxnId i = op.txn;
+  const uint64_t wi = si.life;  // Owner shard held: no concurrent writer.
+  if (LifeAborted(wi) || LifeCommitted(wi)) {
+    ++st.rejected;
+    return OpDecision::kReject;
+  }
+  const uint32_t inc_i = LifeIncarnation(wi);
+
+  // Lines 5-6: j is whichever of RT(x), WT(x) has the larger timestamp,
+  // with RT(x) winning ties and undetermined comparisons.
+  const LiveRef& j =
+      CompareStates(shx, *jr.state, *jw.state).order == VectorOrder::kLess
+          ? jw
+          : jr;
+
+  auto reject = [&]() {
+    StoreLife(si, wi | 1);
+    if (options_.starvation_fix) {
+      // Section III-D-4: flush TS(i), seed past the blocker.
+      const TimestampVector& tb = j.state->ts;
+      assert(tb.IsDefined(0));
+      si.ts.Reset();
+      si.ts.Set(0, tb.Get(0) + 1);
+    }
+    ++st.rejected;
+    return OpDecision::kReject;
+  };
+
+  if (op.type == OpType::kRead) {
+    if (SetStates(shx, *j.state, si, j.txn, i)) {
+      item.readers.push_back({i, inc_i});  // Line 7: RT(x) := i.
+      item.top_reader = item.readers.back();
+      ++st.accepted;
+      return OpDecision::kAccept;
+    }
+    // Lines 9-10: an old read is still safe after the most recent writer.
+    if (j.txn == jr.txn && !options_.disable_old_read_path) {
+      const bool write_ordered =
+          options_.relaxed_read_path
+              ? SetStates(shx, *jw.state, si, jw.txn, i)
+              : CompareStates(shx, *jw.state, si).order == VectorOrder::kLess;
+      if (write_ordered) {
+        ++st.accepted;
+        return OpDecision::kAccept;  // RT(x) is not updated.
+      }
+    }
+    return reject();  // Line 11.
+  }
+
+  // Write.
+  if (SetStates(shx, *j.state, si, j.txn, i)) {
+    item.writers.push_back({i, inc_i});  // Line 12: WT(x) := i.
+    item.top_writer = item.writers.back();
+    ++st.accepted;
+    return OpDecision::kAccept;
+  }
+  if (options_.thomas_write_rule) {
+    // Section III-D-6c: TS(RT(x)) < TS(i) < TS(WT(x)) makes the write
+    // obsolete; skip it instead of aborting T_i.
+    const bool after_reads =
+        CompareStates(shx, *jr.state, si).order == VectorOrder::kLess;
+    const bool before_writer =
+        CompareStates(shx, si, *jw.state).order == VectorOrder::kLess;
+    if (after_reads && before_writer) {
+      ++st.ignored_writes;
+      return OpDecision::kIgnore;
+    }
+  }
+  return reject();  // Line 14.
+}
+
+OpDecision ShardedMtkEngine::Process(const Op& op) {
+  const TxnId i = op.txn;
+  Shard& shx = ShardForItem(op.item);
+  if (i == kVirtualTxn) {
+    std::lock_guard<std::mutex> g(shx.mu);
+    ++shx.stats.rejected;
+    return OpDecision::kReject;  // T0 is virtual; it issues no operations.
+  }
+  Shard& shi = ShardForTxn(i);
+
+  // Sorted lockset, at most four distinct shards: item, issuer, top reader,
+  // top writer. Insertion keeps it ordered for the deadlock-free ordered
+  // acquisition below.
+  uint32_t want[4];
+  size_t nwant = 0;
+  auto add_want = [&](uint32_t v) {
+    for (size_t q = 0; q < nwant; ++q) {
+      if (want[q] == v) return;
+    }
+    size_t q = nwant++;
+    while (q > 0 && want[q - 1] > v) {
+      want[q] = want[q - 1];
+      --q;
+    }
+    want[q] = v;
+  };
+  add_want(shx.index);
+  add_want(shi.index);
+
+  uint64_t retries = 0;
+  uint64_t fallbacks = 0;
+  bool lock_all = false;
+  for (size_t attempt = 0;; ++attempt) {
+    if (lock_all) {
+      for (Shard& sh : shards_) sh.mu.lock();
+    } else {
+      for (size_t q = 0; q < nwant; ++q) shards_[want[q]].mu.lock();
+    }
+
+    TxnState& si = StateLocked(shi, i);
+    ItemState& item = ItemLocked(shx, op.item);
+    // Resolve the tops under shard(x); liveness reads are lock-free, so
+    // this works even when the accessors' shards are not (yet) held.
+    const LiveRef jr = TopLiveOf(item.top_reader, item.readers);
+    const LiveRef jw = TopLiveOf(item.top_writer, item.writers);
+
+    bool covered = lock_all;
+    if (!covered) {
+      auto held = [&](TxnId t) {
+        if (t == kVirtualTxn) return true;  // T0 needs no lock.
+        const uint32_t s = static_cast<uint32_t>(t % num_shards_);
+        for (size_t q = 0; q < nwant; ++q) {
+          if (want[q] == s) return true;
+        }
+        return false;
+      };
+      covered = held(jr.txn) && held(jw.txn);
+    }
+
+    if (covered) {
+      // Everything DecideLocked touches - item stacks, the three vectors,
+      // shard(x)'s counters - is under a held mutex. Liveness of jr/jw is
+      // frozen too: clearing it needs their (held) shards.
+      EngineStats& st = shx.stats;
+      st.lock_retries += retries;
+      st.full_lock_fallbacks += fallbacks;
+      if (lock_all || nwant > 1) {
+        ++st.cross_shard_ops;
+      } else {
+        ++st.single_shard_ops;
+      }
+      const OpDecision d = DecideLocked(op, shx, item, si, jr, jw);
+      if (lock_all) {
+        for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+          it->mu.unlock();
+        }
+      } else {
+        for (size_t q = nwant; q-- > 0;) shards_[want[q]].mu.unlock();
+      }
+      return d;
+    }
+
+    // The tops live on shards outside the lockset: unlock the set we
+    // hold, then rebuild it from scratch around the tops just observed
+    // (never more than four shards: item, issuer, reader, writer - stale
+    // entries from earlier rounds are dropped, which keeps the array
+    // bounded). Tops can keep shifting under contention, so after
+    // max_lock_retries unstable rounds take every lock.
+    const TxnId seen_jr = jr.txn;
+    const TxnId seen_jw = jw.txn;
+    for (size_t q = nwant; q-- > 0;) shards_[want[q]].mu.unlock();
+    nwant = 0;
+    add_want(shx.index);
+    add_want(shi.index);
+    if (seen_jr != kVirtualTxn) {
+      add_want(static_cast<uint32_t>(seen_jr % num_shards_));
+    }
+    if (seen_jw != kVirtualTxn) {
+      add_want(static_cast<uint32_t>(seen_jw % num_shards_));
+    }
+    ++retries;
+    if (attempt >= options_.max_lock_retries) {
+      lock_all = true;
+      ++fallbacks;
+    }
+  }
+}
+
+void ShardedMtkEngine::CommitTxn(TxnId txn) {
+  Shard& sh = ShardForTxn(txn);
+  {
+    std::lock_guard<std::mutex> g(sh.mu);
+    TxnState& s = StateLocked(sh, txn);
+    const uint64_t w = s.life;
+    assert(!LifeAborted(w));
+    StoreLife(s, w | 2);
+  }
+  if (options_.compact_every > 0 &&
+      commits_since_compact_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.compact_every) {
+    commits_since_compact_.store(0, std::memory_order_relaxed);
+    CompactAll();
+  }
+}
+
+void ShardedMtkEngine::RestartTxn(TxnId txn) {
+  Shard& sh = ShardForTxn(txn);
+  std::lock_guard<std::mutex> g(sh.mu);
+  TxnState& s = StateLocked(sh, txn);
+  const uint64_t w = s.life;
+  assert(LifeAborted(w));
+  (void)w;
+  // One store bumps the incarnation and clears both flags, so the previous
+  // incarnation's item accesses turn permanently dead.
+  StoreLife(s, (static_cast<uint64_t>(LifeIncarnation(w)) + 1) << 2);
+  if (!options_.starvation_fix) {
+    s.ts.Reset();  // Fresh, fully undefined vector.
+  }
+  // With the fix the seeded vector from the rejection is kept.
+}
+
+bool ShardedMtkEngine::IsAborted(TxnId txn) const {
+  if (txn == kVirtualTxn) return false;
+  Shard& sh = ShardForTxn(txn);
+  const uint32_t slot = static_cast<uint32_t>(txn / num_shards_);
+  if (slot < sh.base_slot.load(std::memory_order_acquire)) return false;
+  const TxnState* s = PeekState(txn);
+  return s != nullptr && LifeAborted(LoadLife(*s));
+}
+
+bool ShardedMtkEngine::IsCommitted(TxnId txn) const {
+  if (txn == kVirtualTxn) return true;
+  Shard& sh = ShardForTxn(txn);
+  const uint32_t slot = static_cast<uint32_t>(txn / num_shards_);
+  // Only committed states are released.
+  if (slot < sh.base_slot.load(std::memory_order_acquire)) return true;
+  const TxnState* s = PeekState(txn);
+  return s != nullptr && LifeCommitted(LoadLife(*s));
+}
+
+TimestampVector ShardedMtkEngine::TsSnapshot(TxnId txn) const {
+  if (txn == kVirtualTxn) return t0_.ts;
+  Shard& sh = ShardForTxn(txn);
+  std::lock_guard<std::mutex> g(sh.mu);
+  return const_cast<ShardedMtkEngine*>(this)->StateLocked(sh, txn).ts;
+}
+
+size_t ShardedMtkEngine::CompactAll() {
+  for (Shard& sh : shards_) sh.mu.lock();
+  const size_t released = CompactAllLocked();
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    it->mu.unlock();
+  }
+  return released;
+}
+
+size_t ShardedMtkEngine::CompactAllLocked() {
+  // 1. Truncate every item history to its live top (Section III-D-6a/b).
+  for (Shard& sh : shards_) {
+    for (ItemState& item : sh.items) {
+      const LiveRef r = TopLiveOf(item.top_reader, item.readers);
+      const LiveRef w = TopLiveOf(item.top_writer, item.writers);
+      item.readers.clear();
+      item.writers.clear();
+      if (r.txn != kVirtualTxn) {
+        item.readers.push_back({r.txn, r.incarnation});
+        item.top_reader = item.readers.back();
+      }
+      if (w.txn != kVirtualTxn) {
+        item.writers.push_back({w.txn, w.incarnation});
+        item.top_writer = item.writers.back();
+      }
+    }
+  }
+
+  // 2. Smallest slot still referenced by any item, per transaction shard.
+  std::vector<uint32_t> min_ref(num_shards_);
+  for (size_t t = 0; t < num_shards_; ++t) min_ref[t] = shards_[t].next_slot;
+  for (Shard& sh : shards_) {
+    for (const ItemState& item : sh.items) {
+      for (const Access& a : item.readers) {
+        const size_t t = a.txn % num_shards_;
+        min_ref[t] = std::min(min_ref[t],
+                              static_cast<uint32_t>(a.txn / num_shards_));
+      }
+      for (const Access& a : item.writers) {
+        const size_t t = a.txn % num_shards_;
+        min_ref[t] = std::min(min_ref[t],
+                              static_cast<uint32_t>(a.txn / num_shards_));
+      }
+    }
+  }
+
+  // 3. Advance each shard's base over committed unreferenced states and
+  // free chunks it has fully passed.
+  size_t total = 0;
+  for (Shard& sh : shards_) {
+    const uint32_t old_base = sh.base_slot.load(std::memory_order_relaxed);
+    uint32_t slot = old_base;
+    const uint32_t stop = min_ref[sh.index];
+    while (slot < stop) {
+      Chunk* c = sh.dir[slot >> kChunkBits].load(std::memory_order_relaxed);
+      if (c == nullptr) break;  // A never-created gap blocks, as the
+                                // auto-created states do in MtkScheduler.
+      if (!LifeCommitted(c->states[slot & (kChunkSize - 1)].life)) break;
+      ++slot;
+    }
+    if (slot > old_base) {
+      for (uint32_t ci = old_base >> kChunkBits;
+           static_cast<uint64_t>(ci + 1) * kChunkSize <= slot; ++ci) {
+        delete sh.dir[ci].load(std::memory_order_relaxed);
+        sh.dir[ci].store(nullptr, std::memory_order_release);
+      }
+      sh.base_slot.store(slot, std::memory_order_release);
+      sh.stats.txns_released += slot - old_base;
+      total += slot - old_base;
+    }
+  }
+  ++shards_[0].stats.compactions;
+  return total;
+}
+
+EngineStats ShardedMtkEngine::stats() const {
+  EngineStats out;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    const EngineStats& s = sh.stats;
+    out.accepted += s.accepted;
+    out.rejected += s.rejected;
+    out.ignored_writes += s.ignored_writes;
+    out.set_calls += s.set_calls;
+    out.elements_assigned += s.elements_assigned;
+    out.element_comparisons += s.element_comparisons;
+    out.txns_released += s.txns_released;
+    out.single_shard_ops += s.single_shard_ops;
+    out.cross_shard_ops += s.cross_shard_ops;
+    out.lock_retries += s.lock_retries;
+    out.full_lock_fallbacks += s.full_lock_fallbacks;
+    out.compactions += s.compactions;
+  }
+  return out;
+}
+
+size_t ShardedMtkEngine::allocated_txn_states() const {
+  size_t total = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    for (const auto& entry : sh.dir) {
+      if (entry.load(std::memory_order_relaxed) != nullptr) {
+        total += kChunkSize;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace mdts

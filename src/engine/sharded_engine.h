@@ -1,0 +1,266 @@
+#ifndef MDTS_ENGINE_SHARDED_ENGINE_H_
+#define MDTS_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/mtk_scheduler.h"
+#include "core/timestamp_vector.h"
+#include "core/types.h"
+
+namespace mdts {
+
+/// Configuration of the sharded concurrent MT(k) engine. The protocol
+/// options mirror MtkOptions (minus the recognizer-only and hot-item
+/// variations): with num_shards = 1 the engine accepts exactly the logs
+/// MtkScheduler accepts, assigning the same vectors.
+struct EngineOptions {
+  /// Timestamp vector size k >= 1.
+  size_t k = 3;
+
+  /// Number of shards the items, transaction states, and last-column
+  /// counters are striped across. Clamped to >= 1.
+  size_t num_shards = 8;
+
+  /// Section III-D-4 starvation fix (see MtkOptions::starvation_fix).
+  bool starvation_fix = false;
+
+  /// Section III-D-6c Thomas write rule (see MtkOptions).
+  bool thomas_write_rule = false;
+
+  /// Relaxed read path (see MtkOptions::relaxed_read_path).
+  bool relaxed_read_path = false;
+
+  /// Cross out Algorithm 1 lines 9-10 (see MtkOptions).
+  bool disable_old_read_path = false;
+
+  /// If > 0, CompactAll() runs after every this many commits engine-wide,
+  /// so memory stays bounded by live transactions instead of total history.
+  /// The sweep is stop-the-world and O(items); size the period accordingly.
+  uint64_t compact_every = 0;
+
+  /// Optimistic cross-shard lock acquisitions retried this many times
+  /// before falling back to locking every shard.
+  size_t max_lock_retries = 16;
+};
+
+/// Work counters, aggregated over shards by ShardedMtkEngine::stats().
+struct EngineStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t ignored_writes = 0;
+  uint64_t set_calls = 0;
+  uint64_t elements_assigned = 0;
+  uint64_t element_comparisons = 0;
+  uint64_t txns_released = 0;
+  /// Operations decided while holding a single shard mutex.
+  uint64_t single_shard_ops = 0;
+  /// Operations that needed the sorted multi-shard lock path.
+  uint64_t cross_shard_ops = 0;
+  /// Optimistic rounds that had to be retried (lockset changed underfoot).
+  uint64_t lock_retries = 0;
+  /// Retries that exhausted max_lock_retries and locked every shard.
+  uint64_t full_lock_fallbacks = 0;
+  /// CompactAll() invocations.
+  uint64_t compactions = 0;
+};
+
+/// Thread-safe sharded MT(k) engine (Algorithm 1 run concurrently).
+///
+/// Layout: shard s owns the items with item % N == s (their RT/WT history
+/// stacks), the transaction states with txn % N == s (timestamp vector plus
+/// a lock-free liveness word), and a per-shard pair of last-column counters
+/// whose values are made globally unique by the DMT(k) site encoding
+/// value * N + s (Section V's "concatenate the site number as low order
+/// bits"), here applied intra-process. Every mutation happens under the
+/// owning shard's mutex.
+///
+/// Processing an operation T_i on item x needs x's shard, i's shard, and
+/// the shards of the item's current top reader and writer. Those tops are
+/// only known after looking, so the engine runs an optimistic loop: lock
+/// {shard(x), shard(i)} sorted, peek the tops (liveness is readable without
+/// the owner's lock), and if their shards are already covered - the common
+/// case, and always true with one shard - decide in place. Otherwise
+/// release, widen the lockset, relock in sorted order (the deadlock-free
+/// ordered-locking discipline), and revalidate that the tops are unchanged;
+/// after max_lock_retries unstable rounds it falls back to locking all
+/// shards, which trivially validates. Transaction states live in
+/// chunk-granular arrays published through an atomic directory, so the
+/// lock-free liveness peeks never race with a growing container.
+///
+/// Aborts are lazy, exactly like MtkScheduler: a rejected transaction's
+/// item accesses stay on the stacks until a later operation pops entries
+/// whose (txn, incarnation) is no longer live. A peer can therefore still
+/// order itself against a just-aborted top accessor it observed as live -
+/// that encodes TS(ghost) < TS(i) through vectors that still carry the
+/// ghost's constraints, which is conservative but sound: the vector order
+/// is lexicographic, hence always a strict partial order (Lemma 1), and
+/// every acceptance is still justified by the vector values at decision
+/// time under the covering locks.
+class ShardedMtkEngine {
+ public:
+  explicit ShardedMtkEngine(const EngineOptions& options);
+  ~ShardedMtkEngine();
+
+  ShardedMtkEngine(const ShardedMtkEngine&) = delete;
+  ShardedMtkEngine& operator=(const ShardedMtkEngine&) = delete;
+
+  /// Algorithm 1's Scheduler procedure for one operation; thread-safe.
+  OpDecision Process(const Op& op);
+
+  /// Marks the transaction committed; triggers CompactAll() every
+  /// compact_every commits engine-wide.
+  void CommitTxn(TxnId txn);
+
+  /// Starts a fresh incarnation of an aborted transaction (Section III-D-4
+  /// semantics identical to MtkScheduler::RestartTxn).
+  void RestartTxn(TxnId txn);
+
+  bool IsAborted(TxnId txn) const;
+  bool IsCommitted(TxnId txn) const;
+
+  /// Copy of the transaction's current vector, taken under its shard lock.
+  TimestampVector TsSnapshot(TxnId txn) const;
+
+  /// Stop-the-world storage reclamation: takes every shard lock, compacts
+  /// the item histories, and releases the chunk storage of committed
+  /// transactions no longer referenced by any item. Returns the number of
+  /// transaction states released.
+  size_t CompactAll();
+
+  /// Sum of the per-shard counters.
+  EngineStats stats() const;
+
+  /// Transaction states currently backed by allocated chunks (the quantity
+  /// CompactAll bounds; chunk-granular, so it exceeds the live count by at
+  /// most kChunkSize per shard).
+  size_t allocated_txn_states() const;
+
+  size_t num_shards() const { return num_shards_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// States per chunk; the unit of storage release.
+  static constexpr uint32_t kChunkBits = 10;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  /// Directory entries per shard: caps a shard's transaction slots at
+  /// kDirSize * kChunkSize (Process throws beyond it).
+  static constexpr uint32_t kDirSize = 1u << 16;
+
+ private:
+  /// Liveness word, packed so peers can test liveness without the owning
+  /// shard's lock: (incarnation << 2) | (committed << 1) | aborted. A
+  /// (txn, incarnation) pair that is ever observed dead stays dead:
+  /// RestartTxn bumps the incarnation in the same store that clears the
+  /// aborted bit.
+  struct TxnState {
+    TimestampVector ts;
+    uint64_t life = 0;  // Accessed via std::atomic_ref.
+    explicit TxnState(size_t k) : ts(k) {}
+  };
+
+  struct Chunk {
+    std::vector<TxnState> states;  // Exactly kChunkSize; never resized.
+  };
+
+  struct Access {
+    TxnId txn = kVirtualTxn;
+    uint32_t incarnation = 0;
+    friend bool operator==(const Access& a, const Access& b) {
+      return a.txn == b.txn && a.incarnation == b.incarnation;
+    }
+  };
+
+  struct ItemState {
+    Access top_reader;  // Inline mirrors of the stack tops (see
+    Access top_writer;  // MtkScheduler::ItemState).
+    std::vector<Access> readers;
+    std::vector<Access> writers;
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    uint32_t index = 0;
+    /// Atomic chunk directory: slot / kChunkSize indexes it. Published with
+    /// release stores under mu; liveness peeks load-acquire without mu.
+    std::vector<std::atomic<Chunk*>> dir;
+    std::atomic<uint32_t> base_slot{0};  // Slots below are released.
+    uint32_t next_slot = 0;              // One past the highest created.
+    std::vector<ItemState> items;        // Local index item / N.
+    TsElement ucount = 1;  // Raw last-column counters; encoded value is
+    TsElement lcount = 0;  // raw * N + index.
+    EngineStats stats;
+    Shard() : dir(kDirSize) {}
+  };
+
+  struct LiveRef {
+    TxnId txn = kVirtualTxn;
+    uint32_t incarnation = 0;
+    TxnState* state = nullptr;
+  };
+
+  static uint64_t LoadLife(const TxnState& s) {
+    return std::atomic_ref<uint64_t>(const_cast<TxnState&>(s).life)
+        .load(std::memory_order_acquire);
+  }
+  static void StoreLife(TxnState& s, uint64_t w) {
+    std::atomic_ref<uint64_t>(s.life).store(w, std::memory_order_release);
+  }
+  static bool LifeAborted(uint64_t w) { return (w & 1) != 0; }
+  static bool LifeCommitted(uint64_t w) { return (w & 2) != 0; }
+  static uint32_t LifeIncarnation(uint64_t w) {
+    return static_cast<uint32_t>(w >> 2);
+  }
+
+  Shard& ShardForTxn(TxnId txn) const { return shards_[txn % num_shards_]; }
+  Shard& ShardForItem(ItemId item) const {
+    return shards_[item % num_shards_];
+  }
+
+  /// Lock-free state lookup for liveness peeks; null only for ids never
+  /// created (which a stack entry can never reference).
+  TxnState* PeekState(TxnId txn) const;
+
+  /// State lookup/creation; requires the owning shard's mutex.
+  TxnState& StateLocked(Shard& sh, TxnId txn);
+
+  ItemState& ItemLocked(Shard& sh, ItemId item);
+
+  /// Top live entry of an access stack with its state resolved; pops dead
+  /// entries. Requires the item's shard mutex (stack mutation); liveness is
+  /// read through the lock-free words.
+  LiveRef TopLiveOf(Access& top, std::vector<Access>& stack) const;
+
+  /// Smallest value of this shard's counter class that is > above (and
+  /// consistent with the counter); advances the counter past it.
+  TsElement NextUpper(Shard& sh, TsElement above);
+  /// Largest value of this shard's counter class that is < below.
+  TsElement NextLower(Shard& sh, TsElement below);
+
+  VectorCompareResult CompareStates(Shard& shx, const TxnState& a,
+                                    const TxnState& b);
+
+  /// Algorithm 1's Set(j, i) under the covering locks, using shard shx's
+  /// counters for last-column assignments.
+  bool SetStates(Shard& shx, TxnState& sj, TxnState& si, TxnId j, TxnId i);
+
+  /// The decision body; every referenced shard's mutex is held.
+  OpDecision DecideLocked(const Op& op, Shard& shx, ItemState& item,
+                          TxnState& si, const LiveRef& jr, const LiveRef& jw);
+
+  size_t CompactAllLocked();
+
+  EngineOptions options_;
+  size_t num_shards_;
+  mutable std::deque<Shard> shards_;  // Deque: Shard is not movable.
+  TxnState t0_;                       // Immutable after construction.
+  /// Engine-wide commit counter driving the compact_every trigger. Relaxed:
+  /// an occasional early or late CompactAll is harmless.
+  std::atomic<uint64_t> commits_since_compact_{0};
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_ENGINE_SHARDED_ENGINE_H_

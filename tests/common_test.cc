@@ -3,11 +3,19 @@
 #include <map>
 
 #include "common/backoff.h"
+#include "common/bench_clock.h"
+#include "common/bench_json.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "core/vector_table.h"
 #include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace mdts {
 namespace {
@@ -256,6 +264,87 @@ TEST(VectorTableTest, TransitivityAcrossManyEntities) {
       EXPECT_FALSE(t.Set(b, a));
     }
   }
+}
+
+TEST(BenchClockTest, PercentileMatchesCeilRankFormula) {
+  // 1..100: the pct-th percentile under ceil-rank indexing is pct itself.
+  std::vector<double> v;
+  for (int n = 100; n >= 1; --n) v.push_back(n);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 100), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 1), 1.0);
+
+  // The exact expression the DMT(k) simulation used for p99 before the
+  // helper existed: idx = (n * 99 + 99) / 100, sample[min(idx, n) - 1].
+  for (size_t n : {1u, 2u, 7u, 99u, 100u, 101u, 250u}) {
+    std::vector<double> s;
+    for (size_t m = 0; m < n; ++m) s.push_back(static_cast<double>(m));
+    const size_t idx = (n * 99 + 99) / 100;
+    EXPECT_DOUBLE_EQ(PercentileSorted(s, 99), s[std::min(idx, n) - 1])
+        << "n=" << n;
+  }
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(one, 0), 42.0);
+}
+
+TEST(BenchClockTest, StopwatchIsMonotonic) {
+  Stopwatch sw;
+  const uint64_t a = sw.ElapsedNanos();
+  const uint64_t b = sw.ElapsedNanos();
+  EXPECT_GE(b, a);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(BenchJsonTest, UpsertCreatesAndReplacesRecords) {
+  const std::string path = "bench_json_test.tmp.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(UpsertBenchRecord(path, "alpha",
+                                {{"ops", JsonNum(123)}, {"name", JsonStr("a")}}));
+  ASSERT_TRUE(UpsertBenchRecord(path, "beta", {{"ops", JsonNum(4.5)}}));
+  // Re-upserting alpha replaces its record instead of appending.
+  ASSERT_TRUE(UpsertBenchRecord(path, "alpha", {{"ops", JsonNum(999)}}));
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string contents = ss.str();
+  EXPECT_EQ(contents.find("123"), std::string::npos);
+  EXPECT_NE(contents.find("999"), std::string::npos);
+  EXPECT_NE(contents.find("\"bench\": \"beta\""), std::string::npos);
+  // Valid array shape: starts with '[', ends with "]\n", two record lines.
+  EXPECT_EQ(contents.front(), '[');
+  EXPECT_EQ(contents.substr(contents.size() - 2), "]\n");
+  size_t record_lines = 0;
+  std::istringstream lines(contents);
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty() && line[0] == '{') ++record_lines;
+  }
+  EXPECT_EQ(record_lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, JsonEscapingAndNumbers) {
+  EXPECT_EQ(JsonStr("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonNum(2.5), "2.5");
+  EXPECT_EQ(JsonNum(1e6), "1e+06");
+  EXPECT_EQ(JsonNum(std::nan("")), "null");
+}
+
+TEST(VectorTableTest, ReleaseBelowReclaimsAndKeepsVirtual) {
+  VectorTable t(3);
+  for (uint32_t i = 1; i <= 50; ++i) ASSERT_TRUE(t.Set(i - 1, i));
+  const size_t before = t.live_vectors();
+  EXPECT_GE(before, 50u);
+  EXPECT_EQ(t.ReleaseBelow(41), 40u);
+  EXPECT_EQ(t.base_id(), 41u);
+  EXPECT_EQ(t.live_vectors(), before - 40);
+  // Entity 0 is permanent and the surviving ids keep their vectors.
+  EXPECT_EQ(t.Ts(0).ToString().substr(0, 2), "<0");
+  EXPECT_TRUE(VectorLess(t.Ts(41), t.Ts(50)));
+  // Releasing below the current base is a no-op.
+  EXPECT_EQ(t.ReleaseBelow(10), 0u);
 }
 
 }  // namespace

@@ -56,6 +56,20 @@ TEST(DmtTest, GlobalHistoryIsSerializable) {
   }
 }
 
+TEST(DmtTest, VectorCompactionBoundsStorage) {
+  // With many transactions flowing through, finished vectors must be
+  // released: the table left at the end is bounded by the live span, not
+  // by num_txns, and reclamation never compromises serializability.
+  DmtOptions options = BaseOptions(3);
+  options.num_txns = 400;
+  options.concurrency = 8;
+  DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, 400u);
+  EXPECT_GT(r.vectors_released, 300u);
+  EXPECT_LT(r.final_live_vectors, 100u);
+  EXPECT_TRUE(IsDsr(r.committed_history));
+}
+
 TEST(DmtTest, SingleSiteSendsNoMessages) {
   DmtOptions options = BaseOptions(9);
   options.num_sites = 1;

@@ -1,0 +1,378 @@
+#include "engine/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/mtk_scheduler.h"
+#include "core/types.h"
+
+namespace mdts {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Single-shard equivalence: with num_shards = 1 the engine must accept
+// exactly the logs MtkScheduler accepts and assign the same vectors, since
+// its counter encoding value * N + shard degenerates to the scheduler's
+// plain counters at N = 1.
+// ---------------------------------------------------------------------------
+
+struct EquivConfig {
+  size_t k;
+  bool starvation_fix;
+  bool thomas_write_rule;
+  bool relaxed_read_path;
+  bool disable_old_read_path;
+};
+
+void RunEquivalence(const EquivConfig& cfg, uint64_t seed) {
+  MtkOptions mo;
+  mo.k = cfg.k;
+  mo.starvation_fix = cfg.starvation_fix;
+  mo.thomas_write_rule = cfg.thomas_write_rule;
+  mo.relaxed_read_path = cfg.relaxed_read_path;
+  mo.disable_old_read_path = cfg.disable_old_read_path;
+  MtkScheduler sched(mo);
+
+  EngineOptions eo;
+  eo.k = cfg.k;
+  eo.num_shards = 1;
+  eo.starvation_fix = cfg.starvation_fix;
+  eo.thomas_write_rule = cfg.thomas_write_rule;
+  eo.relaxed_read_path = cfg.relaxed_read_path;
+  eo.disable_old_read_path = cfg.disable_old_read_path;
+  ShardedMtkEngine engine(eo);
+
+  std::mt19937_64 rng(seed);
+  constexpr ItemId kItems = 12;
+  constexpr size_t kLive = 24;
+  constexpr size_t kSteps = 4000;
+
+  std::vector<TxnId> live;
+  TxnId next_txn = 1;
+  for (size_t n = 0; n < kLive; ++n) live.push_back(next_txn++);
+  std::vector<TxnId> all_txns = live;
+
+  for (size_t step = 0; step < kSteps; ++step) {
+    const TxnId i = live[rng() % live.size()];
+    ASSERT_EQ(sched.IsAborted(i), engine.IsAborted(i)) << "step " << step;
+    if (sched.IsAborted(i)) {
+      if (rng() % 2 == 0) {
+        sched.RestartTxn(i);
+        engine.RestartTxn(i);
+      }
+      continue;
+    }
+    if (rng() % 16 == 0) {
+      sched.CommitTxn(i);
+      engine.CommitTxn(i);
+      // Replace with a fresh transaction so the workload keeps moving.
+      auto it = std::find(live.begin(), live.end(), i);
+      *it = next_txn;
+      all_txns.push_back(next_txn);
+      ++next_txn;
+      continue;
+    }
+    Op op;
+    op.txn = i;
+    op.type = rng() % 8 < 5 ? OpType::kRead : OpType::kWrite;
+    op.item = static_cast<ItemId>(rng() % kItems);
+    const OpDecision ds = sched.Process(op);
+    const OpDecision de = engine.Process(op);
+    ASSERT_EQ(ds, de) << "step " << step << " txn " << i << " item "
+                      << op.item;
+  }
+
+  for (TxnId t : all_txns) {
+    ASSERT_EQ(sched.IsAborted(t), engine.IsAborted(t)) << "txn " << t;
+    ASSERT_EQ(sched.IsCommitted(t), engine.IsCommitted(t)) << "txn " << t;
+    EXPECT_TRUE(sched.Ts(t) == engine.TsSnapshot(t))
+        << "txn " << t << ": " << sched.Ts(t).ToString() << " vs "
+        << engine.TsSnapshot(t).ToString();
+  }
+  EXPECT_TRUE(sched.Ts(kVirtualTxn) == engine.TsSnapshot(kVirtualTxn));
+}
+
+TEST(EngineEquivalenceTest, SingleShardMatchesSchedulerAcrossConfigs) {
+  const EquivConfig configs[] = {
+      {1, false, false, false, false}, {2, false, false, false, false},
+      {3, false, false, false, false}, {5, false, false, false, false},
+      {3, true, false, false, false},  {3, false, true, false, false},
+      {3, true, true, false, false},   {3, false, false, true, false},
+      {3, false, false, false, true},  {2, true, true, true, false},
+  };
+  uint64_t seed = 20260805;
+  for (const EquivConfig& cfg : configs) {
+    SCOPED_TRACE("k=" + std::to_string(cfg.k) +
+                 " fix=" + std::to_string(cfg.starvation_fix) +
+                 " thomas=" + std::to_string(cfg.thomas_write_rule) +
+                 " relaxed=" + std::to_string(cfg.relaxed_read_path) +
+                 " no_old_read=" + std::to_string(cfg.disable_old_read_path));
+    RunEquivalence(cfg, seed++);
+  }
+}
+
+TEST(EngineEquivalenceTest, SingleShardMatchesSchedulerWithCompaction) {
+  // Compaction on both sides must not change any decision.
+  MtkOptions mo;
+  mo.k = 3;
+  mo.starvation_fix = true;
+  mo.compact_every = 32;
+  MtkScheduler sched(mo);
+
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 1;
+  eo.starvation_fix = true;
+  eo.compact_every = 32;
+  ShardedMtkEngine engine(eo);
+
+  std::mt19937_64 rng(7);
+  std::vector<TxnId> live;
+  TxnId next_txn = 1;
+  for (size_t n = 0; n < 16; ++n) live.push_back(next_txn++);
+
+  for (size_t step = 0; step < 6000; ++step) {
+    TxnId& slot = live[rng() % live.size()];
+    const TxnId i = slot;
+    if (sched.IsAborted(i)) {
+      sched.RestartTxn(i);
+      engine.RestartTxn(i);
+      continue;
+    }
+    if (rng() % 8 == 0) {
+      sched.CommitTxn(i);
+      engine.CommitTxn(i);
+      slot = next_txn++;
+      continue;
+    }
+    Op op;
+    op.txn = i;
+    op.type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+    op.item = static_cast<ItemId>(rng() % 8);
+    ASSERT_EQ(sched.Process(op), engine.Process(op)) << "step " << step;
+  }
+  EXPECT_GT(engine.stats().txns_released, 0u);
+  EXPECT_GT(engine.stats().compactions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineTest, DisjointPartitionsAllCommitWithoutCrossShardLocks) {
+  constexpr size_t kThreads = 4;
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = kThreads;
+  eo.compact_every = 128;
+  ShardedMtkEngine engine(eo);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      // Thread t's transactions and items all live on shard t, so every
+      // operation should take the single-shard path.
+      for (uint32_t n = 0; n < 2000; ++n) {
+        const TxnId txn = static_cast<TxnId>((n + 1) * kThreads + t);
+        const ItemId item = static_cast<ItemId>((n % 16) * kThreads + t);
+        Op r{txn, OpType::kRead, item};
+        Op w{txn, OpType::kWrite, item};
+        ASSERT_EQ(engine.Process(r), OpDecision::kAccept);
+        ASSERT_EQ(engine.Process(w), OpDecision::kAccept);
+        engine.CommitTxn(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.accepted, kThreads * 2000 * 2);
+  EXPECT_EQ(st.cross_shard_ops, 0u);
+  EXPECT_EQ(st.single_shard_ops, kThreads * 2000 * 2);
+  EXPECT_GT(st.txns_released, 0u);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(engine.IsCommitted(static_cast<TxnId>(kThreads + t)));
+  }
+}
+
+TEST(ShardedEngineTest, ContendedHammerCommitsEveryTransaction) {
+  constexpr size_t kThreads = 4;
+  constexpr uint32_t kTxnsPerThread = 1500;
+  constexpr ItemId kItems = 64;  // Shared: plenty of cross-shard traffic.
+  EngineOptions eo;
+  eo.k = 7;
+  eo.num_shards = 4;
+  eo.starvation_fix = true;
+  eo.compact_every = 256;
+  ShardedMtkEngine engine(eo);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (uint32_t n = 0; n < kTxnsPerThread; ++n) {
+        const TxnId txn =
+            static_cast<TxnId>(1 + t + n * kThreads);  // Globally unique.
+        size_t attempts = 0;
+        for (;;) {  // Closed loop: retry until the transaction commits.
+          ASSERT_LT(++attempts, 100000u) << "txn " << txn << " starved";
+          bool ok = true;
+          const size_t ops = 1 + rng() % 3;
+          for (size_t o = 0; o < ops && ok; ++o) {
+            Op op;
+            op.txn = txn;
+            op.type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+            op.item = static_cast<ItemId>(rng() % kItems);
+            ok = engine.Process(op) != OpDecision::kReject;
+          }
+          if (ok) {
+            engine.CommitTxn(txn);
+            break;
+          }
+          engine.RestartTxn(txn);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const EngineStats st = engine.stats();
+  EXPECT_GT(st.accepted, 0u);
+  EXPECT_GT(st.compactions, 0u);
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (uint32_t n = 0; n < kTxnsPerThread; n += 97) {
+      const TxnId txn = static_cast<TxnId>(1 + t + n * kThreads);
+      EXPECT_TRUE(engine.IsCommitted(txn)) << "txn " << txn;
+      EXPECT_FALSE(engine.IsAborted(txn)) << "txn " << txn;
+    }
+  }
+  // Compaction kept storage bounded by live transactions, not history:
+  // 6000 committed transactions across 4 shards must not pin 6000 states.
+  EXPECT_LE(engine.allocated_txn_states(),
+            2 * ShardedMtkEngine::kChunkSize * eo.num_shards);
+}
+
+// Regression: with many shards and a handful of hot items, the top
+// reader/writer of an item shifts between lock-acquisition rounds, so the
+// retry loop sees a different pair of top shards every attempt. The lockset
+// must be rebuilt per round (item, issuer, reader, writer - at most four),
+// not widened cumulatively: the original widening overflowed the fixed
+// lockset array and unlocked mutexes it had never locked.
+TEST(ShardedEngineTest, ManyShardsHotItemsKeepLocksetBounded) {
+  constexpr size_t kThreads = 4;
+  constexpr uint32_t kTxnsPerThread = 800;
+  constexpr ItemId kItems = 8;  // Very hot: tops churn constantly.
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 32;  // Far more shards than the lockset can hold.
+  eo.starvation_fix = true;
+  eo.max_lock_retries = 4;  // Exercise the full-lock fallback too.
+  ShardedMtkEngine engine(eo);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      std::mt19937_64 rng(7000 + t);
+      for (uint32_t n = 0; n < kTxnsPerThread; ++n) {
+        const TxnId txn = static_cast<TxnId>(1 + t + n * kThreads);
+        size_t attempts = 0;
+        for (;;) {
+          ASSERT_LT(++attempts, 100000u) << "txn " << txn << " starved";
+          bool ok = true;
+          const size_t ops = 1 + rng() % 3;
+          for (size_t o = 0; o < ops && ok; ++o) {
+            Op op;
+            op.txn = txn;
+            op.type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+            op.item = static_cast<ItemId>(rng() % kItems);
+            ok = engine.Process(op) != OpDecision::kReject;
+          }
+          if (ok) {
+            engine.CommitTxn(txn);
+            break;
+          }
+          engine.RestartTxn(txn);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const EngineStats st = engine.stats();
+  // Every decided operation went through exactly one covered lock round
+  // (no operations were issued by T0 here, which would skip the count).
+  EXPECT_EQ(st.accepted + st.ignored_writes + st.rejected,
+            st.single_shard_ops + st.cross_shard_ops);
+  for (size_t t = 0; t < kThreads; ++t) {
+    const TxnId last = static_cast<TxnId>(1 + t + (kTxnsPerThread - 1) * kThreads);
+    EXPECT_TRUE(engine.IsCommitted(last));
+  }
+}
+
+TEST(ShardedEngineTest, CompactionBoundsMemorySingleThreaded) {
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 2;
+  eo.compact_every = 64;
+  ShardedMtkEngine engine(eo);
+
+  for (TxnId txn = 1; txn <= 20000; ++txn) {
+    Op r{txn, OpType::kRead, static_cast<ItemId>(txn % 8)};
+    Op w{txn, OpType::kWrite, static_cast<ItemId>(txn % 8)};
+    ASSERT_NE(engine.Process(r), OpDecision::kReject);
+    ASSERT_NE(engine.Process(w), OpDecision::kReject);
+    engine.CommitTxn(txn);
+  }
+  // 20000 committed states would need 20 chunks per shard uncompacted.
+  EXPECT_LE(engine.allocated_txn_states(),
+            2 * ShardedMtkEngine::kChunkSize * eo.num_shards);
+  EXPECT_GT(engine.stats().txns_released, 15000u);
+  // Released ids still answer liveness queries.
+  EXPECT_TRUE(engine.IsCommitted(1));
+  EXPECT_FALSE(engine.IsAborted(1));
+}
+
+TEST(ShardedEngineTest, RejectionMarksAbortedAndRestartRevives) {
+  EngineOptions eo;
+  eo.k = 1;  // One element: the second conflicting txn order is forced.
+  eo.num_shards = 2;
+  ShardedMtkEngine engine(eo);
+
+  ASSERT_EQ(engine.Process(Op{1, OpType::kWrite, 0}), OpDecision::kAccept);
+  ASSERT_EQ(engine.Process(Op{2, OpType::kWrite, 0}), OpDecision::kAccept);
+  // T1 now tries to write after T2 took the later position: with k = 1 the
+  // order TS(1) < TS(2) is fully determined, so this write must reject.
+  ASSERT_EQ(engine.Process(Op{1, OpType::kWrite, 0}), OpDecision::kReject);
+  EXPECT_TRUE(engine.IsAborted(1));
+  // Operations of an aborted transaction reject outright.
+  EXPECT_EQ(engine.Process(Op{1, OpType::kRead, 1}), OpDecision::kReject);
+  engine.RestartTxn(1);
+  EXPECT_FALSE(engine.IsAborted(1));
+  EXPECT_EQ(engine.Process(Op{1, OpType::kWrite, 0}), OpDecision::kAccept);
+}
+
+TEST(ShardedEngineTest, VirtualTransactionIsProtectedAndImmutable) {
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 4;
+  ShardedMtkEngine engine(eo);
+  EXPECT_EQ(engine.Process(Op{kVirtualTxn, OpType::kRead, 0}),
+            OpDecision::kReject);
+  EXPECT_TRUE(engine.IsCommitted(kVirtualTxn));
+  EXPECT_FALSE(engine.IsAborted(kVirtualTxn));
+  const TimestampVector t0 = engine.TsSnapshot(kVirtualTxn);
+  EXPECT_TRUE(t0 == TimestampVector::Virtual(3));
+  for (TxnId t = 1; t <= 100; ++t) {
+    engine.Process(Op{t, OpType::kRead, t % 5});
+    engine.Process(Op{t, OpType::kWrite, t % 5});
+  }
+  EXPECT_TRUE(engine.TsSnapshot(kVirtualTxn) == t0);
+}
+
+}  // namespace
+}  // namespace mdts

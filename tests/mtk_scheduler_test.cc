@@ -390,6 +390,66 @@ TEST(MtkSchedulerTest, CompactItemHistoriesKeepsMostRecentAccessors) {
   EXPECT_EQ(s.Wt(0), 4u);
 }
 
+TEST(MtkSchedulerTest, CompactCommittedReleasesPassedStates) {
+  MtkOptions options;
+  options.k = 3;
+  options.starvation_fix = true;
+  MtkScheduler s(options);
+  // A long chain of single-op committed transactions on a rotating item
+  // set: once a transaction stops being any item's top accessor, its state
+  // is reclaimable.
+  constexpr TxnId kTxns = 400;
+  for (TxnId t = 1; t <= kTxns; ++t) {
+    Op op;
+    op.txn = t;
+    op.type = t % 2 == 0 ? OpType::kWrite : OpType::kRead;
+    op.item = t % 4;
+    if (s.Process(op) == OpDecision::kReject) {
+      s.RestartTxn(t);
+      ASSERT_NE(s.Process(op), OpDecision::kReject) << "txn " << t;
+    }
+    s.CommitTxn(t);
+  }
+  const size_t before = s.live_txn_states();
+  const size_t released = s.CompactCommitted();
+  EXPECT_GT(released, 300u);
+  EXPECT_EQ(s.stats().txns_released, released);
+  EXPECT_EQ(s.live_txn_states(), before - released);
+  EXPECT_GT(s.base_txn_id(), 1u);
+  // Released ids still answer liveness queries correctly...
+  EXPECT_TRUE(s.IsCommitted(1));
+  EXPECT_FALSE(s.IsAborted(1));
+  // ...and the surviving tops keep scheduling new work consistently.
+  const TxnId next = kTxns + 1;
+  EXPECT_EQ(s.Process(Op{next, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_EQ(s.Wt(0), next);
+  // A second compaction with nothing newly passed is a no-op.
+  EXPECT_EQ(s.CompactCommitted(), 0u);
+}
+
+TEST(MtkSchedulerTest, AutomaticCompactionBoundsLiveStates) {
+  MtkOptions options;
+  options.k = 3;
+  options.starvation_fix = true;
+  options.compact_every = 64;
+  MtkScheduler s(options);
+  for (TxnId t = 1; t <= 2000; ++t) {
+    Op op;
+    op.txn = t;
+    op.type = OpType::kWrite;
+    op.item = t % 8;
+    if (s.Process(op) == OpDecision::kReject) {
+      s.RestartTxn(t);
+      ASSERT_NE(s.Process(op), OpDecision::kReject) << "txn " << t;
+    }
+    s.CommitTxn(t);
+  }
+  EXPECT_GT(s.stats().txns_released, 1500u);
+  // Storage tracks the live span (tops + open window), not the 2000-txn
+  // history.
+  EXPECT_LT(s.live_txn_states(), 200u);
+}
+
 TEST(MtkSchedulerTest, StatsCountDecisions) {
   MtkOptions options;
   options.k = 2;

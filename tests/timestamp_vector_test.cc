@@ -174,5 +174,95 @@ TEST(CompareTest, ComparisonIsSymmetricallyConsistent) {
   }
 }
 
+TEST(TimestampVectorDifferentialTest, OptimizedCompareMatchesNaive) {
+  // The mask-based comparator must agree with the literal Definition-6
+  // reference on order AND decision position for arbitrary definedness
+  // patterns, across inline (k <= 8), heap (k > 8), and mask-overflow
+  // (k > 32) storage regimes.
+  Rng rng(20260805);
+  for (size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 31u, 32u, 33u, 40u}) {
+    const size_t pairs = k <= 9 ? 1200 : 300;
+    for (size_t n = 0; n < pairs; ++n) {
+      TimestampVector a(k);
+      TimestampVector b(k);
+      for (size_t m = 0; m < k; ++m) {
+        // Small value range forces frequent equal defined prefixes, the
+        // interesting regime; ~40% undefined exercises every break case.
+        if (rng.Chance(0.6)) a.Set(m, static_cast<TsElement>(rng.Uniform(0, 2)));
+        if (rng.Chance(0.6)) b.Set(m, static_cast<TsElement>(rng.Uniform(0, 2)));
+      }
+      const VectorCompareResult fast = internal::CompareFast(a, b);
+      const VectorCompareResult naive = CompareNaive(a, b);
+      ASSERT_EQ(fast.order, naive.order)
+          << "k=" << k << " a=" << a.ToString() << " b=" << b.ToString();
+      ASSERT_EQ(fast.index, naive.index)
+          << "k=" << k << " a=" << a.ToString() << " b=" << b.ToString();
+      // Compare() is the same decision (plus the optional debug check).
+      const VectorCompareResult pub = Compare(a, b);
+      ASSERT_EQ(pub.order, naive.order);
+      ASSERT_EQ(pub.index, naive.index);
+      // Antisymmetry through the mirrored call.
+      const VectorCompareResult rev = internal::CompareFast(b, a);
+      switch (naive.order) {
+        case VectorOrder::kLess:
+          ASSERT_EQ(rev.order, VectorOrder::kGreater);
+          break;
+        case VectorOrder::kGreater:
+          ASSERT_EQ(rev.order, VectorOrder::kLess);
+          break;
+        default:
+          ASSERT_EQ(rev.order, naive.order);
+          break;
+      }
+      ASSERT_EQ(rev.index, naive.index);
+    }
+  }
+}
+
+TEST(TimestampVectorDifferentialTest, UnsetViaSentinelClearsMaskBit) {
+  TimestampVector v(4);
+  v.Set(1, 7);
+  EXPECT_TRUE(v.IsDefined(1));
+  v.Set(1, kUndefinedElement);  // Writing the sentinel un-defines.
+  EXPECT_FALSE(v.IsDefined(1));
+  EXPECT_EQ(v.DefinedCount(), 0u);
+  EXPECT_EQ(v.DefinedPrefixLength(), 0u);
+}
+
+TEST(TimestampVectorDifferentialTest, PrefixAndCountAgreeWithScan) {
+  Rng rng(99);
+  for (size_t k : {1u, 8u, 9u, 32u, 33u, 45u}) {
+    for (int n = 0; n < 200; ++n) {
+      TimestampVector v(k);
+      for (size_t m = 0; m < k; ++m) {
+        if (rng.Chance(0.5)) v.Set(m, static_cast<TsElement>(rng.Uniform(0, 99)));
+      }
+      size_t prefix = 0;
+      while (prefix < k && v.IsDefined(prefix)) ++prefix;
+      size_t count = 0;
+      for (size_t m = 0; m < k; ++m) count += v.IsDefined(m) ? 1 : 0;
+      ASSERT_EQ(v.DefinedPrefixLength(), prefix) << "k=" << k;
+      ASSERT_EQ(v.DefinedCount(), count) << "k=" << k;
+    }
+  }
+}
+
+TEST(TimestampVectorDifferentialTest, CopyAndMovePreserveHeapVectors) {
+  TimestampVector big(12);  // Heap regime.
+  big.Set(0, 1);
+  big.Set(11, -4);
+  TimestampVector copy = big;
+  EXPECT_TRUE(copy == big);
+  TimestampVector moved = std::move(copy);
+  EXPECT_TRUE(moved == big);
+  moved = big;  // Copy-assign over a heap vector.
+  EXPECT_TRUE(moved == big);
+  TimestampVector small(3);
+  small.Set(1, 5);
+  moved = small;  // Copy-assign shrinking heap -> inline.
+  EXPECT_TRUE(moved == small);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
 }  // namespace
 }  // namespace mdts
