@@ -11,11 +11,14 @@
 // Exits non-zero if any cell wedges, commits nothing, or fails the audit.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "classify/classes.h"
 #include "common/table_printer.h"
 #include "dist/dmt_system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdts {
 namespace {
@@ -47,7 +50,21 @@ std::string Audit(const DmtResult& r, uint32_t expected_txns) {
   return "ok";
 }
 
-int Run() {
+int Run(const char* trace_path, const char* metrics_path) {
+  if (trace_path != nullptr) {
+    if (MDTS_TRACE_COMPILED) {
+      // The whole sweep runs on one thread, so a single generous ring
+      // keeps the tail of the simulated timeline (oldest events of a long
+      // sweep are overwritten, newest survive).
+      Tracer::Get().Enable(1 << 18);
+      std::printf("tracing enabled; Chrome trace JSON -> %s\n", trace_path);
+    } else {
+      std::printf(
+          "--trace requested but the build has MDTS_TRACE=OFF; no trace "
+          "will be written\n");
+      trace_path = nullptr;
+    }
+  }
   std::printf("=== DMT(k) fault sweep: loss x crash x k ===\n\n");
   std::printf(
       "Mechanisms under test: idempotent lock-request retries on a\n"
@@ -59,6 +76,7 @@ int Run() {
   TablePrinter table({"loss", "crash", "k", "committed", "commit rate",
                       "aborts", "retries", "leases", "dropped", "p99 resp",
                       "DSR audit"});
+  TablePrinter reasons({"loss", "crash", "k", "abort reasons"});
   for (double loss : {0.0, 0.05, 0.2}) {
     for (int crash : {0, 1}) {
       for (size_t k : {2u, 3u}) {
@@ -83,10 +101,14 @@ int Run() {
              std::to_string(r.messages_dropped),
              FormatDouble(r.p99_response_time, 1),
              Audit(r, options.num_txns)});
+        reasons.AddRow({FormatDouble(loss, 2), crash ? "yes" : "no",
+                        std::to_string(k), r.abort_reasons.ToJson()});
       }
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  std::printf("--- abort-reason breakdown per cell ---\n%s\n",
+              reasons.ToString().c_str());
 
   std::printf("--- stress: heavy loss, duplication, flapping site ---\n");
   TablePrinter stress({"scenario", "committed", "gave up", "retries",
@@ -125,6 +147,28 @@ int Run() {
   }
   std::printf("%s\n", stress.ToString().c_str());
 
+  // Every run above published its end-of-run counters into the global
+  // registry (DmtOptions::metrics defaults to GlobalMetrics()), so this
+  // snapshot is the cumulative tally across the whole sweep.
+  const MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  std::printf("--- metrics snapshot (cumulative across the sweep) ---\n%s\n",
+              snapshot.ToText().c_str());
+  if (metrics_path != nullptr && snapshot.WriteJsonFile(metrics_path)) {
+    std::printf("wrote metrics snapshot to %s (diff runs with "
+                "tools/metrics_diff.py)\n",
+                metrics_path);
+  }
+
+  if (trace_path != nullptr) {
+    Tracer::Get().Disable();
+    if (Tracer::Get().WriteFile(trace_path)) {
+      std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                  Tracer::Get().event_count(), trace_path);
+    } else {
+      ++failures;
+    }
+  }
+
   std::printf("[%s] every cell terminated, committed work, and passed the\n"
               "     DSR audit - Theorem 2 survives the fault model\n",
               failures == 0 ? "ok" : "REPRODUCTION FAILURE");
@@ -134,4 +178,24 @@ int Run() {
 }  // namespace
 }  // namespace mdts
 
-int main() { return mdts::Run(); }
+// Usage: fault_sweep [--trace[=PATH]] [--metrics=PATH]
+// --trace default PATH: fault_sweep_trace.json (Chrome trace_event JSON).
+// --metrics writes the cumulative MetricsSnapshot as JSON, the input
+// format of tools/metrics_diff.py.
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* metrics_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "fault_sweep_trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return mdts::Run(trace_path, metrics_path);
+}

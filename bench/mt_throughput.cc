@@ -25,6 +25,8 @@
 #include "core/mtk_scheduler.h"
 #include "core/types.h"
 #include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prepr/mtk_scheduler.h"
 
 namespace mdts {
@@ -169,7 +171,8 @@ LoopResult MergeThreadResults(std::vector<LoopResult> parts) {
 }
 
 LoopResult RunEngine(const EngineOptions& eo, const Workload& w,
-                     size_t threads, double seconds) {
+                     size_t threads, double seconds,
+                     EngineStats* stats_out = nullptr) {
   ShardedMtkEngine engine(eo);
   std::vector<LoopResult> parts(threads);
   if (threads == 1) {
@@ -183,7 +186,13 @@ LoopResult RunEngine(const EngineOptions& eo, const Workload& w,
     }
     for (auto& th : pool) th.join();
   }
+  if (stats_out != nullptr) *stats_out = engine.stats();
   return MergeThreadResults(std::move(parts));
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
 double Mops(const LoopResult& r) { return r.ops_per_sec() / 1e6; }
@@ -371,12 +380,69 @@ int Run(const char* out_path) {
   }
   scaling_4t = mops_1t_low_k3 > 0 ? mops_4t_low_k3 / mops_1t_low_k3 : 0;
 
+  // -------------------------------------------------------------------
+  // Part 3: observability overhead. Same engine cell as part 2 (k=3, low
+  // contention, 32 shards), tracing runtime-disabled; the only difference
+  // between the two arms is EngineOptions::metrics (nullptr = mirroring
+  // off). A/B pairs are interleaved and the medians compared, so drift
+  // (thermal, scheduler) hits both arms alike.
+  // -------------------------------------------------------------------
+  const size_t obs_threads = hw >= 4 ? 4 : 1;
+  std::printf("--- observability overhead: k=3, %u items, %zu threads ---\n",
+              kLowContentionItems, obs_threads);
+  MetricsRegistry registry;
+  EngineOptions obs_eo;
+  obs_eo.k = 3;
+  obs_eo.num_shards = 32;
+  obs_eo.starvation_fix = true;
+  obs_eo.compact_every = std::max<uint64_t>(1024, kLowContentionItems / 2);
+  const Workload obs_w = MakeWorkload(obs_threads, kLowContentionItems,
+                                      kOpsPerTxn, kReadFraction, 42);
+  (void)RunEngine(obs_eo, obs_w, obs_threads, 0.1);  // Warmup.
+  std::vector<double> base_mops, attached_mops;
+  EngineStats obs_stats;
+  constexpr int kObsPairs = 7;
+  for (int p = 0; p < kObsPairs; ++p) {
+    obs_eo.metrics = nullptr;
+    base_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
+    obs_eo.metrics = &registry;
+    attached_mops.push_back(
+        Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3, &obs_stats)));
+  }
+  obs_eo.metrics = nullptr;
+  const double med_base = Median(base_mops);
+  const double med_attached = Median(attached_mops);
+  const double obs_overhead_pct =
+      med_base > 0 ? (med_base - med_attached) / med_base * 100.0 : 0;
+  std::printf(
+      "baseline (no registry): %.2f Mops; metrics attached: %.2f Mops; "
+      "overhead %.2f%% (tracing %s)\n",
+      med_base, med_attached, obs_overhead_pct,
+      MDTS_TRACE_COMPILED ? "compiled in, runtime-disabled"
+                          : "compiled out");
+  std::printf("abort reasons (last attached run): %s\n",
+              obs_stats.reject_reasons.ToJson().c_str());
+  std::printf("\nmetrics snapshot (attached arm, cumulative):\n%s\n",
+              registry.Snapshot().ToText().c_str());
+
+  UpsertBenchRecord(
+      out_path, "mt_throughput_obs_overhead",
+      {{"hardware_threads", JsonNum(hw)},
+       {"threads", JsonNum(static_cast<double>(obs_threads))},
+       {"ab_pairs", JsonNum(kObsPairs)},
+       {"baseline_mops", JsonNum(med_base)},
+       {"metrics_attached_mops", JsonNum(med_attached)},
+       {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
+       {"trace_compiled", MDTS_TRACE_COMPILED ? "true" : "false"},
+       {"abort_reasons", obs_stats.reject_reasons.ToJson()}});
+
   UpsertBenchRecord(
       out_path, "mt_throughput_acceptance",
       {{"hardware_threads", JsonNum(hw)},
        {"single_thread_speedup_vs_prepr_k3", JsonNum(speedup_sched_low)},
        {"engine_1shard_speedup_vs_prepr_k3", JsonNum(speedup_engine_low)},
        {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
+       {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
        {"note",
         JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
                         : "hardware threads < 4: scaling ratio reflects "

@@ -31,18 +31,19 @@ class MtkPlusOnline : public Scheduler {
   }
 
   SchedOutcome OnOperation(const Op& op) override {
-    if (IsStale(op.txn)) return SchedOutcome::kAborted;
+    if (IsStale(op.txn)) return RecordAbort(AbortReason::kStaleTxn);
     const OpDecision d = inner_->Process(op);
     if (d == OpDecision::kAccept) return SchedOutcome::kAccepted;
-    // Every subprotocol is stopped: Algorithm 2 case 4(i).
+    // Every subprotocol is stopped: Algorithm 2 case 4(i). The composite's
+    // combined encoding capacity is exhausted, hence the full restart.
     Rebuild();
     ++generation_;
     ++full_restarts_;
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kEncodingExhausted);
   }
 
   SchedOutcome OnCommit(TxnId txn) override {
-    if (IsStale(txn)) return SchedOutcome::kAborted;
+    if (IsStale(txn)) return RecordAbort(AbortReason::kStaleTxn);
     return SchedOutcome::kAccepted;
   }
 

@@ -114,12 +114,15 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
     case VectorOrder::kLess:
       return true;  // Line 17: the dependency is already encoded.
     case VectorOrder::kGreater:
-      return false;  // Line 18: the opposite order is fixed; must reject.
+      // Line 18: the opposite order is fixed; must reject.
+      set_failure_ = AbortReason::kLexOrder;
+      return false;
     case VectorOrder::kIdentical:
       // All k elements equal and defined. Algorithm 1's distinct k-th
       // elements make this unreachable between live transactions (the paper:
       // "otherwise we cannot enforce any further dependency"), but an
       // externally seeded vector could in principle collide; refuse safely.
+      set_failure_ = AbortReason::kEncodingExhausted;
       return false;
     case VectorOrder::kEqual: {
       // Line 19: both elements undefined; encode TS(j,m) < TS(i,m).
@@ -199,6 +202,7 @@ bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
       return true;
     }
   }
+  set_failure_ = AbortReason::kEncodingExhausted;
   return false;
 }
 
@@ -217,14 +221,19 @@ OpDecision MtkScheduler::Process(const Op& op) {
   ++ops_processed_;
   current_op_ = op;
   const TxnId i = op.txn;
-  if (i == kVirtualTxn) {
+  auto refuse = [&](AbortReason reason, TxnId blocker) {
+    last_reject_ = RejectInfo{reason, op, blocker, ops_processed_};
     ++stats_.rejected;
-    return OpDecision::kReject;  // T0 is virtual; it issues no operations.
+    stats_.reject_reasons.Add(reason);
+    return OpDecision::kReject;
+  };
+  if (i == kVirtualTxn) {
+    // T0 is virtual; it issues no operations.
+    return refuse(AbortReason::kInvalidOp, kVirtualTxn);
   }
   TxnState& state = State(i);
   if (state.aborted || state.committed) {
-    ++stats_.rejected;
-    return OpDecision::kReject;
+    return refuse(AbortReason::kStaleTxn, kVirtualTxn);
   }
   ItemState& item = Item(op.item);
   const bool hot = item.access_count >= options_.hot_item_threshold;
@@ -240,11 +249,11 @@ OpDecision MtkScheduler::Process(const Op& op) {
                                                                       : jr;
 
   auto reject = [&](const LiveRef& blocker) {
-    last_blocker_ = blocker.txn;
+    // set_failure_ carries the cause recorded by the SetStates call that
+    // refused the dependency (kLexOrder or kEncodingExhausted).
     state.aborted = true;
     if (options_.starvation_fix) ApplyStarvationSeed(state, *blocker.state);
-    ++stats_.rejected;
-    return OpDecision::kReject;
+    return refuse(set_failure_, blocker.txn);
   };
 
   if (op.type == OpType::kRead) {
@@ -290,6 +299,12 @@ OpDecision MtkScheduler::Process(const Op& op) {
     }
   }
   return reject(j);  // Line 14.
+}
+
+std::string MtkScheduler::ExplainLastReject() const {
+  if (last_reject_.reason == AbortReason::kNone) return "no rejection yet";
+  return FormatReject(OpName(last_reject_.op), last_reject_.reason,
+                      last_reject_.blocker);
 }
 
 void MtkScheduler::CommitTxn(TxnId txn) {

@@ -8,6 +8,7 @@
 
 #include "core/timestamp_vector.h"
 #include "core/types.h"
+#include "obs/abort_reason.h"
 
 namespace mdts {
 
@@ -92,12 +93,26 @@ struct MtkStats {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
   uint64_t ignored_writes = 0;
+  /// Per-reason breakdown of `rejected`; reject_reasons.total() == rejected.
+  AbortReasonCounts reject_reasons;
   uint64_t set_calls = 0;
   uint64_t elements_assigned = 0;
   /// Element-level comparison steps spent inside Compare().
   uint64_t element_comparisons = 0;
   /// Committed-transaction states reclaimed by CompactCommitted().
   uint64_t txns_released = 0;
+};
+
+/// Everything known about the most recent kReject returned by
+/// MtkScheduler::Process: the classified cause, the operation that was
+/// refused, the blocking transaction (kVirtualTxn when no specific blocker
+/// exists, e.g. an operation from an already-aborted transaction), and the
+/// 1-based position of the operation in the Process stream.
+struct RejectInfo {
+  AbortReason reason = AbortReason::kNone;
+  Op op;
+  TxnId blocker = kVirtualTxn;
+  uint64_t position = 0;
 };
 
 /// The MT(k) scheduler of Section III-A (Algorithm 1).
@@ -144,7 +159,14 @@ class MtkScheduler {
 
   /// The transaction that caused the most recent rejection (the T_j with
   /// TS(i) < TS(j)); kVirtualTxn if no rejection has happened.
-  TxnId LastBlocker() const { return last_blocker_; }
+  TxnId LastBlocker() const { return last_reject_.blocker; }
+
+  /// Classified cause, operation and blocker of the most recent rejection.
+  const RejectInfo& last_reject() const { return last_reject_; }
+
+  /// Human-readable one-liner for the most recent rejection, e.g.
+  /// "W3[x7] rejected: lex_order (...; blocker T2)".
+  std::string ExplainLastReject() const;
 
   /// Recorded dependency encodings (empty unless options.record_encodings).
   const std::vector<EncodingEvent>& encodings() const { return encodings_; }
@@ -262,7 +284,10 @@ class MtkScheduler {
   std::vector<ItemState> items_;
   TsElement lcount_ = 0;  // Current lower bound for k-th elements.
   TsElement ucount_ = 1;  // Current upper bound for k-th elements.
-  TxnId last_blocker_ = kVirtualTxn;
+  RejectInfo last_reject_;
+  // Cause of the most recent SetStates() == false, consumed by the reject
+  // paths of Process: kGreater -> kLexOrder, kIdentical -> kEncodingExhausted.
+  AbortReason set_failure_ = AbortReason::kNone;
   std::vector<EncodingEvent> encodings_;
   uint64_t ops_processed_ = 0;
   Op current_op_;  // The operation Process is currently handling.

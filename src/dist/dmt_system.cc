@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "core/types.h"
 #include "core/vector_table.h"
+#include "obs/trace.h"
 
 namespace mdts {
 
@@ -148,6 +149,10 @@ class DmtSim {
         options_.restart_delay, restart_mult,
         options_.restart_backoff_cap > 0.0 ? options_.restart_backoff_cap
                                            : 8.0 * options_.restart_delay};
+    registry_ = options_.metrics != nullptr ? options_.metrics
+                                            : &GlobalMetrics();
+    h_response_ = registry_->GetHistogram("dmt.response_time_us");
+    h_backoff_ = registry_->GetHistogram("dmt.restart_backoff_us");
   }
 
   DmtResult Run();
@@ -204,11 +209,17 @@ class DmtSim {
     return v;
   }
 
+  /// Simulated time in integer microseconds, the unit of the pid-2 trace
+  /// lanes (one simulated time unit = 1 ms of trace time).
+  uint64_t SimUs() const { return static_cast<uint64_t>(now_ * 1000.0); }
+
   /// Algorithm 1's Set(j, i) with per-site counters for the last column.
-  bool DistSet(TxnId j, TxnId i, uint32_t site);
+  /// On false, `why` receives the classified cause.
+  bool DistSet(TxnId j, TxnId i, uint32_t site, AbortReason* why);
 
   /// Full scheduling decision for a context whose locks are all held.
-  bool Decide(OpContext* ctx);
+  /// On false, `why` receives the classified cause.
+  bool Decide(OpContext* ctx, AbortReason* why);
 
   void Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
             ObjectId object, uint64_t gen = 0);
@@ -230,9 +241,10 @@ class DmtSim {
   void ResyncCounters();
   void FinishOp(uint64_t ctx_id);
   void ReleaseHeld(uint64_t ctx_id);
-  bool AbandonContext(uint64_t ctx_id);
-  void HandleAbort(TxnId txn);
+  bool AbandonContext(uint64_t ctx_id, AbortReason reason);
+  void HandleAbort(TxnId txn, AbortReason reason);
   void MaybeCompactVectors();
+  void PublishMetrics();
 
   DmtOptions options_;
   Rng rng_;
@@ -262,6 +274,13 @@ class DmtSim {
   std::vector<double> response_times_;
   TxnId next_to_start_ = 1;
   double total_response_ = 0.0;
+
+  // Registry (never null: DmtOptions::metrics or GlobalMetrics()) plus the
+  // two live-recorded histograms; counters are published once by
+  // PublishMetrics() at the end of Run().
+  MetricsRegistry* registry_ = nullptr;
+  Histogram* h_response_ = nullptr;
+  Histogram* h_backoff_ = nullptr;
 };
 
 void DmtSim::Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
@@ -278,9 +297,13 @@ void DmtSim::Send(uint32_t from, uint32_t to, Event::Kind kind, TxnId txn,
     return;
   }
   ++result_.messages_sent;
+  MDTS_TRACE_AT_ARG("dmt.send", 'i', 2, from, SimUs(), "to", to);
   const std::vector<double> deliveries =
       injector_.Deliveries(options_.message_latency);
-  if (deliveries.empty()) ++result_.messages_dropped;
+  if (deliveries.empty()) {
+    ++result_.messages_dropped;
+    MDTS_TRACE_AT_ARG("dmt.drop", 'i', 2, from, SimUs(), "to", to);
+  }
   if (deliveries.size() > 1) {
     result_.messages_duplicated += deliveries.size() - 1;
   }
@@ -289,7 +312,7 @@ void DmtSim::Send(uint32_t from, uint32_t to, Event::Kind kind, TxnId txn,
   }
 }
 
-bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site) {
+bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site, AbortReason* why) {
   if (j == i) return true;
   const VectorCompareResult cr = Compare(Ts(j), Ts(i));
   const size_t m = cr.index;
@@ -300,7 +323,10 @@ bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site) {
     case VectorOrder::kLess:
       return true;
     case VectorOrder::kGreater:
+      *why = AbortReason::kLexOrder;
+      return false;
     case VectorOrder::kIdentical:
+      *why = AbortReason::kEncodingExhausted;
       return false;
     case VectorOrder::kEqual:
       if (m + 1 == k) {
@@ -319,10 +345,11 @@ bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site) {
       }
       return true;
   }
+  *why = AbortReason::kEncodingExhausted;
   return false;
 }
 
-bool DmtSim::Decide(OpContext* ctx) {
+bool DmtSim::Decide(OpContext* ctx, AbortReason* why) {
   const TxnId i = ctx->txn;
   ItemState& item = Item(ctx->op.item);
   const TxnId jr = TopLive(&item.readers);
@@ -331,16 +358,17 @@ bool DmtSim::Decide(OpContext* ctx) {
       Compare(Ts(jr), Ts(jw)).order == VectorOrder::kLess ? jw : jr;
   TxnRuntime& rt = txns_[i];
   if (ctx->op.type == OpType::kRead) {
-    if (DistSet(j, i, ctx->site)) {
+    if (DistSet(j, i, ctx->site, why)) {
       item.readers.push_back({i, rt.incarnation});
       return true;
     }
+    // Old-read path; on failure *why keeps the DistSet(j, i) cause.
     if (j == jr && Compare(Ts(jw), Ts(i)).order == VectorOrder::kLess) {
       return true;
     }
     return false;
   }
-  if (DistSet(j, i, ctx->site)) {
+  if (DistSet(j, i, ctx->site, why)) {
     item.writers.push_back({i, rt.incarnation});
     return true;
   }
@@ -490,11 +518,14 @@ void DmtSim::FinishOp(uint64_t ctx_id) {
     const LockState& lock = locks_[h.object];
     if (!lock.held || lock.holder_ctx != ctx_id ||
         lock.generation != h.generation) {
-      AbandonContext(ctx_id);
+      // Mutual exclusion was lost under us (lease reclaim or home-site
+      // crash raced the final grant).
+      AbandonContext(ctx_id, AbortReason::kLeaseExpired);
       return;
     }
   }
-  const bool accepted = Decide(&ctx);
+  AbortReason why = AbortReason::kNone;
+  const bool accepted = Decide(&ctx, &why);
   ++result_.ops_scheduled;
   result_.ops_per_site[ctx.site] += 1;
   ctx.done = true;
@@ -502,11 +533,12 @@ void DmtSim::FinishOp(uint64_t ctx_id) {
 
   TxnRuntime& rt = txns_[ctx.txn];
   if (accepted) {
+    MDTS_TRACE_AT_ARG("dmt.op", 'i', 2, ctx.site, SimUs(), "txn", ctx.txn);
     executed_.push_back(ExecutedOp{ctx.op, rt.incarnation});
     ++rt.next_op;
     IssueNext(ctx.txn, now_ + rng_.Exponential(options_.mean_think_time));
   } else {
-    HandleAbort(ctx.txn);
+    HandleAbort(ctx.txn, why);
   }
 }
 
@@ -526,7 +558,7 @@ void DmtSim::OnRequestTimeout(const Event& ev) {
   if (ev.gen != ctx.request_epoch) return;  // Granted or already re-sent.
   if (ctx.retries >= options_.max_lock_retries) {
     ++result_.timeout_give_ups;
-    AbandonContext(ev.ctx);
+    AbandonContext(ev.ctx, AbortReason::kLockTimeout);
     return;
   }
   ++ctx.retries;
@@ -538,6 +570,8 @@ void DmtSim::OnLeaseExpire(const Event& ev) {
   LockState& lock = locks_[ev.object];
   if (!lock.held || lock.generation != ev.gen) return;  // Already released.
   ++result_.lease_reclaims;
+  MDTS_TRACE_AT_ARG("dmt.lease_reclaim", 'i', 2, ObjectSite(ev.object),
+                    SimUs(), "ctx", lock.holder_ctx);
   const uint64_t holder = lock.holder_ctx;
   lock.held = false;
   ++lock.generation;  // In-flight releases from the old holder go stale.
@@ -545,11 +579,12 @@ void DmtSim::OnLeaseExpire(const Event& ev) {
   // If the holder is mid-operation it lost mutual exclusion: abort it. A
   // holder that already decided and released (the release was merely lost
   // or delayed) keeps its result - the reclaim is just cleanup.
-  AbandonContext(holder);
+  AbandonContext(holder, AbortReason::kLeaseExpired);
 }
 
 void DmtSim::OnSiteCrash(uint32_t site) {
   site_up_[site] = false;
+  MDTS_TRACE_AT("dmt.site_down", 'B', 2, site, SimUs());
   // Volatile state dies with the site: the lock table is wiped (bumping
   // generations so stale grants, releases and lease timers are ignored)
   // and queued requests are forgotten - their owners time out and retry.
@@ -559,12 +594,15 @@ void DmtSim::OnSiteCrash(uint32_t site) {
     if (lock.held) {
       lock.held = false;
       ++lock.generation;
-      if (AbandonContext(lock.holder_ctx)) ++result_.down_site_aborts;
+      if (AbandonContext(lock.holder_ctx, AbortReason::kDownSite)) {
+        ++result_.down_site_aborts;
+      }
     }
   }
   // Operations coordinated at the site die with it.
   for (size_t c = 0; c < contexts_.size(); ++c) {
-    if (contexts_[c].site == site && AbandonContext(c)) {
+    if (contexts_[c].site == site &&
+        AbandonContext(c, AbortReason::kDownSite)) {
       ++result_.down_site_aborts;
     }
   }
@@ -572,6 +610,7 @@ void DmtSim::OnSiteCrash(uint32_t site) {
 
 void DmtSim::OnSiteRecover(uint32_t site) {
   site_up_[site] = true;
+  MDTS_TRACE_AT("dmt.site_down", 'E', 2, site, SimUs());
   // Recovery rebuilds the site's counter state through the same
   // resynchronization path as the periodic kCounterSync: adopt the global
   // extremes. The site's own last value participates (it is derivable from
@@ -595,13 +634,39 @@ void DmtSim::ResyncCounters() {
   }
 }
 
-bool DmtSim::AbandonContext(uint64_t ctx_id) {
+bool DmtSim::AbandonContext(uint64_t ctx_id, AbortReason reason) {
   OpContext& ctx = contexts_[ctx_id];
   if (ctx.dead || ctx.done) return false;
   ctx.dead = true;
   ReleaseHeld(ctx_id);  // Dropped silently if the context's site is down.
-  HandleAbort(ctx.txn);
+  HandleAbort(ctx.txn, reason);
   return true;
+}
+
+void DmtSim::PublishMetrics() {
+  // One Add per counter at the end of the run: the registry deltas exactly
+  // equal this run's DmtResult fields (the reconciliation test's invariant),
+  // and the global registry keeps accumulating across runs.
+  auto add = [&](const char* name, uint64_t v) {
+    registry_->GetCounter(name)->Add(v);
+  };
+  add("dmt.committed", result_.committed);
+  add("dmt.gave_up", result_.gave_up);
+  add("dmt.messages_sent", result_.messages_sent);
+  add("dmt.messages_dropped", result_.messages_dropped);
+  add("dmt.messages_duplicated", result_.messages_duplicated);
+  add("dmt.lock_waits", result_.lock_waits);
+  add("dmt.lock_retries", result_.lock_retries);
+  add("dmt.timeout_give_ups", result_.timeout_give_ups);
+  add("dmt.lease_reclaims", result_.lease_reclaims);
+  add("dmt.down_site_aborts", result_.down_site_aborts);
+  add("dmt.ops_scheduled", result_.ops_scheduled);
+  add("dmt.vectors_released", result_.vectors_released);
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    const AbortReason reason = static_cast<AbortReason>(r);
+    add((std::string("dmt.aborts.") + AbortReasonName(reason)).c_str(),
+        result_.abort_reasons[reason]);
+  }
 }
 
 void DmtSim::MaybeCompactVectors() {
@@ -649,11 +714,14 @@ void DmtSim::MaybeCompactVectors() {
   result_.vectors_released += table_.ReleaseBelow(min_live);
 }
 
-void DmtSim::HandleAbort(TxnId txn) {
+void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   TxnRuntime& rt = txns_[txn];
   if (rt.done || rt.aborted) return;
   rt.aborted = true;
   ++result_.aborts;
+  result_.abort_reasons.Add(reason);
+  MDTS_TRACE_AT_ARG(AbortReasonName(reason), 'i', 2, VectorSite(txn),
+                    SimUs(), "txn", txn);
   ++rt.attempts;
   ++rt.consecutive_aborts;
   result_.max_consecutive_aborts = std::max<uint64_t>(
@@ -668,9 +736,10 @@ void DmtSim::HandleAbort(TxnId txn) {
   // Jittered, capped-exponential restart delay (shared BackoffPolicy; see
   // sim/simulator.cc): jitter prevents lockstep retry livelocks between
   // mutually conflicting transactions, growth sheds load during outages.
-  Push(now_ + restart_backoff_.ExpJitterDelay(rt.consecutive_aborts - 1,
-                                              &rng_),
-       Event::Kind::kRestart, txn, 0, 0);
+  const double delay =
+      restart_backoff_.ExpJitterDelay(rt.consecutive_aborts - 1, &rng_);
+  h_backoff_->Record(static_cast<uint64_t>(delay * 1000.0));
+  Push(now_ + delay, Event::Kind::kRestart, txn, 0, 0);
 }
 
 DmtResult DmtSim::Run() {
@@ -750,6 +819,9 @@ DmtResult DmtSim::Run() {
           const double response = now_ - rt.first_start;
           total_response_ += response;
           response_times_.push_back(response);
+          h_response_->Record(static_cast<uint64_t>(response * 1000.0));
+          MDTS_TRACE_AT_ARG("dmt.commit", 'i', 2, VectorSite(ev.txn),
+                            SimUs(), "txn", ev.txn);
           MaybeCompactVectors();
           StartNextTxn(now_ +
                        rng_.Exponential(options_.mean_think_time) * 0.1);
@@ -761,7 +833,7 @@ DmtResult DmtSim::Run() {
           // transaction aborts-and-retries (with backoff) instead of
           // wedging; max_attempts bounds retries if the outage persists.
           ++result_.down_site_aborts;
-          HandleAbort(ev.txn);
+          HandleAbort(ev.txn, AbortReason::kDownSite);
           break;
         }
         contexts_.push_back(OpContext{});
@@ -817,6 +889,7 @@ DmtResult DmtSim::Run() {
     result_.p99_response_time = Percentile(response_times_, 99);
   }
   result_.final_live_vectors = table_.live_vectors();
+  PublishMetrics();
   return result_;
 }
 

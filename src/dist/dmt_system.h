@@ -7,6 +7,8 @@
 #include "core/log.h"
 #include "core/timestamp_vector.h"
 #include "fault/fault.h"
+#include "obs/abort_reason.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace mdts {
@@ -78,12 +80,24 @@ struct DmtOptions {
 
   WorkloadOptions workload;
   uint64_t seed = 1;
+
+  /// Registry the run publishes its "dmt.*" counters and latency histograms
+  /// into. Null means the process-wide GlobalMetrics() - DMT metrics are
+  /// always on; pass a private registry to isolate a run (as the
+  /// reconciliation tests do). Counter values are added once at the end of
+  /// the run (they exactly equal the DmtResult fields); the response-time
+  /// and restart-backoff histograms record live, per event.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate result of a DMT(k) run.
 struct DmtResult {
   uint64_t committed = 0;
   uint64_t aborts = 0;
+  /// Per-reason breakdown of `aborts`; abort_reasons.total() == aborts.
+  /// Protocol conflicts surface as kLexOrder / kEncodingExhausted; the
+  /// fault-tolerance machinery as kLockTimeout / kLeaseExpired / kDownSite.
+  AbortReasonCounts abort_reasons;
   uint64_t gave_up = 0;
   uint64_t messages_sent = 0;   // Network messages (remote hops only).
   uint64_t lock_waits = 0;      // Times an object lock was queued behind.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace mdts {
 
@@ -15,6 +18,19 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
   for (size_t s = 0; s < num_shards_; ++s) {
     shards_.emplace_back();
     shards_.back().index = static_cast<uint32_t>(s);
+  }
+  if (MetricsRegistry* reg = options_.metrics) {
+    m_accepted_ = reg->GetCounter("engine.accepted");
+    m_ignored_ = reg->GetCounter("engine.ignored_writes");
+    for (size_t r = 1; r < kNumAbortReasons; ++r) {
+      m_rejected_[r] = reg->GetCounter(
+          std::string("engine.rejected.") +
+          AbortReasonName(static_cast<AbortReason>(r)));
+    }
+    m_contention_ = reg->GetCounter("engine.lock_contention");
+    m_retries_ = reg->GetCounter("engine.lock_retries");
+    m_fallbacks_ = reg->GetCounter("engine.full_lock_fallbacks");
+    m_compactions_ = reg->GetCounter("engine.compactions");
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
   // chunked storage (and outside compaction); real ids there start at slot 1.
@@ -143,7 +159,7 @@ VectorCompareResult ShardedMtkEngine::CompareStates(Shard& shx,
 }
 
 bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
-                                 TxnId j, TxnId i) {
+                                 TxnId j, TxnId i, AbortReason* why) {
   if (j == i) return true;  // Line 15.
   ++shx.stats.set_calls;
   const size_t k = options_.k;
@@ -155,14 +171,20 @@ bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
     case VectorOrder::kLess:
       return true;  // Line 17: the dependency is already encoded.
     case VectorOrder::kGreater:
+      *why = AbortReason::kLexOrder;
+      return false;  // Line 18: the opposite order is fixed.
     case VectorOrder::kIdentical:
-      return false;  // Line 18 (kIdentical defensively, as in MtkScheduler).
+      *why = AbortReason::kEncodingExhausted;  // Defensive, as MtkScheduler.
+      return false;
     case VectorOrder::kEqual:
       // Line 19: both elements undefined. j == T0 is unreachable here (T0
       // has element 0 defined and no live vector carries 0 there), but
       // refusing is cheaper than proving it in release builds, and TS(0)
       // must never be written: it is read lock-free by every shard.
-      if (j == kVirtualTxn) return false;
+      if (j == kVirtualTxn) {
+        *why = AbortReason::kEncodingExhausted;
+        return false;
+      }
       if (m + 1 == k) {
         const TsElement a = NextUpper(shx, kUndefinedElement);
         const TsElement b = NextUpper(shx, a);
@@ -179,25 +201,45 @@ bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
       if (!ti.IsDefined(m)) {
         ti.Set(m, m + 1 == k ? NextUpper(shx, tj.Get(m)) : tj.Get(m) + 1);
       } else {
-        if (j == kVirtualTxn) return false;  // Unreachable; see above.
+        if (j == kVirtualTxn) {  // Unreachable; see above.
+          *why = AbortReason::kEncodingExhausted;
+          return false;
+        }
         tj.Set(m, m + 1 == k ? NextLower(shx, ti.Get(m)) : ti.Get(m) - 1);
       }
       ++shx.stats.elements_assigned;
       return true;
   }
+  *why = AbortReason::kEncodingExhausted;
   return false;
 }
 
 OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
                                           ItemState& item, TxnState& si,
                                           const LiveRef& jr,
-                                          const LiveRef& jw) {
+                                          const LiveRef& jw,
+                                          AbortReason* why) {
   EngineStats& st = shx.stats;
   const TxnId i = op.txn;
+
+  auto refuse = [&](AbortReason reason) {
+    ++st.rejected;
+    st.reject_reasons.Add(reason);
+    if (m_rejected_[static_cast<size_t>(reason)] != nullptr) {
+      m_rejected_[static_cast<size_t>(reason)]->Add(1);
+    }
+    if (why != nullptr) *why = reason;
+    return OpDecision::kReject;
+  };
+  auto accept = [&]() {
+    ++st.accepted;
+    if (m_accepted_ != nullptr) m_accepted_->Add(1);
+    return OpDecision::kAccept;
+  };
+
   const uint64_t wi = si.life;  // Owner shard held: no concurrent writer.
   if (LifeAborted(wi) || LifeCommitted(wi)) {
-    ++st.rejected;
-    return OpDecision::kReject;
+    return refuse(AbortReason::kStaleTxn);
   }
   const uint32_t inc_i = LifeIncarnation(wi);
 
@@ -208,6 +250,9 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
           ? jw
           : jr;
 
+  // Cause recorded by the SetStates call that refused the dependency.
+  AbortReason cause = AbortReason::kNone;
+
   auto reject = [&]() {
     StoreLife(si, wi | 1);
     if (options_.starvation_fix) {
@@ -217,37 +262,33 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
       si.ts.Reset();
       si.ts.Set(0, tb.Get(0) + 1);
     }
-    ++st.rejected;
-    return OpDecision::kReject;
+    return refuse(cause);
   };
 
   if (op.type == OpType::kRead) {
-    if (SetStates(shx, *j.state, si, j.txn, i)) {
+    if (SetStates(shx, *j.state, si, j.txn, i, &cause)) {
       item.readers.push_back({i, inc_i});  // Line 7: RT(x) := i.
       item.top_reader = item.readers.back();
-      ++st.accepted;
-      return OpDecision::kAccept;
+      return accept();
     }
     // Lines 9-10: an old read is still safe after the most recent writer.
     if (j.txn == jr.txn && !options_.disable_old_read_path) {
       const bool write_ordered =
           options_.relaxed_read_path
-              ? SetStates(shx, *jw.state, si, jw.txn, i)
+              ? SetStates(shx, *jw.state, si, jw.txn, i, &cause)
               : CompareStates(shx, *jw.state, si).order == VectorOrder::kLess;
       if (write_ordered) {
-        ++st.accepted;
-        return OpDecision::kAccept;  // RT(x) is not updated.
+        return accept();  // RT(x) is not updated.
       }
     }
     return reject();  // Line 11.
   }
 
   // Write.
-  if (SetStates(shx, *j.state, si, j.txn, i)) {
+  if (SetStates(shx, *j.state, si, j.txn, i, &cause)) {
     item.writers.push_back({i, inc_i});  // Line 12: WT(x) := i.
     item.top_writer = item.writers.back();
-    ++st.accepted;
-    return OpDecision::kAccept;
+    return accept();
   }
   if (options_.thomas_write_rule) {
     // Section III-D-6c: TS(RT(x)) < TS(i) < TS(WT(x)) makes the write
@@ -258,19 +299,35 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
         CompareStates(shx, si, *jw.state).order == VectorOrder::kLess;
     if (after_reads && before_writer) {
       ++st.ignored_writes;
+      if (m_ignored_ != nullptr) m_ignored_->Add(1);
       return OpDecision::kIgnore;
     }
   }
   return reject();  // Line 14.
 }
 
-OpDecision ShardedMtkEngine::Process(const Op& op) {
+void ShardedMtkEngine::LockShard(Shard& sh) {
+  if (sh.mu.try_lock()) return;
+  sh.mu.lock();
+  // We now hold sh.mu, so the per-shard counter needs no further sync.
+  ++sh.stats.lock_contention;
+  if (m_contention_ != nullptr) m_contention_->Add(1);
+  MDTS_TRACE_INSTANT_ARG("engine.shard_lock_contention", "shard", sh.index);
+}
+
+OpDecision ShardedMtkEngine::Process(const Op& op, AbortReason* reason) {
+  MDTS_TRACE_SPAN(op.type == OpType::kRead ? "engine.read" : "engine.write");
   const TxnId i = op.txn;
   Shard& shx = ShardForItem(op.item);
   if (i == kVirtualTxn) {
+    // T0 is virtual; it issues no operations.
     std::lock_guard<std::mutex> g(shx.mu);
     ++shx.stats.rejected;
-    return OpDecision::kReject;  // T0 is virtual; it issues no operations.
+    shx.stats.reject_reasons.Add(AbortReason::kInvalidOp);
+    constexpr size_t r = static_cast<size_t>(AbortReason::kInvalidOp);
+    if (m_rejected_[r] != nullptr) m_rejected_[r]->Add(1);
+    if (reason != nullptr) *reason = AbortReason::kInvalidOp;
+    return OpDecision::kReject;
   }
   Shard& shi = ShardForTxn(i);
 
@@ -298,9 +355,9 @@ OpDecision ShardedMtkEngine::Process(const Op& op) {
   bool lock_all = false;
   for (size_t attempt = 0;; ++attempt) {
     if (lock_all) {
-      for (Shard& sh : shards_) sh.mu.lock();
+      for (Shard& sh : shards_) LockShard(sh);
     } else {
-      for (size_t q = 0; q < nwant; ++q) shards_[want[q]].mu.lock();
+      for (size_t q = 0; q < nwant; ++q) LockShard(shards_[want[q]]);
     }
 
     TxnState& si = StateLocked(shi, i);
@@ -330,12 +387,16 @@ OpDecision ShardedMtkEngine::Process(const Op& op) {
       EngineStats& st = shx.stats;
       st.lock_retries += retries;
       st.full_lock_fallbacks += fallbacks;
+      if (retries != 0 && m_retries_ != nullptr) m_retries_->Add(retries);
+      if (fallbacks != 0 && m_fallbacks_ != nullptr) {
+        m_fallbacks_->Add(fallbacks);
+      }
       if (lock_all || nwant > 1) {
         ++st.cross_shard_ops;
       } else {
         ++st.single_shard_ops;
       }
-      const OpDecision d = DecideLocked(op, shx, item, si, jr, jw);
+      const OpDecision d = DecideLocked(op, shx, item, si, jr, jw, reason);
       if (lock_all) {
         for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
           it->mu.unlock();
@@ -432,7 +493,8 @@ TimestampVector ShardedMtkEngine::TsSnapshot(TxnId txn) const {
 }
 
 size_t ShardedMtkEngine::CompactAll() {
-  for (Shard& sh : shards_) sh.mu.lock();
+  MDTS_TRACE_SPAN("engine.compact");
+  for (Shard& sh : shards_) LockShard(sh);
   const size_t released = CompactAllLocked();
   for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
     it->mu.unlock();
@@ -503,6 +565,7 @@ size_t ShardedMtkEngine::CompactAllLocked() {
     }
   }
   ++shards_[0].stats.compactions;
+  if (m_compactions_ != nullptr) m_compactions_->Add(1);
   return total;
 }
 
@@ -522,7 +585,9 @@ EngineStats ShardedMtkEngine::stats() const {
     out.cross_shard_ops += s.cross_shard_ops;
     out.lock_retries += s.lock_retries;
     out.full_lock_fallbacks += s.full_lock_fallbacks;
+    out.lock_contention += s.lock_contention;
     out.compactions += s.compactions;
+    out.reject_reasons += s.reject_reasons;
   }
   return out;
 }

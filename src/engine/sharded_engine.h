@@ -10,6 +10,8 @@
 #include "core/mtk_scheduler.h"
 #include "core/timestamp_vector.h"
 #include "core/types.h"
+#include "obs/abort_reason.h"
+#include "obs/metrics.h"
 
 namespace mdts {
 
@@ -45,6 +47,13 @@ struct EngineOptions {
   /// Optimistic cross-shard lock acquisitions retried this many times
   /// before falling back to locking every shard.
   size_t max_lock_retries = 16;
+
+  /// Registry the engine mirrors its hot counters into ("engine.accepted",
+  /// "engine.rejected.<reason>", "engine.lock_contention", ...). Null
+  /// disables mirroring entirely; the per-shard EngineStats keep counting
+  /// either way. The registry must outlive the engine. bench/mt_throughput
+  /// measures the attached-vs-null delta as obs_overhead_pct.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Work counters, aggregated over shards by ShardedMtkEngine::stats().
@@ -64,8 +73,13 @@ struct EngineStats {
   uint64_t lock_retries = 0;
   /// Retries that exhausted max_lock_retries and locked every shard.
   uint64_t full_lock_fallbacks = 0;
+  /// Shard-mutex acquisitions that found the mutex already held (try_lock
+  /// failed) and had to block.
+  uint64_t lock_contention = 0;
   /// CompactAll() invocations.
   uint64_t compactions = 0;
+  /// Per-reason breakdown of `rejected`; reject_reasons.total() == rejected.
+  AbortReasonCounts reject_reasons;
 };
 
 /// Thread-safe sharded MT(k) engine (Algorithm 1 run concurrently).
@@ -109,7 +123,8 @@ class ShardedMtkEngine {
   ShardedMtkEngine& operator=(const ShardedMtkEngine&) = delete;
 
   /// Algorithm 1's Scheduler procedure for one operation; thread-safe.
-  OpDecision Process(const Op& op);
+  /// On kReject, `*reason` (when non-null) receives the classified cause.
+  OpDecision Process(const Op& op, AbortReason* reason = nullptr);
 
   /// Marks the transaction committed; triggers CompactAll() every
   /// compact_every commits engine-wide.
@@ -243,12 +258,20 @@ class ShardedMtkEngine {
                                     const TxnState& b);
 
   /// Algorithm 1's Set(j, i) under the covering locks, using shard shx's
-  /// counters for last-column assignments.
-  bool SetStates(Shard& shx, TxnState& sj, TxnState& si, TxnId j, TxnId i);
+  /// counters for last-column assignments. On false, `why` receives the
+  /// classified cause (kLexOrder or kEncodingExhausted).
+  bool SetStates(Shard& shx, TxnState& sj, TxnState& si, TxnId j, TxnId i,
+                 AbortReason* why);
 
-  /// The decision body; every referenced shard's mutex is held.
+  /// The decision body; every referenced shard's mutex is held. On kReject,
+  /// `*why` (when non-null) receives the classified cause.
   OpDecision DecideLocked(const Op& op, Shard& shx, ItemState& item,
-                          TxnState& si, const LiveRef& jr, const LiveRef& jw);
+                          TxnState& si, const LiveRef& jr, const LiveRef& jw,
+                          AbortReason* why);
+
+  /// Acquires sh.mu, counting the acquisition as contended (per-shard
+  /// stats, registry mirror, trace instant) when try_lock fails first.
+  void LockShard(Shard& sh);
 
   size_t CompactAllLocked();
 
@@ -259,6 +282,17 @@ class ShardedMtkEngine {
   /// Engine-wide commit counter driving the compact_every trigger. Relaxed:
   /// an occasional early or late CompactAll is harmless.
   std::atomic<uint64_t> commits_since_compact_{0};
+
+  /// Registry mirrors, resolved once at construction; all null when
+  /// options.metrics == nullptr, so the hot path pays one predictable
+  /// branch per event in the detached configuration.
+  Counter* m_accepted_ = nullptr;
+  Counter* m_ignored_ = nullptr;
+  Counter* m_rejected_[kNumAbortReasons] = {};
+  Counter* m_contention_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_fallbacks_ = nullptr;
+  Counter* m_compactions_ = nullptr;
 };
 
 }  // namespace mdts

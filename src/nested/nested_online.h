@@ -30,17 +30,21 @@ class NestedOnline : public Scheduler {
   }
 
   SchedOutcome OnOperation(const Op& op) override {
-    if (op.txn == kVirtualTxn) return SchedOutcome::kAborted;
+    if (op.txn == kVirtualTxn) return RecordAbort(AbortReason::kInvalidOp);
     OnBegin(op.txn);  // Idempotent; covers direct use without OnBegin.
+    const bool was_aborted = inner_.IsAborted(op.txn);
     switch (inner_.Process(op)) {
       case OpDecision::kAccept:
         return SchedOutcome::kAccepted;
       case OpDecision::kIgnore:
         return SchedOutcome::kIgnored;
       case OpDecision::kReject:
-        return SchedOutcome::kAborted;
+        // Genuine rejections mean HierSet found the opposite inter-group
+        // (or intra-group) order already fixed: an order conflict.
+        return RecordAbort(was_aborted ? AbortReason::kStaleTxn
+                                       : AbortReason::kLexOrder);
     }
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kInvalidOp);
   }
 
   SchedOutcome OnCommit(TxnId txn) override {

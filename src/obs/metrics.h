@@ -1,0 +1,193 @@
+#ifndef MDTS_OBS_METRICS_H_
+#define MDTS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdts {
+
+namespace obs_internal {
+/// Dense per-thread index (0, 1, 2, ...) assigned on first use, process
+/// wide. Counters and histograms stripe their slots by it so concurrent
+/// writers from distinct threads touch distinct cache lines.
+size_t ThreadSlot();
+}  // namespace obs_internal
+
+/// Monotonically increasing event counter, safe for concurrent writers.
+///
+/// Layout: kSlots cache-line-padded slots. Each of the first kSlots - 1
+/// threads (by obs_internal::ThreadSlot()) owns one slot exclusively and
+/// bumps it with a plain relaxed load + store - no lock prefix, so the hot
+/// path costs about one L1 store. Threads beyond that share the last slot
+/// through fetch_add (correct, merely slower). Value() sums all slots; it
+/// is monotone per writer but, like any relaxed sharded counter, may
+/// observe a mid-flight mix across writers.
+class Counter {
+ public:
+  static constexpr size_t kSlots = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    const size_t t = obs_internal::ThreadSlot();
+    if (t < kSlots - 1) {
+      std::atomic<uint64_t>& s = slots_[t].v;
+      s.store(s.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+    } else {
+      slots_[kSlots - 1].v.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  Slot slots_[kSlots];
+};
+
+/// Read-only copy of a histogram's state at one instant.
+struct HistogramSnapshot {
+  /// buckets[b] counts recorded values v with bit_width(v) == b, i.e.
+  /// bucket 0 holds v == 0 and bucket b >= 1 holds 2^(b-1) <= v < 2^b:
+  /// log-scale, one bucket per power of two.
+  static constexpr size_t kBuckets = 65;
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // Meaningful only when count > 0.
+  uint64_t max = 0;
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0;
+  }
+  /// Approximate percentile: the upper bound of the bucket where the
+  /// cumulative count crosses p (exact to within the 2x bucket resolution).
+  uint64_t Percentile(double p) const;
+};
+
+/// Log-scale (power-of-two buckets) histogram for latencies and sizes,
+/// safe for concurrent writers; same exclusive-slot striping as Counter.
+class Histogram {
+ public:
+  static constexpr size_t kSlots = 8;
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    const size_t t = obs_internal::ThreadSlot();
+    const size_t b = BucketOf(value);
+    if (t < kSlots - 1) {
+      Slot& s = slots_[t];
+      RelaxedBump(s.buckets[b], 1);
+      RelaxedBump(s.sum, value);
+      const uint64_t mn = s.min.load(std::memory_order_relaxed);
+      if (value < mn) s.min.store(value, std::memory_order_relaxed);
+      const uint64_t mx = s.max.load(std::memory_order_relaxed);
+      if (value > mx) s.max.store(value, std::memory_order_relaxed);
+    } else {
+      Slot& s = slots_[kSlots - 1];
+      s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+      s.sum.fetch_add(value, std::memory_order_relaxed);
+      AtomicMin(s.min, value);
+      AtomicMax(s.max, value);
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+
+  static size_t BucketOf(uint64_t v) {
+    size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;  // bit_width(v).
+  }
+  static void RelaxedBump(std::atomic<uint64_t>& a, uint64_t n) {
+    a.store(a.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+  }
+  static void AtomicMin(std::atomic<uint64_t>& a, uint64_t v);
+  static void AtomicMax(std::atomic<uint64_t>& a, uint64_t v);
+
+  Slot slots_[kSlots];
+};
+
+/// Deterministic (name-sorted) copy of a registry's state.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// "name value" lines, histograms as "name count=... p50=... p99=...".
+  std::string ToText() const;
+  /// {"counters": {...}, "histograms": {"name": {"count":..., ...}}}.
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`; false (with a message on stderr) on error.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Counter value by exact name, 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Sum of counters whose name starts with `prefix`.
+  uint64_t CounterSum(const std::string& prefix) const;
+};
+
+/// Named counter/histogram registry. Get* registers on first use and
+/// returns a pointer that stays valid for the registry's lifetime (deque
+/// storage), so hot paths resolve each metric once and then touch only the
+/// lock-free instruments. Snapshot order is sorted by name, making
+/// snapshots of equal states byte-identical.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Histogram*> histograms_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Histogram> histogram_storage_;
+};
+
+/// The process-wide registry every component publishes into by default.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace mdts
+
+#endif  // MDTS_OBS_METRICS_H_

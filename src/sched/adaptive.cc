@@ -63,7 +63,7 @@ SchedOutcome AdaptiveMtScheduler::OnOperation(const Op& op) {
   MaybeSwitch();
   if (IsStale(op.txn)) {
     // Begun under a previous table: must roll back and restart.
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kStaleTxn);
   }
   switch (inner_->Process(op)) {
     case OpDecision::kAccept:
@@ -74,13 +74,13 @@ SchedOutcome AdaptiveMtScheduler::OnOperation(const Op& op) {
       return SchedOutcome::kIgnored;
     case OpDecision::kReject:
       NoteDecision(true);
-      return SchedOutcome::kAborted;
+      return RecordAbort(inner_->last_reject().reason);
   }
-  return SchedOutcome::kAborted;
+  return RecordAbort(AbortReason::kInvalidOp);
 }
 
 SchedOutcome AdaptiveMtScheduler::OnCommit(TxnId txn) {
-  if (IsStale(txn)) return SchedOutcome::kAborted;
+  if (IsStale(txn)) return RecordAbort(AbortReason::kStaleTxn);
   if (!inner_->IsCommitted(txn) && !inner_->IsAborted(txn)) {
     inner_->CommitTxn(txn);
   }

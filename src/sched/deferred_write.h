@@ -41,9 +41,9 @@ class MtkDeferredWrite : public Scheduler {
         return SchedOutcome::kIgnored;
       case OpDecision::kReject:
         pending_writes_.erase(op.txn);
-        return SchedOutcome::kAborted;
+        return RecordAbort(inner_.last_reject().reason);
     }
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kInvalidOp);
   }
 
   SchedOutcome OnCommit(TxnId txn) override {
@@ -52,7 +52,7 @@ class MtkDeferredWrite : public Scheduler {
       for (const Op& write : it->second) {
         if (inner_.Process(write) == OpDecision::kReject) {
           pending_writes_.erase(it);
-          return SchedOutcome::kAborted;
+          return RecordAbort(inner_.last_reject().reason);
         }
       }
       pending_writes_.erase(it);

@@ -58,6 +58,7 @@ bool IntervalScheduler::SetBefore(TxnId j, TxnId i) {
   if (Precedes(j, i)) return true;
   if (Precedes(i, j)) {
     ++order_aborts_;
+    last_set_failure_ = AbortReason::kLexOrder;
     return false;
   }
   TxnState& sj = State(j);
@@ -73,6 +74,7 @@ bool IntervalScheduler::SetBefore(TxnId j, TxnId i) {
     if (width < options_.min_split_width) {
       // Fragmentation: the overlap is too narrow to split again.
       ++fragmentation_aborts_;
+      last_set_failure_ = AbortReason::kEncodingExhausted;
       return false;
     }
     c = overlap_lo + options_.split_fraction * width;
@@ -85,9 +87,9 @@ bool IntervalScheduler::SetBefore(TxnId j, TxnId i) {
 
 SchedOutcome IntervalScheduler::OnOperation(const Op& op) {
   const TxnId i = op.txn;
-  if (i == kVirtualTxn) return SchedOutcome::kAborted;
+  if (i == kVirtualTxn) return RecordAbort(AbortReason::kInvalidOp);
   TxnState& state = State(i);
-  if (state.aborted) return SchedOutcome::kAborted;
+  if (state.aborted) return RecordAbort(AbortReason::kStaleTxn);
 
   ItemState& item = Item(op.item);
   const TxnId jr = TopLive(&item.readers);
@@ -95,8 +97,10 @@ SchedOutcome IntervalScheduler::OnOperation(const Op& op) {
   const TxnId j = Precedes(jr, jw) ? jw : jr;
 
   auto abort = [&]() {
+    // last_set_failure_ carries the cause from the SetBefore call that
+    // refused the dependency (order conflict vs. fragmentation).
     state.aborted = true;
-    return SchedOutcome::kAborted;
+    return RecordAbort(last_set_failure_);
   };
 
   if (op.type == OpType::kRead) {

@@ -89,6 +89,9 @@ class IntervalScheduler : public Scheduler {
   uint64_t shrinks_ = 0;
   uint64_t fragmentation_aborts_ = 0;
   uint64_t order_aborts_ = 0;
+  /// Cause of the most recent SetBefore() == false, consumed by the abort
+  /// path of OnOperation.
+  AbortReason last_set_failure_ = AbortReason::kNone;
 };
 
 }  // namespace mdts

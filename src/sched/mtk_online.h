@@ -32,9 +32,9 @@ class MtkOnline : public Scheduler {
       case OpDecision::kIgnore:
         return SchedOutcome::kIgnored;
       case OpDecision::kReject:
-        return SchedOutcome::kAborted;
+        return RecordAbort(inner_.last_reject().reason);
     }
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kInvalidOp);
   }
 
   SchedOutcome OnCommit(TxnId txn) override {
@@ -68,15 +68,16 @@ class MtkEngineOnline : public Scheduler {
   }
 
   SchedOutcome OnOperation(const Op& op) override {
-    switch (inner_.Process(op)) {
+    AbortReason reason = AbortReason::kNone;
+    switch (inner_.Process(op, &reason)) {
       case OpDecision::kAccept:
         return SchedOutcome::kAccepted;
       case OpDecision::kIgnore:
         return SchedOutcome::kIgnored;
       case OpDecision::kReject:
-        return SchedOutcome::kAborted;
+        return RecordAbort(reason);
     }
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kInvalidOp);
   }
 
   SchedOutcome OnCommit(TxnId txn) override {

@@ -33,7 +33,7 @@ SchedOutcome OccScheduler::OnCommit(TxnId txn) {
       if (it->write_set.count(item) > 0) {
         ++validations_failed_;
         s.active = false;
-        return SchedOutcome::kAborted;
+        return RecordAbort(AbortReason::kValidationFailure);
       }
     }
   }

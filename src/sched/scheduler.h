@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "obs/abort_reason.h"
 
 namespace mdts {
 
@@ -61,6 +62,29 @@ class Scheduler {
   /// Transactions whose blocking condition cleared since the last call.
   /// The environment re-submits their pending operation.
   virtual std::vector<TxnId> TakeUnblocked() { return {}; }
+
+  /// Classified cause of the most recent kAborted outcome (kNone before
+  /// any). Every protocol reports through the shared taxonomy so
+  /// cross-protocol abort breakdowns line up (see obs/abort_reason.h).
+  AbortReason last_abort_reason() const { return last_abort_reason_; }
+
+  /// Per-reason tally of every kAborted outcome this scheduler returned
+  /// (and of externally decided aborts it recorded, e.g. deadlock victims);
+  /// abort_reasons().total() equals the number of recorded aborts.
+  const AbortReasonCounts& abort_reasons() const { return abort_reasons_; }
+
+ protected:
+  /// Classifies and counts one abort; returns kAborted so reject paths can
+  /// `return RecordAbort(reason);`.
+  SchedOutcome RecordAbort(AbortReason reason) {
+    last_abort_reason_ = reason;
+    abort_reasons_.Add(reason);
+    return SchedOutcome::kAborted;
+  }
+
+ private:
+  AbortReason last_abort_reason_ = AbortReason::kNone;
+  AbortReasonCounts abort_reasons_;
 };
 
 }  // namespace mdts

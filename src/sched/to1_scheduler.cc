@@ -43,16 +43,20 @@ SchedOutcome To1Scheduler::OnOperation(const Op& op) {
   if (items_.size() <= op.item) items_.resize(op.item + 1);
   ItemTs& item = items_[op.item];
 
+  // Every TO(1) rejection is a scalar-order conflict: the single-value
+  // timestamp is too old, i.e. the opposite order is already fixed
+  // (kLexOrder, the k = 1 case of MT(k)'s Compare == kGreater).
   if (op.type == OpType::kRead) {
-    if (ts < item.max_write) return SchedOutcome::kAborted;
+    if (ts < item.max_write) return RecordAbort(AbortReason::kLexOrder);
     item.max_read = std::max(item.max_read, ts);
     return SchedOutcome::kAccepted;
   }
-  if (ts < item.max_read) return SchedOutcome::kAborted;
+  if (ts < item.max_read) return RecordAbort(AbortReason::kLexOrder);
   if (ts < item.max_write) {
     // Obsolete write: ignorable under the Thomas rule.
-    return options_.thomas_write_rule ? SchedOutcome::kIgnored
-                                      : SchedOutcome::kAborted;
+    return options_.thomas_write_rule
+               ? SchedOutcome::kIgnored
+               : RecordAbort(AbortReason::kLexOrder);
   }
   item.max_write = ts;
   return SchedOutcome::kAccepted;

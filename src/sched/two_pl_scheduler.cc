@@ -94,7 +94,7 @@ SchedOutcome TwoPlScheduler::OnOperation(const Op& op) {
     if (WouldDeadlock(op.txn, op.item, Mode::kExclusive)) {
       ++deadlocks_;
       ReleaseAll(op.txn);
-      return SchedOutcome::kAborted;
+      return RecordAbort(AbortReason::kDeadlockAvoidance);
     }
     // Upgrades go to the front of the queue.
     lock.queue.insert(lock.queue.begin(), request);
@@ -112,7 +112,7 @@ SchedOutcome TwoPlScheduler::OnOperation(const Op& op) {
   if (WouldDeadlock(op.txn, op.item, mode)) {
     ++deadlocks_;
     ReleaseAll(op.txn);
-    return SchedOutcome::kAborted;
+    return RecordAbort(AbortReason::kDeadlockAvoidance);
   }
   lock.queue.push_back(request);
   waiting_on_[op.txn] = op.item;

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Diff two metrics snapshots written by MetricsSnapshot::WriteJsonFile.
+
+Usage:
+    tools/metrics_diff.py BEFORE.json AFTER.json [--all]
+
+Prints one line per counter whose value changed (name, before, after,
+delta) and one per histogram whose count changed (count/sum deltas and the
+after-side p50/p99). With --all, unchanged entries are listed too. Exits 0
+when the snapshots are identical, 1 when anything differs, 2 on bad input.
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"metrics_diff: cannot read {path}: {e}")
+    if not isinstance(snap, dict):
+        sys.exit(f"metrics_diff: {path}: not a metrics snapshot object")
+    return snap.get("counters", {}), snap.get("histograms", {})
+
+
+def fmt_delta(delta):
+    return f"{delta:+d}" if delta else "="
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two MetricsSnapshot JSON files.")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--all", action="store_true",
+                        help="also list unchanged metrics")
+    args = parser.parse_args()
+
+    counters_a, hists_a = load(args.before)
+    counters_b, hists_b = load(args.after)
+
+    changed = 0
+    rows = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        before = int(counters_a.get(name, 0))
+        after = int(counters_b.get(name, 0))
+        if before != after:
+            changed += 1
+        if before != after or args.all:
+            rows.append((name, str(before), str(after),
+                         fmt_delta(after - before)))
+    if rows:
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        for name, before, after, delta in rows:
+            print(f"{name:<{widths[0]}}  {before:>{widths[1]}} -> "
+                  f"{after:>{widths[2]}}  {delta:>{widths[3]}}")
+
+    for name in sorted(set(hists_a) | set(hists_b)):
+        ha = hists_a.get(name, {})
+        hb = hists_b.get(name, {})
+        dcount = int(hb.get("count", 0)) - int(ha.get("count", 0))
+        dsum = int(hb.get("sum", 0)) - int(ha.get("sum", 0))
+        if dcount == 0 and dsum == 0 and not args.all:
+            continue
+        if dcount != 0 or dsum != 0:
+            changed += 1
+        print(f"{name}  count{fmt_delta(dcount)} sum{fmt_delta(dsum)} "
+              f"(after: p50={hb.get('p50', '?')} p99={hb.get('p99', '?')})")
+
+    if changed == 0:
+        print("snapshots identical"
+              + ("" if args.all else " (use --all to list entries)"))
+    return 1 if changed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
