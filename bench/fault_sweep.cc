@@ -10,14 +10,20 @@
 //
 // Exits non-zero if any cell wedges, commits nothing, or fails the audit.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "classify/classes.h"
 #include "common/table_printer.h"
 #include "dist/dmt_system.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace mdts {
@@ -50,7 +56,44 @@ std::string Audit(const DmtResult& r, uint32_t expected_txns) {
   return "ok";
 }
 
-int Run(const char* trace_path, const char* metrics_path) {
+int Run(const char* trace_path, const char* metrics_path, int serve_port,
+        double sample_interval, double hold_seconds) {
+  // Optional live telemetry. The sampler is NOT started as a thread: every
+  // simulation cell ticks it on SIMULATED time (DmtOptions::sampler), so
+  // the exported series and any starvation alerts are deterministic for a
+  // given seed - the crash cells reliably trip the watchdog as the victim
+  // site's transactions rack up consecutive down-site aborts. The HTTP
+  // exporter still serves live while the sweep runs.
+  std::unique_ptr<Sampler> sampler;
+  std::unique_ptr<HttpExporter> exporter;
+  if (serve_port >= 0) {
+    SamplerOptions so;
+    so.registry = &GlobalMetrics();
+    so.interval_ms = static_cast<uint64_t>(sample_interval * 1000.0);
+    so.capacity = 4096;  // Room for every cell's windows in one sweep.
+    sampler = std::make_unique<Sampler>(so);
+    StarvationWatchdogOptions wo;
+    wo.source_gauge = "dmt.max_consecutive_aborts";
+    sampler->AddStarvationWatchdog(wo);
+    HttpExporterOptions ho;
+    ho.registry = &GlobalMetrics();
+    ho.sampler = sampler.get();
+    ho.port = static_cast<uint16_t>(serve_port);
+    exporter = std::make_unique<HttpExporter>(ho);
+    if (!exporter->Start()) {
+      std::fprintf(stderr, "failed to start exporter on port %d\n",
+                   serve_port);
+      return 2;
+    }
+    std::printf(
+        "live telemetry: http://127.0.0.1:%u/metrics (also /metrics.json, "
+        "/series.json, /healthz)\n"
+        "  sampler ticks on simulated time, every %.1f time units\n"
+        "  watch with: tools/mdtop.py --port %u\n\n",
+        exporter->port(), sample_interval, exporter->port());
+    std::fflush(stdout);  // The URL must be visible even when piped.
+  }
+
   if (trace_path != nullptr) {
     if (MDTS_TRACE_COMPILED) {
       // The whole sweep runs on one thread, so a single generous ring
@@ -81,6 +124,10 @@ int Run(const char* trace_path, const char* metrics_path) {
     for (int crash : {0, 1}) {
       for (size_t k : {2u, 3u}) {
         DmtOptions options = Base(11);
+        if (sampler != nullptr) {
+          options.sampler = sampler.get();
+          options.sample_interval = sample_interval;
+        }
         options.k = k;
         options.fault.drop_rate = loss;
         if (loss > 0) options.fault.jitter = 0.2;
@@ -133,6 +180,10 @@ int Run(const char* trace_path, const char* metrics_path) {
                             Scenario{"flapping sites", flapping},
                             Scenario{"permanent site loss", dead_site}}) {
     DmtOptions options = Base(23);
+    if (sampler != nullptr) {
+      options.sampler = sampler.get();
+      options.sample_interval = sample_interval;
+    }
     options.max_attempts = 30;
     options.counter_sync_interval = 25.0;  // Exercises recovery resync.
     options.fault = s.plan;
@@ -169,6 +220,34 @@ int Run(const char* trace_path, const char* metrics_path) {
     }
   }
 
+  if (sampler != nullptr) {
+    const std::vector<WatchdogAlert> alerts = sampler->alerts();
+    std::printf(
+        "--- live telemetry: %llu windows sampled, %zu starvation alerts "
+        "---\n",
+        static_cast<unsigned long long>(sampler->samples_taken()),
+        alerts.size());
+    const size_t kMaxShown = 8;  // Faulty cells alert a lot; show a sample.
+    for (size_t i = 0; i < alerts.size() && i < kMaxShown; ++i) {
+      std::printf("  %s\n", alerts[i].ToJson().c_str());
+    }
+    if (alerts.size() > kMaxShown) {
+      std::printf("  ... %zu more (full list on /series.json)\n",
+                  alerts.size() - kMaxShown);
+    }
+    std::printf("\n");
+    if (hold_seconds > 0) {
+      // The whole sweep finishes in well under a second of wall time (it
+      // runs on simulated time), so give scrapers a window to look at the
+      // final series.
+      std::printf("holding the exporter open for %.0f s...\n", hold_seconds);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int64_t>(hold_seconds * 1000.0)));
+    }
+    exporter->Stop();
+  }
+
   std::printf("[%s] every cell terminated, committed work, and passed the\n"
               "     DSR audit - Theorem 2 survives the fault model\n",
               failures == 0 ? "ok" : "REPRODUCTION FAILURE");
@@ -178,13 +257,23 @@ int Run(const char* trace_path, const char* metrics_path) {
 }  // namespace
 }  // namespace mdts
 
-// Usage: fault_sweep [--trace[=PATH]] [--metrics=PATH]
+// Usage: fault_sweep [--trace[=PATH]] [--metrics=PATH] [--serve[=PORT]]
+//                    [--sample-ms=N]
 // --trace default PATH: fault_sweep_trace.json (Chrome trace_event JSON).
 // --metrics writes the cumulative MetricsSnapshot as JSON, the input
 // format of tools/metrics_diff.py.
+// --serve starts the live telemetry exporter (default port 9464, 0 =
+// ephemeral) with a sampler ticked on SIMULATED time inside each cell;
+// --sample-ms sets that interval in simulated milliseconds (1 simulated
+// time unit = 1 s; default 5000, i.e. every 5 time units). The sweep
+// itself finishes in a fraction of a wall-clock second, so --hold=SECS
+// keeps the exporter up that long afterwards for scrapers / mdtop.
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* metrics_path = nullptr;
+  int serve_port = -1;            // < 0 means no exporter.
+  double sample_interval = 5.0;   // Simulated time units between samples.
+  double hold_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = "fault_sweep_trace.json";
@@ -192,10 +281,20 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_port = 9464;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_port = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--sample-ms=", 12) == 0) {
+      sample_interval = std::strtod(argv[i] + 12, nullptr) / 1000.0;
+      if (sample_interval <= 0) sample_interval = 5.0;
+    } else if (std::strncmp(argv[i], "--hold=", 7) == 0) {
+      hold_seconds = std::strtod(argv[i] + 7, nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  return mdts::Run(trace_path, metrics_path);
+  return mdts::Run(trace_path, metrics_path, serve_port, sample_interval,
+                   hold_seconds);
 }

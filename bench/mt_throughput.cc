@@ -8,13 +8,23 @@
 // watermark can always advance.
 //
 // Results go to stdout (tables) and are upserted into a JSON results file
-// (argv[1], default BENCH_core.json) keyed by benchmark name. Scaling
-// numbers are only meaningful when the machine has at least as many
+// (first positional arg, default BENCH_core.json) keyed by benchmark name.
+// Scaling numbers are only meaningful when the machine has at least as many
 // hardware threads as the sweep uses; the record carries the detected
 // count so readers can judge.
+//
+// Live telemetry: `--serve[=PORT]` (default port 9464, 0 = ephemeral)
+// starts a background Sampler over the process-wide registry plus an HTTP
+// exporter serving /metrics, /metrics.json, /series.json and /healthz
+// while the benchmark runs; the part-2 engines then publish into the
+// global registry so the series show real windowed rates. `--sample-ms=N`
+// sets the sampling interval (default 100).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +35,9 @@
 #include "core/mtk_scheduler.h"
 #include "core/types.h"
 #include "engine/sharded_engine.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "prepr/mtk_scheduler.h"
 
@@ -217,10 +229,45 @@ constexpr double kReadFraction = 0.6;
 constexpr uint32_t kLowContentionItems = 65536;
 constexpr uint32_t kHighContentionItems = 64;
 
-int Run(const char* out_path) {
+int Run(const char* out_path, int serve_port, uint64_t sample_ms) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("=== MT(k) closed-loop throughput (hardware threads: %u) ===\n\n",
               hw);
+
+  // Optional live telemetry: wall-clock sampler + HTTP exporter over the
+  // process-wide registry, running for the whole benchmark. The watchdog
+  // watches the engine's consecutive-abort gauge; closed-loop retries under
+  // high contention can legitimately trip it, which makes the benchmark a
+  // convenient live demo.
+  std::unique_ptr<Sampler> live_sampler;
+  std::unique_ptr<HttpExporter> live_exporter;
+  if (serve_port >= 0) {
+    SamplerOptions so;
+    so.registry = &GlobalMetrics();
+    so.interval_ms = sample_ms;
+    live_sampler = std::make_unique<Sampler>(so);
+    StarvationWatchdogOptions wo;
+    wo.source_gauge = "engine.max_consecutive_aborts";
+    live_sampler->AddStarvationWatchdog(wo);
+    live_sampler->Start();
+    HttpExporterOptions ho;
+    ho.registry = &GlobalMetrics();
+    ho.sampler = live_sampler.get();
+    ho.port = static_cast<uint16_t>(serve_port);
+    live_exporter = std::make_unique<HttpExporter>(ho);
+    if (!live_exporter->Start()) {
+      std::fprintf(stderr, "failed to start exporter on port %d\n",
+                   serve_port);
+      return 1;
+    }
+    std::printf(
+        "live telemetry: http://127.0.0.1:%u/metrics (also /metrics.json, "
+        "/series.json, /healthz; sample interval %llu ms)\n"
+        "  watch with: tools/mdtop.py --port %u\n\n",
+        live_exporter->port(),
+        static_cast<unsigned long long>(sample_ms), live_exporter->port());
+    std::fflush(stdout);  // The URL must be visible even when piped.
+  }
 
   // -------------------------------------------------------------------
   // Part 1: single-thread speedup against the frozen pre-refactor
@@ -316,6 +363,10 @@ int Run(const char* out_path) {
         eo.k = k;
         eo.num_shards = 32;  // Over-provisioned so locksets rarely collide.
         eo.starvation_fix = true;
+        // When serving live telemetry, publish into the global registry so
+        // the exporter has something to show. Mirroring costs ~1% (part 3),
+        // which is uniform across the sweep.
+        if (live_sampler != nullptr) eo.metrics = &GlobalMetrics();
         // The stop-the-world sweep is O(items): scale the period with the
         // item count so compaction stays amortized, with a floor so hot
         // small-table runs still reclaim aggressively.
@@ -436,6 +487,66 @@ int Run(const char* out_path) {
        {"trace_compiled", MDTS_TRACE_COMPILED ? "true" : "false"},
        {"abort_reasons", obs_stats.reject_reasons.ToJson()}});
 
+  // -------------------------------------------------------------------
+  // Part 3b: live telemetry overhead. Both arms run the metrics-attached
+  // engine from part 3; the live arm additionally has a Sampler ticking
+  // every 100 ms and an HTTP exporter listening (idle - no scraper) on the
+  // same registry. Interleaved A/B pairs, medians compared, as above. The
+  // acceptance bar is < 2%.
+  // -------------------------------------------------------------------
+  std::printf(
+      "\n--- live telemetry overhead: sampler @100ms + idle exporter ---\n");
+  constexpr uint64_t kLiveSampleMs = 100;
+  std::vector<double> plain_mops, live_mops;
+  for (int p = 0; p < kObsPairs; ++p) {
+    {
+      MetricsRegistry plain_reg;
+      obs_eo.metrics = &plain_reg;
+      plain_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
+    }
+    {
+      MetricsRegistry live_reg;
+      obs_eo.metrics = &live_reg;
+      SamplerOptions so;
+      so.registry = &live_reg;
+      so.interval_ms = kLiveSampleMs;
+      Sampler sampler(so);
+      StarvationWatchdogOptions wo;
+      wo.source_gauge = "engine.max_consecutive_aborts";
+      sampler.AddStarvationWatchdog(wo);
+      sampler.Start();
+      HttpExporterOptions ho;
+      ho.registry = &live_reg;
+      ho.sampler = &sampler;
+      ho.port = 0;  // Ephemeral; idle listener, worst case for the bench.
+      HttpExporter exporter(ho);
+      const bool serving = exporter.Start();
+      live_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
+      if (serving) exporter.Stop();
+      sampler.Stop();
+    }
+  }
+  obs_eo.metrics = nullptr;
+  const double med_plain = Median(plain_mops);
+  const double med_live = Median(live_mops);
+  const double live_obs_overhead_pct =
+      med_plain > 0 ? (med_plain - med_live) / med_plain * 100.0 : 0;
+  std::printf(
+      "metrics attached: %.2f Mops; + sampler@%llums + exporter: %.2f Mops; "
+      "overhead %.2f%% (bar: < 2%%)\n",
+      med_plain, static_cast<unsigned long long>(kLiveSampleMs), med_live,
+      live_obs_overhead_pct);
+
+  UpsertBenchRecord(
+      out_path, "mt_throughput_live_obs_overhead",
+      {{"hardware_threads", JsonNum(hw)},
+       {"threads", JsonNum(static_cast<double>(obs_threads))},
+       {"ab_pairs", JsonNum(kObsPairs)},
+       {"sample_interval_ms", JsonNum(kLiveSampleMs)},
+       {"metrics_attached_mops", JsonNum(med_plain)},
+       {"live_telemetry_mops", JsonNum(med_live)},
+       {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)}});
+
   UpsertBenchRecord(
       out_path, "mt_throughput_acceptance",
       {{"hardware_threads", JsonNum(hw)},
@@ -443,6 +554,7 @@ int Run(const char* out_path) {
        {"engine_1shard_speedup_vs_prepr_k3", JsonNum(speedup_engine_low)},
        {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
        {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
+       {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)},
        {"note",
         JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
                         : "hardware threads < 4: scaling ratio reflects "
@@ -458,6 +570,14 @@ int Run(const char* out_path) {
                        "parallel speedup measurement]"
                      : "");
   std::printf("results upserted into %s\n", out_path);
+
+  if (live_exporter != nullptr) {
+    live_exporter->Stop();
+    live_sampler->Stop();
+    std::printf("live telemetry: %llu windows sampled, %zu watchdog alerts\n",
+                static_cast<unsigned long long>(live_sampler->samples_taken()),
+                live_sampler->alerts().size());
+  }
   return 0;
 }
 
@@ -465,5 +585,26 @@ int Run(const char* out_path) {
 }  // namespace mdts
 
 int main(int argc, char** argv) {
-  return mdts::Run(argc > 1 ? argv[1] : "BENCH_core.json");
+  const char* out_path = "BENCH_core.json";
+  int serve_port = -1;       // < 0 means no exporter.
+  uint64_t sample_ms = 100;  // Live sampler interval when serving.
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--serve") == 0) {
+      serve_port = 9464;
+    } else if (std::strncmp(arg, "--serve=", 8) == 0) {
+      serve_port = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--sample-ms=", 12) == 0) {
+      sample_ms = static_cast<uint64_t>(std::strtoull(arg + 12, nullptr, 10));
+      if (sample_ms == 0) sample_ms = 100;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [out.json] [--serve[=PORT]] [--sample-ms=N]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      out_path = arg;
+    }
+  }
+  return mdts::Run(out_path, serve_port, sample_ms);
 }

@@ -40,6 +40,7 @@ struct Event {
     kLeaseExpire,     // Home-site timer: the holder kept the lock too long.
     kSiteCrash,       // Scheduled whole-site failure (volatile state lost).
     kSiteRecover,     // Site rejoins; counters rebuilt via the sync path.
+    kSample,          // Periodic sampler tick on simulated time.
   } kind = Kind::kIssue;
   TxnId txn = 0;
   uint64_t ctx = 0;
@@ -153,6 +154,13 @@ class DmtSim {
                                             : &GlobalMetrics();
     h_response_ = registry_->GetHistogram("dmt.response_time_us");
     h_backoff_ = registry_->GetHistogram("dmt.restart_backoff_us");
+    c_committed_ = registry_->GetCounter("dmt.committed");
+    for (size_t r = 1; r < kNumAbortReasons; ++r) {
+      c_aborts_[r] = registry_->GetCounter(
+          std::string("dmt.aborts.") +
+          AbortReasonName(static_cast<AbortReason>(r)));
+    }
+    g_consec_aborts_ = registry_->GetGauge("dmt.max_consecutive_aborts");
   }
 
   DmtResult Run();
@@ -275,12 +283,17 @@ class DmtSim {
   TxnId next_to_start_ = 1;
   double total_response_ = 0.0;
 
-  // Registry (never null: DmtOptions::metrics or GlobalMetrics()) plus the
-  // two live-recorded histograms; counters are published once by
-  // PublishMetrics() at the end of Run().
+  // Registry (never null: DmtOptions::metrics or GlobalMetrics()). The
+  // headline instruments record live per event - commits, per-reason
+  // aborts, the consecutive-abort gauge, and the two histograms - so an
+  // attached sampler sees windowed rates; the remaining counters are
+  // published once by PublishMetrics() at the end of Run().
   MetricsRegistry* registry_ = nullptr;
   Histogram* h_response_ = nullptr;
   Histogram* h_backoff_ = nullptr;
+  Counter* c_committed_ = nullptr;
+  Counter* c_aborts_[kNumAbortReasons] = {};
+  Gauge* g_consec_aborts_ = nullptr;
 };
 
 void DmtSim::Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
@@ -650,7 +663,9 @@ void DmtSim::PublishMetrics() {
   auto add = [&](const char* name, uint64_t v) {
     registry_->GetCounter(name)->Add(v);
   };
-  add("dmt.committed", result_.committed);
+  // "dmt.committed" and "dmt.aborts.<reason>" are NOT published here: they
+  // record live (per commit / per abort), which keeps the end-of-run
+  // registry deltas identical while letting a sampler derive rates.
   add("dmt.gave_up", result_.gave_up);
   add("dmt.messages_sent", result_.messages_sent);
   add("dmt.messages_dropped", result_.messages_dropped);
@@ -662,11 +677,6 @@ void DmtSim::PublishMetrics() {
   add("dmt.down_site_aborts", result_.down_site_aborts);
   add("dmt.ops_scheduled", result_.ops_scheduled);
   add("dmt.vectors_released", result_.vectors_released);
-  for (size_t r = 1; r < kNumAbortReasons; ++r) {
-    const AbortReason reason = static_cast<AbortReason>(r);
-    add((std::string("dmt.aborts.") + AbortReasonName(reason)).c_str(),
-        result_.abort_reasons[reason]);
-  }
 }
 
 void DmtSim::MaybeCompactVectors() {
@@ -720,12 +730,16 @@ void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   rt.aborted = true;
   ++result_.aborts;
   result_.abort_reasons.Add(reason);
+  c_aborts_[static_cast<size_t>(reason)]->Add(1);
   MDTS_TRACE_AT_ARG(AbortReasonName(reason), 'i', 2, VectorSite(txn),
                     SimUs(), "txn", txn);
   ++rt.attempts;
   ++rt.consecutive_aborts;
   result_.max_consecutive_aborts = std::max<uint64_t>(
       result_.max_consecutive_aborts, rt.consecutive_aborts);
+  // Live starvation signal: the windowed per-transaction peak a sampler's
+  // watchdog consumes (and resets) every sampling window.
+  g_consec_aborts_->SetMax(rt.consecutive_aborts);
   if (rt.attempts >= options_.max_attempts) {
     ++result_.gave_up;
     rt.done = true;
@@ -765,6 +779,9 @@ DmtResult DmtSim::Run() {
   if (options_.counter_sync_interval > 0) {
     Push(options_.counter_sync_interval, Event::Kind::kCounterSync, 0, 0, 0);
   }
+  if (options_.sampler != nullptr && options_.sample_interval > 0) {
+    Push(options_.sample_interval, Event::Kind::kSample, 0, 0, 0);
+  }
   for (const SiteCrash& crash : options_.fault.crashes) {
     if (crash.site >= options_.num_sites) continue;
     Push(crash.crash_time, Event::Kind::kSiteCrash, 0, 0, 0, crash.site);
@@ -791,6 +808,16 @@ DmtResult DmtSim::Run() {
         }
         break;
       }
+      case Event::Kind::kSample: {
+        // Deterministic windowed telemetry: ticks ride the simulated
+        // clock, so equal seeds produce equal series and watchdog alerts.
+        options_.sampler->TickOnce(now_);
+        if (result_.committed + result_.gave_up < options_.num_txns) {
+          Push(now_ + options_.sample_interval, Event::Kind::kSample, 0, 0,
+               0);
+        }
+        break;
+      }
       case Event::Kind::kSiteCrash:
         OnSiteCrash(static_cast<uint32_t>(ev.gen));
         break;
@@ -812,6 +839,7 @@ DmtResult DmtSim::Run() {
         if (rt.done || rt.aborted) break;
         if (rt.next_op >= rt.program.size()) {
           ++result_.committed;
+          c_committed_->Add(1);
           rt.done = true;
           rt.committed = true;
           rt.committed_incarnation = rt.incarnation;
@@ -890,6 +918,11 @@ DmtResult DmtSim::Run() {
   }
   result_.final_live_vectors = table_.live_vectors();
   PublishMetrics();
+  if (options_.sampler != nullptr && options_.sample_interval > 0) {
+    // Close the series: the final window also captures the end-of-run
+    // counter publication above.
+    options_.sampler->TickOnce(now_ + options_.sample_interval);
+  }
   return result_;
 }
 

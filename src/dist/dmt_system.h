@@ -9,6 +9,7 @@
 #include "fault/fault.h"
 #include "obs/abort_reason.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "workload/generator.h"
 
 namespace mdts {
@@ -84,10 +85,21 @@ struct DmtOptions {
   /// Registry the run publishes its "dmt.*" counters and latency histograms
   /// into. Null means the process-wide GlobalMetrics() - DMT metrics are
   /// always on; pass a private registry to isolate a run (as the
-  /// reconciliation tests do). Counter values are added once at the end of
-  /// the run (they exactly equal the DmtResult fields); the response-time
-  /// and restart-backoff histograms record live, per event.
+  /// reconciliation tests do). The headline series - "dmt.committed",
+  /// "dmt.aborts.<reason>", the gauge "dmt.max_consecutive_aborts", and the
+  /// response-time / restart-backoff histograms - record live, per event
+  /// (so an attached Sampler sees windowed rates); the remaining counters
+  /// are added once at the end of the run. Either way the registry deltas
+  /// over a run exactly equal the DmtResult fields.
   MetricsRegistry* metrics = nullptr;
+
+  /// Sampler ticked on SIMULATED time every `sample_interval` time units
+  /// while the run is in progress (plus one final tick at the end), giving
+  /// deterministic windowed series and watchdog evaluations - no wall
+  /// clock involved. Null (or interval <= 0) disables sampling. The
+  /// sampler should wrap the same registry this run publishes into.
+  Sampler* sampler = nullptr;
+  double sample_interval = 0.0;
 };
 
 /// Aggregate result of a DMT(k) run.

@@ -31,6 +31,7 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_retries_ = reg->GetCounter("engine.lock_retries");
     m_fallbacks_ = reg->GetCounter("engine.full_lock_fallbacks");
     m_compactions_ = reg->GetCounter("engine.compactions");
+    m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
   // chunked storage (and outside compaction); real ids there start at slot 1.
@@ -460,6 +461,13 @@ void ShardedMtkEngine::RestartTxn(TxnId txn) {
   // One store bumps the incarnation and clears both flags, so the previous
   // incarnation's item accesses turn permanently dead.
   StoreLife(s, (static_cast<uint64_t>(LifeIncarnation(w)) + 1) << 2);
+  // The new incarnation number is the transaction's consecutive-abort
+  // count (a txn id commits at most once, so incarnations only ever come
+  // from restarts); the gauge holds the window peak until a sampler's
+  // watchdog consumes it.
+  if (m_consec_aborts_ != nullptr) {
+    m_consec_aborts_->SetMax(static_cast<int64_t>(LifeIncarnation(w)) + 1);
+  }
   if (!options_.starvation_fix) {
     s.ts.Reset();  // Fresh, fully undefined vector.
   }

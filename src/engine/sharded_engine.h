@@ -53,6 +53,11 @@ struct EngineOptions {
   /// disables mirroring entirely; the per-shard EngineStats keep counting
   /// either way. The registry must outlive the engine. bench/mt_throughput
   /// measures the attached-vs-null delta as obs_overhead_pct.
+  ///
+  /// Attached registries also receive the live starvation signal: every
+  /// RestartTxn raises the gauge "engine.max_consecutive_aborts" to the
+  /// restarting transaction's consecutive-abort count (its incarnation
+  /// number), the windowed peak a Sampler's StarvationWatchdog consumes.
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -293,6 +298,7 @@ class ShardedMtkEngine {
   Counter* m_retries_ = nullptr;
   Counter* m_fallbacks_ = nullptr;
   Counter* m_compactions_ = nullptr;
+  Gauge* m_consec_aborts_ = nullptr;
 };
 
 }  // namespace mdts

@@ -1,0 +1,80 @@
+#ifndef MDTS_OBS_HTTP_EXPORTER_H_
+#define MDTS_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace mdts {
+
+struct HttpExporterOptions {
+  /// Registry served by /metrics and /metrics.json. Required; must outlive
+  /// the exporter.
+  MetricsRegistry* registry = nullptr;
+
+  /// Sampler served by /series.json; null makes that endpoint answer an
+  /// empty series. Must outlive the exporter when set.
+  Sampler* sampler = nullptr;
+
+  /// TCP port on 127.0.0.1. 0 binds an ephemeral port; read it back with
+  /// port() after Start().
+  uint16_t port = 0;
+};
+
+/// Minimal dependency-free HTTP/1.1 exporter: one background thread in a
+/// blocking accept loop on localhost, one request per connection.
+///
+/// Endpoints:
+///   /metrics       Prometheus text exposition format 0.0.4
+///   /metrics.json  MetricsSnapshot::ToJson()
+///   /series.json   Sampler::SeriesJson() (windowed rates + alerts)
+///   /healthz       200 "ok"
+///
+/// Scrape-volume traffic only (a Prometheus pull every few seconds, one
+/// mdtop poller): requests are served sequentially and each response is a
+/// fresh snapshot. Localhost-only by construction - the socket binds
+/// 127.0.0.1, never INADDR_ANY.
+class HttpExporter {
+ public:
+  explicit HttpExporter(const HttpExporterOptions& options);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens and spawns the accept thread. False (with a message on
+  /// stderr) when the port cannot be bound.
+  bool Start();
+
+  /// Closes the listening socket and joins the thread (idempotent; the
+  /// destructor calls it). In-flight requests finish first.
+  void Stop();
+
+  /// The bound port (resolves port 0 after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Prometheus text exposition of a snapshot: HELP/TYPE per metric,
+  /// counters and gauges as single samples, histograms as cumulative
+  /// le-bucket series plus _sum/_count. Metric names are sanitized to the
+  /// Prometheus grammar ([a-zA-Z_:][a-zA-Z0-9_:]*) under an "mdts_"
+  /// prefix; the original dotted name is kept in the HELP line.
+  static std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  HttpExporterOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_OBS_HTTP_EXPORTER_H_

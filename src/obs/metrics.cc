@@ -74,6 +74,16 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return c;
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.emplace_back();
+  Gauge* p = &gauge_storage_.back();
+  gauges_.emplace(name, p);
+  return p;
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
   auto it = histograms_.find(name);
@@ -90,6 +100,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   out.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {  // std::map: sorted by name.
     out.counters.emplace_back(name, c->Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g2] : gauges_) {
+    out.gauges.emplace_back(name, g2->Value());
   }
   out.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -111,6 +125,12 @@ void AppendU64(std::string* out, uint64_t v) {
   *out += buf;
 }
 
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  *out += buf;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::ToText() const {
@@ -119,6 +139,12 @@ std::string MetricsSnapshot::ToText() const {
     out += name;
     out += " ";
     AppendU64(&out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out += name;
+    out += " ";
+    AppendI64(&out, v);
     out += "\n";
   }
   for (const auto& [name, h] : histograms) {
@@ -148,6 +174,15 @@ std::string MetricsSnapshot::ToJson() const {
     first = false;
     out += "    \"" + name + "\": ";
     AppendU64(&out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendI64(&out, v);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
@@ -210,6 +245,13 @@ uint64_t MetricsSnapshot::CounterSum(const std::string& prefix) const {
     if (n.compare(0, prefix.size(), prefix) == 0) total += v;
   }
   return total;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
 }
 
 }  // namespace mdts

@@ -64,6 +64,37 @@ class Counter {
   Slot slots_[kSlots];
 };
 
+/// Point-in-time level instrument (set/add semantics), safe for concurrent
+/// writers. Unlike Counter it can move down, so it is a single atomic word
+/// rather than striped slots: gauge updates are rare (per restart / per
+/// sampling window), never per-operation hot-path events.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the gauge to at least v (CAS max). Watchdog sources publish
+  /// per-transaction consecutive-abort peaks this way; the sampler then
+  /// consumes the window's peak with Exchange(0).
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  /// Atomically reads and replaces the value (windowed-max consumption).
+  int64_t Exchange(int64_t v) {
+    return v_.exchange(v, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
 /// Read-only copy of a histogram's state at one instant.
 struct HistogramSnapshot {
   /// buckets[b] counts recorded values v with bit_width(v) == b, i.e.
@@ -146,11 +177,12 @@ class Histogram {
 /// Deterministic (name-sorted) copy of a registry's state.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
   /// "name value" lines, histograms as "name count=... p50=... p99=...".
   std::string ToText() const;
-  /// {"counters": {...}, "histograms": {"name": {"count":..., ...}}}.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   std::string ToJson() const;
   /// Writes ToJson() to `path`; false (with a message on stderr) on error.
   bool WriteJsonFile(const std::string& path) const;
@@ -159,6 +191,8 @@ struct MetricsSnapshot {
   uint64_t CounterValue(const std::string& name) const;
   /// Sum of counters whose name starts with `prefix`.
   uint64_t CounterSum(const std::string& prefix) const;
+  /// Gauge value by exact name, 0 when absent.
+  int64_t GaugeValue(const std::string& name) const;
 };
 
 /// Named counter/histogram registry. Get* registers on first use and
@@ -173,6 +207,7 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
@@ -180,8 +215,10 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
   std::map<std::string, Histogram*> histograms_;
   std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
   std::deque<Histogram> histogram_storage_;
 };
 

@@ -1,0 +1,80 @@
+#include "obs/watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mdts {
+
+namespace {
+
+void AppendNum(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string WatchdogAlert::ToJson() const {
+  std::string out = "{\"source\": \"" + source + "\"";
+  out += ", \"threshold\": " + std::to_string(threshold);
+  out += ", \"peak\": " + std::to_string(peak);
+  out += ", \"first_seq\": " + std::to_string(first_seq);
+  out += ", \"last_seq\": " + std::to_string(last_seq);
+  out += ", \"first_t\": ";
+  AppendNum(&out, first_time);
+  out += ", \"last_t\": ";
+  AppendNum(&out, last_time);
+  out += ", \"active\": ";
+  out += active ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+StarvationWatchdog::StarvationWatchdog(
+    const StarvationWatchdogOptions& options, MetricsRegistry* registry)
+    : options_(options),
+      source_(registry->GetGauge(options.source_gauge)),
+      alert_gauge_(registry->GetGauge("obs.starvation_alert." +
+                                      options.source_gauge)),
+      raises_(registry->GetCounter("obs.starvation_alerts." +
+                                   options.source_gauge)) {}
+
+void StarvationWatchdog::Evaluate(uint64_t seq, double now) {
+  // Consume-and-reset: the gauge accumulates the peak via SetMax between
+  // windows. A SetMax landing between a snapshot and this exchange can be
+  // lost for one window; starvation is by definition sustained, so a
+  // one-window blip never matters.
+  const int64_t peak = source_->Exchange(0);
+  if (peak > options_.threshold) {
+    if (streak_ == 0) {
+      streak_first_seq_ = seq;
+      streak_first_time_ = now;
+      streak_peak_ = 0;
+    }
+    ++streak_;
+    if (peak > streak_peak_) streak_peak_ = peak;
+    if (streak_ == options_.min_windows) {
+      // Raise: the excess has persisted for more than one window.
+      alerts_.push_back(WatchdogAlert{options_.source_gauge,
+                                      options_.threshold, streak_peak_,
+                                      streak_first_seq_, seq,
+                                      streak_first_time_, now, true});
+      alert_gauge_->Set(1);
+      raises_->Add(1);
+    } else if (streak_ > options_.min_windows) {
+      WatchdogAlert& a = alerts_.back();
+      a.peak = streak_peak_;
+      a.last_seq = seq;
+      a.last_time = now;
+    }
+    return;
+  }
+  if (streak_ >= options_.min_windows) {
+    alerts_.back().active = false;
+    alert_gauge_->Set(0);
+  }
+  streak_ = 0;
+}
+
+}  // namespace mdts

@@ -1,0 +1,82 @@
+#ifndef MDTS_OBS_WATCHDOG_H_
+#define MDTS_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdts {
+
+/// One raised starvation alert: a source gauge stayed above the threshold
+/// for at least min_windows consecutive sampling windows. `active` flips
+/// false once a later window drops back to the threshold or below; a new
+/// sustained excess then opens a fresh alert record.
+struct WatchdogAlert {
+  std::string source;     // Gauge that tripped.
+  int64_t threshold = 0;  // Configured bar at raise time.
+  int64_t peak = 0;       // Largest windowed value while raised.
+  uint64_t first_seq = 0;  // Sample seq of the first window of the streak.
+  uint64_t last_seq = 0;   // Most recent window still above the bar.
+  double first_time = 0.0;
+  double last_time = 0.0;
+  bool active = true;
+
+  /// {"source": ..., "threshold": ..., "peak": ..., ...}.
+  std::string ToJson() const;
+};
+
+struct StarvationWatchdogOptions {
+  /// Gauge carrying the windowed per-transaction consecutive-abort peak
+  /// ("engine.max_consecutive_aborts" / "dmt.max_consecutive_aborts"; the
+  /// engines publish via Gauge::SetMax, the watchdog consumes-and-resets
+  /// via Gauge::Exchange(0) every window).
+  std::string source_gauge;
+
+  /// A window whose peak exceeds this raises the streak. The paper's
+  /// Section III-D-4 starvation fix bounds repeated restarts; sustained
+  /// peaks above a small threshold are the live signal that the fix (or a
+  /// stronger backoff) is needed.
+  int64_t threshold = 8;
+
+  /// Consecutive windows above the threshold before the alert raises
+  /// ("more than one sampling window": >= 2 filters one-window blips).
+  size_t min_windows = 2;
+};
+
+/// Consecutive-abort starvation detector, driven once per sampling window
+/// by Sampler::TickOnce (never concurrently). While an alert is raised the
+/// gauge "obs.starvation_alert.<source>" reads 1 and each raise bumps the
+/// counter "obs.starvation_alerts.<source>", so both the Prometheus and the
+/// JSON exposition carry the alert without consulting `alerts()`.
+class StarvationWatchdog {
+ public:
+  StarvationWatchdog(const StarvationWatchdogOptions& options,
+                     MetricsRegistry* registry);
+
+  /// Consumes the source gauge's windowed peak (Exchange(0)) and advances
+  /// the streak / alert state. `seq` and `now` identify the window.
+  void Evaluate(uint64_t seq, double now);
+
+  const StarvationWatchdogOptions& options() const { return options_; }
+  const std::vector<WatchdogAlert>& alerts() const { return alerts_; }
+  bool alert_active() const {
+    return !alerts_.empty() && alerts_.back().active;
+  }
+
+ private:
+  StarvationWatchdogOptions options_;
+  Gauge* source_;
+  Gauge* alert_gauge_;
+  Counter* raises_;
+  size_t streak_ = 0;
+  uint64_t streak_first_seq_ = 0;
+  double streak_first_time_ = 0.0;
+  int64_t streak_peak_ = 0;
+  std::vector<WatchdogAlert> alerts_;
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_OBS_WATCHDOG_H_

@@ -484,5 +484,78 @@ TEST(MtkSchedulerTest, Mt1AssignsDistinctScalarTimestamps) {
   EXPECT_NE(s.Ts(1).Get(0), s.Ts(3).Get(0));
 }
 
+// --- ExplainLastReject: one test per producible reject reason; the
+// rendered one-liner must name the cause and, where one exists, the
+// blocking transaction. ---
+
+TEST(ExplainLastRejectTest, LexOrderNamesTheBlocker) {
+  MtkOptions options;
+  options.k = 1;
+  MtkScheduler s(options);
+  // MT(1): W1[x] R2[x] fixes 1 < 2, so R1[y] after W2[y] needs the
+  // opposite scalar order - rejected with T2 as the blocker.
+  ExpectAllAccepted(RunOps(&s, *Log::Parse("W1[x] R2[x] W2[y]")));
+  EXPECT_EQ(s.Process(Op{1, OpType::kRead, 1}), OpDecision::kReject);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kLexOrder);
+  const std::string msg = s.ExplainLastReject();
+  EXPECT_NE(msg.find("lex_order"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocker T2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("R1[y]"), std::string::npos) << msg;
+}
+
+TEST(ExplainLastRejectTest, EncodingExhaustedNamesTheBlocker) {
+  // Identical fully-defined vectors leave no room to encode a dependency.
+  // Algorithm 1 keeps live vectors distinct, but the starvation fix's
+  // seeding can collide two restarted incarnations at k = 1: abort both
+  // T1 and T3 against the same blocker T2 and they both restart seeded
+  // with <TS(2,0) + 1>.
+  MtkOptions options;
+  options.k = 1;
+  options.starvation_fix = true;
+  MtkScheduler s(options);
+  ExpectAllAccepted(
+      RunOps(&s, *Log::Parse("W1[x] W3[y] R2[x] R2[y] W2[z] W2[w]")));
+  EXPECT_EQ(s.Process(Op{1, OpType::kRead, 2}), OpDecision::kReject);
+  s.RestartTxn(1);
+  EXPECT_EQ(s.Process(Op{3, OpType::kRead, 3}), OpDecision::kReject);
+  s.RestartTxn(3);
+  ASSERT_EQ(s.Ts(1).Get(0), s.Ts(3).Get(0));  // The seeded collision.
+  EXPECT_EQ(s.Process(Op{1, OpType::kWrite, 4}), OpDecision::kAccept);
+  EXPECT_EQ(s.Process(Op{3, OpType::kRead, 4}), OpDecision::kReject);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kEncodingExhausted);
+  const std::string msg = s.ExplainLastReject();
+  EXPECT_NE(msg.find("encoding_exhausted"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocker T1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("R3[i4]"), std::string::npos) << msg;
+}
+
+TEST(ExplainLastRejectTest, StaleTxnHasNoSpecificBlocker) {
+  MtkOptions options;
+  options.k = 1;
+  MtkScheduler s(options);
+  ExpectAllAccepted(RunOps(&s, *Log::Parse("W1[x] R2[x] W2[y]")));
+  EXPECT_EQ(s.Process(Op{1, OpType::kRead, 1}), OpDecision::kReject);
+  // Resubmission from the aborted (un-restarted) incarnation is stale; no
+  // single transaction blocks it, so none is named.
+  EXPECT_EQ(s.Process(Op{1, OpType::kWrite, 0}), OpDecision::kReject);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kStaleTxn);
+  EXPECT_EQ(s.LastBlocker(), kVirtualTxn);
+  const std::string msg = s.ExplainLastReject();
+  EXPECT_NE(msg.find("stale_txn"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("W1[x]"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("blocker"), std::string::npos) << msg;
+}
+
+TEST(ExplainLastRejectTest, InvalidOpHasNoSpecificBlocker) {
+  MtkScheduler s(MtkOptions{});
+  EXPECT_EQ(s.Process(Op{kVirtualTxn, OpType::kWrite, 7}),
+            OpDecision::kReject);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kInvalidOp);
+  const std::string msg = s.ExplainLastReject();
+  EXPECT_NE(msg.find("invalid_op"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("W0[i7]"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("blocker"), std::string::npos) << msg;
+}
+
 }  // namespace
 }  // namespace mdts

@@ -1,0 +1,679 @@
+// Live telemetry tests: the Gauge instrument, the windowed Sampler ring,
+// the StarvationWatchdog, and the HTTP exporter scraped over a REAL
+// localhost socket - /metrics is checked against the Prometheus text
+// exposition grammar by the in-file parser below, /series.json for window
+// count and strict timestamp monotonicity.
+//
+// The watchdog's end-to-end trigger reuses fault_sweep's site-crash cell:
+// the sampler is ticked on SIMULATED time by the DMT event loop
+// (DmtOptions::sampler), so the alert fires deterministically - asserted
+// via the sampler ring and alert records, never via wall-clock sleeps.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/dmt_system.h"
+#include "gtest/gtest.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
+
+namespace mdts {
+namespace {
+
+// ===========================================================================
+// Minimal HTTP client: one blocking GET against the exporter's real socket.
+// ===========================================================================
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// ===========================================================================
+// Prometheus text exposition parser (format 0.0.4). Returns every grammar
+// violation found; an empty vector means the scrape is well-formed:
+//  - "# HELP <name> <doc>" then "# TYPE <name> <counter|gauge|histogram>",
+//  - every sample belongs to the most recently TYPE'd family (histograms
+//    via the _bucket/_sum/_count suffixes),
+//  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, values parse as numbers,
+//  - histogram buckets are cumulative and the +Inf bucket equals _count.
+// ===========================================================================
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+std::vector<std::string> ValidatePrometheus(const std::string& text) {
+  std::vector<std::string> errors;
+  std::string family;      // Most recent TYPE'd name.
+  std::string family_type;
+  std::string pending_help;  // HELP seen, TYPE not yet.
+  uint64_t prev_bucket = 0;
+  bool saw_inf = false;
+  uint64_t inf_value = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  if (text.empty() || text.back() != '\n') {
+    errors.push_back("exposition must end with a newline");
+  }
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    const std::string at = "line " + std::to_string(line_no) + ": ";
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      const std::string name = line.substr(7, sp - 7);
+      if (!IsValidMetricName(name)) {
+        errors.push_back(at + "bad HELP metric name: " + name);
+      }
+      if (sp == std::string::npos || sp + 1 >= line.size()) {
+        errors.push_back(at + "HELP without docstring");
+      }
+      pending_help = name;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      const std::string name = line.substr(7, sp - 7);
+      const std::string type =
+          sp == std::string::npos ? "" : line.substr(sp + 1);
+      if (!IsValidMetricName(name)) {
+        errors.push_back(at + "bad TYPE metric name: " + name);
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        errors.push_back(at + "unknown metric type: " + type);
+      }
+      if (pending_help != name) {
+        errors.push_back(at + "TYPE " + name + " not preceded by its HELP");
+      }
+      family = name;
+      family_type = type;
+      prev_bucket = 0;
+      saw_inf = false;
+      continue;
+    }
+    if (line[0] == '#') continue;  // Other comments are legal.
+    // Sample line: name[{labels}] value.
+    const size_t val_sp = line.rfind(' ');
+    if (val_sp == std::string::npos) {
+      errors.push_back(at + "sample line without value: " + line);
+      continue;
+    }
+    const std::string value_str = line.substr(val_sp + 1);
+    double value = 0;
+    if (!ParseNumber(value_str, &value)) {
+      errors.push_back(at + "unparsable sample value: " + value_str);
+    }
+    std::string series = line.substr(0, val_sp);
+    std::string labels;
+    const size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      if (series.back() != '}') {
+        errors.push_back(at + "unterminated label set: " + series);
+        continue;
+      }
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series = series.substr(0, brace);
+    }
+    if (!IsValidMetricName(series)) {
+      errors.push_back(at + "bad sample metric name: " + series);
+      continue;
+    }
+    if (family.empty()) {
+      errors.push_back(at + "sample before any TYPE line: " + series);
+      continue;
+    }
+    if (family_type == "histogram") {
+      if (series == family + "_bucket") {
+        if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+          errors.push_back(at + "histogram bucket without le label");
+          continue;
+        }
+        const std::string le = labels.substr(4, labels.size() - 5);
+        const uint64_t cumulative =
+            static_cast<uint64_t>(value);
+        if (cumulative < prev_bucket) {
+          errors.push_back(at + "non-cumulative histogram bucket: " + line);
+        }
+        prev_bucket = cumulative;
+        if (le == "+Inf") {
+          saw_inf = true;
+          inf_value = cumulative;
+        }
+      } else if (series == family + "_sum") {
+        // Value already checked numeric.
+      } else if (series == family + "_count") {
+        if (!saw_inf) {
+          errors.push_back(at + family + " has no +Inf bucket");
+        } else if (static_cast<uint64_t>(value) != inf_value) {
+          errors.push_back(at + family + "_count != +Inf bucket");
+        }
+      } else {
+        errors.push_back(at + "sample " + series +
+                         " does not belong to histogram " + family);
+      }
+    } else if (series != family) {
+      errors.push_back(at + "sample " + series +
+                       " does not belong to family " + family);
+    }
+  }
+  return errors;
+}
+
+std::string JoinErrors(const std::vector<std::string>& errors) {
+  std::string out;
+  for (const std::string& e : errors) out += e + "\n";
+  return out;
+}
+
+// ===========================================================================
+// Gauge instrument.
+// ===========================================================================
+
+TEST(GaugeTest, SetAddMaxExchangeSemantics) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(5);
+  EXPECT_EQ(g.Value(), 5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+  g.SetMax(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.SetMax(7);  // Lower: no effect.
+  EXPECT_EQ(g.Value(), 10);
+  EXPECT_EQ(g.Exchange(0), 10);
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(GaugeTest, AppearsInSnapshotTextAndJson) {
+  MetricsRegistry reg;
+  reg.GetGauge("test.depth")->Set(-3);
+  reg.GetCounter("test.events")->Add(2);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.GaugeValue("test.depth"), -3);
+  EXPECT_EQ(snap.GaugeValue("absent"), 0);
+  EXPECT_NE(snap.ToText().find("test.depth -3"), std::string::npos)
+      << snap.ToText();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.depth\": -3"), std::string::npos) << json;
+}
+
+TEST(GaugeTest, RegistryReturnsSamePointerPerName) {
+  MetricsRegistry reg;
+  Gauge* a = reg.GetGauge("g");
+  Gauge* b = reg.GetGauge("g");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetGauge("other"));
+}
+
+// ===========================================================================
+// HistogramDelta.
+// ===========================================================================
+
+TEST(HistogramDeltaTest, WindowPercentilesComeFromTheDeltaOnly) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  const HistogramSnapshot before = h.Snapshot();
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  const HistogramSnapshot after = h.Snapshot();
+
+  const HistogramSnapshot d = HistogramDelta(after, before);
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_EQ(d.sum, 100u * 1000u);
+  // All delta mass sits in 1000's bucket; the bucket upper bound (1023)
+  // clamps against the observed max.
+  EXPECT_EQ(d.Percentile(50), 1000u);
+  EXPECT_EQ(d.Percentile(99), 1000u);
+  // The cumulative snapshot would have said p50 = 10; the window must not.
+  EXPECT_LE(after.Percentile(50), 15u);
+}
+
+TEST(HistogramDeltaTest, EmptyWindowIsAllZero) {
+  Histogram h;
+  h.Record(42);
+  const HistogramSnapshot s = h.Snapshot();
+  const HistogramSnapshot d = HistogramDelta(s, s);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_EQ(d.Percentile(99), 0u);
+}
+
+// ===========================================================================
+// Sampler ring.
+// ===========================================================================
+
+TEST(SamplerTest, RingCapacityAndMonotoneSeq) {
+  MetricsRegistry reg;
+  SamplerOptions so;
+  so.registry = &reg;
+  so.capacity = 4;
+  Sampler sampler(so);
+  for (int i = 1; i <= 10; ++i) {
+    sampler.TickOnce(static_cast<double>(i));
+  }
+  EXPECT_EQ(sampler.samples_taken(), 10u);
+  const std::vector<Sample> ring = sampler.Ring();
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front().seq, 7u);
+  EXPECT_EQ(ring.back().seq, 10u);
+  for (size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LT(ring[i - 1].time, ring[i].time);
+  }
+}
+
+TEST(SamplerTest, ClockRestartRebasesInsteadOfCollapsing) {
+  MetricsRegistry reg;
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  // First run: t = 10, 20. Second run restarts its clock: t = 1, 2.
+  sampler.TickOnce(10.0);
+  sampler.TickOnce(20.0);
+  sampler.TickOnce(1.0);
+  sampler.TickOnce(2.0);
+  const std::vector<Sample> ring = sampler.Ring();
+  ASSERT_EQ(ring.size(), 4u);
+  for (size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LT(ring[i - 1].time, ring[i].time);
+  }
+  // Within-run spacing survives the rebase: the second run's two samples
+  // are still 1.0 apart (not collapsed onto a nanosecond window).
+  EXPECT_NEAR(ring[3].time - ring[2].time, 1.0, 1e-6);
+}
+
+TEST(SamplerTest, BackgroundThreadTicksAndStops) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("bg.events");
+  SamplerOptions so;
+  so.registry = &reg;
+  so.interval_ms = 1;
+  Sampler sampler(so);
+  sampler.Start();
+  // Poll instead of a fixed sleep: the only timing assumption is "a 1 ms
+  // sampler takes at least 3 samples eventually".
+  for (int spin = 0; spin < 10000 && sampler.samples_taken() < 3; ++spin) {
+    c->Add(1);
+    usleep(1000);
+  }
+  sampler.Stop();
+  const uint64_t taken = sampler.samples_taken();
+  EXPECT_GE(taken, 3u);
+  usleep(5000);  // No further ticks after Stop.
+  EXPECT_EQ(sampler.samples_taken(), taken);
+}
+
+// ===========================================================================
+// StarvationWatchdog (driven by manual sampler ticks - no wall clock).
+// ===========================================================================
+
+TEST(WatchdogTest, RaisesAfterTwoWindowsAndDeactivates) {
+  MetricsRegistry reg;
+  Gauge* source = reg.GetGauge("test.consec_aborts");
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "test.consec_aborts";
+  wo.threshold = 8;
+  wo.min_windows = 2;
+  sampler.AddStarvationWatchdog(wo);
+
+  source->SetMax(12);
+  sampler.TickOnce(1.0);  // Window 1 above threshold: streak starts.
+  EXPECT_TRUE(sampler.alerts().empty());
+  source->SetMax(9);
+  sampler.TickOnce(2.0);  // Window 2 above: alert raises.
+  std::vector<WatchdogAlert> alerts = sampler.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].active);
+  EXPECT_EQ(alerts[0].peak, 12);
+  EXPECT_EQ(alerts[0].first_seq, 1u);
+  EXPECT_EQ(alerts[0].last_seq, 2u);
+  source->SetMax(30);
+  sampler.TickOnce(3.0);  // Still above: alert extends, peak rises.
+  alerts = sampler.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].peak, 30);
+  EXPECT_EQ(alerts[0].last_seq, 3u);
+  sampler.TickOnce(4.0);  // Peak 0: deactivates.
+  alerts = sampler.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_FALSE(alerts[0].active);
+  // The alert gauge and raise counter are published into the registry.
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("obs.starvation_alerts.test.consec_aborts"),
+            1u);
+  EXPECT_EQ(snap.GaugeValue("obs.starvation_alert.test.consec_aborts"), 0);
+}
+
+TEST(WatchdogTest, OneWindowBlipDoesNotAlert) {
+  MetricsRegistry reg;
+  Gauge* source = reg.GetGauge("test.blip");
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "test.blip";
+  wo.threshold = 8;
+  sampler.AddStarvationWatchdog(wo);
+  for (int window = 1; window <= 6; ++window) {
+    if (window % 2 == 1) source->SetMax(100);  // Alternating blips.
+    sampler.TickOnce(static_cast<double>(window));
+  }
+  EXPECT_TRUE(sampler.alerts().empty());
+}
+
+TEST(WatchdogTest, SampleStillShowsTheWindowPeak) {
+  // The snapshot is taken before the watchdog consumes the gauge, so the
+  // ring shows the per-window peak while the live gauge reads 0 again.
+  MetricsRegistry reg;
+  Gauge* source = reg.GetGauge("test.peak");
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "test.peak";
+  sampler.AddStarvationWatchdog(wo);
+  source->SetMax(17);
+  sampler.TickOnce(1.0);
+  const std::vector<Sample> ring = sampler.Ring();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].snapshot.GaugeValue("test.peak"), 17);
+  EXPECT_EQ(source->Value(), 0);
+}
+
+// ===========================================================================
+// HTTP exporter over a real localhost socket.
+// ===========================================================================
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_.GetCounter("test.commits")->Add(7);
+    reg_.GetGauge("test.depth")->Set(-3);
+    Histogram* h = reg_.GetHistogram("test.latency_us");
+    h->Record(0);
+    h->Record(3);
+    h->Record(100);
+    h->Record(5000);
+  }
+
+  MetricsRegistry reg_;
+};
+
+TEST_F(HttpExporterTest, MetricsEndpointPassesPrometheusGrammar) {
+  HttpExporterOptions ho;
+  ho.registry = &reg_;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string response = HttpGet(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = BodyOf(response);
+  const std::vector<std::string> errors = ValidatePrometheus(body);
+  EXPECT_TRUE(errors.empty()) << JoinErrors(errors) << "--- body:\n" << body;
+  EXPECT_NE(body.find("mdts_test_commits 7"), std::string::npos) << body;
+  EXPECT_NE(body.find("mdts_test_depth -3"), std::string::npos) << body;
+  EXPECT_NE(body.find("mdts_test_latency_us_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << body;
+  exporter.Stop();
+}
+
+TEST_F(HttpExporterTest, StaticPrometheusTextIsValidToo) {
+  // The same grammar check against the pure function, no socket involved.
+  const std::string text = HttpExporter::PrometheusText(reg_.Snapshot());
+  const std::vector<std::string> errors = ValidatePrometheus(text);
+  EXPECT_TRUE(errors.empty()) << JoinErrors(errors) << text;
+}
+
+TEST_F(HttpExporterTest, JsonHealthzAndNotFound) {
+  HttpExporterOptions ho;
+  ho.registry = &reg_;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+
+  const std::string json = HttpGet(exporter.port(), "/metrics.json");
+  EXPECT_NE(json.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(BodyOf(json).find("\"test.commits\": 7"), std::string::npos);
+
+  const std::string health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(health), "ok\n");
+
+  const std::string missing = HttpGet(exporter.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // /series.json without a sampler answers an empty, well-formed series.
+  const std::string series = HttpGet(exporter.port(), "/series.json");
+  EXPECT_NE(series.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(BodyOf(series).find("\"windows\": []"), std::string::npos)
+      << BodyOf(series);
+  exporter.Stop();
+}
+
+TEST_F(HttpExporterTest, SeriesEndpointHasMonotoneWindows) {
+  SamplerOptions so;
+  so.registry = &reg_;
+  Sampler sampler(so);
+  Counter* c = reg_.GetCounter("test.commits");
+  for (int tick = 1; tick <= 5; ++tick) {
+    c->Add(10);
+    sampler.TickOnce(0.1 * tick);
+  }
+  HttpExporterOptions ho;
+  ho.registry = &reg_;
+  ho.sampler = &sampler;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+  const std::string body = BodyOf(HttpGet(exporter.port(), "/series.json"));
+  exporter.Stop();
+
+  // 5 samples = 4 windows; timestamps must be strictly increasing.
+  size_t windows = 0;
+  double last_t = -1.0;
+  size_t pos = 0;
+  while ((pos = body.find("\"t\": ", pos)) != std::string::npos) {
+    const double t = std::strtod(body.c_str() + pos + 5, nullptr);
+    EXPECT_GT(t, last_t) << body;
+    last_t = t;
+    ++windows;
+    ++pos;
+  }
+  EXPECT_GE(windows, 3u) << body;
+  EXPECT_EQ(windows, 4u) << body;
+  EXPECT_NE(body.find("\"samples_taken\": 5"), std::string::npos) << body;
+  // Counter rate: 10 added per 0.1 s window = 100/s.
+  EXPECT_NE(body.find("\"test.commits\": 100"), std::string::npos) << body;
+}
+
+// ===========================================================================
+// End-to-end: a DMT(k) site crash trips the starvation watchdog,
+// deterministically, on simulated time.
+// ===========================================================================
+
+DmtOptions CrashCell(MetricsRegistry* reg, Sampler* sampler) {
+  // fault_sweep's crash cell: 4 sites, one mid-run crash/recovery plus a
+  // later outage. Transactions homed on the dead site abort-and-retry
+  // until it recovers, racking up consecutive aborts.
+  DmtOptions options;
+  options.k = 3;
+  options.num_sites = 4;
+  options.num_txns = 120;
+  options.concurrency = 10;
+  options.message_latency = 0.5;
+  options.seed = 11;
+  options.workload.num_items = 16;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 4;
+  options.workload.read_fraction = 0.6;
+  options.fault.crashes.push_back({1, 60.0, 140.0});
+  options.fault.crashes.push_back({3, 220.0, 260.0});
+  options.metrics = reg;
+  options.sampler = sampler;
+  options.sample_interval = 5.0;  // Simulated time units per window.
+  return options;
+}
+
+struct CrashCellRun {
+  uint64_t committed = 0;
+  uint64_t samples = 0;
+  int64_t ring_peak = 0;
+  std::vector<WatchdogAlert> alerts;
+};
+
+CrashCellRun RunCrashCell(int64_t threshold) {
+  MetricsRegistry reg;
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "dmt.max_consecutive_aborts";
+  wo.threshold = threshold;
+  wo.min_windows = 2;
+  sampler.AddStarvationWatchdog(wo);
+
+  const DmtResult r = RunDmtSimulation(CrashCell(&reg, &sampler));
+  CrashCellRun out;
+  out.committed = r.committed;
+  out.samples = sampler.samples_taken();
+  for (const Sample& s : sampler.Ring()) {
+    const int64_t peak =
+        s.snapshot.GaugeValue("dmt.max_consecutive_aborts");
+    if (peak > out.ring_peak) out.ring_peak = peak;
+  }
+  out.alerts = sampler.alerts();
+  return out;
+}
+
+TEST(DmtWatchdogTest, SiteCrashTripsTheAlertViaTheSamplerRing) {
+  const CrashCellRun run = RunCrashCell(/*threshold=*/4);
+  EXPECT_GT(run.committed, 0u);
+  // The sim ticked the sampler on simulated time: enough windows for the
+  // 5-unit interval over a run that outlives the 60..140 outage.
+  EXPECT_GE(run.samples, 10u);
+  // The ring itself recorded a windowed consecutive-abort peak above the
+  // threshold (the snapshot is taken before the watchdog consumes it)...
+  EXPECT_GT(run.ring_peak, 4) << "no starving window in the ring";
+  // ...and the watchdog turned the sustained excess into an alert.
+  ASSERT_FALSE(run.alerts.empty());
+  const WatchdogAlert& first = run.alerts.front();
+  EXPECT_EQ(first.source, "dmt.max_consecutive_aborts");
+  EXPECT_GT(first.peak, 4);
+  EXPECT_GE(first.last_seq, first.first_seq + 1);
+}
+
+TEST(DmtWatchdogTest, CrashCellAlertsAreDeterministic) {
+  const CrashCellRun a = RunCrashCell(/*threshold=*/4);
+  const CrashCellRun b = RunCrashCell(/*threshold=*/4);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.ring_peak, b.ring_peak);
+  ASSERT_EQ(a.alerts.size(), b.alerts.size());
+  for (size_t i = 0; i < a.alerts.size(); ++i) {
+    EXPECT_EQ(a.alerts[i].first_seq, b.alerts[i].first_seq);
+    EXPECT_EQ(a.alerts[i].last_seq, b.alerts[i].last_seq);
+    EXPECT_EQ(a.alerts[i].peak, b.alerts[i].peak);
+  }
+}
+
+TEST(DmtWatchdogTest, CleanRunRaisesNoAlert) {
+  MetricsRegistry reg;
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "dmt.max_consecutive_aborts";
+  wo.threshold = 8;
+  sampler.AddStarvationWatchdog(wo);
+  DmtOptions options = CrashCell(&reg, &sampler);
+  options.fault = FaultPlan{};  // No faults...
+  // ...and a read-only workload: R-R never conflicts, so nobody aborts,
+  // let alone starves. (Even fault-free mixed workloads can starve a
+  // retrying transaction behind a high-vector blocker - that is exactly
+  // what the watchdog exists to surface, so it cannot be the calm cell.)
+  options.workload.read_fraction = 1.0;
+  const DmtResult r = RunDmtSimulation(options);
+  EXPECT_EQ(r.committed + r.gave_up, options.num_txns);
+  EXPECT_GE(sampler.samples_taken(), 3u);
+  int64_t peak = 0;
+  for (const Sample& s : sampler.Ring()) {
+    const int64_t p = s.snapshot.GaugeValue("dmt.max_consecutive_aborts");
+    if (p > peak) peak = p;
+  }
+  EXPECT_EQ(peak, 0);
+  EXPECT_TRUE(sampler.alerts().empty());
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""mdtop: a tiny top(1)-style terminal view of the live telemetry exporter.
+
+Usage:
+    tools/mdtop.py [--host=H] [--port=P] [--interval=SECS] [--once]
+
+Polls http://HOST:PORT/series.json (the windowed Sampler export served by
+`mt_throughput --serve` / `fault_sweep --serve`) and redraws one screen per
+poll: the newest window's counter rates split into throughput (commit
+counters) and an abort-reason mix with proportional bars, the gauge values,
+and the most recent starvation-watchdog alerts. --once prints a single
+frame without clearing the screen and exits (scriptable; the docs' sample
+output comes from it).
+
+Standard library only; no third-party dependencies. Exits 0 on Ctrl-C,
+1 when the exporter cannot be reached.
+
+Sample frame:
+
+    mdtop  127.0.0.1:9464  window #42 t=12.30 dt=0.100  (50 windows, 1 alert)
+
+    throughput
+      dmt.committed                         4520.0/s
+    aborts
+      dmt.aborts.lex_order                   312.0/s  ##################
+      dmt.aborts.down_site                    41.5/s  ##
+    gauges
+      dmt.max_consecutive_aborts                  12
+      obs.starvation_alert.dmt.max_consec...       1  ALERT
+    alerts (latest first)
+      {"source": "dmt.max_consecutive_aborts", "threshold": 8, ...}
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+CLEAR = "\x1b[2J\x1b[H"
+BAR_WIDTH = 30
+NAME_WIDTH = 42
+
+
+def fetch(url, timeout):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def shorten(name):
+    if len(name) <= NAME_WIDTH:
+        return name
+    return name[: NAME_WIDTH - 3] + "..."
+
+
+def render(series, endpoint):
+    windows = series.get("windows", [])
+    alerts = series.get("alerts", [])
+    lines = []
+    if not windows:
+        lines.append(f"mdtop  {endpoint}  waiting for windows "
+                     f"({series.get('samples_taken', 0)} samples taken; "
+                     "two are needed for the first rate window)")
+        return "\n".join(lines) + "\n"
+    w = windows[-1]
+    active = sum(1 for a in alerts if a.get("active"))
+    lines.append(
+        f"mdtop  {endpoint}  window #{w.get('seq', '?')} "
+        f"t={w.get('t', 0):.2f} dt={w.get('dt', 0):.3f}  "
+        f"({len(windows)} windows, {len(alerts)} alerts"
+        + (f", {active} ACTIVE" if active else "") + ")")
+    lines.append("")
+
+    rates = w.get("rates", {})
+    commits = {n: r for n, r in rates.items() if n.endswith(".committed")
+               or n.endswith(".commits")}
+    aborts = {n: r for n, r in rates.items()
+              if ".aborts." in n or ".rejected." in n}
+    other = {n: r for n, r in rates.items()
+             if n not in commits and n not in aborts}
+
+    lines.append("throughput")
+    for n in sorted(commits):
+        lines.append(f"  {shorten(n):<{NAME_WIDTH}} {commits[n]:>12.1f}/s")
+    if not commits:
+        lines.append("  (no commit counters moved this window)")
+
+    lines.append("aborts")
+    peak = max(aborts.values(), default=0.0)
+    for n in sorted(aborts, key=aborts.get, reverse=True):
+        bar = "#" * int(round(aborts[n] / peak * BAR_WIDTH)) if peak else ""
+        lines.append(f"  {shorten(n):<{NAME_WIDTH}} {aborts[n]:>12.1f}/s  "
+                     f"{bar}")
+    if not aborts:
+        lines.append("  (none this window)")
+
+    if other:
+        lines.append("other rates")
+        for n in sorted(other, key=other.get, reverse=True)[:8]:
+            lines.append(f"  {shorten(n):<{NAME_WIDTH}} {other[n]:>12.1f}/s")
+
+    gauges = w.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        for n in sorted(gauges):
+            flag = ("  ALERT" if n.startswith("obs.starvation_alert.")
+                    and gauges[n] else "")
+            lines.append(f"  {shorten(n):<{NAME_WIDTH}} {gauges[n]:>12}"
+                         f"{flag}")
+
+    hists = w.get("histograms", {})
+    if hists:
+        lines.append("latency (this window)")
+        for n in sorted(hists):
+            h = hists[n]
+            lines.append(f"  {shorten(n):<{NAME_WIDTH}} "
+                         f"n={h.get('count', 0)} p50={h.get('p50', 0)} "
+                         f"p99={h.get('p99', 0)}")
+
+    if alerts:
+        lines.append("alerts (latest first)")
+        for a in list(reversed(alerts))[:5]:
+            lines.append(f"  {json.dumps(a)}")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Terminal view of the live telemetry exporter.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9464)
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval in seconds (default 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame and exit (no screen clears)")
+    args = parser.parse_args()
+
+    endpoint = f"{args.host}:{args.port}"
+    url = f"http://{endpoint}/series.json"
+    try:
+        while True:
+            try:
+                series = fetch(url, timeout=2.0)
+            except (urllib.error.URLError, OSError, TimeoutError,
+                    json.JSONDecodeError) as e:
+                print(f"mdtop: cannot fetch {url}: {e}", file=sys.stderr)
+                return 1
+            frame = render(series, endpoint)
+            if args.once:
+                sys.stdout.write(frame)
+                return 0
+            sys.stdout.write(CLEAR + frame)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

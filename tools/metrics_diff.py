@@ -2,12 +2,20 @@
 """Diff two metrics snapshots written by MetricsSnapshot::WriteJsonFile.
 
 Usage:
-    tools/metrics_diff.py BEFORE.json AFTER.json [--all]
+    tools/metrics_diff.py BEFORE.json AFTER.json [--all] [--tolerance=N]
 
-Prints one line per counter whose value changed (name, before, after,
-delta) and one per histogram whose count changed (count/sum deltas and the
-after-side p50/p99). With --all, unchanged entries are listed too. Exits 0
-when the snapshots are identical, 1 when anything differs, 2 on bad input.
+Prints one line per counter or gauge whose value changed (name, before,
+after, delta) and a block per histogram whose count changed: count/sum
+deltas, the per-bucket count deltas, and the p50/p99 DERIVED FROM THE
+DELTA distribution - the percentiles of just the events recorded between
+the two snapshots, mirroring HistogramSnapshot::Percentile (power-of-two
+buckets, bucket b covering values up to 2^b - 1, clamped by the after-side
+max). With --all, unchanged entries are listed too. --tolerance=N treats
+absolute deltas up to N as unchanged (useful when comparing runs with
+small nondeterministic counters, e.g. retry or lock-wait tallies).
+
+Exits 0 when the snapshots match (within tolerance), 1 when anything
+differs, 2 on bad input.
 
 Standard library only; no third-party dependencies.
 """
@@ -25,11 +33,57 @@ def load(path):
         sys.exit(f"metrics_diff: cannot read {path}: {e}")
     if not isinstance(snap, dict):
         sys.exit(f"metrics_diff: {path}: not a metrics snapshot object")
-    return snap.get("counters", {}), snap.get("histograms", {})
+    return (snap.get("counters", {}), snap.get("gauges", {}),
+            snap.get("histograms", {}))
 
 
 def fmt_delta(delta):
     return f"{delta:+d}" if delta else "="
+
+
+def bucket_deltas(before, after):
+    """Per-bucket count deltas {bucket_index: delta}, zeros omitted."""
+    ba = {int(k): int(v) for k, v in before.get("buckets", {}).items()}
+    bb = {int(k): int(v) for k, v in after.get("buckets", {}).items()}
+    out = {}
+    for b in sorted(set(ba) | set(bb)):
+        d = bb.get(b, 0) - ba.get(b, 0)
+        if d:
+            out[b] = d
+    return out
+
+
+def delta_percentile(deltas, p, max_clamp):
+    """Percentile of the delta distribution, as HistogramSnapshot does it:
+    walk cumulative bucket counts, report bucket b's upper bound 2^b - 1
+    (bucket 0 holds exactly the value 0), clamped by the observed max."""
+    total = sum(deltas.values())
+    if total <= 0:
+        return 0
+    target = total * p / 100.0
+    cumulative = 0
+    for b in sorted(deltas):
+        cumulative += deltas[b]
+        if cumulative >= target and cumulative > 0:
+            if b == 0:
+                return 0
+            upper = (1 << 64) - 1 if b >= 64 else (1 << b) - 1
+            return min(upper, max_clamp) if max_clamp else upper
+    return max_clamp
+
+
+def diff_scalars(section_a, section_b, tolerance, list_all, rows):
+    """Shared counter/gauge diff; returns the number of changed entries."""
+    changed = 0
+    for name in sorted(set(section_a) | set(section_b)):
+        before = int(section_a.get(name, 0))
+        after = int(section_b.get(name, 0))
+        delta = after - before
+        if abs(delta) > tolerance:
+            changed += 1
+        if delta != 0 or list_all:
+            rows.append((name, str(before), str(after), fmt_delta(delta)))
+    return changed
 
 
 def main():
@@ -39,25 +93,28 @@ def main():
     parser.add_argument("after")
     parser.add_argument("--all", action="store_true",
                         help="also list unchanged metrics")
+    parser.add_argument("--tolerance", type=int, default=0, metavar="N",
+                        help="treat absolute deltas up to N as unchanged "
+                             "(default 0: exact)")
     args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
 
-    counters_a, hists_a = load(args.before)
-    counters_b, hists_b = load(args.after)
+    counters_a, gauges_a, hists_a = load(args.before)
+    counters_b, gauges_b, hists_b = load(args.after)
 
     changed = 0
     rows = []
-    for name in sorted(set(counters_a) | set(counters_b)):
-        before = int(counters_a.get(name, 0))
-        after = int(counters_b.get(name, 0))
-        if before != after:
-            changed += 1
-        if before != after or args.all:
-            rows.append((name, str(before), str(after),
-                         fmt_delta(after - before)))
+    changed += diff_scalars(counters_a, counters_b, args.tolerance,
+                            args.all, rows)
+    gauge_start = len(rows)
+    changed += diff_scalars(gauges_a, gauges_b, args.tolerance,
+                            args.all, rows)
     if rows:
         widths = [max(len(r[i]) for r in rows) for i in range(4)]
-        for name, before, after, delta in rows:
-            print(f"{name:<{widths[0]}}  {before:>{widths[1]}} -> "
+        for i, (name, before, after, delta) in enumerate(rows):
+            kind = "gauge  " if i >= gauge_start else "counter"
+            print(f"{kind} {name:<{widths[0]}}  {before:>{widths[1]}} -> "
                   f"{after:>{widths[2]}}  {delta:>{widths[3]}}")
 
     for name in sorted(set(hists_a) | set(hists_b)):
@@ -67,13 +124,22 @@ def main():
         dsum = int(hb.get("sum", 0)) - int(ha.get("sum", 0))
         if dcount == 0 and dsum == 0 and not args.all:
             continue
-        if dcount != 0 or dsum != 0:
+        if abs(dcount) > args.tolerance or abs(dsum) > args.tolerance:
             changed += 1
-        print(f"{name}  count{fmt_delta(dcount)} sum{fmt_delta(dsum)} "
-              f"(after: p50={hb.get('p50', '?')} p99={hb.get('p99', '?')})")
+        deltas = bucket_deltas(ha, hb)
+        max_clamp = int(hb.get("max", 0))
+        p50 = delta_percentile(deltas, 50, max_clamp)
+        p99 = delta_percentile(deltas, 99, max_clamp)
+        print(f"histogram {name}  count{fmt_delta(dcount)} "
+              f"sum{fmt_delta(dsum)} (delta window: p50={p50} p99={p99})")
+        for b in sorted(deltas):
+            upper = "0" if b == 0 else f"<=2^{b}-1"
+            print(f"  bucket[{b}] ({upper}): {fmt_delta(deltas[b])}")
 
     if changed == 0:
-        print("snapshots identical"
+        print("snapshots match"
+              + (f" within tolerance {args.tolerance}"
+                 if args.tolerance else "")
               + ("" if args.all else " (use --all to list entries)"))
     return 1 if changed else 0
 
