@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -202,12 +203,113 @@ LoopResult RunEngine(const EngineOptions& eo, const Workload& w,
   return MergeThreadResults(std::move(parts));
 }
 
+// One worker's BATCHED closed loop: it keeps `batch` transactions in flight
+// and submits one operation per live transaction per ProcessBatch call, the
+// admission shape the batched pipeline amortizes (one lockset acquisition
+// covers the whole round). A rejected slot restarts its transaction and
+// replays its program from the top; a slot that completes its program
+// commits and moves to the next transaction id. Ids follow the same
+// 1 + t + n * stride striping as ClosedLoop, with n drawn from a per-worker
+// counter shared by the slots.
+LoopResult BatchedClosedLoop(ShardedMtkEngine& engine, const Workload& w,
+                             size_t t, size_t stride, size_t batch,
+                             double seconds) {
+  LoopResult res;
+  const std::vector<StreamOp>& stream = w.ops[t];
+  const size_t txns_in_stream = stream.size() / w.ops_per_txn;
+  res.latencies_ns.reserve(1 << 16);
+  struct Slot {
+    TxnId txn = 0;
+    uint64_t n = 0;         // Program / id index.
+    uint32_t done = 0;      // Accepted operations so far.
+    uint64_t start_ns = 0;  // Nonzero iff this transaction is sampled.
+  };
+  Stopwatch total;
+  uint64_t next_n = 0;
+  std::vector<Slot> slots(batch);
+  for (Slot& s : slots) {
+    s.n = next_n++;
+    s.txn = static_cast<TxnId>(1 + t + s.n * stride);
+    if ((s.n & 7) == 0) s.start_ns = total.ElapsedNanos();
+  }
+  std::vector<Op> ops(batch);
+  std::vector<OpDecision> dec(batch);
+  for (uint64_t round = 0;; ++round) {
+    if ((round & 15) == 0) {
+      res.seconds = total.ElapsedSeconds();
+      if (res.seconds >= seconds) break;
+    }
+    for (size_t b = 0; b < batch; ++b) {
+      const Slot& s = slots[b];
+      const StreamOp& so =
+          stream[(s.n % txns_in_stream) * w.ops_per_txn + s.done];
+      ops[b].txn = s.txn;
+      ops[b].type = so.is_read ? OpType::kRead : OpType::kWrite;
+      ops[b].item = so.item;
+    }
+    engine.ProcessBatch(std::span<const Op>(ops.data(), batch), dec.data());
+    for (size_t b = 0; b < batch; ++b) {
+      Slot& s = slots[b];
+      if (IsReject(dec[b])) {
+        ++res.aborts;
+        engine.RestartTxn(s.txn);
+        s.done = 0;
+        continue;
+      }
+      ++res.ops_accepted;
+      if (++s.done < w.ops_per_txn) continue;
+      engine.CommitTxn(s.txn);
+      ++res.committed;
+      if (s.start_ns != 0) {
+        res.latencies_ns.push_back(total.ElapsedNanos() - s.start_ns);
+      }
+      s.n = next_n++;
+      s.txn = static_cast<TxnId>(1 + t + s.n * stride);
+      s.done = 0;
+      s.start_ns = (s.n & 7) == 0 ? total.ElapsedNanos() : 0;
+    }
+  }
+  res.seconds = total.ElapsedSeconds();
+  return res;
+}
+
+LoopResult RunEngineBatched(const EngineOptions& eo, const Workload& w,
+                            size_t threads, size_t batch, double seconds,
+                            EngineStats* stats_out = nullptr) {
+  ShardedMtkEngine engine(eo);
+  std::vector<LoopResult> parts(threads);
+  if (threads == 1) {
+    parts[0] = BatchedClosedLoop(engine, w, 0, 1, batch, seconds);
+  } else {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        parts[t] = BatchedClosedLoop(engine, w, t, threads, batch, seconds);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  if (stats_out != nullptr) *stats_out = engine.stats();
+  return MergeThreadResults(std::move(parts));
+}
+
 double Median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
 double Mops(const LoopResult& r) { return r.ops_per_sec() / 1e6; }
+
+// Goodput: operations of COMMITTED transactions per second (in millions).
+// Accepted-op throughput flatters high-abort configurations, because
+// operations of transactions that later abort still count; goodput only
+// credits work that survived, which is the number the batching and the
+// III-D-5 encoding sweeps compare.
+double GoodputMops(const LoopResult& r, uint32_t ops_per_txn) {
+  return r.seconds > 0 ? static_cast<double>(r.committed) * ops_per_txn /
+                             r.seconds / 1e6
+                       : 0;
+}
 
 double LatencyUs(LoopResult& r, int pct) {
   if (r.latencies_ns.empty()) return 0;
@@ -229,7 +331,8 @@ constexpr double kReadFraction = 0.6;
 constexpr uint32_t kLowContentionItems = 65536;
 constexpr uint32_t kHighContentionItems = 64;
 
-int Run(const char* out_path, int serve_port, uint64_t sample_ms) {
+int Run(const char* out_path, int serve_port, uint64_t sample_ms,
+        size_t batch_override, bool enc_only) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("=== MT(k) closed-loop throughput (hardware threads: %u) ===\n\n",
               hw);
@@ -432,6 +535,180 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms) {
   scaling_4t = mops_1t_low_k3 > 0 ? mops_4t_low_k3 / mops_1t_low_k3 : 0;
 
   // -------------------------------------------------------------------
+  // Part 2b: batched admission x contention x III-D-5 encoding, single
+  // thread (the per-op arm then matches the threads=1 cells of part 2, so
+  // the encoding delta is comparable against the recorded baselines). The
+  // per-op arm drives Process in a plain closed loop; the batched arms
+  // keep `batch` transactions in flight and admit one operation per
+  // transaction per ProcessBatch call. Goodput (committed ops/s) is the
+  // comparison metric: batching also raises the number of concurrently
+  // live transactions per worker, which under high contention raises the
+  // conflict rate - a real tradeoff the table reports instead of hiding.
+  // -------------------------------------------------------------------
+  const std::vector<size_t> batch_sizes =
+      batch_override > 0 ? std::vector<size_t>{batch_override}
+                         : std::vector<size_t>{1, 8, 32};
+  const std::vector<int> enc_axis =
+      enc_only ? std::vector<int>{1} : std::vector<int>{0, 1};
+  // Both arms run with a metrics registry attached: mirroring is one of the
+  // per-operation costs the batch pipeline amortizes (one flush per batch
+  // instead of per op), so benching without it would hide part of the win.
+  // Arms are interleaved and the medians compared, like part 3.
+  constexpr int kBatchReps = 3;
+  constexpr double kBatchSecs = 0.4;
+  double perop_goodput_low_off = 0, batch8_goodput_low_off = 0;
+  double perop_abort_hot_off = 0, perop_abort_hot_on = 0;
+  double perop_goodput_hot_off = 0, perop_goodput_hot_on = 0;
+  uint64_t hot_encodings_hot_on = 0;
+  for (uint32_t items : {kLowContentionItems, kHighContentionItems}) {
+    std::printf(
+        "--- batched admission: %u items, k=3, 1 thread, "
+        "median of %d x %.1fs ---\n",
+        items, kBatchReps, kBatchSecs);
+    TablePrinter table({"encoding", "mode", "goodput Mops", "accepted Mops",
+                        "abort rate", "hot encodings"});
+    std::string record;
+    for (int enc : enc_axis) {
+      EngineOptions eo;
+      eo.k = 3;
+      eo.num_shards = 32;
+      eo.starvation_fix = true;
+      eo.optimized_encoding = enc != 0;
+      eo.compact_every = std::max<uint64_t>(1024, items / 2);
+      const Workload w = MakeWorkload(1, items, kOpsPerTxn, kReadFraction, 42);
+      const char* enc_name = enc != 0 ? "III-D-5 on" : "off";
+
+      // Arm 0 is the per-op closed loop; arm 1 + b is batch_sizes[b].
+      const size_t n_arms = 1 + batch_sizes.size();
+      std::vector<std::vector<double>> gp(n_arms), ab(n_arms), mp(n_arms);
+      std::vector<EngineStats> arm_stats(n_arms);
+      MetricsRegistry scratch_reg;
+      eo.metrics =
+          live_sampler != nullptr ? &GlobalMetrics() : &scratch_reg;
+      for (int rep = 0; rep < kBatchReps; ++rep) {
+        for (size_t a = 0; a < n_arms; ++a) {
+          LoopResult r;
+          if (a == 0) {
+            if (rep == 0) (void)RunEngine(eo, w, 1, 0.08);  // Warmup.
+            r = RunEngine(eo, w, 1, kBatchSecs, &arm_stats[a]);
+          } else {
+            const size_t batch = batch_sizes[a - 1];
+            if (rep == 0) (void)RunEngineBatched(eo, w, 1, batch, 0.08);
+            r = RunEngineBatched(eo, w, 1, batch, kBatchSecs, &arm_stats[a]);
+          }
+          gp[a].push_back(GoodputMops(r, kOpsPerTxn));
+          ab[a].push_back(r.abort_rate());
+          mp[a].push_back(Mops(r));
+        }
+      }
+      eo.metrics = nullptr;
+
+      if (!record.empty()) record += ", ";
+      record += std::string("{\"encoding\": ") + (enc ? "true" : "false") +
+                ", \"perop_goodput_mops\": " + JsonNum(Median(gp[0])) +
+                ", \"perop_abort_rate\": " + JsonNum(Median(ab[0])) +
+                ", \"batch\": [";
+      std::string cells;
+      for (size_t a = 0; a < n_arms; ++a) {
+        const double goodput = Median(gp[a]);
+        const double abort = Median(ab[a]);
+        const EngineStats& st = arm_stats[a];
+        const std::string mode =
+            a == 0 ? "per-op" : "batch=" + std::to_string(batch_sizes[a - 1]);
+        table.AddRow({enc_name, mode, Fmt(goodput), Fmt(Median(mp[a])),
+                      Fmt(abort, 3), std::to_string(st.hot_encodings)});
+        if (a > 0) {
+          const size_t batch = batch_sizes[a - 1];
+          const double avg_batch =
+              st.batches > 0 ? static_cast<double>(st.batch_ops) /
+                                   static_cast<double>(st.batches)
+                             : 0;
+          if (!cells.empty()) cells += ", ";
+          cells += "{\"batch\": " + JsonNum(static_cast<double>(batch)) +
+                   ", \"goodput_mops\": " + JsonNum(goodput) +
+                   ", \"abort_rate\": " + JsonNum(abort) +
+                   ", \"avg_batch_ops\": " + JsonNum(avg_batch) +
+                   ", \"hot_encodings\": " +
+                   JsonNum(static_cast<double>(st.hot_encodings)) + "}";
+          if (items == kLowContentionItems && enc == 0 && batch == 8) {
+            batch8_goodput_low_off = goodput;
+          }
+        }
+      }
+      record += cells + "]}";
+      if (items == kLowContentionItems && enc == 0) {
+        perop_goodput_low_off = Median(gp[0]);
+      }
+      if (items == kHighContentionItems) {
+        if (enc == 0) {
+          perop_abort_hot_off = Median(ab[0]);
+          perop_goodput_hot_off = Median(gp[0]);
+        } else {
+          perop_abort_hot_on = Median(ab[0]);
+          perop_goodput_hot_on = Median(gp[0]);
+          hot_encodings_hot_on = arm_stats[0].hot_encodings;
+        }
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    UpsertBenchRecord(
+        out_path, "mt_engine_batch_sweep_items" + std::to_string(items),
+        {{"hardware_threads", JsonNum(hw)},
+         {"num_shards", JsonNum(32)},
+         {"k", JsonNum(3)},
+         {"threads", JsonNum(1)},
+         {"ops_per_txn", JsonNum(kOpsPerTxn)},
+         {"hot_item_threshold", JsonNum(8)},
+         {"ab_reps", JsonNum(kBatchReps)},
+         {"metrics_attached", "true"},
+         {"cells", "[" + record + "]"}});
+  }
+  if (!enc_only && batch_override == 0) {
+    // The explicit III-D-5 on/off delta at the hot-item cell (items = 64,
+    // per-op arm, settings identical to the recorded
+    // mt_engine_scaling_items64_k3 baseline's threads=1 entry). Measured
+    // honestly: under uniform access every item crosses the hot threshold,
+    // so every dependency takes the right-end path - it avoids the Table II
+    // bystander total orders (the structural claim, reproduced exactly in
+    // bench/table2_optimized_encoding) but also assigns more elements per
+    // dependency, and on this closed loop the two effects offset to a
+    // slightly negative abort delta, matching that benchmark's log-level
+    // ablation. The hot_encodings count is the structural win: each one is
+    // a dependency that did NOT consume the leftmost free element.
+    const double abort_delta = perop_abort_hot_off - perop_abort_hot_on;
+    std::printf(
+        "III-D-5 delta (items=%u, per-op, 1 thread): abort rate %.3f -> "
+        "%.3f (delta %+.3f), goodput %.2f -> %.2f Mops, %llu hot encodings\n"
+        "  (uniform access makes every item hot; right-end placement avoids\n"
+        "   bystander total orders but assigns more elements per dependency\n"
+        "   - the effects offset, as in table2_optimized_encoding's "
+        "ablation)\n\n",
+        kHighContentionItems, perop_abort_hot_off, perop_abort_hot_on,
+        abort_delta, perop_goodput_hot_off, perop_goodput_hot_on,
+        static_cast<unsigned long long>(hot_encodings_hot_on));
+    UpsertBenchRecord(
+        out_path, "mt_engine_encoding_delta_items64",
+        {{"hardware_threads", JsonNum(hw)},
+         {"num_shards", JsonNum(32)},
+         {"k", JsonNum(3)},
+         {"threads", JsonNum(1)},
+         {"hot_item_threshold", JsonNum(8)},
+         {"abort_rate_enc_off", JsonNum(perop_abort_hot_off)},
+         {"abort_rate_enc_on", JsonNum(perop_abort_hot_on)},
+         {"abort_rate_delta", JsonNum(abort_delta)},
+         {"goodput_mops_enc_off", JsonNum(perop_goodput_hot_off)},
+         {"goodput_mops_enc_on", JsonNum(perop_goodput_hot_on)},
+         {"hot_encodings", JsonNum(static_cast<double>(hot_encodings_hot_on))},
+         {"note",
+          JsonStr("uniform access makes every item hot, so right-end "
+                  "placement avoids Table II bystander total orders but "
+                  "assigns more elements per dependency; the effects offset "
+                  "(slightly negative delta), matching the log-level "
+                  "ablation in table2_optimized_encoding. hot_encodings "
+                  "counts dependencies kept off the leftmost element.")}});
+  }
+
+  // -------------------------------------------------------------------
   // Part 3: observability overhead. Same engine cell as part 2 (k=3, low
   // contention, 32 shards), tracing runtime-disabled; the only difference
   // between the two arms is EngineOptions::metrics (nullptr = mirroring
@@ -547,18 +824,27 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms) {
        {"live_telemetry_mops", JsonNum(med_live)},
        {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)}});
 
-  UpsertBenchRecord(
-      out_path, "mt_throughput_acceptance",
-      {{"hardware_threads", JsonNum(hw)},
-       {"single_thread_speedup_vs_prepr_k3", JsonNum(speedup_sched_low)},
-       {"engine_1shard_speedup_vs_prepr_k3", JsonNum(speedup_engine_low)},
-       {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
-       {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
-       {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)},
-       {"note",
-        JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
-                        : "hardware threads < 4: scaling ratio reflects "
-                          "timeslicing, not parallel speedup")}});
+  std::vector<std::pair<std::string, std::string>> acceptance = {
+      {"hardware_threads", JsonNum(hw)},
+      {"single_thread_speedup_vs_prepr_k3", JsonNum(speedup_sched_low)},
+      {"engine_1shard_speedup_vs_prepr_k3", JsonNum(speedup_engine_low)},
+      {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
+      {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
+      {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)},
+      {"note",
+       JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
+                       : "hardware threads < 4: scaling ratio reflects "
+                         "timeslicing, not parallel speedup")}};
+  if (!enc_only && batch_override == 0) {
+    acceptance.push_back(
+        {"batch8_over_perop_goodput_low_contention",
+         JsonNum(perop_goodput_low_off > 0
+                     ? batch8_goodput_low_off / perop_goodput_low_off
+                     : 0)});
+    acceptance.push_back({"encoding_abort_delta_items64",
+                          JsonNum(perop_abort_hot_off - perop_abort_hot_on)});
+  }
+  UpsertBenchRecord(out_path, "mt_throughput_acceptance", acceptance);
 
   std::printf(
       "single-thread speedup vs pre-refactor scheduler (k=3, low "
@@ -586,8 +872,10 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms) {
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_core.json";
-  int serve_port = -1;       // < 0 means no exporter.
-  uint64_t sample_ms = 100;  // Live sampler interval when serving.
+  int serve_port = -1;        // < 0 means no exporter.
+  uint64_t sample_ms = 100;   // Live sampler interval when serving.
+  size_t batch_override = 0;  // 0 = sweep the default {1, 8, 32}.
+  bool enc_only = false;      // true = only the III-D-5-on arm.
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--serve") == 0) {
@@ -597,14 +885,26 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--sample-ms=", 12) == 0) {
       sample_ms = static_cast<uint64_t>(std::strtoull(arg + 12, nullptr, 10));
       if (sample_ms == 0) sample_ms = 100;
+    } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+      // Focus the part-2b sweep on one batch size (skips the on/off delta
+      // record so a focus run never overwrites full-sweep numbers).
+      batch_override = static_cast<size_t>(std::strtoull(arg + 8, nullptr, 10));
+      if (batch_override == 0) {
+        std::fprintf(stderr, "--batch=N requires N >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--optimized-encoding") == 0) {
+      // Run only the III-D-5-on arm of the part-2b sweep.
+      enc_only = true;
     } else if (arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [out.json] [--serve[=PORT]] [--sample-ms=N]\n",
+                   "usage: %s [out.json] [--serve[=PORT]] [--sample-ms=N] "
+                   "[--batch=N] [--optimized-encoding]\n",
                    argv[0]);
       return 2;
     } else {
       out_path = arg;
     }
   }
-  return mdts::Run(out_path, serve_port, sample_ms);
+  return mdts::Run(out_path, serve_port, sample_ms, batch_override, enc_only);
 }

@@ -1,0 +1,172 @@
+#ifndef MDTS_CORE_ENCODING_H_
+#define MDTS_CORE_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/timestamp_vector.h"
+#include "obs/abort_reason.h"
+
+namespace mdts {
+
+/// Result of one EncodeDependency call (the body of Algorithm 1's Set(j, i)
+/// after the vector comparison): whether TS(j) < TS(i) now holds, whether
+/// new elements were written to make it hold, whether the Section III-D-5
+/// right-end layout was used, how many elements were assigned, and - when
+/// ok is false - the classified cause of the refusal.
+struct EncodeOutcome {
+  bool ok = false;
+  bool encoded = false;
+  bool hot_path = false;
+  uint32_t elements_assigned = 0;
+  AbortReason why = AbortReason::kNone;
+};
+
+/// Algorithm 1's Set(j, i) encoding step, shared by MtkScheduler and
+/// ShardedMtkEngine so the two implementations cannot drift. The callers
+/// differ only in where last-column values come from, abstracted as the
+/// Counters policy:
+///
+///   TsElement Upper(TsElement above);  // Next value > above (and > every
+///                                      // value Upper returned before).
+///   TsElement Lower(TsElement below);  // Next value < below (and < every
+///                                      // value Lower returned before).
+///
+/// MtkScheduler's global counters ignore the bound argument - monotonicity
+/// alone guarantees it - while the engine's per-shard counters (value * N +
+/// shard) skip ahead past cross-shard values. `above` may be
+/// kUndefinedElement, meaning "no bound beyond the counter itself".
+///
+/// Every branch that would write TS(j) refuses when j is the virtual
+/// transaction: TS(0) must stay <0, *, ..., *> forever (the engine reads it
+/// lock-free from every shard, and mutating it would retroactively reorder
+/// every transaction already encoded against T0). Those branches are only
+/// reachable when optimized encoding has produced a live vector whose
+/// prefix collides with T0's; with the option off they never fire.
+///
+/// Section III-D-5 (`optimized_encoding` && `hot_item`): a dependency born
+/// on a frequently accessed item is pushed toward the right end of the
+/// vectors - equal filler up to column k-2 with the 1 < 2 pair there, or
+/// TS(j)'s defined prefix copied into TS(i) with the pair just past it - so
+/// a hot item does not force a premature total order through column m.
+template <typename Counters>
+EncodeOutcome EncodeDependency(const VectorCompareResult& cr, size_t k,
+                               TimestampVector& tj, TimestampVector& ti,
+                               bool j_is_virtual, bool hot_item,
+                               bool optimized_encoding, Counters&& counters) {
+  EncodeOutcome out;
+  const size_t m = cr.index;
+  switch (cr.order) {
+    case VectorOrder::kLess:
+      out.ok = true;  // Line 17: the dependency is already encoded.
+      return out;
+    case VectorOrder::kGreater:
+      out.why = AbortReason::kLexOrder;  // Line 18: opposite order is fixed.
+      return out;
+    case VectorOrder::kIdentical:
+      // All k elements equal and defined. Algorithm 1's distinct k-th
+      // elements make this unreachable between live transactions, but an
+      // externally seeded vector could in principle collide; refuse safely.
+      out.why = AbortReason::kEncodingExhausted;
+      return out;
+    case VectorOrder::kEqual: {
+      // Line 19: both elements undefined; encode TS(j, m) < TS(i, m).
+      if (j_is_virtual) {
+        out.why = AbortReason::kEncodingExhausted;  // TS(0) is immutable.
+        return out;
+      }
+      if (optimized_encoding && hot_item && m + 1 < k) {
+        // Section III-D-5: extend both prefixes with equal filler up to
+        // column k-2 and place the 1 < 2 pair there.
+        const size_t e = k - 2;
+        for (size_t h = m; h < e; ++h) {
+          tj.Set(h, 0);
+          ti.Set(h, 0);
+          out.elements_assigned += 2;
+        }
+        tj.Set(e, 1);
+        ti.Set(e, 2);
+        out.elements_assigned += 2;
+        out.hot_path = true;
+      } else if (m + 1 == k) {
+        // Last column: counter values keep every fully assigned vector
+        // distinguishable from every other.
+        const TsElement a = counters.Upper(kUndefinedElement);
+        const TsElement b = counters.Upper(a);
+        tj.Set(m, a);
+        ti.Set(m, b);
+        out.elements_assigned += 2;
+      } else {
+        // The plain '=' case below the last column: the constants 1 < 2.
+        // Columns other than the k-th may therefore hold equal values
+        // across different vectors, which is what lets MT(k) keep
+        // transactions unordered longer than MT(k-1) (Section III-C).
+        tj.Set(m, 1);
+        ti.Set(m, 2);
+        out.elements_assigned += 2;
+      }
+      out.ok = true;
+      out.encoded = true;
+      return out;
+    }
+    case VectorOrder::kUndetermined: {
+      // Line 20: exactly one of the two elements is undefined.
+      if (!ti.IsDefined(m)) {
+        // TS(i, m) is the undefined one.
+        const size_t p = tj.DefinedPrefixLength();
+        const bool optimize = optimized_encoding && hot_item && !j_is_virtual;
+        if (optimize && p + 1 < k) {
+          // Section III-D-5, the worked variant: copy TS(j)'s defined
+          // prefix into TS(i) and encode the dependency just past it
+          // (e.g. <1,3,*,*> vs <*,*,*,*> becomes <1,3,1,*> vs <1,3,2,*>).
+          for (size_t h = m; h < p; ++h) {
+            ti.Set(h, tj.Get(h));
+            ++out.elements_assigned;
+          }
+          tj.Set(p, 1);
+          ti.Set(p, 2);
+          out.elements_assigned += 2;
+          out.hot_path = true;
+        } else if (optimize && p + 1 == k) {
+          for (size_t h = m; h < p; ++h) {
+            ti.Set(h, tj.Get(h));
+            ++out.elements_assigned;
+          }
+          const TsElement a = counters.Upper(kUndefinedElement);
+          const TsElement b = counters.Upper(a);
+          tj.Set(p, a);
+          ti.Set(p, b);
+          out.elements_assigned += 2;
+          out.hot_path = true;
+        } else if (m + 1 == k) {
+          ti.Set(m, counters.Upper(tj.Get(m)));
+          ++out.elements_assigned;
+        } else {
+          ti.Set(m, tj.Get(m) + 1);
+          ++out.elements_assigned;
+        }
+      } else {
+        // TS(j, m) is the undefined one: shrink from the low side.
+        if (j_is_virtual) {
+          out.why = AbortReason::kEncodingExhausted;  // TS(0) is immutable.
+          return out;
+        }
+        if (m + 1 == k) {
+          tj.Set(m, counters.Lower(ti.Get(m)));
+        } else {
+          tj.Set(m, ti.Get(m) - 1);
+        }
+        ++out.elements_assigned;
+      }
+      out.ok = true;
+      out.encoded = true;
+      return out;
+    }
+  }
+  out.why = AbortReason::kEncodingExhausted;
+  return out;
+}
+
+}  // namespace mdts
+
+#endif  // MDTS_CORE_ENCODING_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/table_printer.h"
+#include "core/encoding.h"
 
 namespace mdts {
 
@@ -90,120 +91,29 @@ void MtkScheduler::RecordEncoding(TxnId from, TxnId to) {
   }
 }
 
-void MtkScheduler::EncodePairAt(TxnState& sj, TxnState& si, size_t m) {
-  // Algorithm 1's '=' case below the last column: the two elements are set
-  // to the constants 1 < 2. Columns other than the k-th may therefore hold
-  // equal values across different vectors, which is what lets MT(k) keep
-  // transactions unordered longer than MT(k-1) (Section III-C).
-  sj.ts.Set(m, 1);
-  si.ts.Set(m, 2);
-  stats_.elements_assigned += 2;
-}
-
 bool MtkScheduler::SetStates(TxnState& sj, TxnState& si, TxnId j, TxnId i,
                              bool hot_item) {
   if (j == i) return true;  // Line 15.
   ++stats_.set_calls;
-  const size_t k = options_.k;
   const VectorCompareResult cr = CompareStates(sj, si);
-  const size_t m = cr.index;
-  TimestampVector& tj = sj.ts;
-  TimestampVector& ti = si.ts;
-
-  switch (cr.order) {
-    case VectorOrder::kLess:
-      return true;  // Line 17: the dependency is already encoded.
-    case VectorOrder::kGreater:
-      // Line 18: the opposite order is fixed; must reject.
-      set_failure_ = AbortReason::kLexOrder;
-      return false;
-    case VectorOrder::kIdentical:
-      // All k elements equal and defined. Algorithm 1's distinct k-th
-      // elements make this unreachable between live transactions (the paper:
-      // "otherwise we cannot enforce any further dependency"), but an
-      // externally seeded vector could in principle collide; refuse safely.
-      set_failure_ = AbortReason::kEncodingExhausted;
-      return false;
-    case VectorOrder::kEqual: {
-      // Line 19: both elements undefined; encode TS(j,m) < TS(i,m).
-      // The optimized paths write into TS(j) as well, so they are skipped
-      // when j is the virtual transaction: TS(0) must stay <0,*,...,*>.
-      if (options_.optimized_encoding && hot_item && j != kVirtualTxn &&
-          m + 1 < k) {
-        // Section III-D-5: a dependency born on a hot item is pushed toward
-        // the right end of the vectors so the hot item does not force a
-        // total order. Both prefixes are extended with equal filler values
-        // up to column k-2, where the 1 < 2 pair is placed.
-        const size_t e = k - 2;
-        for (size_t h = m; h < e; ++h) {
-          tj.Set(h, 0);
-          ti.Set(h, 0);
-          stats_.elements_assigned += 2;
-        }
-        EncodePairAt(sj, si, e);
-      } else if (m + 1 == k) {
-        // Last column: use the global counters so every fully assigned
-        // vector stays distinguishable from every other.
-        tj.Set(m, ucount_);
-        ti.Set(m, ucount_ + 1);
-        ucount_ += 2;
-        stats_.elements_assigned += 2;
-      } else {
-        EncodePairAt(sj, si, m);
-      }
-      RecordEncoding(j, i);
-      return true;
-    }
-    case VectorOrder::kUndetermined: {
-      // Line 20: exactly one of the two elements is undefined.
-      if (!ti.IsDefined(m)) {
-        // TS(i,m) is the undefined one.
-        const size_t p = tj.DefinedPrefixLength();
-        const bool optimize =
-            options_.optimized_encoding && hot_item && j != kVirtualTxn;
-        if (optimize && p + 1 < k) {
-          // Section III-D-5, the worked variant: copy TS(j)'s defined
-          // prefix into TS(i) and encode the dependency just past it
-          // (e.g. <1,3,*,*> vs <*,*,*,*> becomes <1,3,1,*> vs <1,3,2,*>).
-          for (size_t h = m; h < p; ++h) {
-            ti.Set(h, tj.Get(h));
-            ++stats_.elements_assigned;
-          }
-          EncodePairAt(sj, si, p);
-        } else if (optimize && p + 1 == k) {
-          for (size_t h = m; h < p; ++h) {
-            ti.Set(h, tj.Get(h));
-            ++stats_.elements_assigned;
-          }
-          tj.Set(p, ucount_);
-          ti.Set(p, ucount_ + 1);
-          ucount_ += 2;
-          stats_.elements_assigned += 2;
-        } else if (m + 1 == k) {
-          ti.Set(m, ucount_);
-          ucount_ += 1;
-          ++stats_.elements_assigned;
-        } else {
-          ti.Set(m, tj.Get(m) + 1);
-          ++stats_.elements_assigned;
-        }
-      } else {
-        // TS(j,m) is the undefined one: shrink from the low side.
-        if (m + 1 == k) {
-          tj.Set(m, lcount_);
-          lcount_ -= 1;
-          ++stats_.elements_assigned;
-        } else {
-          tj.Set(m, ti.Get(m) - 1);
-          ++stats_.elements_assigned;
-        }
-      }
-      RecordEncoding(j, i);
-      return true;
-    }
+  // The scheduler's global counters ignore EncodeDependency's bound
+  // argument: a single monotone sequence per direction already exceeds
+  // (resp. undercuts) every value it handed out before.
+  struct Counters {
+    MtkScheduler* s;
+    TsElement Upper(TsElement) { return s->ucount_++; }
+    TsElement Lower(TsElement) { return s->lcount_--; }
+  };
+  const EncodeOutcome out = EncodeDependency(
+      cr, options_.k, sj.ts, si.ts, j == kVirtualTxn, hot_item,
+      options_.optimized_encoding, Counters{this});
+  stats_.elements_assigned += out.elements_assigned;
+  if (!out.ok) {
+    set_failure_ = out.why;
+    return false;
   }
-  set_failure_ = AbortReason::kEncodingExhausted;
-  return false;
+  if (out.encoded) RecordEncoding(j, i);
+  return true;
 }
 
 void MtkScheduler::ApplyStarvationSeed(TxnState& aborted,

@@ -264,8 +264,6 @@ class MtkScheduler {
 
   void RecordEncoding(TxnId from, TxnId to);
 
-  /// Encoding helpers (all positions 0-based; the paper's m is 1-based).
-  void EncodePairAt(TxnState& sj, TxnState& si, size_t m);
   void ApplyStarvationSeed(TxnState& aborted, const TxnState& blocker);
 
   VectorCompareResult CompareStates(const TxnState& a, const TxnState& b);

@@ -5,9 +5,50 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/encoding.h"
 #include "obs/trace.h"
 
 namespace mdts {
+
+namespace {
+
+/// Sorted set of shard indices for the deadlock-free ordered acquisition:
+/// insertion keeps the array ordered, membership is O(1) through the
+/// bitmask for indices < 64 (a linear scan beyond). Bounded at kCapacity
+/// entries; asking for more sets `overflow`, which callers answer by
+/// locking every shard.
+struct ShardLockSet {
+  static constexpr size_t kCapacity = 64;
+  uint32_t v[kCapacity];
+  size_t count = 0;
+  uint64_t mask = 0;
+  bool overflow = false;
+
+  uint32_t At(size_t q) const { return v[q]; }
+  bool Has(uint32_t s) const {
+    if (s < 64) return ((mask >> s) & 1) != 0;
+    for (size_t q = 0; q < count; ++q) {
+      if (v[q] == s) return true;
+    }
+    return false;
+  }
+  void Add(uint32_t s) {
+    if (Has(s)) return;
+    if (count == kCapacity) {
+      overflow = true;
+      return;
+    }
+    size_t q = count++;
+    while (q > 0 && v[q - 1] > s) {
+      v[q] = v[q - 1];
+      --q;
+    }
+    v[q] = s;
+    if (s < 64) mask |= uint64_t{1} << s;
+  }
+};
+
+}  // namespace
 
 ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     : options_(options),
@@ -31,6 +72,9 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_retries_ = reg->GetCounter("engine.lock_retries");
     m_fallbacks_ = reg->GetCounter("engine.full_lock_fallbacks");
     m_compactions_ = reg->GetCounter("engine.compactions");
+    m_batches_ = reg->GetCounter("engine.batches");
+    m_batch_ops_ = reg->GetCounter("engine.batch_ops");
+    m_hot_encodings_ = reg->GetCounter("engine.hot_encodings");
     m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
@@ -160,81 +204,54 @@ VectorCompareResult ShardedMtkEngine::CompareStates(Shard& shx,
 }
 
 bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
-                                 TxnId j, TxnId i, AbortReason* why) {
+                                 TxnId j, TxnId i, bool hot_item,
+                                 MirrorDelta& mir, AbortReason* why) {
   if (j == i) return true;  // Line 15.
   ++shx.stats.set_calls;
-  const size_t k = options_.k;
   const VectorCompareResult cr = CompareStates(shx, sj, si);
-  const size_t m = cr.index;
-  TimestampVector& tj = sj.ts;
-  TimestampVector& ti = si.ts;
-  switch (cr.order) {
-    case VectorOrder::kLess:
-      return true;  // Line 17: the dependency is already encoded.
-    case VectorOrder::kGreater:
-      *why = AbortReason::kLexOrder;
-      return false;  // Line 18: the opposite order is fixed.
-    case VectorOrder::kIdentical:
-      *why = AbortReason::kEncodingExhausted;  // Defensive, as MtkScheduler.
-      return false;
-    case VectorOrder::kEqual:
-      // Line 19: both elements undefined. j == T0 is unreachable here (T0
-      // has element 0 defined and no live vector carries 0 there), but
-      // refusing is cheaper than proving it in release builds, and TS(0)
-      // must never be written: it is read lock-free by every shard.
-      if (j == kVirtualTxn) {
-        *why = AbortReason::kEncodingExhausted;
-        return false;
-      }
-      if (m + 1 == k) {
-        const TsElement a = NextUpper(shx, kUndefinedElement);
-        const TsElement b = NextUpper(shx, a);
-        tj.Set(m, a);
-        ti.Set(m, b);
-      } else {
-        tj.Set(m, 1);
-        ti.Set(m, 2);
-      }
-      shx.stats.elements_assigned += 2;
-      return true;
-    case VectorOrder::kUndetermined:
-      // Line 20: exactly one of the two elements is undefined.
-      if (!ti.IsDefined(m)) {
-        ti.Set(m, m + 1 == k ? NextUpper(shx, tj.Get(m)) : tj.Get(m) + 1);
-      } else {
-        if (j == kVirtualTxn) {  // Unreachable; see above.
-          *why = AbortReason::kEncodingExhausted;
-          return false;
-        }
-        tj.Set(m, m + 1 == k ? NextLower(shx, ti.Get(m)) : ti.Get(m) - 1);
-      }
-      ++shx.stats.elements_assigned;
-      return true;
+  // Last-column values come from shard shx's counter pair, globally unique
+  // via the value * N + shard encoding; NextUpper/NextLower respect the
+  // caller's bound, which the cross-shard counter classes need.
+  struct Counters {
+    ShardedMtkEngine* e;
+    Shard* sh;
+    TsElement Upper(TsElement above) { return e->NextUpper(*sh, above); }
+    TsElement Lower(TsElement below) { return e->NextLower(*sh, below); }
+  };
+  const EncodeOutcome out = EncodeDependency(
+      cr, options_.k, sj.ts, si.ts, j == kVirtualTxn, hot_item,
+      options_.optimized_encoding, Counters{this, &shx});
+  shx.stats.elements_assigned += out.elements_assigned;
+  if (out.hot_path) {
+    ++shx.stats.hot_encodings;
+    ++mir.hot_encodings;
   }
-  *why = AbortReason::kEncodingExhausted;
-  return false;
+  if (!out.ok) {
+    *why = out.why;
+    return false;
+  }
+  return true;
 }
 
 OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
                                           ItemState& item, TxnState& si,
                                           const LiveRef& jr,
                                           const LiveRef& jw,
-                                          AbortReason* why) {
+                                          AbortReason* why,
+                                          MirrorDelta& mir) {
   EngineStats& st = shx.stats;
   const TxnId i = op.txn;
 
   auto refuse = [&](AbortReason reason) {
     ++st.rejected;
     st.reject_reasons.Add(reason);
-    if (m_rejected_[static_cast<size_t>(reason)] != nullptr) {
-      m_rejected_[static_cast<size_t>(reason)]->Add(1);
-    }
+    ++mir.rejected[static_cast<size_t>(reason)];
     if (why != nullptr) *why = reason;
     return OpDecision::kReject;
   };
   auto accept = [&]() {
     ++st.accepted;
-    if (m_accepted_ != nullptr) m_accepted_->Add(1);
+    ++mir.accepted;
     return OpDecision::kAccept;
   };
 
@@ -243,6 +260,12 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
     return refuse(AbortReason::kStaleTxn);
   }
   const uint32_t inc_i = LifeIncarnation(wi);
+
+  // Section III-D-5 hot-item detection, counted exactly as MtkScheduler
+  // does: decided non-stale operations bump the per-item access count, and
+  // the operation that crosses the threshold is itself encoded plainly.
+  const bool hot = item.access_count >= options_.hot_item_threshold;
+  ++item.access_count;
 
   // Lines 5-6: j is whichever of RT(x), WT(x) has the larger timestamp,
   // with RT(x) winning ties and undetermined comparisons.
@@ -267,7 +290,7 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   };
 
   if (op.type == OpType::kRead) {
-    if (SetStates(shx, *j.state, si, j.txn, i, &cause)) {
+    if (SetStates(shx, *j.state, si, j.txn, i, hot, mir, &cause)) {
       item.readers.push_back({i, inc_i});  // Line 7: RT(x) := i.
       item.top_reader = item.readers.back();
       return accept();
@@ -276,7 +299,7 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
     if (j.txn == jr.txn && !options_.disable_old_read_path) {
       const bool write_ordered =
           options_.relaxed_read_path
-              ? SetStates(shx, *jw.state, si, jw.txn, i, &cause)
+              ? SetStates(shx, *jw.state, si, jw.txn, i, hot, mir, &cause)
               : CompareStates(shx, *jw.state, si).order == VectorOrder::kLess;
       if (write_ordered) {
         return accept();  // RT(x) is not updated.
@@ -286,7 +309,7 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   }
 
   // Write.
-  if (SetStates(shx, *j.state, si, j.txn, i, &cause)) {
+  if (SetStates(shx, *j.state, si, j.txn, i, hot, mir, &cause)) {
     item.writers.push_back({i, inc_i});  // Line 12: WT(x) := i.
     item.top_writer = item.writers.back();
     return accept();
@@ -300,7 +323,7 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
         CompareStates(shx, si, *jw.state).order == VectorOrder::kLess;
     if (after_reads && before_writer) {
       ++st.ignored_writes;
-      if (m_ignored_ != nullptr) m_ignored_->Add(1);
+      ++mir.ignored;
       return OpDecision::kIgnore;
     }
   }
@@ -318,120 +341,175 @@ void ShardedMtkEngine::LockShard(Shard& sh) {
 
 OpDecision ShardedMtkEngine::Process(const Op& op, AbortReason* reason) {
   MDTS_TRACE_SPAN(op.type == OpType::kRead ? "engine.read" : "engine.write");
-  const TxnId i = op.txn;
-  Shard& shx = ShardForItem(op.item);
-  if (i == kVirtualTxn) {
-    // T0 is virtual; it issues no operations.
-    std::lock_guard<std::mutex> g(shx.mu);
-    ++shx.stats.rejected;
-    shx.stats.reject_reasons.Add(AbortReason::kInvalidOp);
-    constexpr size_t r = static_cast<size_t>(AbortReason::kInvalidOp);
-    if (m_rejected_[r] != nullptr) m_rejected_[r]->Add(1);
-    if (reason != nullptr) *reason = AbortReason::kInvalidOp;
-    return OpDecision::kReject;
+  OpDecision d = OpDecision::kReject;
+  ProcessBatch(std::span<const Op>(&op, 1), &d, reason);
+  return d;
+}
+
+size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
+                                      OpDecision* decisions,
+                                      AbortReason* reasons) {
+  MDTS_TRACE_SPAN("engine.batch");
+  const size_t n = ops.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_ops_.fetch_add(n, std::memory_order_relaxed);
+  if (m_batches_ != nullptr) {
+    m_batches_->Add(1);
+    m_batch_ops_->Add(static_cast<uint64_t>(n));
   }
-  Shard& shi = ShardForTxn(i);
+  if (n == 0) return 0;
+  if (reasons != nullptr) std::fill_n(reasons, n, AbortReason::kNone);
 
-  // Sorted lockset, at most four distinct shards: item, issuer, top reader,
-  // top writer. Insertion keeps it ordered for the deadlock-free ordered
-  // acquisition below.
-  uint32_t want[4];
-  size_t nwant = 0;
-  auto add_want = [&](uint32_t v) {
-    for (size_t q = 0; q < nwant; ++q) {
-      if (want[q] == v) return;
-    }
-    size_t q = nwant++;
-    while (q > 0 && want[q - 1] > v) {
-      want[q] = want[q - 1];
-      --q;
-    }
-    want[q] = v;
-  };
-  add_want(shx.index);
-  add_want(shi.index);
+  // Decided flags, inline for typical batch sizes.
+  constexpr size_t kInlineBatch = 128;
+  uint8_t inline_flags[kInlineBatch];
+  std::vector<uint8_t> heap_flags;
+  uint8_t* decided = inline_flags;
+  if (n > kInlineBatch) {
+    heap_flags.assign(n, 0);
+    decided = heap_flags.data();
+  } else {
+    std::fill_n(inline_flags, n, uint8_t{0});
+  }
 
+  // Round-one lockset: the union of every operation's base pair (item
+  // shard, issuer shard). Tops are discovered under the locks; with a few
+  // operations per batch the union usually covers them already, so the
+  // whole batch is decided under one sorted acquisition.
+  ShardLockSet want;
+  for (size_t q = 0; q < n; ++q) {
+    want.Add(static_cast<uint32_t>(ops[q].item % num_shards_));
+    if (ops[q].txn != kVirtualTxn) {
+      want.Add(static_cast<uint32_t>(ops[q].txn % num_shards_));
+    }
+  }
+
+  MirrorDelta mir;
+  size_t accepted = 0;
+  size_t undecided = n;
   uint64_t retries = 0;
   uint64_t fallbacks = 0;
   bool lock_all = false;
+  if (want.overflow) {  // More distinct shards than the set can track.
+    lock_all = true;
+    ++fallbacks;
+  }
+
   for (size_t attempt = 0;; ++attempt) {
-    if (lock_all) {
+    const bool all = lock_all;  // Lock and unlock must use the same mode.
+    if (all) {
       for (Shard& sh : shards_) LockShard(sh);
     } else {
-      for (size_t q = 0; q < nwant; ++q) LockShard(shards_[want[q]]);
+      for (size_t q = 0; q < want.count; ++q) {
+        LockShard(shards_[want.At(q)]);
+      }
     }
+    const bool cross = all || want.count > 1;
 
-    TxnState& si = StateLocked(shi, i);
-    ItemState& item = ItemLocked(shx, op.item);
-    // Resolve the tops under shard(x); liveness reads are lock-free, so
-    // this works even when the accessors' shards are not (yet) held.
-    const LiveRef jr = TopLiveOf(item.top_reader, item.readers);
-    const LiveRef jw = TopLiveOf(item.top_writer, item.writers);
-
-    bool covered = lock_all;
-    if (!covered) {
-      auto held = [&](TxnId t) {
-        if (t == kVirtualTxn) return true;  // T0 needs no lock.
-        const uint32_t s = static_cast<uint32_t>(t % num_shards_);
-        for (size_t q = 0; q < nwant; ++q) {
-          if (want[q] == s) return true;
+    ShardLockSet next;
+    for (size_t q = 0; q < n; ++q) {
+      if (decided[q] != 0) continue;
+      const Op& op = ops[q];
+      AbortReason* why = reasons != nullptr ? &reasons[q] : nullptr;
+      Shard& shx = ShardForItem(op.item);
+      if (op.txn == kVirtualTxn) {
+        // T0 is virtual; it issues no operations. Not an admission
+        // decision, so the single/cross-shard counters stay untouched.
+        ++shx.stats.rejected;
+        shx.stats.reject_reasons.Add(AbortReason::kInvalidOp);
+        ++mir.rejected[static_cast<size_t>(AbortReason::kInvalidOp)];
+        if (why != nullptr) *why = AbortReason::kInvalidOp;
+        decisions[q] = OpDecision::kReject;
+        decided[q] = 1;
+        --undecided;
+        continue;
+      }
+      Shard& shi = ShardForTxn(op.txn);
+      TxnState& si = StateLocked(shi, op.txn);
+      ItemState& item = ItemLocked(shx, op.item);
+      // Resolve the tops under shard(x); liveness reads are lock-free, so
+      // this works even when the accessors' shards are not (yet) held.
+      const LiveRef jr = TopLiveOf(item.top_reader, item.readers);
+      const LiveRef jw = TopLiveOf(item.top_writer, item.writers);
+      bool covered = all;
+      if (!covered) {
+        covered = (jr.txn == kVirtualTxn ||
+                   want.Has(static_cast<uint32_t>(jr.txn % num_shards_))) &&
+                  (jw.txn == kVirtualTxn ||
+                   want.Has(static_cast<uint32_t>(jw.txn % num_shards_)));
+      }
+      if (!covered) {
+        // Defer to the next round: its lockset is rebuilt from scratch
+        // around the undecided ops' base pairs plus the tops just
+        // observed, so stale shards from earlier rounds drop out.
+        next.Add(shx.index);
+        next.Add(shi.index);
+        if (jr.txn != kVirtualTxn) {
+          next.Add(static_cast<uint32_t>(jr.txn % num_shards_));
         }
-        return false;
-      };
-      covered = held(jr.txn) && held(jw.txn);
-    }
-
-    if (covered) {
+        if (jw.txn != kVirtualTxn) {
+          next.Add(static_cast<uint32_t>(jw.txn % num_shards_));
+        }
+        continue;
+      }
       // Everything DecideLocked touches - item stacks, the three vectors,
       // shard(x)'s counters - is under a held mutex. Liveness of jr/jw is
       // frozen too: clearing it needs their (held) shards.
-      EngineStats& st = shx.stats;
-      st.lock_retries += retries;
-      st.full_lock_fallbacks += fallbacks;
-      if (retries != 0 && m_retries_ != nullptr) m_retries_->Add(retries);
-      if (fallbacks != 0 && m_fallbacks_ != nullptr) {
-        m_fallbacks_->Add(fallbacks);
-      }
-      if (lock_all || nwant > 1) {
-        ++st.cross_shard_ops;
+      if (cross) {
+        ++shx.stats.cross_shard_ops;
       } else {
-        ++st.single_shard_ops;
+        ++shx.stats.single_shard_ops;
       }
-      const OpDecision d = DecideLocked(op, shx, item, si, jr, jw, reason);
-      if (lock_all) {
+      const OpDecision d = DecideLocked(op, shx, item, si, jr, jw, why, mir);
+      decisions[q] = d;
+      if (d == OpDecision::kAccept) ++accepted;
+      decided[q] = 1;
+      --undecided;
+    }
+
+    if (undecided == 0) {
+      // Attribute the batch's retry work to a shard we still hold.
+      Shard& sh0 = all ? shards_[0] : shards_[want.At(0)];
+      sh0.stats.lock_retries += retries;
+      sh0.stats.full_lock_fallbacks += fallbacks;
+      if (all) {
         for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
           it->mu.unlock();
         }
       } else {
-        for (size_t q = nwant; q-- > 0;) shards_[want[q]].mu.unlock();
+        for (size_t q = want.count; q-- > 0;) {
+          shards_[want.At(q)].mu.unlock();
+        }
       }
-      return d;
+      break;
     }
 
-    // The tops live on shards outside the lockset: unlock the set we
-    // hold, then rebuild it from scratch around the tops just observed
-    // (never more than four shards: item, issuer, reader, writer - stale
-    // entries from earlier rounds are dropped, which keeps the array
-    // bounded). Tops can keep shifting under contention, so after
-    // max_lock_retries unstable rounds take every lock.
-    const TxnId seen_jr = jr.txn;
-    const TxnId seen_jw = jw.txn;
-    for (size_t q = nwant; q-- > 0;) shards_[want[q]].mu.unlock();
-    nwant = 0;
-    add_want(shx.index);
-    add_want(shi.index);
-    if (seen_jr != kVirtualTxn) {
-      add_want(static_cast<uint32_t>(seen_jr % num_shards_));
-    }
-    if (seen_jw != kVirtualTxn) {
-      add_want(static_cast<uint32_t>(seen_jw % num_shards_));
-    }
+    // Some tops live on shards outside the lockset. all == false here: a
+    // full lock covers every top. Tops can keep shifting under contention,
+    // so after max_lock_retries unstable rounds take every lock.
+    assert(!all);
+    for (size_t q = want.count; q-- > 0;) shards_[want.At(q)].mu.unlock();
     ++retries;
-    if (attempt >= options_.max_lock_retries) {
+    want = next;
+    if (next.overflow || attempt >= options_.max_lock_retries) {
       lock_all = true;
       ++fallbacks;
     }
   }
+
+  // Flush the batch-accumulated registry deltas, one Add per touched
+  // counter, outside the locks (the counters are themselves atomic).
+  if (m_accepted_ != nullptr) {  // Null iff no registry is attached.
+    if (mir.accepted != 0) m_accepted_->Add(mir.accepted);
+    if (mir.ignored != 0) m_ignored_->Add(mir.ignored);
+    if (mir.hot_encodings != 0) m_hot_encodings_->Add(mir.hot_encodings);
+    for (size_t r = 1; r < kNumAbortReasons; ++r) {
+      if (mir.rejected[r] != 0) m_rejected_[r]->Add(mir.rejected[r]);
+    }
+    if (retries != 0) m_retries_->Add(retries);
+    if (fallbacks != 0) m_fallbacks_->Add(fallbacks);
+  }
+  return accepted;
 }
 
 void ShardedMtkEngine::CommitTxn(TxnId txn) {
@@ -595,8 +673,11 @@ EngineStats ShardedMtkEngine::stats() const {
     out.full_lock_fallbacks += s.full_lock_fallbacks;
     out.lock_contention += s.lock_contention;
     out.compactions += s.compactions;
+    out.hot_encodings += s.hot_encodings;
     out.reject_reasons += s.reject_reasons;
   }
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batch_ops = batch_ops_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/mtk_scheduler.h"
@@ -38,6 +39,18 @@ struct EngineOptions {
 
   /// Cross out Algorithm 1 lines 9-10 (see MtkOptions).
   bool disable_old_read_path = false;
+
+  /// Section III-D-5 hot-item right-end encoding (see
+  /// MtkOptions::optimized_encoding): dependencies born on frequently
+  /// accessed items are encoded near the right end of the vectors instead
+  /// of at the leftmost free element, so a hot item does not force a
+  /// premature total order. Same semantics as the scheduler's option (both
+  /// run the shared core/encoding.h helper).
+  bool optimized_encoding = false;
+
+  /// An item is "hot" for optimized encoding once it has been accessed this
+  /// many times (counted per item under its shard lock).
+  size_t hot_item_threshold = 8;
 
   /// If > 0, CompactAll() runs after every this many commits engine-wide,
   /// so memory stays bounded by live transactions instead of total history.
@@ -83,6 +96,12 @@ struct EngineStats {
   uint64_t lock_contention = 0;
   /// CompactAll() invocations.
   uint64_t compactions = 0;
+  /// ProcessBatch invocations (Process counts as a batch of one) and the
+  /// operations they carried; batch_ops / batches is the mean batch size.
+  uint64_t batches = 0;
+  uint64_t batch_ops = 0;
+  /// Dependencies encoded through the Section III-D-5 right-end layout.
+  uint64_t hot_encodings = 0;
   /// Per-reason breakdown of `rejected`; reject_reasons.total() == rejected.
   AbortReasonCounts reject_reasons;
 };
@@ -129,7 +148,31 @@ class ShardedMtkEngine {
 
   /// Algorithm 1's Scheduler procedure for one operation; thread-safe.
   /// On kReject, `*reason` (when non-null) receives the classified cause.
+  /// Implemented as a ProcessBatch of one.
   OpDecision Process(const Op& op, AbortReason* reason = nullptr);
+
+  /// Batched admission: decides every operation in `ops`, writing
+  /// decisions[q] for each (and, when `reasons` is non-null, reasons[q] -
+  /// kNone for non-rejected operations). Returns the number of accepted
+  /// operations. Thread-safe; `decisions` must hold ops.size() entries.
+  ///
+  /// The batch's shard lockset - the union of every operation's item and
+  /// issuer shards - is acquired once per optimistic round in sorted order,
+  /// and every operation whose top accessors are covered by it is decided
+  /// under that one acquisition, amortizing LockShard calls, liveness
+  /// resolution, and registry mirroring across the batch. Operations left
+  /// uncovered (a top accessor lives on an unlocked shard) are retried on
+  /// the next round under a lockset rebuilt around the tops just observed,
+  /// falling back to locking every shard after max_lock_retries rounds.
+  ///
+  /// Within a round, operations are decided in array order; an operation
+  /// deferred by coverage is decided in a later round, after array-later
+  /// covered operations - observably equivalent to the caller interleaving
+  /// its ops with other threads'. With num_shards == 1 every operation is
+  /// covered in round one, so the array order is exactly the decision
+  /// order and the batch is equivalent to ops.size() Process calls.
+  size_t ProcessBatch(std::span<const Op> ops, OpDecision* decisions,
+                      AbortReason* reasons = nullptr);
 
   /// Marks the transaction committed; triggers CompactAll() every
   /// compact_every commits engine-wide.
@@ -198,6 +241,7 @@ class ShardedMtkEngine {
     Access top_writer;  // MtkScheduler::ItemState).
     std::vector<Access> readers;
     std::vector<Access> writers;
+    uint64_t access_count = 0;  // For hot-item detection (III-D-5).
   };
 
   struct alignas(64) Shard {
@@ -219,6 +263,17 @@ class ShardedMtkEngine {
     TxnId txn = kVirtualTxn;
     uint32_t incarnation = 0;
     TxnState* state = nullptr;
+  };
+
+  /// Registry deltas accumulated across one batch and flushed once after
+  /// the locks drop, so mirroring costs O(1) registry touches per batch
+  /// instead of one per operation. The per-shard EngineStats are still
+  /// updated inline under the shard locks.
+  struct MirrorDelta {
+    uint64_t accepted = 0;
+    uint64_t ignored = 0;
+    uint64_t hot_encodings = 0;
+    uint64_t rejected[kNumAbortReasons] = {};
   };
 
   static uint64_t LoadLife(const TxnState& s) {
@@ -262,17 +317,19 @@ class ShardedMtkEngine {
   VectorCompareResult CompareStates(Shard& shx, const TxnState& a,
                                     const TxnState& b);
 
-  /// Algorithm 1's Set(j, i) under the covering locks, using shard shx's
-  /// counters for last-column assignments. On false, `why` receives the
-  /// classified cause (kLexOrder or kEncodingExhausted).
+  /// Algorithm 1's Set(j, i) under the covering locks, running the shared
+  /// core/encoding.h helper with shard shx's counters for last-column
+  /// assignments. On false, `why` receives the classified cause (kLexOrder
+  /// or kEncodingExhausted).
   bool SetStates(Shard& shx, TxnState& sj, TxnState& si, TxnId j, TxnId i,
-                 AbortReason* why);
+                 bool hot_item, MirrorDelta& mir, AbortReason* why);
 
   /// The decision body; every referenced shard's mutex is held. On kReject,
-  /// `*why` (when non-null) receives the classified cause.
+  /// `*why` (when non-null) receives the classified cause. Registry deltas
+  /// go to `mir`, flushed by ProcessBatch after the locks drop.
   OpDecision DecideLocked(const Op& op, Shard& shx, ItemState& item,
                           TxnState& si, const LiveRef& jr, const LiveRef& jw,
-                          AbortReason* why);
+                          AbortReason* why, MirrorDelta& mir);
 
   /// Acquires sh.mu, counting the acquisition as contended (per-shard
   /// stats, registry mirror, trace instant) when try_lock fails first.
@@ -287,6 +344,9 @@ class ShardedMtkEngine {
   /// Engine-wide commit counter driving the compact_every trigger. Relaxed:
   /// an occasional early or late CompactAll is harmless.
   std::atomic<uint64_t> commits_since_compact_{0};
+  /// Engine-wide batch counters (a batch has no single owning shard).
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_ops_{0};
 
   /// Registry mirrors, resolved once at construction; all null when
   /// options.metrics == nullptr, so the hot path pays one predictable
@@ -298,6 +358,9 @@ class ShardedMtkEngine {
   Counter* m_retries_ = nullptr;
   Counter* m_fallbacks_ = nullptr;
   Counter* m_compactions_ = nullptr;
+  Counter* m_batches_ = nullptr;
+  Counter* m_batch_ops_ = nullptr;
+  Counter* m_hot_encodings_ = nullptr;
   Gauge* m_consec_aborts_ = nullptr;
 };
 

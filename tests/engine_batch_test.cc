@@ -1,0 +1,214 @@
+// Concurrency suite for the batched admission pipeline: mixed
+// Process / ProcessBatch / CommitTxn / RestartTxn / CompactAll traffic from
+// several threads must be race-clean (the suite is labeled engine-batch so
+// the tsan-engine-batch preset can run exactly this binary under
+// ThreadSanitizer) and must reconcile its counters afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/types.h"
+#include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+
+namespace mdts {
+namespace {
+
+// One worker driving `width` concurrent transactions, one operation per
+// transaction per ProcessBatch call — the closed-loop shape the benchmark
+// uses. Returns the number of transactions committed.
+uint64_t BatchWorker(ShardedMtkEngine& engine, size_t t, size_t stride,
+                     size_t width, uint32_t txns_to_commit, ItemId items,
+                     size_t ops_per_txn, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  struct Slot {
+    TxnId txn = 0;
+    size_t done = 0;  // Accepted operations so far.
+  };
+  std::vector<Slot> slots(width);
+  uint32_t started = 0;
+  uint64_t committed = 0;
+  for (Slot& s : slots) {
+    s.txn = static_cast<TxnId>(1 + t + started * stride);
+    ++started;
+  }
+  std::vector<Op> batch(width);
+  std::vector<OpDecision> dec(width);
+  uint64_t rounds = 0;
+  while (committed < txns_to_commit) {
+    if (++rounds > 2000000) {
+      ADD_FAILURE() << "batch worker " << t << " starved at " << committed
+                    << "/" << txns_to_commit;
+      break;
+    }
+    for (size_t b = 0; b < width; ++b) {
+      batch[b].txn = slots[b].txn;
+      batch[b].type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+      batch[b].item = static_cast<ItemId>(rng() % items);
+    }
+    engine.ProcessBatch(std::span<const Op>(batch.data(), width), dec.data());
+    for (size_t b = 0; b < width; ++b) {
+      Slot& s = slots[b];
+      if (dec[b] == OpDecision::kReject) {
+        engine.RestartTxn(s.txn);
+        s.done = 0;
+        continue;
+      }
+      if (++s.done < ops_per_txn) continue;
+      engine.CommitTxn(s.txn);
+      ++committed;
+      s.txn = static_cast<TxnId>(1 + t + started * stride);
+      ++started;
+      s.done = 0;
+    }
+  }
+  return committed;
+}
+
+TEST(EngineBatchConcurrencyTest, MixedBatchPerOpAndCompactionTraffic) {
+  constexpr size_t kBatchWorkers = 2;
+  constexpr size_t kPerOpWorkers = 1;
+  constexpr size_t kStride = kBatchWorkers + kPerOpWorkers;
+  constexpr uint32_t kTxnsPerWorker = 400;
+  constexpr ItemId kItems = 32;
+  constexpr size_t kOpsPerTxn = 4;
+
+  MetricsRegistry reg;
+  EngineOptions eo;
+  eo.k = 7;
+  eo.num_shards = 8;
+  eo.starvation_fix = true;
+  eo.optimized_encoding = true;  // Exercise the hot-item paths under races.
+  eo.hot_item_threshold = 8;
+  eo.metrics = &reg;
+  ShardedMtkEngine engine(eo);
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kBatchWorkers; ++t) {
+    threads.emplace_back([&engine, &committed, t] {
+      committed += BatchWorker(engine, t, kStride, /*width=*/8,
+                               kTxnsPerWorker, kItems, kOpsPerTxn, 900 + t);
+    });
+  }
+  for (size_t t = kBatchWorkers; t < kStride; ++t) {
+    threads.emplace_back([&engine, &committed, t] {
+      // Per-op closed loop sharing the same items and shard set.
+      std::mt19937_64 rng(900 + t);
+      for (uint32_t n = 0; n < kTxnsPerWorker; ++n) {
+        const TxnId txn = static_cast<TxnId>(1 + t + n * kStride);
+        size_t attempts = 0;
+        for (;;) {
+          // Generous bound: on a loaded single-core machine one per-op
+          // transaction can lose many scheduling rounds to the 16
+          // concurrent batch transactions before making progress.
+          ASSERT_LT(++attempts, 2000000u) << "txn " << txn << " starved";
+          bool ok = true;
+          for (size_t o = 0; o < kOpsPerTxn && ok; ++o) {
+            Op op;
+            op.txn = txn;
+            op.type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+            op.item = static_cast<ItemId>(rng() % kItems);
+            ok = engine.Process(op) != OpDecision::kReject;
+          }
+          if (ok) {
+            engine.CommitTxn(txn);
+            ++committed;
+            break;
+          }
+          engine.RestartTxn(txn);
+        }
+      }
+    });
+  }
+  // Churn worker: stop-the-world compactions, stats merges and vector
+  // snapshots racing the admission traffic.
+  threads.emplace_back([&engine, &done] {
+    uint64_t spins = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      engine.CompactAll();
+      (void)engine.stats();
+      (void)engine.TsSnapshot(kVirtualTxn);
+      (void)engine.IsCommitted(1 + (spins % 64));
+      ++spins;
+      std::this_thread::yield();
+    }
+  });
+  for (size_t t = 0; t < kStride; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+  // The churn thread may never get scheduled on a loaded single-core
+  // machine before the workers finish; compact once so the stats
+  // assertions below are deterministic.
+  engine.CompactAll();
+
+  // Batch workers check their quota once per round, so the last round can
+  // commit up to width - 1 extra transactions.
+  EXPECT_GE(committed.load(), kStride * kTxnsPerWorker);
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.reject_reasons.total(), st.rejected);
+  EXPECT_GT(st.batches, 0u);
+  EXPECT_GT(st.batch_ops, st.batches);  // Batch workers used width 8.
+  EXPECT_GT(st.hot_encodings, 0u);
+  EXPECT_GT(st.compactions, 0u);
+  // Every decided operation took exactly one covered lock round.
+  EXPECT_EQ(st.accepted + st.ignored_writes + st.rejected,
+            st.single_shard_ops + st.cross_shard_ops);
+  // Registry mirrors flushed per batch must agree with the shard stats.
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("engine.accepted"), st.accepted);
+  EXPECT_EQ(snap.CounterValue("engine.batches"), st.batches);
+  EXPECT_EQ(snap.CounterValue("engine.batch_ops"), st.batch_ops);
+  EXPECT_EQ(snap.CounterValue("engine.hot_encodings"), st.hot_encodings);
+  EXPECT_EQ(snap.CounterSum("engine.rejected."), st.rejected);
+}
+
+TEST(EngineBatchConcurrencyTest, ConcurrentBatchesOnDisjointPartitions) {
+  constexpr size_t kThreads = 4;
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = kThreads;
+  eo.compact_every = 128;
+  ShardedMtkEngine engine(eo);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      // Thread t's transactions and items all map to shard t, so each batch
+      // should stay on the single-shard lockset.
+      std::vector<Op> batch;
+      std::vector<OpDecision> dec(8);
+      for (uint32_t n = 0; n < 500; ++n) {
+        const TxnId txn = static_cast<TxnId>((n + 1) * kThreads + t);
+        batch.clear();
+        for (uint32_t o = 0; o < 8; ++o) {
+          const ItemId item =
+              static_cast<ItemId>(((n * 8 + o) % 16) * kThreads + t);
+          batch.push_back(Op{txn, o % 2 == 0 ? OpType::kRead : OpType::kWrite,
+                             item});
+        }
+        const size_t acc = engine.ProcessBatch(
+            std::span<const Op>(batch.data(), batch.size()), dec.data());
+        ASSERT_EQ(acc, batch.size());
+        engine.CommitTxn(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.accepted, kThreads * 500 * 8);
+  EXPECT_EQ(st.cross_shard_ops, 0u);
+  EXPECT_EQ(st.batches, kThreads * 500);
+  EXPECT_EQ(st.batch_ops, kThreads * 500 * 8);
+}
+
+}  // namespace
+}  // namespace mdts

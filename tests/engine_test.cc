@@ -4,11 +4,15 @@
 
 #include <algorithm>
 #include <random>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/mtk_scheduler.h"
 #include "core/types.h"
+#include "obs/abort_reason.h"
+#include "obs/metrics.h"
 
 namespace mdts {
 namespace {
@@ -157,6 +161,202 @@ TEST(EngineEquivalenceTest, SingleShardMatchesSchedulerWithCompaction) {
   }
   EXPECT_GT(engine.stats().txns_released, 0u);
   EXPECT_GT(engine.stats().compactions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batched admission: ProcessBatch with num_shards = 1 decides in array
+// order, so feeding the same stream to MtkScheduler one operation at a time
+// must produce elementwise-identical decisions and final vectors — with the
+// III-D-5 optimized encoding off and on (both sides run the shared
+// core/encoding.h helper, so the hot-item paths must also agree).
+// ---------------------------------------------------------------------------
+
+void RunBatchEquivalence(const EquivConfig& cfg, bool optimized_encoding,
+                         size_t batch_size, uint64_t seed) {
+  MtkOptions mo;
+  mo.k = cfg.k;
+  mo.starvation_fix = cfg.starvation_fix;
+  mo.thomas_write_rule = cfg.thomas_write_rule;
+  mo.relaxed_read_path = cfg.relaxed_read_path;
+  mo.disable_old_read_path = cfg.disable_old_read_path;
+  mo.optimized_encoding = optimized_encoding;
+  mo.hot_item_threshold = 6;
+  MtkScheduler sched(mo);
+
+  EngineOptions eo;
+  eo.k = cfg.k;
+  eo.num_shards = 1;
+  eo.starvation_fix = cfg.starvation_fix;
+  eo.thomas_write_rule = cfg.thomas_write_rule;
+  eo.relaxed_read_path = cfg.relaxed_read_path;
+  eo.disable_old_read_path = cfg.disable_old_read_path;
+  eo.optimized_encoding = optimized_encoding;
+  eo.hot_item_threshold = 6;
+  ShardedMtkEngine engine(eo);
+
+  std::mt19937_64 rng(seed);
+  constexpr ItemId kItems = 10;
+  constexpr size_t kLive = 16;
+  constexpr size_t kRounds = 500;
+
+  std::vector<TxnId> live;
+  TxnId next_txn = 1;
+  for (size_t n = 0; n < kLive; ++n) live.push_back(next_txn++);
+  std::vector<TxnId> all_txns = live;
+
+  std::vector<Op> batch(batch_size);
+  std::vector<OpDecision> want(batch_size);
+  std::vector<OpDecision> got(batch_size);
+  std::vector<AbortReason> why(batch_size);
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    // A batch may contain several operations of one transaction, including
+    // a transaction an earlier operation in the same batch aborts: both
+    // sides then classify the later operations as stale rejects, because
+    // the single-shard batch decides in array order like the sequential
+    // scheduler.
+    for (size_t b = 0; b < batch_size; ++b) {
+      Op& op = batch[b];
+      op.txn = live[rng() % live.size()];
+      op.type = rng() % 8 < 5 ? OpType::kRead : OpType::kWrite;
+      op.item = static_cast<ItemId>(rng() % kItems);
+    }
+    size_t want_accepts = 0;
+    for (size_t b = 0; b < batch_size; ++b) {
+      want[b] = sched.Process(batch[b]);
+      if (want[b] == OpDecision::kAccept) ++want_accepts;
+    }
+    const size_t accepts = engine.ProcessBatch(
+        std::span<const Op>(batch.data(), batch_size), got.data(), why.data());
+    ASSERT_EQ(accepts, want_accepts) << "round " << round;
+    for (size_t b = 0; b < batch_size; ++b) {
+      ASSERT_EQ(want[b], got[b])
+          << "round " << round << " pos " << b << " txn " << batch[b].txn
+          << " item " << batch[b].item;
+      if (got[b] == OpDecision::kReject) {
+        EXPECT_NE(why[b], AbortReason::kNone) << "round " << round;
+      } else {
+        EXPECT_EQ(why[b], AbortReason::kNone) << "round " << round;
+      }
+    }
+    // Lifecycle between batches, mirrored on both sides.
+    for (TxnId& slot : live) {
+      const TxnId t = slot;
+      ASSERT_EQ(sched.IsAborted(t), engine.IsAborted(t)) << "txn " << t;
+      if (sched.IsAborted(t)) {
+        if (rng() % 2 == 0) {
+          sched.RestartTxn(t);
+          engine.RestartTxn(t);
+        }
+      } else if (rng() % 8 == 0) {
+        sched.CommitTxn(t);
+        engine.CommitTxn(t);
+        slot = next_txn;
+        all_txns.push_back(next_txn);
+        ++next_txn;
+      }
+    }
+  }
+
+  for (TxnId t : all_txns) {
+    ASSERT_EQ(sched.IsAborted(t), engine.IsAborted(t)) << "txn " << t;
+    ASSERT_EQ(sched.IsCommitted(t), engine.IsCommitted(t)) << "txn " << t;
+    EXPECT_TRUE(sched.Ts(t) == engine.TsSnapshot(t))
+        << "txn " << t << ": " << sched.Ts(t).ToString() << " vs "
+        << engine.TsSnapshot(t).ToString();
+  }
+  EXPECT_TRUE(sched.Ts(kVirtualTxn) == engine.TsSnapshot(kVirtualTxn));
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.batches, kRounds);
+  EXPECT_EQ(st.batch_ops, kRounds * batch_size);
+  if (optimized_encoding && cfg.k >= 2) {
+    // Hot encodings only exist on the engine side of this check; the
+    // vector equality above already proved the scheduler produced the
+    // same right-end placements. k = 1 leaves no room for a right-end
+    // placement, so the hot paths never fire there.
+    EXPECT_GT(st.hot_encodings, 0u);
+  } else if (!optimized_encoding) {
+    EXPECT_EQ(st.hot_encodings, 0u);
+  }
+}
+
+TEST(EngineBatchEquivalenceTest, BatchedSingleShardMatchesSchedulerAcrossSizes) {
+  uint64_t seed = 30260805;
+  for (size_t batch : {size_t{1}, size_t{2}, size_t{7}, size_t{16},
+                       size_t{64}, size_t{160}}) {
+    for (bool optimized : {false, true}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) +
+                   " optimized=" + std::to_string(optimized));
+      RunBatchEquivalence({3, true, true, false, false}, optimized, batch,
+                          seed++);
+    }
+  }
+}
+
+TEST(EngineBatchEquivalenceTest, BatchedEquivalenceAcrossConfigs) {
+  const EquivConfig configs[] = {
+      {1, false, false, false, false}, {2, false, false, false, false},
+      {3, false, false, false, false}, {5, true, false, false, false},
+      {3, false, false, true, false},  {3, false, false, false, true},
+  };
+  uint64_t seed = 40260805;
+  for (const EquivConfig& cfg : configs) {
+    for (bool optimized : {false, true}) {
+      SCOPED_TRACE("k=" + std::to_string(cfg.k) +
+                   " fix=" + std::to_string(cfg.starvation_fix) +
+                   " relaxed=" + std::to_string(cfg.relaxed_read_path) +
+                   " no_old_read=" + std::to_string(cfg.disable_old_read_path) +
+                   " optimized=" + std::to_string(optimized));
+      RunBatchEquivalence(cfg, optimized, 8, seed++);
+    }
+  }
+}
+
+// With the III-D-5 encoding on, right-end placements through hot items must
+// leave fewer totally-ordered pairs than the leftmost-free placement: two
+// transactions that only share a hot item can stay unordered. The sequential
+// single-shard engine shows the accept-count benefit directly.
+TEST(EngineBatchEquivalenceTest, OptimizedEncodingAcceptsMoreOnHotItems) {
+  auto run = [](bool optimized) {
+    EngineOptions eo;
+    eo.k = 3;
+    eo.num_shards = 1;
+    eo.starvation_fix = true;
+    eo.optimized_encoding = optimized;
+    eo.hot_item_threshold = 4;
+    ShardedMtkEngine engine(eo);
+    std::mt19937_64 rng(515151);
+    std::vector<TxnId> live;
+    TxnId next_txn = 1;
+    for (size_t n = 0; n < 24; ++n) live.push_back(next_txn++);
+    std::vector<Op> batch(16);
+    for (size_t round = 0; round < 400; ++round) {
+      for (Op& op : batch) {
+        op.txn = live[rng() % live.size()];
+        op.type = rng() % 8 < 5 ? OpType::kRead : OpType::kWrite;
+        op.item = static_cast<ItemId>(rng() % 4);  // All items run hot.
+      }
+      std::vector<OpDecision> dec(batch.size());
+      engine.ProcessBatch(std::span<const Op>(batch.data(), batch.size()),
+                          dec.data());
+      for (TxnId& slot : live) {
+        if (engine.IsAborted(slot)) {
+          engine.RestartTxn(slot);
+        } else if (rng() % 8 == 0) {
+          engine.CommitTxn(slot);
+          slot = next_txn++;
+        }
+      }
+    }
+    return engine.stats();
+  };
+  const EngineStats off = run(false);
+  const EngineStats on = run(true);
+  EXPECT_EQ(off.hot_encodings, 0u);
+  EXPECT_GT(on.hot_encodings, 0u);
+  EXPECT_GT(on.accepted, off.accepted)
+      << "optimized " << on.accepted << "/" << on.rejected << " vs plain "
+      << off.accepted << "/" << off.rejected;
 }
 
 // ---------------------------------------------------------------------------
@@ -372,6 +572,70 @@ TEST(ShardedEngineTest, VirtualTransactionIsProtectedAndImmutable) {
     engine.Process(Op{t, OpType::kWrite, t % 5});
   }
   EXPECT_TRUE(engine.TsSnapshot(kVirtualTxn) == t0);
+}
+
+// Batch-path rejects must land in EngineStats.reject_reasons and in the
+// mirrored registry counters: per-reason equality, total() == rejected, and
+// the engine.batches / engine.batch_ops counters matching the stats struct.
+TEST(ShardedEngineTest, BatchRejectsReconcileWithStatsAndRegistry) {
+  MetricsRegistry reg;
+  EngineOptions eo;
+  eo.k = 2;  // Small vectors: plenty of lex-order / exhausted rejects.
+  eo.num_shards = 4;
+  eo.metrics = &reg;
+  ShardedMtkEngine engine(eo);
+
+  std::mt19937_64 rng(20260805);
+  constexpr ItemId kItems = 4;
+  constexpr size_t kRounds = 400;
+  constexpr size_t kBatch = 16;
+  std::vector<TxnId> live;
+  TxnId next_txn = 1;
+  for (size_t n = 0; n < 12; ++n) live.push_back(next_txn++);
+
+  std::vector<Op> batch(kBatch);
+  std::vector<OpDecision> dec(kBatch);
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (Op& op : batch) {
+      // Mix in T0 submissions (kInvalidOp) and operations of transactions
+      // aborted earlier in the run or earlier in this very batch
+      // (kStaleTxn) alongside ordinary conflicting traffic.
+      op.txn = rng() % 32 == 0 ? kVirtualTxn : live[rng() % live.size()];
+      op.type = rng() % 2 == 0 ? OpType::kRead : OpType::kWrite;
+      op.item = static_cast<ItemId>(rng() % kItems);
+    }
+    engine.ProcessBatch(std::span<const Op>(batch.data(), kBatch), dec.data());
+    for (TxnId& slot : live) {
+      if (engine.IsAborted(slot)) {
+        if (rng() % 2 == 0) engine.RestartTxn(slot);
+      } else if (rng() % 8 == 0) {
+        engine.CommitTxn(slot);
+        slot = next_txn++;
+      }
+    }
+  }
+
+  const EngineStats st = engine.stats();
+  EXPECT_GT(st.rejected, 0u);
+  EXPECT_EQ(st.reject_reasons.total(), st.rejected);
+  EXPECT_GT(st.reject_reasons[AbortReason::kLexOrder], 0u);
+  EXPECT_GT(st.reject_reasons[AbortReason::kStaleTxn], 0u);
+  EXPECT_GT(st.reject_reasons[AbortReason::kInvalidOp], 0u);
+  EXPECT_EQ(st.batches, kRounds);
+  EXPECT_EQ(st.batch_ops, kRounds * kBatch);
+
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("engine.accepted"), st.accepted);
+  EXPECT_EQ(snap.CounterValue("engine.batches"), st.batches);
+  EXPECT_EQ(snap.CounterValue("engine.batch_ops"), st.batch_ops);
+  EXPECT_EQ(snap.CounterSum("engine.rejected."), st.rejected);
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    const AbortReason reason = static_cast<AbortReason>(r);
+    EXPECT_EQ(snap.CounterValue(std::string("engine.rejected.") +
+                                AbortReasonName(reason)),
+              st.reject_reasons[reason])
+        << AbortReasonName(reason);
+  }
 }
 
 }  // namespace
