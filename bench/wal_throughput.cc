@@ -1,0 +1,326 @@
+// Durability overhead sweep for the Taurus-style parallel WAL: sync policy
+// x group-commit window x threads over the sharded MT(k) engine, against
+// the in-memory (wal = nullptr) baseline. Goodput is committed
+// transactions per second in a closed loop - every worker retries its
+// transaction until it commits, appends land before the commit is
+// acknowledged - so the numbers honestly include abort handling, restart
+// costs and the fsync stalls of each policy. After every durable run the
+// log is recovered and the record count audited against the engine's
+// append count; any mismatch fails the run (non-zero exit).
+//
+// Results are upserted into a JSON results file (default BENCH_core.json)
+// keyed by benchmark name. The machine's hardware thread count rides along
+// in each record: on a single-core container the multi-thread rows measure
+// oversubscription, not scaling, and readers can judge.
+//
+// CI smoke modes (used by the recovery-smoke workflow step):
+//   wal_throughput --crash-after=N --dir=D   drive load until the WAL has
+//       appended N records, then die abruptly (std::_Exit) mid-write: no
+//       destructors, no flushes - a real torn process image under D.
+//   wal_throughput --recover --dir=D         recover D, rebuild an engine
+//       from the merged records, print what survived; exit 0 on success.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_clock.h"
+#include "common/bench_json.h"
+#include "common/table_printer.h"
+#include "core/types.h"
+#include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+#include "wal/wal.h"
+
+namespace mdts {
+namespace {
+
+// xorshift64* - tiny, deterministic, allocation-free.
+inline uint64_t NextRand(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *s = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+constexpr size_t kVectorK = 4;
+constexpr ItemId kItems = 256;
+constexpr size_t kOpsPerTxn = 4;
+
+struct RunResult {
+  uint64_t committed = 0;
+  uint64_t ops_accepted = 0;
+  double seconds = 0.0;
+  WalStats wal;
+
+  double goodput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+};
+
+// Closed loop: `threads` workers, each driving one transaction at a time to
+// commit (retrying on reject), stopping once the stopwatch passes `secs`.
+// `crash_after` > 0 kills the process outright once the WAL has that many
+// appends (the CI smoke's mid-write crash).
+RunResult RunLoad(ShardedMtkEngine& engine, ParallelWal* wal, double secs,
+                  size_t threads, uint64_t crash_after) {
+  std::vector<std::thread> pool;
+  std::vector<uint64_t> committed(threads, 0);
+  std::vector<uint64_t> accepted(threads, 0);
+  Stopwatch clock;
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      uint64_t rng = 0x9E3779B97F4A7C15ULL * (t + 1);
+      uint32_t n = 0;
+      while (clock.ElapsedSeconds() < secs) {
+        const TxnId txn = static_cast<TxnId>(1 + t + n * threads);
+        ++n;
+        for (;;) {
+          bool ok = true;
+          uint64_t acc = 0;
+          for (size_t o = 0; o < kOpsPerTxn && ok; ++o) {
+            const uint64_t r = NextRand(&rng);
+            Op op;
+            op.txn = txn;
+            op.type = r % 2 == 0 ? OpType::kRead : OpType::kWrite;
+            op.item = static_cast<ItemId>((r >> 8) % kItems);
+            ok = engine.Process(op) != OpDecision::kReject;
+            acc += ok;
+          }
+          if (ok) {
+            engine.CommitTxn(txn);
+            ++committed[t];
+            accepted[t] += acc;
+            break;
+          }
+          engine.RestartTxn(txn);
+        }
+        if (crash_after > 0 && wal != nullptr &&
+            wal->stats().appends >= crash_after) {
+          std::_Exit(3);  // Abrupt: buffered WAL tails are torn on purpose.
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  RunResult out;
+  out.seconds = clock.ElapsedSeconds();
+  for (size_t t = 0; t < threads; ++t) {
+    out.committed += committed[t];
+    out.ops_accepted += accepted[t];
+  }
+  if (wal != nullptr) out.wal = wal->stats();
+  return out;
+}
+
+EngineOptions BaseEngineOptions() {
+  EngineOptions eo;
+  eo.k = kVectorK;
+  eo.num_shards = 4;
+  eo.starvation_fix = true;
+  eo.compact_every = 4096;
+  return eo;
+}
+
+struct PolicyConfig {
+  const char* name;
+  WalSyncPolicy policy;
+  size_t window;  // group_commit_ops; meaningful for kGroupCommit only.
+};
+
+int failures = 0;
+
+// One durable run: fresh log dir, engine with the WAL attached, then a
+// recovery audit - every acknowledged append must come back.
+RunResult RunDurable(const std::string& dir, const PolicyConfig& cfg,
+                     double secs, size_t threads) {
+  std::filesystem::remove_all(dir);
+  WalOptions wo;
+  wo.dir = dir;
+  wo.num_streams = threads;
+  wo.k = kVectorK;
+  wo.sync_policy = cfg.policy;
+  wo.group_commit_ops = cfg.window;
+  ParallelWal wal(wo);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open WAL under %s\n", dir.c_str());
+    ++failures;
+    return {};
+  }
+  EngineOptions eo = BaseEngineOptions();
+  eo.wal = &wal;
+  ShardedMtkEngine engine(eo);
+  RunResult r = RunLoad(engine, &wal, secs, threads, 0);
+  wal.Close();  // Clean shutdown: flush + fsync every stream.
+  r.wal = wal.stats();
+  const WalRecovery rec = ParallelWal::Recover(dir);
+  if (!rec.ok || rec.torn_streams != 0 || rec.records.size() != r.wal.appends) {
+    std::fprintf(stderr,
+                 "FAIL: %s/%zu/%zut recovery mismatch: ok=%d torn=%zu "
+                 "records=%zu appends=%llu\n",
+                 cfg.name, cfg.window, threads, rec.ok ? 1 : 0,
+                 rec.torn_streams, rec.records.size(),
+                 static_cast<unsigned long long>(r.wal.appends));
+    ++failures;
+  }
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+int RunSweep(const std::string& out_path, const std::string& base_dir,
+             double secs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("WAL durability sweep: %zu-op txns over %u items, k=%zu, "
+              "%.2fs per cell, %u hardware threads\n\n",
+              kOpsPerTxn, kItems, kVectorK, secs, hw);
+
+  const PolicyConfig policies[] = {
+      {"none", WalSyncPolicy::kNone, 0},
+      {"group", WalSyncPolicy::kGroupCommit, 8},
+      {"group", WalSyncPolicy::kGroupCommit, 64},
+      {"every_commit", WalSyncPolicy::kEveryCommit, 0},
+  };
+  TablePrinter table({"threads", "policy", "window", "goodput txn/s",
+                      "overhead %", "fsyncs", "wal MB"});
+  for (size_t threads : {1u, 2u, 4u}) {
+    EngineOptions eo = BaseEngineOptions();
+    ShardedMtkEngine baseline_engine(eo);
+    const RunResult base = RunLoad(baseline_engine, nullptr, secs, threads, 0);
+    table.AddRow({std::to_string(threads), "in-memory", "-",
+                  FormatDouble(base.goodput(), 0), "0.0", "-", "-"});
+    BenchFields fields = {{"hardware_threads", JsonNum(hw)},
+                          {"seconds_per_cell", JsonNum(secs)},
+                          {"baseline_goodput_txn_s", JsonNum(base.goodput())}};
+    for (const PolicyConfig& cfg : policies) {
+      const std::string dir = base_dir + "/wal_bench_t" +
+                              std::to_string(threads) + "_" + cfg.name + "_w" +
+                              std::to_string(cfg.window);
+      const RunResult r = RunDurable(dir, cfg, secs, threads);
+      const double overhead =
+          base.goodput() > 0
+              ? (base.goodput() - r.goodput()) / base.goodput() * 100.0
+              : 0.0;
+      table.AddRow({std::to_string(threads), cfg.name,
+                    cfg.policy == WalSyncPolicy::kGroupCommit
+                        ? std::to_string(cfg.window)
+                        : "-",
+                    FormatDouble(r.goodput(), 0), FormatDouble(overhead, 1),
+                    std::to_string(r.wal.fsyncs),
+                    FormatDouble(static_cast<double>(r.wal.bytes) / 1e6, 1)});
+      const std::string key =
+          std::string(cfg.name) +
+          (cfg.policy == WalSyncPolicy::kGroupCommit
+               ? "_w" + std::to_string(cfg.window)
+               : "");
+      fields.emplace_back(key + "_goodput_txn_s", JsonNum(r.goodput()));
+      fields.emplace_back(key + "_overhead_pct", JsonNum(overhead));
+      fields.emplace_back(key + "_fsyncs", JsonNum(double(r.wal.fsyncs)));
+    }
+    UpsertBenchRecord(out_path, "wal_throughput_t" + std::to_string(threads),
+                      fields);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("[%s] durability sweep: %d recovery audit failure(s)\n",
+              failures == 0 ? "ok" : "REPRODUCTION FAILURE", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+// --crash-after mode: drive load with a group-commit WAL until the append
+// count is reached, then _Exit mid-write. Never returns on the happy path.
+int RunCrash(const std::string& dir, uint64_t crash_after) {
+  std::filesystem::remove_all(dir);
+  WalOptions wo;
+  wo.dir = dir;
+  wo.num_streams = 2;
+  wo.k = kVectorK;
+  wo.sync_policy = WalSyncPolicy::kGroupCommit;
+  wo.group_commit_ops = 8;
+  ParallelWal wal(wo);
+  if (!wal.ok()) return 2;
+  EngineOptions eo = BaseEngineOptions();
+  eo.wal = &wal;
+  ShardedMtkEngine engine(eo);
+  RunLoad(engine, &wal, /*secs=*/60.0, /*threads=*/2, crash_after);
+  std::fprintf(stderr, "crash-after=%llu never reached\n",
+               static_cast<unsigned long long>(crash_after));
+  return 2;
+}
+
+// --recover mode: merge the streams left by a crashed run and rebuild an
+// engine from them. Torn tails are expected (and truncated); an unreadable
+// log or an inconsistent rebuild is the failure.
+int RunRecover(const std::string& dir) {
+  const WalRecovery rec = ParallelWal::Recover(dir);
+  if (!rec.ok) {
+    std::fprintf(stderr, "recovery failed: %s\n", rec.error.c_str());
+    return 1;
+  }
+  EngineOptions eo = BaseEngineOptions();
+  ShardedMtkEngine engine(eo);
+  const size_t applied = engine.RecoverFrom(rec);
+  for (const WalCommitRecord& r : rec.records) {
+    if (!engine.IsCommitted(r.txn)) {
+      std::fprintf(stderr, "rebuild lost txn %u\n", r.txn);
+      return 1;
+    }
+  }
+  std::printf("recovered %zu commit records (%zu applied) from %zu streams "
+              "(%zu torn tail(s) truncated), %zu item tops rebuilt\n",
+              rec.records.size(), applied, rec.streams.size(),
+              rec.torn_streams, rec.item_writer.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdts
+
+// Usage: wal_throughput [RESULTS.json] [--secs=S] [--dir=D]
+//                       [--crash-after=N --dir=D] [--recover --dir=D]
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_core.json";
+  std::string dir;
+  double secs = 0.5;
+  uint64_t crash_after = 0;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--secs=", 7) == 0) {
+      secs = std::strtod(argv[i] + 7, nullptr);
+      if (secs <= 0) secs = 0.5;
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--crash-after=", 14) == 0) {
+      crash_after = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (argv[i][0] != '-') {
+      out_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (recover) {
+    if (dir.empty()) {
+      std::fprintf(stderr, "--recover requires --dir=D\n");
+      return 2;
+    }
+    return mdts::RunRecover(dir);
+  }
+  if (crash_after > 0) {
+    if (dir.empty()) {
+      std::fprintf(stderr, "--crash-after requires --dir=D\n");
+      return 2;
+    }
+    return mdts::RunCrash(dir, crash_after);
+  }
+  if (dir.empty()) {
+    dir = std::filesystem::temp_directory_path().string();
+  }
+  return mdts::RunSweep(out_path, dir, secs);
+}

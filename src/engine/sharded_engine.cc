@@ -7,6 +7,7 @@
 
 #include "core/encoding.h"
 #include "obs/trace.h"
+#include "wal/wal.h"
 
 namespace mdts {
 
@@ -75,6 +76,7 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_batches_ = reg->GetCounter("engine.batches");
     m_batch_ops_ = reg->GetCounter("engine.batch_ops");
     m_hot_encodings_ = reg->GetCounter("engine.hot_encodings");
+    m_batch_fallbacks_ = reg->GetCounter("engine.batch_fallbacks");
     m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
@@ -312,6 +314,9 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   if (SetStates(shx, *j.state, si, j.txn, i, hot, mir, &cause)) {
     item.writers.push_back({i, inc_i});  // Line 12: WT(x) := i.
     item.top_writer = item.writers.back();
+    // Writes are tracked only for the WAL's commit record (CommitTxn swaps
+    // the list out; RestartTxn and the batch throttle clear it).
+    if (options_.wal != nullptr) si.writes.push_back(op.item);
     return accept();
   }
   if (options_.thomas_write_rule) {
@@ -359,6 +364,63 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
   }
   if (n == 0) return 0;
   if (reasons != nullptr) std::fill_n(reasons, n, AbortReason::kNone);
+
+  // Livelock guardrail: multi-op batches under heavy conflict can abort
+  // each other forever (every round rejects some peer, every rejected peer
+  // restarts and rejoins, and no transaction ever reaches CommitTxn - the
+  // benched batch>=8 collapse at 64 items). Commit-free multi-op batches
+  // are that livelock's engine-wide signature, so after
+  // batch_fallback_rounds of them admission is serialized: one transaction
+  // is elected champion and every other batched operation is throttled
+  // until the champion commits.
+  TxnId champion = kVirtualTxn;
+  if (n >= 2 && options_.batch_fallback_rounds > 0) {
+    uint64_t cur = fallback_champion_.load(std::memory_order_acquire);
+    if (cur == 0 &&
+        batches_since_commit_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            options_.batch_fallback_rounds) {
+      TxnId cand = kVirtualTxn;
+      for (const Op& op : ops) {
+        if (op.txn != kVirtualTxn) {
+          cand = op.txn;
+          break;
+        }
+      }
+      if (cand != kVirtualTxn) {
+        uint64_t expected = 0;
+        if (!fallback_champion_.compare_exchange_strong(
+                expected, cand, std::memory_order_acq_rel)) {
+          cand = static_cast<TxnId>(expected);  // Adopt the race winner.
+        }
+        cur = cand;
+      }
+    }
+    if (cur != 0) {
+      champion = static_cast<TxnId>(cur);
+      bool present = false;
+      for (const Op& op : ops) {
+        if (op.txn == champion) {
+          present = true;
+          break;
+        }
+      }
+      if (present) {
+        champion_missing_.store(0, std::memory_order_relaxed);
+      } else if (champion_missing_.fetch_add(1, std::memory_order_relaxed) +
+                     1 >=
+                 options_.batch_fallback_rounds) {
+        // The champion stopped submitting batches (its issuer gave up or
+        // commits through another path): depose it so peers can progress.
+        fallback_champion_.compare_exchange_strong(
+            cur, 0, std::memory_order_acq_rel);
+        champion_missing_.store(0, std::memory_order_relaxed);
+        champion = kVirtualTxn;
+      }
+      if (champion != kVirtualTxn) {
+        batch_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   // Decided flags, inline for typical batch sizes.
   constexpr size_t kInlineBatch = 128;
@@ -426,6 +488,37 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
       }
       Shard& shi = ShardForTxn(op.txn);
       TxnState& si = StateLocked(shi, op.txn);
+      if (champion != kVirtualTxn && op.txn != champion) {
+        // Serialized-admission fallback: throttle every non-champion
+        // operation. Decided in round one - shi and shx are always in the
+        // round-one lockset - and counted as a normal admission decision
+        // so the accepted + ignored + rejected == single + cross invariant
+        // holds. The vector reset (and no starvation seeding) keeps the
+        // throttled transaction from rejoining as a super-competitor that
+        // could outrank the champion.
+        if (cross) {
+          ++shx.stats.cross_shard_ops;
+        } else {
+          ++shx.stats.single_shard_ops;
+        }
+        const uint64_t wi = si.life;
+        AbortReason reason = AbortReason::kBatchThrottled;
+        if (LifeAborted(wi) || LifeCommitted(wi)) {
+          reason = AbortReason::kStaleTxn;
+        } else {
+          si.ts.Reset();
+          si.writes.clear();
+          StoreLife(si, wi | 1);
+        }
+        ++shx.stats.rejected;
+        shx.stats.reject_reasons.Add(reason);
+        ++mir.rejected[static_cast<size_t>(reason)];
+        if (why != nullptr) *why = reason;
+        decisions[q] = OpDecision::kReject;
+        decided[q] = 1;
+        --undecided;
+        continue;
+      }
       ItemState& item = ItemLocked(shx, op.item);
       // Resolve the tops under shard(x); liveness reads are lock-free, so
       // this works even when the accessors' shards are not (yet) held.
@@ -508,18 +601,50 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
     }
     if (retries != 0) m_retries_->Add(retries);
     if (fallbacks != 0) m_fallbacks_->Add(fallbacks);
+    if (champion != kVirtualTxn) m_batch_fallbacks_->Add(1);
   }
   return accepted;
 }
 
 void ShardedMtkEngine::CommitTxn(TxnId txn) {
   Shard& sh = ShardForTxn(txn);
+  if (options_.wal != nullptr) {
+    // Snapshot the vector and write set under the lock, then log OUTSIDE
+    // it: AppendCommit may fdatasync, and holding a shard mutex across a
+    // disk sync would stall every peer on that shard. The caller owns the
+    // transaction, so nothing mutates its state between the two sections.
+    TimestampVector ts(options_.k);
+    std::vector<ItemId> writes;
+    {
+      std::lock_guard<std::mutex> g(sh.mu);
+      TxnState& s = StateLocked(sh, txn);
+      assert(!LifeAborted(s.life));
+      ts = s.ts;
+      writes.swap(s.writes);
+    }
+    if (!writes.empty()) {
+      // Write-ahead ordering: the record reaches the log (and disk, per
+      // the WAL's sync policy) before the commit point below makes the
+      // state observable as committed. Read-only transactions skip the
+      // log - they leave no state for recovery to rebuild.
+      options_.wal->AppendCommit(txn, ts, writes);
+    }
+  }
   {
     std::lock_guard<std::mutex> g(sh.mu);
     TxnState& s = StateLocked(sh, txn);
     const uint64_t w = s.life;
     assert(!LifeAborted(w));
     StoreLife(s, w | 2);
+  }
+  // A commit is exactly what the livelock guardrail waits for: reset the
+  // commit-free streak and depose the champion once it gets through.
+  batches_since_commit_.store(0, std::memory_order_relaxed);
+  uint64_t champ = fallback_champion_.load(std::memory_order_relaxed);
+  if (champ == static_cast<uint64_t>(txn)) {
+    fallback_champion_.compare_exchange_strong(champ, 0,
+                                               std::memory_order_acq_rel);
+    champion_missing_.store(0, std::memory_order_relaxed);
   }
   if (options_.compact_every > 0 &&
       commits_since_compact_.fetch_add(1, std::memory_order_relaxed) + 1 >=
@@ -550,6 +675,7 @@ void ShardedMtkEngine::RestartTxn(TxnId txn) {
     s.ts.Reset();  // Fresh, fully undefined vector.
   }
   // With the fix the seeded vector from the rejection is kept.
+  s.writes.clear();  // The dead incarnation's writes are never logged.
 }
 
 bool ShardedMtkEngine::IsAborted(TxnId txn) const {
@@ -655,6 +781,68 @@ size_t ShardedMtkEngine::CompactAllLocked() {
   return total;
 }
 
+size_t ShardedMtkEngine::RecoverFrom(const WalRecovery& recovery) {
+  if (!recovery.ok) {
+    throw std::invalid_argument("RecoverFrom: unusable recovery: " +
+                                recovery.error);
+  }
+  // An empty recovery (every stream lost before its header synced) carries
+  // no k of its own; there is nothing to apply and nothing to mismatch.
+  if (recovery.records.empty()) return 0;
+  if (recovery.k != options_.k) {
+    throw std::invalid_argument(
+        "RecoverFrom: recovered k=" + std::to_string(recovery.k) +
+        " does not match engine k=" + std::to_string(options_.k));
+  }
+  MDTS_TRACE_SPAN("engine.recover");
+  for (Shard& sh : shards_) LockShard(sh);
+  const TsElement n = static_cast<TsElement>(num_shards_);
+  size_t applied = 0;
+  for (const WalCommitRecord& r : recovery.records) {
+    if (r.txn == kVirtualTxn) continue;
+    Shard& shi = ShardForTxn(r.txn);
+    TxnState& s = StateLocked(shi, r.txn);
+    s.ts = r.vec;
+    StoreLife(s, 2);  // Committed, incarnation 0.
+    // Counter resynchronization, the DMT(k) Section V recovery rule
+    // applied intra-process: every defined element belongs to the counter
+    // class value % N; push that shard's counter past it so post-recovery
+    // assignments never reuse or undercut a recovered value. Scanning all
+    // columns is conservative (middle columns mostly hold constants) but
+    // the only cost is counters skipping a few values.
+    for (size_t m = 0; m < options_.k; ++m) {
+      if (!r.vec.IsDefined(m)) continue;
+      const TsElement v = r.vec.Get(m);
+      const TsElement cls = ((v % n) + n) % n;
+      const TsElement raw = (v - cls) / n;
+      Shard& shc = shards_[static_cast<size_t>(cls)];
+      if (v >= 0) {
+        shc.ucount = std::max(shc.ucount, raw + 1);
+      } else {
+        shc.lcount = std::min(shc.lcount, raw - 1);
+      }
+    }
+    ++applied;
+  }
+  // Reinstall the per-item committed top writers from the merged order;
+  // reader state is not logged (reads leave nothing to rebuild), so the
+  // recovered items start with virtual-T0 reader tops.
+  for (const auto& [item, idx] : recovery.item_writer) {
+    const WalCommitRecord& r = recovery.records[idx];
+    Shard& shx = ShardForItem(item);
+    ItemState& it = ItemLocked(shx, item);
+    it.readers.clear();
+    it.top_reader = Access{};
+    it.writers.clear();
+    it.writers.push_back({r.txn, 0});
+    it.top_writer = it.writers.back();
+  }
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    it->mu.unlock();
+  }
+  return applied;
+}
+
 EngineStats ShardedMtkEngine::stats() const {
   EngineStats out;
   for (Shard& sh : shards_) {
@@ -678,6 +866,7 @@ EngineStats ShardedMtkEngine::stats() const {
   }
   out.batches = batches_.load(std::memory_order_relaxed);
   out.batch_ops = batch_ops_.load(std::memory_order_relaxed);
+  out.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
   return out;
 }
 

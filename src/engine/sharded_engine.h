@@ -16,6 +16,9 @@
 
 namespace mdts {
 
+class ParallelWal;   // src/wal/wal.h
+struct WalRecovery;  // src/wal/wal.h
+
 /// Configuration of the sharded concurrent MT(k) engine. The protocol
 /// options mirror MtkOptions (minus the recognizer-only and hot-item
 /// variations): with num_shards = 1 the engine accepts exactly the logs
@@ -72,6 +75,29 @@ struct EngineOptions {
   /// restarting transaction's consecutive-abort count (its incarnation
   /// number), the windowed peak a Sampler's StarvationWatchdog consumes.
   MetricsRegistry* metrics = nullptr;
+
+  /// Write-ahead log for durability: when attached, the engine tracks each
+  /// transaction's accepted writes and CommitTxn appends a commit record
+  /// (the MT(k) vector as the Taurus LSN vector plus the write set) BEFORE
+  /// marking the transaction committed, so an acknowledged commit is never
+  /// ahead of its log record. Read-only transactions are not logged (they
+  /// leave no state for recovery to rebuild). The WAL's k must equal this
+  /// k, and the WAL must outlive the engine. After a crash, recover with
+  /// ParallelWal::Recover + RecoverFrom on a fresh engine.
+  ParallelWal* wal = nullptr;
+
+  /// Batched-admission livelock guardrail: after this many consecutive
+  /// ProcessBatch calls (batch size >= 2, engine-wide) without a single
+  /// intervening CommitTxn - the signature of the benched batch>=8
+  /// collapse at 64 items, where every round aborts every peer and no
+  /// transaction ever finishes - the engine falls back to serialized
+  /// admission: one live transaction is elected champion and every other
+  /// batched operation is throttled (rejected with kBatchThrottled, no
+  /// starvation seeding) until the champion commits, which guarantees
+  /// forward progress. Counted in EngineStats::batch_fallbacks and the
+  /// "engine.batch_fallbacks" registry mirror. 0 disables the guardrail.
+  /// Process (a batch of one) is never throttled.
+  size_t batch_fallback_rounds = 64;
 };
 
 /// Work counters, aggregated over shards by ShardedMtkEngine::stats().
@@ -102,6 +128,9 @@ struct EngineStats {
   uint64_t batch_ops = 0;
   /// Dependencies encoded through the Section III-D-5 right-end layout.
   uint64_t hot_encodings = 0;
+  /// ProcessBatch rounds decided under the livelock-guardrail fallback
+  /// (see EngineOptions::batch_fallback_rounds).
+  uint64_t batch_fallbacks = 0;
   /// Per-reason breakdown of `rejected`; reject_reasons.total() == rejected.
   AbortReasonCounts reject_reasons;
 };
@@ -175,8 +204,21 @@ class ShardedMtkEngine {
                       AbortReason* reasons = nullptr);
 
   /// Marks the transaction committed; triggers CompactAll() every
-  /// compact_every commits engine-wide.
+  /// compact_every commits engine-wide. With EngineOptions::wal attached,
+  /// the transaction's commit record is appended (and made durable per the
+  /// WAL's sync policy) before the commit point.
   void CommitTxn(TxnId txn);
+
+  /// Rebuilds committed state from a WAL recovery on a freshly constructed
+  /// engine: re-creates each recovered transaction as committed with its
+  /// logged vector, reinstalls the per-item top writers in merged vector
+  /// order, and resynchronizes the per-shard last-column counters past
+  /// every recovered element (the DMT(k) Section V counter-resync rule,
+  /// applied intra-process), so post-recovery admissions order strictly
+  /// after recovered state. Returns the number of records applied. Throws
+  /// std::invalid_argument when the recovery's k differs from the
+  /// engine's.
+  size_t RecoverFrom(const WalRecovery& recovery);
 
   /// Starts a fresh incarnation of an aborted transaction (Section III-D-4
   /// semantics identical to MtkScheduler::RestartTxn).
@@ -221,6 +263,9 @@ class ShardedMtkEngine {
   struct TxnState {
     TimestampVector ts;
     uint64_t life = 0;  // Accessed via std::atomic_ref.
+    /// Accepted writes of the current incarnation, maintained only when a
+    /// WAL is attached (CommitTxn logs them; RestartTxn clears them).
+    std::vector<ItemId> writes;
     explicit TxnState(size_t k) : ts(k) {}
   };
 
@@ -348,6 +393,20 @@ class ShardedMtkEngine {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_ops_{0};
 
+  // Livelock guardrail (see EngineOptions::batch_fallback_rounds). All
+  // relaxed: the guardrail is a heuristic trigger, not a correctness gate -
+  // the throttle decisions themselves happen under the shard locks.
+  /// Multi-op ProcessBatch calls since the last CommitTxn.
+  std::atomic<uint64_t> batches_since_commit_{0};
+  /// Champion transaction id; 0 = no fallback active.
+  std::atomic<uint64_t> fallback_champion_{0};
+  /// Consecutive fallback batches that carried no champion operation;
+  /// clears a champion that stopped submitting (committed via another
+  /// engine API, or its issuer gave up) so the guardrail cannot wedge.
+  std::atomic<uint64_t> champion_missing_{0};
+  /// Fallback batches decided (EngineStats::batch_fallbacks).
+  std::atomic<uint64_t> batch_fallbacks_{0};
+
   /// Registry mirrors, resolved once at construction; all null when
   /// options.metrics == nullptr, so the hot path pays one predictable
   /// branch per event in the detached configuration.
@@ -361,6 +420,7 @@ class ShardedMtkEngine {
   Counter* m_batches_ = nullptr;
   Counter* m_batch_ops_ = nullptr;
   Counter* m_hot_encodings_ = nullptr;
+  Counter* m_batch_fallbacks_ = nullptr;
   Gauge* m_consec_aborts_ = nullptr;
 };
 

@@ -2,6 +2,20 @@
 
 namespace mdts {
 
+const char* WalCrashPointName(WalCrashPoint point) {
+  switch (point) {
+    case WalCrashPoint::kNone:
+      return "none";
+    case WalCrashPoint::kBeforeFsync:
+      return "before_fsync";
+    case WalCrashPoint::kMidRecord:
+      return "mid_record";
+    case WalCrashPoint::kBetweenStreams:
+      return "between_streams";
+  }
+  return "unknown";
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
     : plan_(plan), rng_(seed) {}
 

@@ -38,6 +38,41 @@ struct FaultPlan {
   }
 };
 
+/// Process-crash points for the parallel WAL (src/wal): where, relative
+/// to the append -> write -> fdatasync pipeline, the process dies. The
+/// WAL realizes the crash by refusing further appends and truncating each
+/// stream file to the bytes a real crash at that point would have left.
+enum class WalCrashPoint : uint8_t {
+  kNone = 0,
+  /// Die with records buffered / written but not yet fsynced: every
+  /// unsynced byte is lost and the image is the last synced prefix.
+  kBeforeFsync,
+  /// Die partway through writing a record frame: the image ends in a torn
+  /// partial record that recovery must detect (CRC / length) and truncate.
+  kMidRecord,
+  /// Die after one stream's group-commit fsync completed but before the
+  /// peer streams synced theirs: the streams diverge and recovery must
+  /// merge unequal prefixes.
+  kBetweenStreams,
+};
+
+/// Stable identifier ("before_fsync", "mid_record", "between_streams").
+const char* WalCrashPointName(WalCrashPoint point);
+
+/// Declarative process-crash schedule for one WAL run: the `at_append`-th
+/// append (1-based, counted across all streams) triggers `point`.
+struct WalCrashPlan {
+  WalCrashPoint point = WalCrashPoint::kNone;
+  uint64_t at_append = 0;
+  /// kMidRecord: frame bytes that reach the disk image before the tear
+  /// (clamped by the WAL to [1, frame size - 1]).
+  uint64_t torn_bytes = 6;
+
+  bool armed() const {
+    return point != WalCrashPoint::kNone && at_append > 0;
+  }
+};
+
 /// Seeded message-fate oracle. Owns its own Rng so that enabling fault
 /// injection cannot perturb the simulation's workload / think-time
 /// randomness, and a plan with all rates zero consumes no randomness at

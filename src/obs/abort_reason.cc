@@ -28,6 +28,8 @@ const char* AbortReasonName(AbortReason reason) {
       return "fault_injected";
     case AbortReason::kRetryCapExhausted:
       return "retry_cap_exhausted";
+    case AbortReason::kBatchThrottled:
+      return "batch_throttled";
     case AbortReason::kNumReasons:
       break;
   }
@@ -60,6 +62,8 @@ const char* AbortReasonDescription(AbortReason reason) {
       return "abort forced by the fault injector";
     case AbortReason::kRetryCapExhausted:
       return "attempt cap reached; the transaction gave up";
+    case AbortReason::kBatchThrottled:
+      return "throttled while a livelocked batch drains its champion";
     case AbortReason::kNumReasons:
       break;
   }

@@ -42,6 +42,9 @@ enum class AbortReason : uint8_t {
   kFaultInjected,      // Abort directly forced by the fault injector.
   kRetryCapExhausted,  // Starvation guard: the transaction hit its attempt
                        // cap and gave up.
+  kBatchThrottled,     // Engine livelock guardrail: the batch is in
+                       // serialized-admission fallback and this operation's
+                       // transaction is not the elected champion.
   kNumReasons,         // Sentinel: number of reasons (array sizing).
 };
 

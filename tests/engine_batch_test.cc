@@ -210,5 +210,79 @@ TEST(EngineBatchConcurrencyTest, ConcurrentBatchesOnDisjointPartitions) {
   EXPECT_EQ(st.batch_ops, kThreads * 500 * 8);
 }
 
+// Regression test for the batched-admission livelock collapse: a single
+// write-heavy closed loop at batch width 32 over 64 items used to spin
+// forever with every round aborting every transaction. The guardrail must
+// detect the commit-free streak, serialize admission behind a champion
+// (counted in engine.batch_fallbacks, rejects tagged kBatchThrottled) and
+// restore forward progress, without breaking the op-accounting invariant.
+TEST(EngineBatchConcurrencyTest, LivelockGuardrailRestoresForwardProgress) {
+  constexpr size_t kWidth = 32;
+  constexpr ItemId kItems = 64;
+  // Long all-write transactions: a commit needs 32 consecutive accepted
+  // rounds for one slot, so the streak of commit-free batches that used to
+  // spin forever actually forms.
+  constexpr size_t kOpsPerTxn = 32;
+  constexpr uint32_t kTarget = 30;
+
+  MetricsRegistry reg;
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 4;
+  eo.starvation_fix = true;
+  eo.batch_fallback_rounds = 8;  // Short streak so the test stays fast.
+  eo.metrics = &reg;
+  ShardedMtkEngine engine(eo);
+
+  std::mt19937_64 rng(4242);
+  struct Slot {
+    TxnId txn = 0;
+    size_t done = 0;
+  };
+  std::vector<Slot> slots(kWidth);
+  uint32_t started = 0;
+  for (Slot& s : slots) s.txn = static_cast<TxnId>(++started);
+  std::vector<Op> batch(kWidth);
+  std::vector<OpDecision> dec(kWidth);
+  uint64_t committed = 0;
+  uint64_t rounds = 0;
+  while (committed < kTarget) {
+    ASSERT_LT(++rounds, 2000000u)
+        << "livelocked: " << committed << "/" << kTarget << " commits";
+    for (size_t b = 0; b < kWidth; ++b) {
+      batch[b].txn = slots[b].txn;
+      batch[b].type = OpType::kWrite;  // All-write: the collapse shape.
+      batch[b].item = static_cast<ItemId>(rng() % kItems);
+    }
+    engine.ProcessBatch(std::span<const Op>(batch.data(), kWidth),
+                        dec.data());
+    for (size_t b = 0; b < kWidth; ++b) {
+      Slot& s = slots[b];
+      if (dec[b] == OpDecision::kReject) {
+        engine.RestartTxn(s.txn);
+        s.done = 0;
+        continue;
+      }
+      if (++s.done < kOpsPerTxn) continue;
+      engine.CommitTxn(s.txn);
+      ++committed;
+      s.txn = static_cast<TxnId>(++started);
+      s.done = 0;
+    }
+  }
+
+  const EngineStats st = engine.stats();
+  EXPECT_GT(st.batch_fallbacks, 0u) << "the guardrail never engaged";
+  EXPECT_GT(st.reject_reasons[AbortReason::kBatchThrottled], 0u);
+  EXPECT_EQ(st.reject_reasons.total(), st.rejected);
+  // Throttled operations still count as decided admission traffic.
+  EXPECT_EQ(st.accepted + st.ignored_writes + st.rejected,
+            st.single_shard_ops + st.cross_shard_ops);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("engine.batch_fallbacks"), st.batch_fallbacks);
+  EXPECT_EQ(snap.CounterValue("engine.rejected.batch_throttled"),
+            st.reject_reasons[AbortReason::kBatchThrottled]);
+}
+
 }  // namespace
 }  // namespace mdts

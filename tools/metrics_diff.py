@@ -72,6 +72,18 @@ def delta_percentile(deltas, p, max_clamp):
     return max_clamp
 
 
+def presence_note(name, section_a, section_b):
+    """Annotation for a metric present in only one snapshot: a registry
+    grows instruments lazily (e.g. wal.* only appears once a WAL is
+    attached), so one-sided entries are expected, not an error; the
+    missing side reads as 0."""
+    if name not in section_a:
+        return "  (added)"
+    if name not in section_b:
+        return "  (removed)"
+    return ""
+
+
 def diff_scalars(section_a, section_b, tolerance, list_all, rows):
     """Shared counter/gauge diff; returns the number of changed entries."""
     changed = 0
@@ -82,7 +94,8 @@ def diff_scalars(section_a, section_b, tolerance, list_all, rows):
         if abs(delta) > tolerance:
             changed += 1
         if delta != 0 or list_all:
-            rows.append((name, str(before), str(after), fmt_delta(delta)))
+            rows.append((name, str(before), str(after), fmt_delta(delta),
+                         presence_note(name, section_a, section_b)))
     return changed
 
 
@@ -112,10 +125,10 @@ def main():
                             args.all, rows)
     if rows:
         widths = [max(len(r[i]) for r in rows) for i in range(4)]
-        for i, (name, before, after, delta) in enumerate(rows):
+        for i, (name, before, after, delta, note) in enumerate(rows):
             kind = "gauge  " if i >= gauge_start else "counter"
             print(f"{kind} {name:<{widths[0]}}  {before:>{widths[1]}} -> "
-                  f"{after:>{widths[2]}}  {delta:>{widths[3]}}")
+                  f"{after:>{widths[2]}}  {delta:>{widths[3]}}{note}")
 
     for name in sorted(set(hists_a) | set(hists_b)):
         ha = hists_a.get(name, {})
@@ -130,8 +143,10 @@ def main():
         max_clamp = int(hb.get("max", 0))
         p50 = delta_percentile(deltas, 50, max_clamp)
         p99 = delta_percentile(deltas, 99, max_clamp)
+        note = presence_note(name, hists_a, hists_b)
         print(f"histogram {name}  count{fmt_delta(dcount)} "
-              f"sum{fmt_delta(dsum)} (delta window: p50={p50} p99={p99})")
+              f"sum{fmt_delta(dsum)} (delta window: p50={p50} p99={p99})"
+              f"{note}")
         for b in sorted(deltas):
             upper = "0" if b == 0 else f"<=2^{b}-1"
             print(f"  bucket[{b}] ({upper}): {fmt_delta(deltas[b])}")
