@@ -146,7 +146,14 @@ LoopResult ClosedLoop(S& sched, const Workload& w, size_t t, size_t stride,
     const StreamOp* prog = &stream[(n % txns_in_stream) * w.ops_per_txn];
     const bool sample = (n & 7) == 0;
     if (sample) txn_clock.Reset();
-    for (;;) {  // Retry until this transaction commits.
+    // Retry until commit, bounded: a multiversion reader whose vector was
+    // pinned by its earlier operations can be rejected deterministically
+    // on every replay once GC has pruned its fallback versions, so an
+    // unbounded retry loop livelocks. Abandon (leave the id aborted - an
+    // aborted id never pins the GC watermark) and move on; each failed
+    // attempt already counted as an abort. The cap is generous enough
+    // that single-version starvation-fix retries (a handful) never hit it.
+    for (uint64_t tries = 0;; ++tries) {
       bool ok = true;
       for (uint32_t o = 0; o < w.ops_per_txn && ok; ++o) {
         Op op;
@@ -159,12 +166,13 @@ LoopResult ClosedLoop(S& sched, const Workload& w, size_t t, size_t stride,
       if (ok) {
         sched.CommitTxn(txn);
         ++res.committed;
+        if (sample) res.latencies_ns.push_back(txn_clock.ElapsedNanos());
         break;
       }
       ++res.aborts;
+      if (tries >= 128 || total.ElapsedSeconds() >= seconds) break;
       sched.RestartTxn(txn);
     }
-    if (sample) res.latencies_ns.push_back(txn_clock.ElapsedNanos());
   }
   res.seconds = total.ElapsedSeconds();
   return res;
@@ -222,6 +230,7 @@ LoopResult BatchedClosedLoop(ShardedMtkEngine& engine, const Workload& w,
     TxnId txn = 0;
     uint64_t n = 0;         // Program / id index.
     uint32_t done = 0;      // Accepted operations so far.
+    uint32_t tries = 0;     // Rejections of this transaction so far.
     uint64_t start_ns = 0;  // Nonzero iff this transaction is sampled.
   };
   Stopwatch total;
@@ -252,7 +261,18 @@ LoopResult BatchedClosedLoop(ShardedMtkEngine& engine, const Workload& w,
       Slot& s = slots[b];
       if (IsReject(dec[b])) {
         ++res.aborts;
-        engine.RestartTxn(s.txn);
+        // Same bounded-retry rule as ClosedLoop: abandon a transaction
+        // that keeps being rejected (deterministic multiversion read
+        // rejects after GC livelock an unbounded retry) - leave the id
+        // aborted and give the slot a fresh transaction.
+        if (++s.tries >= 128) {
+          s.n = next_n++;
+          s.txn = static_cast<TxnId>(1 + t + s.n * stride);
+          s.tries = 0;
+          s.start_ns = (s.n & 7) == 0 ? total.ElapsedNanos() : 0;
+        } else {
+          engine.RestartTxn(s.txn);
+        }
         s.done = 0;
         continue;
       }
@@ -266,6 +286,7 @@ LoopResult BatchedClosedLoop(ShardedMtkEngine& engine, const Workload& w,
       s.n = next_n++;
       s.txn = static_cast<TxnId>(1 + t + s.n * stride);
       s.done = 0;
+      s.tries = 0;
       s.start_ns = (s.n & 7) == 0 ? total.ElapsedNanos() : 0;
     }
   }
@@ -823,6 +844,146 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
        {"metrics_attached_mops", JsonNum(med_plain)},
        {"live_telemetry_mops", JsonNum(med_live)},
        {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)}});
+
+  // -------------------------------------------------------------------
+  // Part 4: multiversion vs single-version admission, threads x
+  // contention x k x batch. Both arms run the same engine configuration
+  // (32 shards, starvation fix, periodic compaction - for the MV arm the
+  // sweep is also what refreshes the GC watermark); the only difference
+  // is EngineOptions::multiversion. The interesting cell is high
+  // contention, where SV aborts every read/write conflict and MV serves
+  // reads from older versions instead.
+  // -------------------------------------------------------------------
+  std::printf("\n--- part 4: multiversion vs single-version engine ---\n");
+  const size_t mv_threads_hi = hw >= 4 ? 4 : hw >= 2 ? 2 : 1;
+  double acc_sv_abort = 0, acc_mv_abort = 0, acc_sv_goodput = 0,
+         acc_mv_goodput = 0;
+  uint64_t acc_mv_read_rejects = 0, acc_mv_live_versions = 0,
+           acc_mv_installed = 0;
+  for (uint32_t items : {kHighContentionItems, uint32_t{4096}}) {
+    TablePrinter mv_table({"threads", "k", "batch", "SV good Mops",
+                           "MV good Mops", "MV/SV", "SV abort", "MV abort",
+                           "MV read rej", "MV live vers"});
+    std::string cells;
+    std::vector<size_t> mv_thread_levels{1};
+    if (mv_threads_hi > 1) mv_thread_levels.push_back(mv_threads_hi);
+    for (size_t threads : mv_thread_levels) {
+      for (size_t k : {size_t{3}, size_t{5}}) {
+        for (size_t batch : {size_t{1}, size_t{8}}) {
+          const Workload w = MakeWorkload(threads, items, kOpsPerTxn,
+                                          kReadFraction, 42);
+          EngineOptions eo;
+          eo.k = k;
+          eo.num_shards = 32;
+          eo.starvation_fix = true;
+          eo.compact_every = 256;
+          // Keep one fallback version per chain through GC so post-sweep
+          // readers with pinned vectors stay orderable (see
+          // EngineOptions::mv_gc_keep_tail); ignored by the SV arm.
+          eo.mv_gc_keep_tail = 16;
+          // A/B interleaved: SV then MV per rep, medians compared.
+          constexpr int kMvReps = 3;
+          std::vector<double> sv_gp, mv_gp, sv_ab, mv_ab;
+          EngineStats sv_st, mv_st;
+          for (int rep = 0; rep < kMvReps; ++rep) {
+            eo.multiversion = false;
+            LoopResult rs =
+                batch == 1
+                    ? RunEngine(eo, w, threads, 0.3, &sv_st)
+                    : RunEngineBatched(eo, w, threads, batch, 0.3, &sv_st);
+            sv_gp.push_back(GoodputMops(rs, kOpsPerTxn));
+            sv_ab.push_back(rs.abort_rate());
+            eo.multiversion = true;
+            LoopResult rm =
+                batch == 1
+                    ? RunEngine(eo, w, threads, 0.3, &mv_st)
+                    : RunEngineBatched(eo, w, threads, batch, 0.3, &mv_st);
+            mv_gp.push_back(GoodputMops(rm, kOpsPerTxn));
+            mv_ab.push_back(rm.abort_rate());
+          }
+          eo.multiversion = false;
+          const double svg = Median(sv_gp), mvg = Median(mv_gp);
+          const double sva = Median(sv_ab), mva = Median(mv_ab);
+          mv_table.AddRow(
+              {std::to_string(threads), std::to_string(k),
+               std::to_string(batch), Fmt(svg), Fmt(mvg),
+               Fmt(svg > 0 ? mvg / svg : 0), Fmt(sva, 3), Fmt(mva, 3),
+               std::to_string(mv_st.read_rejects),
+               std::to_string(mv_st.live_versions)});
+          if (!cells.empty()) cells += ", ";
+          cells += "{\"threads\": " + JsonNum(static_cast<double>(threads)) +
+                   ", \"k\": " + JsonNum(static_cast<double>(k)) +
+                   ", \"batch\": " + JsonNum(static_cast<double>(batch)) +
+                   ", \"sv_goodput_mops\": " + JsonNum(svg) +
+                   ", \"mv_goodput_mops\": " + JsonNum(mvg) +
+                   ", \"sv_abort_rate\": " + JsonNum(sva) +
+                   ", \"mv_abort_rate\": " + JsonNum(mva) +
+                   ", \"mv_read_rejects\": " +
+                   JsonNum(static_cast<double>(mv_st.read_rejects)) +
+                   ", \"mv_old_version_reads\": " +
+                   JsonNum(static_cast<double>(mv_st.old_version_reads)) +
+                   ", \"mv_versions_installed\": " +
+                   JsonNum(static_cast<double>(mv_st.versions_installed)) +
+                   ", \"mv_versions_gc\": " +
+                   JsonNum(static_cast<double>(mv_st.versions_gc)) +
+                   ", \"mv_live_versions\": " +
+                   JsonNum(static_cast<double>(mv_st.live_versions)) + "}";
+          // The acceptance cell: high contention, k=3, batched, all
+          // hardware threads.
+          if (items == kHighContentionItems && k == 3 && batch == 8 &&
+              threads == mv_threads_hi) {
+            acc_sv_abort = sva;
+            acc_mv_abort = mva;
+            acc_sv_goodput = svg;
+            acc_mv_goodput = mvg;
+            acc_mv_read_rejects = mv_st.read_rejects;
+            acc_mv_live_versions = mv_st.live_versions;
+            acc_mv_installed = mv_st.versions_installed;
+          }
+        }
+      }
+    }
+    std::printf("items = %u:\n%s\n", items, mv_table.ToString().c_str());
+    UpsertBenchRecord(out_path,
+                      "mt_engine_mv_sweep_items" + std::to_string(items),
+                      {{"hardware_threads", JsonNum(hw)},
+                       {"num_shards", JsonNum(32)},
+                       {"ops_per_txn", JsonNum(kOpsPerTxn)},
+                       {"read_fraction", JsonNum(kReadFraction)},
+                       {"compact_every", JsonNum(256)},
+                       {"mv_gc_keep_tail", JsonNum(16)},
+                       {"ab_reps", JsonNum(3)},
+                       {"cells", "[" + cells + "]"}});
+  }
+  std::printf(
+      "MV acceptance cell (items=%u, k=3, batch=8, %zu threads): abort "
+      "%.3f -> %.3f, goodput %.2f -> %.2f Mops (%.2fx), %llu read rejects, "
+      "%llu live versions (of %llu installed)\n",
+      kHighContentionItems, mv_threads_hi, acc_sv_abort, acc_mv_abort,
+      acc_sv_goodput, acc_mv_goodput,
+      acc_sv_goodput > 0 ? acc_mv_goodput / acc_sv_goodput : 0,
+      static_cast<unsigned long long>(acc_mv_read_rejects),
+      static_cast<unsigned long long>(acc_mv_live_versions),
+      static_cast<unsigned long long>(acc_mv_installed));
+  UpsertBenchRecord(
+      out_path, "mt_engine_mv_acceptance",
+      {{"hardware_threads", JsonNum(hw)},
+       {"items", JsonNum(kHighContentionItems)},
+       {"k", JsonNum(3)},
+       {"batch", JsonNum(8)},
+       {"threads", JsonNum(static_cast<double>(mv_threads_hi))},
+       {"mv_gc_keep_tail", JsonNum(16)},
+       {"sv_abort_rate", JsonNum(acc_sv_abort)},
+       {"mv_abort_rate", JsonNum(acc_mv_abort)},
+       {"sv_goodput_mops", JsonNum(acc_sv_goodput)},
+       {"mv_goodput_mops", JsonNum(acc_mv_goodput)},
+       {"mv_over_sv_goodput",
+        JsonNum(acc_sv_goodput > 0 ? acc_mv_goodput / acc_sv_goodput : 0)},
+       {"mv_read_rejects", JsonNum(static_cast<double>(acc_mv_read_rejects))},
+       {"mv_live_versions",
+        JsonNum(static_cast<double>(acc_mv_live_versions))},
+       {"mv_versions_installed",
+        JsonNum(static_cast<double>(acc_mv_installed))}});
 
   std::vector<std::pair<std::string, std::string>> acceptance = {
       {"hardware_threads", JsonNum(hw)},

@@ -4,7 +4,11 @@
 // transactions per second in a closed loop - every worker retries its
 // transaction until it commits, appends land before the commit is
 // acknowledged - so the numbers honestly include abort handling, restart
-// costs and the fsync stalls of each policy. After every durable run the
+// costs and the fsync stalls of each policy. Commit-acknowledge latency
+// (p50/p99 of the CommitTxn call, which contains the append and any fsync
+// wait) is sampled per cell and recorded next to the goodput, making the
+// policy trade explicit: every-commit pays the sync in every ack, group
+// commit amortizes it across its window at the cost of tail latency. After every durable run the
 // log is recovered and the record count audited against the engine's
 // append count; any mismatch fails the run (non-zero exit).
 //
@@ -58,9 +62,20 @@ struct RunResult {
   uint64_t ops_accepted = 0;
   double seconds = 0.0;
   WalStats wal;
+  // Commit-acknowledge latency samples (ns): the CommitTxn call, which for
+  // a durable engine includes the WAL append and whatever fsync stall the
+  // sync policy imposes (every-commit pays one per commit, group commit
+  // waits for its window, none rides the page cache). Sampled every 4th
+  // commit per worker.
+  std::vector<uint64_t> ack_ns;
 
   double goodput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+  double AckPercentileUs(int pct) {
+    return ack_ns.empty()
+               ? 0.0
+               : static_cast<double>(Percentile(ack_ns, pct)) / 1000.0;
   }
 };
 
@@ -73,6 +88,7 @@ RunResult RunLoad(ShardedMtkEngine& engine, ParallelWal* wal, double secs,
   std::vector<std::thread> pool;
   std::vector<uint64_t> committed(threads, 0);
   std::vector<uint64_t> accepted(threads, 0);
+  std::vector<std::vector<uint64_t>> ack_ns(threads);
   Stopwatch clock;
   for (size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
@@ -94,7 +110,10 @@ RunResult RunLoad(ShardedMtkEngine& engine, ParallelWal* wal, double secs,
             acc += ok;
           }
           if (ok) {
+            const bool sample = (committed[t] & 3) == 0;
+            const uint64_t t0 = sample ? clock.ElapsedNanos() : 0;
             engine.CommitTxn(txn);
+            if (sample) ack_ns[t].push_back(clock.ElapsedNanos() - t0);
             ++committed[t];
             accepted[t] += acc;
             break;
@@ -114,6 +133,7 @@ RunResult RunLoad(ShardedMtkEngine& engine, ParallelWal* wal, double secs,
   for (size_t t = 0; t < threads; ++t) {
     out.committed += committed[t];
     out.ops_accepted += accepted[t];
+    out.ack_ns.insert(out.ack_ns.end(), ack_ns[t].begin(), ack_ns[t].end());
   }
   if (wal != nullptr) out.wal = wal->stats();
   return out;
@@ -187,21 +207,27 @@ int RunSweep(const std::string& out_path, const std::string& base_dir,
       {"every_commit", WalSyncPolicy::kEveryCommit, 0},
   };
   TablePrinter table({"threads", "policy", "window", "goodput txn/s",
-                      "overhead %", "fsyncs", "wal MB"});
+                      "overhead %", "ack p50 us", "ack p99 us", "fsyncs",
+                      "wal MB"});
   for (size_t threads : {1u, 2u, 4u}) {
     EngineOptions eo = BaseEngineOptions();
     ShardedMtkEngine baseline_engine(eo);
-    const RunResult base = RunLoad(baseline_engine, nullptr, secs, threads, 0);
+    RunResult base = RunLoad(baseline_engine, nullptr, secs, threads, 0);
     table.AddRow({std::to_string(threads), "in-memory", "-",
-                  FormatDouble(base.goodput(), 0), "0.0", "-", "-"});
-    BenchFields fields = {{"hardware_threads", JsonNum(hw)},
-                          {"seconds_per_cell", JsonNum(secs)},
-                          {"baseline_goodput_txn_s", JsonNum(base.goodput())}};
+                  FormatDouble(base.goodput(), 0), "0.0",
+                  FormatDouble(base.AckPercentileUs(50), 1),
+                  FormatDouble(base.AckPercentileUs(99), 1), "-", "-"});
+    BenchFields fields = {
+        {"hardware_threads", JsonNum(hw)},
+        {"seconds_per_cell", JsonNum(secs)},
+        {"baseline_goodput_txn_s", JsonNum(base.goodput())},
+        {"baseline_ack_p50_us", JsonNum(base.AckPercentileUs(50))},
+        {"baseline_ack_p99_us", JsonNum(base.AckPercentileUs(99))}};
     for (const PolicyConfig& cfg : policies) {
       const std::string dir = base_dir + "/wal_bench_t" +
                               std::to_string(threads) + "_" + cfg.name + "_w" +
                               std::to_string(cfg.window);
-      const RunResult r = RunDurable(dir, cfg, secs, threads);
+      RunResult r = RunDurable(dir, cfg, secs, threads);
       const double overhead =
           base.goodput() > 0
               ? (base.goodput() - r.goodput()) / base.goodput() * 100.0
@@ -211,6 +237,8 @@ int RunSweep(const std::string& out_path, const std::string& base_dir,
                         ? std::to_string(cfg.window)
                         : "-",
                     FormatDouble(r.goodput(), 0), FormatDouble(overhead, 1),
+                    FormatDouble(r.AckPercentileUs(50), 1),
+                    FormatDouble(r.AckPercentileUs(99), 1),
                     std::to_string(r.wal.fsyncs),
                     FormatDouble(static_cast<double>(r.wal.bytes) / 1e6, 1)});
       const std::string key =
@@ -221,6 +249,10 @@ int RunSweep(const std::string& out_path, const std::string& base_dir,
       fields.emplace_back(key + "_goodput_txn_s", JsonNum(r.goodput()));
       fields.emplace_back(key + "_overhead_pct", JsonNum(overhead));
       fields.emplace_back(key + "_fsyncs", JsonNum(double(r.wal.fsyncs)));
+      fields.emplace_back(key + "_ack_p50_us",
+                          JsonNum(r.AckPercentileUs(50)));
+      fields.emplace_back(key + "_ack_p99_us",
+                          JsonNum(r.AckPercentileUs(99)));
     }
     UpsertBenchRecord(out_path, "wal_throughput_t" + std::to_string(threads),
                       fields);

@@ -1,6 +1,7 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -77,7 +78,10 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_batch_ops_ = reg->GetCounter("engine.batch_ops");
     m_hot_encodings_ = reg->GetCounter("engine.hot_encodings");
     m_batch_fallbacks_ = reg->GetCounter("engine.batch_fallbacks");
+    m_versions_installed_ = reg->GetCounter("engine.versions_installed");
+    m_versions_gc_ = reg->GetCounter("engine.versions_gc");
     m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
+    m_live_versions_ = reg->GetGauge("engine.live_versions");
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
   // chunked storage (and outside compaction); real ids there start at slot 1.
@@ -335,12 +339,437 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   return reject();  // Line 14.
 }
 
+void ShardedMtkEngine::EnsureChainLocked(ItemState& item) {
+  if (item.mv_init) return;
+  item.mv_init = true;
+  // The default-constructed mv_newest IS the virtual-T0 base version
+  // (writer kVirtualTxn, all stamps 0): T0's vector orders before any
+  // transaction, so a read walk that exhausts every real version always
+  // has a version to take.
+  item.mv_newest = MvVersion{};
+}
+
+void ShardedMtkEngine::MvUnlinkDeadLocked(Shard& shx, ItemState& item,
+                                          MirrorDelta& mir) {
+  if (!item.mv_init) return;
+  // Dead (txn, incarnation) pairs are permanent - RestartTxn bumps the
+  // incarnation in the store that clears the aborted bit - so unlinking on
+  // a lock-free liveness read needs only shard(item)'s mutex, exactly like
+  // the single-version stack pops in TopLiveOf.
+  auto dead = [&](const Access& a) {
+    if (a.txn == kVirtualTxn) return false;
+    const uint64_t w = LoadLife(*PeekState(a.txn));
+    return LifeIncarnation(w) != a.incarnation || LifeAborted(w);
+  };
+  auto scrub_readers = [&](MvVersion& v) {
+    v.readers.erase(std::remove_if(v.readers.begin(), v.readers.end(), dead),
+                    v.readers.end());
+  };
+  uint64_t gone = 0;
+  for (size_t v = item.mv_older.size(); v-- > 0;) {
+    if (dead(item.mv_older[v].writer)) {
+      item.mv_older.erase(item.mv_older.begin() + static_cast<long>(v));
+      ++gone;
+    }
+  }
+  if (dead(item.mv_newest.writer)) {
+    ++gone;
+    if (!item.mv_older.empty()) {
+      item.mv_newest = std::move(item.mv_older.back());
+      item.mv_older.pop_back();
+      item.mv_newest.end_stamp = 0;  // Newest again.
+    } else {
+      item.mv_newest = MvVersion{};  // Back to the T0 base.
+    }
+  }
+  for (MvVersion& v : item.mv_older) scrub_readers(v);
+  scrub_readers(item.mv_newest);
+  if (num_shards_ <= 64) {
+    // Rebuild the shard-coverage mask from the survivors - the only place
+    // stale (dead-accessor) bits are ever shed. Incremental ORs at read
+    // and install time keep it a superset between unlinks.
+    uint64_t cover = 0;
+    auto add = [&](const Access& a) {
+      if (a.txn != kVirtualTxn) {
+        cover |= uint64_t{1} << (a.txn % num_shards_);
+      }
+    };
+    for (const MvVersion& v : item.mv_older) {
+      add(v.writer);
+      for (const Access& r : v.readers) add(r);
+    }
+    add(item.mv_newest.writer);
+    for (const Access& r : item.mv_newest.readers) add(r);
+    item.mv_cover = cover;
+  }
+  if (gone != 0) {
+    shx.stats.versions_gc += gone;
+    mir.versions_gc += gone;
+    live_versions_.fetch_add(-static_cast<int64_t>(gone),
+                             std::memory_order_relaxed);
+  }
+}
+
+void ShardedMtkEngine::MvPruneLocked(Shard& shx, ItemState& item,
+                                     uint64_t watermark, MirrorDelta& mir,
+                                     bool force) {
+  if (!item.mv_init || item.mv_older.empty() || watermark == 0) return;
+  // Hysteresis gate (incremental GC only; sweeps pass force): in steady
+  // state a chain hovers at the keep-tail length, where the scan below
+  // can never cut (the tail floor spans the whole chain) - yet
+  // commit-side GC calls this for every written item of every commit,
+  // and the committed_writer probes are the dominant cost. Skip until
+  // the chain outgrows the tail by a slack margin; a real cut then
+  // brings it back near the floor, so the scan runs once per
+  // kPruneSlack installs instead of once per commit. Between CompactAll
+  // sweeps memory stays bounded at keep_tail + kPruneSlack versions per
+  // chain.
+  constexpr size_t kPruneSlack = 8;
+  const size_t tail_floor = std::max<uint32_t>(1, options_.mv_gc_keep_tail);
+  if (!force && item.mv_older.size() < tail_floor + kPruneSlack) return;
+  // Committed is as permanent as aborted (a committed id never restarts),
+  // so the scan is safe on lock-free liveness words under shard(item).
+  auto committed_writer = [&](const Access& a) {
+    if (a.txn == kVirtualTxn) return true;
+    const uint64_t w = LoadLife(*PeekState(a.txn));
+    return LifeIncarnation(w) == a.incarnation && LifeCommitted(w);
+  };
+  // Newest committed version, over the combined chain (mv_older then
+  // mv_newest). Everything strictly older is a candidate; the newest
+  // committed version itself must survive - it is what future readers
+  // fall back to.
+  size_t newest_committed;  // Index into mv_older, or size() = mv_newest.
+  if (committed_writer(item.mv_newest.writer)) {
+    newest_committed = item.mv_older.size();
+  } else {
+    size_t found = item.mv_older.size() + 1;
+    for (size_t v = item.mv_older.size(); v-- > 0;) {
+      if (committed_writer(item.mv_older[v].writer)) {
+        found = v;
+        break;
+      }
+    }
+    if (found > item.mv_older.size()) return;  // No committed version yet.
+    newest_committed = found;
+  }
+  // Truncate the longest oldest-prefix below the newest committed version
+  // whose end and read stamps both precede the watermark. Soundness: the
+  // watermark is the oldest live incarnation's begin stamp, and a live
+  // reader's begin stamp bounds every read stamp it produces from below -
+  // so read_stamp < watermark means every reader of the version is
+  // committed or dead, its reads-from and reader-before-later-writer MVSG
+  // edges already encoded in the vectors. end_stamp < watermark means the
+  // successor's install (which encoded the version-order edge and ordered
+  // the version's readers before the successor's writer) also precedes
+  // every live transaction. Dropping the prefix only removes placement
+  // slots - a write that can no longer find a slot rejects with
+  // kVersionConflict instead of inserting below the horizon - and a read
+  // that would have taken a truncated version falls back to a surviving
+  // newer one or (degenerately) rejects; neither can violate the order
+  // already encoded.
+  // The keep-tail floor: the index of the mv_gc_keep_tail-th newest
+  // committed version (T0 bases count - they are the ideal fallback).
+  // Everything at or above it survives so post-GC readers keep an older
+  // writer to fall back to when the newest one is un-orderable.
+  size_t floor_idx = newest_committed;
+  const uint32_t tail = std::max<uint32_t>(1, options_.mv_gc_keep_tail);
+  for (size_t kept = 1, v = newest_committed; kept < tail && v-- > 0;) {
+    if (committed_writer(item.mv_older[v].writer)) {
+      floor_idx = v;
+      ++kept;
+    }
+  }
+  size_t cut = 0;
+  while (cut < floor_idx &&
+         item.mv_older[cut].end_stamp < watermark &&
+         item.mv_older[cut].read_stamp < watermark) {
+    ++cut;
+  }
+  if (cut == 0) return;
+  uint64_t gone = 0;
+  for (size_t v = 0; v < cut; ++v) {
+    if (item.mv_older[v].writer.txn != kVirtualTxn) ++gone;
+  }
+  item.mv_older.erase(item.mv_older.begin(),
+                      item.mv_older.begin() + static_cast<long>(cut));
+  if (gone != 0) {
+    shx.stats.versions_gc += gone;
+    mir.versions_gc += gone;
+    live_versions_.fetch_add(-static_cast<int64_t>(gone),
+                             std::memory_order_relaxed);
+  }
+}
+
+OpDecision ShardedMtkEngine::DecideMvLocked(const Op& op, Shard& shx,
+                                            ItemState& item, TxnState& si,
+                                            AbortReason* why,
+                                            MirrorDelta& mir) {
+  EngineStats& st = shx.stats;
+  const TxnId i = op.txn;
+
+  auto refuse = [&](AbortReason reason) {
+    ++st.rejected;
+    st.reject_reasons.Add(reason);
+    ++mir.rejected[static_cast<size_t>(reason)];
+    if (why != nullptr) *why = reason;
+    return OpDecision::kReject;
+  };
+  auto accept = [&]() {
+    ++st.accepted;
+    ++mir.accepted;
+    return OpDecision::kAccept;
+  };
+
+  const uint64_t wi = si.life;  // Owner shard held: no concurrent writer.
+  if (LifeAborted(wi) || LifeCommitted(wi)) {
+    return refuse(AbortReason::kStaleTxn);
+  }
+  const uint32_t inc_i = LifeIncarnation(wi);
+  if (si.begin_stamp == 0) {
+    // First decided operation of the incarnation: pin the GC horizon.
+    si.begin_stamp = mv_stamp_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const bool hot = item.access_count >= options_.hot_item_threshold;
+  ++item.access_count;
+
+  // Combined chain view, oldest first: mv_older[0..n_old) then mv_newest.
+  // Every entry is live - MvUnlinkDeadLocked ran under this lock and the
+  // batch lockset covers every chain writer's and reader's shard, freezing
+  // their liveness words and vectors for the whole decision.
+  const size_t n_old = item.mv_older.size();
+  const size_t chain_len = n_old + 1;
+  auto version_at = [&](size_t idx) -> MvVersion& {
+    return idx < n_old ? item.mv_older[idx] : item.mv_newest;
+  };
+
+  // Cause recorded by the SetStates call that refused the dependency.
+  AbortReason cause = AbortReason::kEncodingExhausted;
+
+  if (op.type == OpType::kRead) {
+    // MvMtkScheduler's read walk, newest -> oldest: take the first version
+    // whose writer can be ordered before T_i. The T0 base is orderable
+    // before anything, so reads practically never abort.
+    size_t live_seen = 0;
+    for (size_t v = chain_len; v-- > 0;) {
+      MvVersion& ver = version_at(v);
+      ++live_seen;
+      if (ver.writer.txn == i) {
+        return accept();  // Reads its own pending write.
+      }
+      TxnState& sw = *PeekState(ver.writer.txn);
+      if (SetStates(shx, sw, si, ver.writer.txn, i, hot, mir, &cause)) {
+        ver.readers.push_back({i, inc_i});
+        if (num_shards_ <= 64) {
+          item.mv_cover |= uint64_t{1} << (i % num_shards_);
+        }
+        ver.read_stamp = mv_stamp_.fetch_add(1, std::memory_order_relaxed);
+        if (live_seen > 1) ++st.old_version_reads;
+        return accept();
+      }
+    }
+    // Only reachable in degenerate vector states (every writer including
+    // T0 refused the encoding). No starvation seeding, matching the
+    // scheduler: the blocker set is the whole chain, not one transaction.
+    ++st.read_rejects;
+    StoreLife(si, wi | 1);
+    mv_dead_epoch_.fetch_add(1, std::memory_order_release);
+    return refuse(cause);
+  }
+
+  // Write: two-phase placement. Phase 1 (no encoding) finds the NEWEST
+  // feasible insertion slot - after chain index j requires (a) writer(j)
+  // not already ordered after T_i, (b) T_i not already ordered after
+  // writer(j+1), (c) no live reader of any version up to j already ordered
+  // after T_i (a reader of an older version precedes the writer of every
+  // newer version - the MVSG rule).
+  Access blocker{};  // kVirtualTxn: SeedAfter's default blocker.
+  size_t chosen = chain_len;  // Sentinel: no slot found yet.
+  {
+    bool blocked_by_reader = false;
+    bool reader_block_stack[32];
+    std::vector<uint8_t> reader_block_heap;
+    const bool inline_blocks = chain_len <= 32;
+    if (!inline_blocks) reader_block_heap.assign(chain_len, 0);
+    auto set_block = [&](size_t lj, bool b) {
+      if (inline_blocks) {
+        reader_block_stack[lj] = b;
+      } else {
+        reader_block_heap[lj] = b ? 1 : 0;
+      }
+    };
+    auto get_block = [&](size_t lj) {
+      return inline_blocks ? reader_block_stack[lj]
+                           : reader_block_heap[lj] != 0;
+    };
+    for (size_t lj = 0; lj < chain_len; ++lj) {
+      for (const Access& r : version_at(lj).readers) {
+        if (r.txn == i) continue;
+        TxnState& sr = *PeekState(r.txn);
+        if (CompareStates(shx, si, sr).order == VectorOrder::kLess) {
+          blocked_by_reader = true;
+          blocker = r;
+        }
+      }
+      set_block(lj, blocked_by_reader);
+    }
+    for (size_t lj = chain_len; lj-- > 0;) {
+      const Access w = version_at(lj).writer;
+      if (w.txn != i &&
+          CompareStates(shx, *PeekState(w.txn), si).order ==
+              VectorOrder::kGreater) {
+        continue;  // Writer already after T_i: slot too new.
+      }
+      if (lj + 1 < chain_len) {
+        const Access nx = version_at(lj + 1).writer;
+        if (CompareStates(shx, si, *PeekState(nx.txn)).order ==
+            VectorOrder::kGreater) {
+          continue;  // T_i already after the next writer: inconsistent.
+        }
+      }
+      if (get_block(lj)) continue;  // Readers up to here block; an older
+                                    // slot may still be free.
+      chosen = lj;
+      break;
+    }
+  }
+
+  auto reject_write = [&]() {
+    StoreLife(si, wi | 1);
+    mv_dead_epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.starvation_fix) {
+      // VectorTable::SeedAfter semantics: flush TS(i), seed just past the
+      // blocker's first element (1 when the blocker has none).
+      const TimestampVector& tb = PeekState(blocker.txn)->ts;
+      si.ts.Reset();
+      si.ts.Set(0, tb.IsDefined(0) ? tb.Get(0) + 1 : 1);
+    }
+    return refuse(AbortReason::kVersionConflict);
+  };
+  if (chosen == chain_len) {
+    return reject_write();
+  }
+
+  // Phase 2: encode the chosen placement. Each Set was pre-checked as
+  // not-determined-opposite, but an earlier encode can incidentally fix a
+  // later pair the wrong way; bail out safely (encodings only ever add
+  // constraints) in that rare case.
+  bool ok = true;
+  {
+    const Access pred = version_at(chosen).writer;
+    if (pred.txn != i &&
+        !SetStates(shx, *PeekState(pred.txn), si, pred.txn, i, hot, mir,
+                   &cause)) {
+      blocker = pred;
+      ok = false;
+    }
+    if (ok && chosen + 1 < chain_len) {
+      const Access nx = version_at(chosen + 1).writer;
+      if (!SetStates(shx, si, *PeekState(nx.txn), i, nx.txn, hot, mir,
+                     &cause)) {
+        blocker = nx;
+        ok = false;
+      }
+    }
+    for (size_t lj = 0; ok && lj <= chosen; ++lj) {
+      for (const Access& r : version_at(lj).readers) {
+        if (r.txn == i) continue;
+        if (!SetStates(shx, *PeekState(r.txn), si, r.txn, i, hot, mir,
+                       &cause)) {
+          blocker = r;
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!ok) {
+    return reject_write();
+  }
+
+  // Install after chain index `chosen`. The stamp orders the install on
+  // the engine-wide clock for GC visibility; the serialization order
+  // itself lives in the vectors.
+  const uint64_t stamp = mv_stamp_.fetch_add(1, std::memory_order_relaxed);
+  if (chosen == chain_len - 1) {
+    item.mv_older.push_back(std::move(item.mv_newest));
+    item.mv_older.back().end_stamp = stamp;
+    item.mv_newest = MvVersion{};
+    item.mv_newest.writer = {i, inc_i};
+    item.mv_newest.begin_stamp = stamp;
+  } else {
+    MvVersion nv;
+    nv.writer = {i, inc_i};
+    nv.begin_stamp = stamp;
+    nv.end_stamp = stamp;  // Born superseded: a newer version exists.
+    item.mv_older.insert(item.mv_older.begin() + static_cast<long>(chosen + 1),
+                         std::move(nv));
+  }
+  if (num_shards_ <= 64) {
+    item.mv_cover |= uint64_t{1} << (i % num_shards_);
+  }
+  ++st.versions_installed;
+  ++mir.versions_installed;
+  live_versions_.fetch_add(1, std::memory_order_relaxed);
+  // CommitTxn prunes the written chains (and the WAL logs the write set),
+  // so multiversion mode always tracks writes.
+  si.writes.push_back(op.item);
+  if (options_.install_crash != nullptr && options_.wal != nullptr &&
+      options_.install_crash->armed() &&
+      mv_installs_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          options_.install_crash->at_install) {
+    options_.wal->CrashNow(options_.install_crash->point);
+  }
+  return accept();
+}
+
+void ShardedMtkEngine::MergePendingLocked(Shard& sh, const MirrorDelta& mir,
+                                          MirrorDelta* flush) {
+  if (m_accepted_ == nullptr) return;  // No registry attached.
+  sh.pending.MergeFrom(mir);
+  if (options_.mirror_flush_ops == 0 ||
+      sh.pending.events >= options_.mirror_flush_ops) {
+    flush->MergeFrom(sh.pending);
+    sh.pending = MirrorDelta{};
+  }
+}
+
+void ShardedMtkEngine::ApplyMirror(const MirrorDelta& d) {
+  if (m_accepted_ == nullptr || d.events == 0) return;
+  if (d.accepted != 0) m_accepted_->Add(d.accepted);
+  if (d.ignored != 0) m_ignored_->Add(d.ignored);
+  if (d.hot_encodings != 0) m_hot_encodings_->Add(d.hot_encodings);
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    if (d.rejected[r] != 0) m_rejected_[r]->Add(d.rejected[r]);
+  }
+  if (d.contention != 0) m_contention_->Add(d.contention);
+  if (d.retries != 0) m_retries_->Add(d.retries);
+  if (d.fallbacks != 0) m_fallbacks_->Add(d.fallbacks);
+  if (d.batch_fallbacks != 0) m_batch_fallbacks_->Add(d.batch_fallbacks);
+  if (d.batches != 0) m_batches_->Add(d.batches);
+  if (d.batch_ops != 0) m_batch_ops_->Add(d.batch_ops);
+  if (d.compactions != 0) m_compactions_->Add(d.compactions);
+  if (d.versions_installed != 0) {
+    m_versions_installed_->Add(d.versions_installed);
+  }
+  if (d.versions_gc != 0) m_versions_gc_->Add(d.versions_gc);
+  if (options_.multiversion) {
+    const int64_t lv = live_versions_.load(std::memory_order_relaxed);
+    m_live_versions_->Set(lv < 0 ? 0 : lv);
+  }
+}
+
 void ShardedMtkEngine::LockShard(Shard& sh) {
   if (sh.mu.try_lock()) return;
   sh.mu.lock();
-  // We now hold sh.mu, so the per-shard counter needs no further sync.
+  // We now hold sh.mu, so the per-shard counter needs no further sync; the
+  // registry mirror is buffered (EngineOptions::mirror_flush_ops) and
+  // flushed at the next batch boundary or stats() call.
   ++sh.stats.lock_contention;
-  if (m_contention_ != nullptr) m_contention_->Add(1);
+  if (m_contention_ != nullptr) {
+    ++sh.pending.contention;
+    ++sh.pending.events;
+  }
   MDTS_TRACE_INSTANT_ARG("engine.shard_lock_contention", "shard", sh.index);
 }
 
@@ -358,11 +787,22 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
   const size_t n = ops.size();
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_ops_.fetch_add(n, std::memory_order_relaxed);
-  if (m_batches_ != nullptr) {
-    m_batches_->Add(1);
-    m_batch_ops_->Add(static_cast<uint64_t>(n));
+  if (n == 0) {
+    if (m_accepted_ != nullptr) {
+      // Even an empty batch must eventually reach the mirror so the
+      // "engine.batches" counter reconciles with stats().
+      MirrorDelta d;
+      d.events = 1;
+      d.batches = 1;
+      MirrorDelta flush;
+      {
+        std::lock_guard<std::mutex> g(shards_[0].mu);
+        MergePendingLocked(shards_[0], d, &flush);
+      }
+      ApplyMirror(flush);
+    }
+    return 0;
   }
-  if (n == 0) return 0;
   if (reasons != nullptr) std::fill_n(reasons, n, AbortReason::kNone);
 
   // Livelock guardrail: multi-op batches under heavy conflict can abort
@@ -447,6 +887,7 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
   }
 
   MirrorDelta mir;
+  MirrorDelta flush;
   size_t accepted = 0;
   size_t undecided = n;
   uint64_t retries = 0;
@@ -509,6 +950,9 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
           si.ts.Reset();
           si.writes.clear();
           StoreLife(si, wi | 1);
+          if (options_.multiversion) {
+            mv_dead_epoch_.fetch_add(1, std::memory_order_release);
+          }
         }
         ++shx.stats.rejected;
         shx.stats.reject_reasons.Add(reason);
@@ -520,6 +964,85 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
         continue;
       }
       ItemState& item = ItemLocked(shx, op.item);
+      if (options_.multiversion) {
+        // Multiversion decisions touch every live chain writer's and
+        // reader's vector (reads order against writers; writes also
+        // against readers), so the lockset must cover all their shards -
+        // the MV analogue of the single-version top-accessor coverage.
+        // Unlinking dead chain state first (safe under shard(x) alone)
+        // keeps the coverage set to the live population.
+        EnsureChainLocked(item);
+        // The per-op dead-unlink walk only pays off when something died:
+        // gate it on the engine-wide dead epoch. Equal epochs mean no
+        // abort store since this chain's last scrub, so no entry can be
+        // dead. (A death racing this very decision was always possible -
+        // liveness reads are lock-free - and stays benign: the encodings
+        // against a just-dead transaction merely add constraints, and the
+        // entry is unlinked at the next epoch change.)
+        const uint64_t dead_epoch =
+            mv_dead_epoch_.load(std::memory_order_acquire);
+        if (item.mv_unlink_epoch != dead_epoch) {
+          MvUnlinkDeadLocked(shx, item, mir);
+          item.mv_unlink_epoch = dead_epoch;
+        }
+        bool covered = all;
+        if (!covered && num_shards_ <= 64) {
+          // One mask test against the chain's shard-coverage summary. The
+          // mask is a superset of the live accessors' shards, so a pass
+          // here is exactly as sound as the full walk; a stale bit at
+          // worst defers the op one round with an over-wide lockset.
+          covered = (item.mv_cover & ~want.mask) == 0;
+        } else if (!covered) {
+          covered = true;
+          auto check = [&](const Access& a) {
+            if (a.txn != kVirtualTxn &&
+                !want.Has(static_cast<uint32_t>(a.txn % num_shards_))) {
+              covered = false;
+            }
+          };
+          for (const MvVersion& v : item.mv_older) {
+            check(v.writer);
+            for (const Access& r : v.readers) check(r);
+          }
+          check(item.mv_newest.writer);
+          for (const Access& r : item.mv_newest.readers) check(r);
+        }
+        if (!covered) {
+          next.Add(shx.index);
+          next.Add(shi.index);
+          if (num_shards_ <= 64) {
+            uint64_t missing = item.mv_cover & ~want.mask;
+            while (missing != 0) {
+              next.Add(static_cast<uint32_t>(std::countr_zero(missing)));
+              missing &= missing - 1;
+            }
+          } else {
+            auto widen = [&](const Access& a) {
+              if (a.txn != kVirtualTxn) {
+                next.Add(static_cast<uint32_t>(a.txn % num_shards_));
+              }
+            };
+            for (const MvVersion& v : item.mv_older) {
+              widen(v.writer);
+              for (const Access& r : v.readers) widen(r);
+            }
+            widen(item.mv_newest.writer);
+            for (const Access& r : item.mv_newest.readers) widen(r);
+          }
+          continue;
+        }
+        if (cross) {
+          ++shx.stats.cross_shard_ops;
+        } else {
+          ++shx.stats.single_shard_ops;
+        }
+        const OpDecision d = DecideMvLocked(op, shx, item, si, why, mir);
+        decisions[q] = d;
+        if (d == OpDecision::kAccept) ++accepted;
+        decided[q] = 1;
+        --undecided;
+        continue;
+      }
       // Resolve the tops under shard(x); liveness reads are lock-free, so
       // this works even when the accessors' shards are not (yet) held.
       const LiveRef jr = TopLiveOf(item.top_reader, item.readers);
@@ -561,10 +1084,21 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
     }
 
     if (undecided == 0) {
-      // Attribute the batch's retry work to a shard we still hold.
+      // Attribute the batch's retry work to a shard we still hold, and
+      // merge the batch's mirror deltas into its pending buffer - the
+      // buffer hands back a flush batch once it crosses mirror_flush_ops.
       Shard& sh0 = all ? shards_[0] : shards_[want.At(0)];
       sh0.stats.lock_retries += retries;
       sh0.stats.full_lock_fallbacks += fallbacks;
+      if (m_accepted_ != nullptr) {
+        mir.events += n;
+        mir.batches += 1;
+        mir.batch_ops += n;
+        mir.retries += retries;
+        mir.fallbacks += fallbacks;
+        if (champion != kVirtualTxn) mir.batch_fallbacks += 1;
+        MergePendingLocked(sh0, mir, &flush);
+      }
       if (all) {
         for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
           it->mu.unlock();
@@ -590,31 +1124,22 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
     }
   }
 
-  // Flush the batch-accumulated registry deltas, one Add per touched
-  // counter, outside the locks (the counters are themselves atomic).
-  if (m_accepted_ != nullptr) {  // Null iff no registry is attached.
-    if (mir.accepted != 0) m_accepted_->Add(mir.accepted);
-    if (mir.ignored != 0) m_ignored_->Add(mir.ignored);
-    if (mir.hot_encodings != 0) m_hot_encodings_->Add(mir.hot_encodings);
-    for (size_t r = 1; r < kNumAbortReasons; ++r) {
-      if (mir.rejected[r] != 0) m_rejected_[r]->Add(mir.rejected[r]);
-    }
-    if (retries != 0) m_retries_->Add(retries);
-    if (fallbacks != 0) m_fallbacks_->Add(fallbacks);
-    if (champion != kVirtualTxn) m_batch_fallbacks_->Add(1);
-  }
+  // Deliver any flushed buffer outside the locks (the registry counters
+  // are themselves atomic); a batch that stays under the flush threshold
+  // costs zero registry touches here.
+  ApplyMirror(flush);
   return accepted;
 }
 
 void ShardedMtkEngine::CommitTxn(TxnId txn) {
   Shard& sh = ShardForTxn(txn);
+  std::vector<ItemId> writes;
   if (options_.wal != nullptr) {
     // Snapshot the vector and write set under the lock, then log OUTSIDE
     // it: AppendCommit may fdatasync, and holding a shard mutex across a
     // disk sync would stall every peer on that shard. The caller owns the
     // transaction, so nothing mutates its state between the two sections.
     TimestampVector ts(options_.k);
-    std::vector<ItemId> writes;
     {
       std::lock_guard<std::mutex> g(sh.mu);
       TxnState& s = StateLocked(sh, txn);
@@ -636,6 +1161,39 @@ void ShardedMtkEngine::CommitTxn(TxnId txn) {
     const uint64_t w = s.life;
     assert(!LifeAborted(w));
     StoreLife(s, w | 2);
+    // Without a WAL the write set is still tracked in multiversion mode;
+    // grab it here for the commit-side chain pruning below.
+    if (options_.multiversion && writes.empty()) writes.swap(s.writes);
+  }
+  if (options_.multiversion && !writes.empty()) {
+    // Commit-side GC: prune the chains this transaction wrote against the
+    // last sweep's watermark, bounding live versions between CompactAll
+    // sweeps at the cost of one single-shard lock per written item. The
+    // stored watermark only lags the true one (a stale minimum is
+    // conservative), and unlink/prune only drop permanently-dead or
+    // watermark-invisible state, so shard(item)'s lock alone suffices.
+    std::sort(writes.begin(), writes.end());
+    writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+    const uint64_t wm = mv_watermark_.load(std::memory_order_acquire);
+    // Epoch read before the scrub: any death ordered before this load is
+    // seen by the unlink, so stamping the items with it is conservative.
+    const uint64_t dead_epoch = mv_dead_epoch_.load(std::memory_order_acquire);
+    MirrorDelta flush;
+    for (const ItemId x : writes) {
+      Shard& shx = ShardForItem(x);
+      MirrorDelta mir;
+      LockShard(shx);
+      ItemState& item = ItemLocked(shx, x);
+      MvUnlinkDeadLocked(shx, item, mir);
+      item.mv_unlink_epoch = dead_epoch;
+      MvPruneLocked(shx, item, wm, mir);
+      if (m_accepted_ != nullptr) {
+        mir.events += 1;
+        MergePendingLocked(shx, mir, &flush);
+      }
+      shx.mu.unlock();
+    }
+    ApplyMirror(flush);
   }
   // A commit is exactly what the livelock guardrail waits for: reset the
   // commit-free streak and depose the champion once it gets through.
@@ -675,7 +1233,8 @@ void ShardedMtkEngine::RestartTxn(TxnId txn) {
     s.ts.Reset();  // Fresh, fully undefined vector.
   }
   // With the fix the seeded vector from the rejection is kept.
-  s.writes.clear();  // The dead incarnation's writes are never logged.
+  s.writes.clear();   // The dead incarnation's writes are never logged.
+  s.begin_stamp = 0;  // The new incarnation re-pins its GC horizon.
 }
 
 bool ShardedMtkEngine::IsAborted(TxnId txn) const {
@@ -715,38 +1274,89 @@ size_t ShardedMtkEngine::CompactAll() {
 }
 
 size_t ShardedMtkEngine::CompactAllLocked() {
-  // 1. Truncate every item history to its live top (Section III-D-6a/b).
-  for (Shard& sh : shards_) {
-    for (ItemState& item : sh.items) {
-      const LiveRef r = TopLiveOf(item.top_reader, item.readers);
-      const LiveRef w = TopLiveOf(item.top_writer, item.writers);
-      item.readers.clear();
-      item.writers.clear();
-      if (r.txn != kVirtualTxn) {
-        item.readers.push_back({r.txn, r.incarnation});
-        item.top_reader = item.readers.back();
+  const bool mv = options_.multiversion;
+  if (mv) {
+    // 1-MV. Exact live watermark: with every shard lock held, no liveness
+    // word or begin stamp can move, so the minimum begin stamp over live
+    // (neither committed nor aborted) incarnations is stable. With no live
+    // transaction the watermark passes the whole clock, allowing every
+    // chain to shrink to its newest committed version.
+    uint64_t wm = mv_stamp_.load(std::memory_order_relaxed) + 1;
+    for (Shard& sh : shards_) {
+      for (uint32_t slot = sh.base_slot.load(std::memory_order_relaxed);
+           slot < sh.next_slot; ++slot) {
+        Chunk* c = sh.dir[slot >> kChunkBits].load(std::memory_order_relaxed);
+        if (c == nullptr) {
+          slot |= kChunkSize - 1;  // Skip the rest of the missing chunk.
+          continue;
+        }
+        const TxnState& s = c->states[slot & (kChunkSize - 1)];
+        const uint64_t w = s.life;
+        if (!LifeAborted(w) && !LifeCommitted(w) && s.begin_stamp != 0 &&
+            s.begin_stamp < wm) {
+          wm = s.begin_stamp;
+        }
       }
-      if (w.txn != kVirtualTxn) {
-        item.writers.push_back({w.txn, w.incarnation});
-        item.top_writer = item.writers.back();
+    }
+    mv_watermark_.store(wm, std::memory_order_release);
+    // Every shard lock is held, so the epoch read here covers every death
+    // the sweep's unlinks will observe.
+    const uint64_t dead_epoch = mv_dead_epoch_.load(std::memory_order_acquire);
+    MirrorDelta mir;
+    for (Shard& sh : shards_) {
+      for (ItemState& item : sh.items) {
+        MvUnlinkDeadLocked(sh, item, mir);
+        item.mv_unlink_epoch = dead_epoch;
+        MvPruneLocked(sh, item, wm, mir, /*force=*/true);
+      }
+    }
+    if (m_accepted_ != nullptr && (mir.versions_gc != 0 || mir.events != 0)) {
+      mir.events += 1;
+      shards_[0].pending.MergeFrom(mir);  // Delivered at the next flush.
+    }
+  } else {
+    // 1. Truncate every item history to its live top (Section III-D-6a/b).
+    for (Shard& sh : shards_) {
+      for (ItemState& item : sh.items) {
+        const LiveRef r = TopLiveOf(item.top_reader, item.readers);
+        const LiveRef w = TopLiveOf(item.top_writer, item.writers);
+        item.readers.clear();
+        item.writers.clear();
+        if (r.txn != kVirtualTxn) {
+          item.readers.push_back({r.txn, r.incarnation});
+          item.top_reader = item.readers.back();
+        }
+        if (w.txn != kVirtualTxn) {
+          item.writers.push_back({w.txn, w.incarnation});
+          item.top_writer = item.writers.back();
+        }
       }
     }
   }
 
   // 2. Smallest slot still referenced by any item, per transaction shard.
+  // Multiversion chains reference transactions through version writers and
+  // readers (the stacks stay empty), and a referenced state must survive:
+  // PeekState on a released chunk would dangle.
   std::vector<uint32_t> min_ref(num_shards_);
   for (size_t t = 0; t < num_shards_; ++t) min_ref[t] = shards_[t].next_slot;
+  auto note_ref = [&](const Access& a) {
+    if (a.txn == kVirtualTxn) return;
+    const size_t t = a.txn % num_shards_;
+    min_ref[t] =
+        std::min(min_ref[t], static_cast<uint32_t>(a.txn / num_shards_));
+  };
   for (Shard& sh : shards_) {
     for (const ItemState& item : sh.items) {
-      for (const Access& a : item.readers) {
-        const size_t t = a.txn % num_shards_;
-        min_ref[t] = std::min(min_ref[t],
-                              static_cast<uint32_t>(a.txn / num_shards_));
-      }
-      for (const Access& a : item.writers) {
-        const size_t t = a.txn % num_shards_;
-        min_ref[t] = std::min(min_ref[t],
-                              static_cast<uint32_t>(a.txn / num_shards_));
+      for (const Access& a : item.readers) note_ref(a);
+      for (const Access& a : item.writers) note_ref(a);
+      if (mv && item.mv_init) {
+        for (const MvVersion& v : item.mv_older) {
+          note_ref(v.writer);
+          for (const Access& r : v.readers) note_ref(r);
+        }
+        note_ref(item.mv_newest.writer);
+        for (const Access& r : item.mv_newest.readers) note_ref(r);
       }
     }
   }
@@ -824,18 +1434,61 @@ size_t ShardedMtkEngine::RecoverFrom(const WalRecovery& recovery) {
     }
     ++applied;
   }
-  // Reinstall the per-item committed top writers from the merged order;
-  // reader state is not logged (reads leave nothing to rebuild), so the
-  // recovered items start with virtual-T0 reader tops.
-  for (const auto& [item, idx] : recovery.item_writer) {
-    const WalCommitRecord& r = recovery.records[idx];
-    Shard& shx = ShardForItem(item);
-    ItemState& it = ItemLocked(shx, item);
-    it.readers.clear();
-    it.top_reader = Access{};
-    it.writers.clear();
-    it.writers.push_back({r.txn, 0});
-    it.top_writer = it.writers.back();
+  if (options_.multiversion) {
+    // Rebuild the version chains from the merged record order: the merge
+    // visits commit records in vector order, so installing each logged
+    // write at the newest position reproduces the chains' version order.
+    // Reader state is not logged (reads leave nothing to rebuild), so
+    // recovered versions carry no readers.
+    MirrorDelta mir;
+    for (size_t idx = 0; idx < recovery.records.size(); ++idx) {
+      const WalCommitRecord& r = recovery.records[idx];
+      if (r.txn == kVirtualTxn) continue;
+      for (const ItemId x : r.writes) {
+        Shard& shx = ShardForItem(x);
+        ItemState& it = ItemLocked(shx, x);
+        EnsureChainLocked(it);
+        const uint64_t stamp =
+            mv_stamp_.fetch_add(1, std::memory_order_relaxed);
+        it.mv_older.push_back(std::move(it.mv_newest));
+        it.mv_older.back().end_stamp = stamp;
+        it.mv_newest = MvVersion{};
+        it.mv_newest.writer = {r.txn, 0};
+        it.mv_newest.begin_stamp = stamp;
+        ++shx.stats.versions_installed;
+        ++mir.versions_installed;
+        live_versions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Every recovered transaction is committed and nothing is live yet:
+    // the watermark passes the whole clock and each chain prunes down to
+    // its newest committed version.
+    const uint64_t wm = mv_stamp_.load(std::memory_order_relaxed) + 1;
+    mv_watermark_.store(wm, std::memory_order_release);
+    for (Shard& sh : shards_) {
+      for (ItemState& it : sh.items) {
+        MvUnlinkDeadLocked(sh, it, mir);
+        MvPruneLocked(sh, it, wm, mir, /*force=*/true);
+      }
+    }
+    if (m_accepted_ != nullptr) {
+      mir.events += 1;
+      shards_[0].pending.MergeFrom(mir);  // Delivered at the next flush.
+    }
+  } else {
+    // Reinstall the per-item committed top writers from the merged order;
+    // reader state is not logged (reads leave nothing to rebuild), so the
+    // recovered items start with virtual-T0 reader tops.
+    for (const auto& [item, idx] : recovery.item_writer) {
+      const WalCommitRecord& r = recovery.records[idx];
+      Shard& shx = ShardForItem(item);
+      ItemState& it = ItemLocked(shx, item);
+      it.readers.clear();
+      it.top_reader = Access{};
+      it.writers.clear();
+      it.writers.push_back({r.txn, 0});
+      it.top_writer = it.writers.back();
+    }
   }
   for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
     it->mu.unlock();
@@ -843,8 +1496,48 @@ size_t ShardedMtkEngine::RecoverFrom(const WalRecovery& recovery) {
   return applied;
 }
 
+bool ShardedMtkEngine::MvAuditChains() const {
+  if (!options_.multiversion) return true;
+  auto* self = const_cast<ShardedMtkEngine*>(this);
+  for (Shard& sh : shards_) self->LockShard(sh);
+  bool ok = true;
+  auto live = [&](const Access& a) {
+    if (a.txn == kVirtualTxn) return true;
+    const uint64_t w = LoadLife(*PeekState(a.txn));
+    return LifeIncarnation(w) == a.incarnation && !LifeAborted(w);
+  };
+  for (Shard& sh : shards_) {
+    for (const ItemState& item : sh.items) {
+      if (!item.mv_init || !ok) continue;
+      const TxnState* prev = nullptr;
+      const size_t chain_len = item.mv_older.size() + 1;
+      for (size_t v = 0; v < chain_len && ok; ++v) {
+        const MvVersion& ver = v < item.mv_older.size()
+                                   ? item.mv_older[v]
+                                   : item.mv_newest;
+        // End stamps: 0 exactly on the newest version.
+        if ((ver.end_stamp == 0) != (v == chain_len - 1)) ok = false;
+        if (!live(ver.writer)) continue;  // Unlinked at the next touch.
+        const TxnState* cur = PeekState(ver.writer.txn);
+        // Consecutive versions by the same writer need no mutual order;
+        // distinct live writers must have their order encoded.
+        if (prev != nullptr && prev != cur &&
+            Compare(prev->ts, cur->ts).order != VectorOrder::kLess) {
+          ok = false;  // Version order not (or no longer) encoded.
+        }
+        prev = cur;
+      }
+    }
+  }
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    it->mu.unlock();
+  }
+  return ok;
+}
+
 EngineStats ShardedMtkEngine::stats() const {
   EngineStats out;
+  MirrorDelta flush;
   for (Shard& sh : shards_) {
     std::lock_guard<std::mutex> g(sh.mu);
     const EngineStats& s = sh.stats;
@@ -862,11 +1555,28 @@ EngineStats ShardedMtkEngine::stats() const {
     out.lock_contention += s.lock_contention;
     out.compactions += s.compactions;
     out.hot_encodings += s.hot_encodings;
+    out.versions_installed += s.versions_installed;
+    out.versions_gc += s.versions_gc;
+    out.old_version_reads += s.old_version_reads;
+    out.read_rejects += s.read_rejects;
     out.reject_reasons += s.reject_reasons;
+    // An observation point: drain every pending mirror buffer so the
+    // registry snapshot reconciles exactly with the returned stats.
+    if (m_accepted_ != nullptr && sh.pending.events != 0) {
+      flush.MergeFrom(sh.pending);
+      sh.pending = MirrorDelta{};
+    }
   }
   out.batches = batches_.load(std::memory_order_relaxed);
   out.batch_ops = batch_ops_.load(std::memory_order_relaxed);
   out.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
+  const int64_t lv = live_versions_.load(std::memory_order_relaxed);
+  out.live_versions = lv < 0 ? 0 : static_cast<uint64_t>(lv);
+  auto* self = const_cast<ShardedMtkEngine*>(this);
+  self->ApplyMirror(flush);
+  if (options_.multiversion && m_live_versions_ != nullptr) {
+    m_live_versions_->Set(lv < 0 ? 0 : lv);
+  }
   return out;
 }
 

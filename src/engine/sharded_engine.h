@@ -16,8 +16,9 @@
 
 namespace mdts {
 
-class ParallelWal;   // src/wal/wal.h
-struct WalRecovery;  // src/wal/wal.h
+class ParallelWal;         // src/wal/wal.h
+struct WalRecovery;        // src/wal/wal.h
+struct MvInstallCrashPlan;  // src/fault/fault.h
 
 /// Configuration of the sharded concurrent MT(k) engine. The protocol
 /// options mirror MtkOptions (minus the recognizer-only and hot-item
@@ -55,10 +56,46 @@ struct EngineOptions {
   /// many times (counted per item under its shard lock).
   size_t hot_item_threshold = 8;
 
+  /// Multiversion MT(k) (Section III-D-6d, the src/mvcc MvMtkScheduler
+  /// design run concurrently): every item keeps a chain of versions sorted
+  /// by the writers' vector order - the newest version inline in the item
+  /// state, older ones behind it - each carrying begin/end/read stamps from
+  /// an engine-wide stamp clock. A read walks the chain newest to oldest
+  /// and takes the first version whose writer can be ordered before it
+  /// (reads essentially never abort - the multiversion payoff); a write
+  /// installs a new version at the newest feasible slot, encoding the
+  /// version-order and reader-before-later-writer MVSG edges through the
+  /// vectors, or rejects with kVersionConflict. All chain state is mutated
+  /// under the same sorted shard locksets and batched admission as the
+  /// single-version mode; version storage is reclaimed by the live
+  /// watermark (see CompactAll). thomas_write_rule, relaxed_read_path, and
+  /// disable_old_read_path are single-version knobs and are ignored.
+  bool multiversion = false;
+
+  /// Multiversion only: engine-side crash injection (src/fault). The
+  /// at_install-th version install crashes the attached WAL via
+  /// ParallelWal::CrashNow, tearing the process image in the window
+  /// between a version install and its commit append. Null disables; must
+  /// outlive the engine. No effect without a wal.
+  const MvInstallCrashPlan* install_crash = nullptr;
+
   /// If > 0, CompactAll() runs after every this many commits engine-wide,
   /// so memory stays bounded by live transactions instead of total history.
   /// The sweep is stop-the-world and O(items); size the period accordingly.
   uint64_t compact_every = 0;
+
+  /// Multiversion only: how many of the newest committed versions each
+  /// chain keeps through GC (minimum 1, the default - maximal reclaim).
+  /// The read walk's never-abort property leans on older versions as
+  /// fallbacks: a reader whose vector elements were pinned by its earlier
+  /// operations can be un-orderable after the newest surviving writer,
+  /// and with the chain pruned to a single version it then rejects -
+  /// deterministically so when a retry replays the same program. A deeper
+  /// tail preserves older (smaller-element) writers to fall back to; at
+  /// 64 items / k = 3 / 30% reads, read rejects fall from ~2.8 per commit
+  /// at 1 to zero at 16 (bench/mt_throughput part 4 runs with 16). Memory
+  /// stays bounded at keep_tail versions per chain either way.
+  uint32_t mv_gc_keep_tail = 1;
 
   /// Optimistic cross-shard lock acquisitions retried this many times
   /// before falling back to locking every shard.
@@ -98,6 +135,19 @@ struct EngineOptions {
   /// "engine.batch_fallbacks" registry mirror. 0 disables the guardrail.
   /// Process (a batch of one) is never throttled.
   size_t batch_fallback_rounds = 64;
+
+  /// Registry-mirror buffering: counter deltas accumulate in per-shard
+  /// buffers (plain increments under shard locks the engine already holds)
+  /// and reach the attached registry only once a buffer has absorbed about
+  /// this many operations' worth of events - so mirroring costs a handful
+  /// of registry touches per flush window instead of several per
+  /// operation. stats() always flushes every buffer first, keeping the
+  /// snapshot == stats() reconciliation exact at observation points; live
+  /// consumers (Sampler windows) see deltas at most one window late under
+  /// load. 0 flushes every batch (the pre-buffering behavior). The
+  /// "engine.max_consecutive_aborts" gauge is never buffered - it is the
+  /// starvation watchdog's liveness signal.
+  size_t mirror_flush_ops = 256;
 };
 
 /// Work counters, aggregated over shards by ShardedMtkEngine::stats().
@@ -131,6 +181,20 @@ struct EngineStats {
   /// ProcessBatch rounds decided under the livelock-guardrail fallback
   /// (see EngineOptions::batch_fallback_rounds).
   uint64_t batch_fallbacks = 0;
+  /// Multiversion mode: versions installed (writes accepted into chains,
+  /// including RecoverFrom rebuilds) and versions unlinked by garbage
+  /// collection (dead-writer unlinks plus watermark truncations).
+  uint64_t versions_installed = 0;
+  uint64_t versions_gc = 0;
+  /// Multiversion mode: versions currently linked across every chain
+  /// (excluding the per-item virtual-T0 base) - the quantity the live
+  /// watermark bounds; equals versions_installed - versions_gc.
+  uint64_t live_versions = 0;
+  /// Multiversion mode: reads served by a version other than the newest
+  /// live one, and reads that exhausted the whole chain (degenerate vector
+  /// states only - the acceptance bar for MV mode is zero).
+  uint64_t old_version_reads = 0;
+  uint64_t read_rejects = 0;
   /// Per-reason breakdown of `rejected`; reject_reasons.total() == rejected.
   AbortReasonCounts reject_reasons;
 };
@@ -236,6 +300,15 @@ class ShardedMtkEngine {
   /// transaction states released.
   size_t CompactAll();
 
+  /// Multiversion audit (test support): takes every shard lock and checks
+  /// each chain's version-order soundness invariant - every adjacent live
+  /// pair of version writers must already be vector-ordered kLess (the
+  /// edge DecideMvLocked encoded, or found determined, at install). Also
+  /// verifies the stamp invariants (end_stamp == 0 exactly on the newest
+  /// version). Returns false on the first violation. Single-version mode:
+  /// trivially true.
+  bool MvAuditChains() const;
+
   /// Sum of the per-shard counters.
   EngineStats stats() const;
 
@@ -263,9 +336,14 @@ class ShardedMtkEngine {
   struct TxnState {
     TimestampVector ts;
     uint64_t life = 0;  // Accessed via std::atomic_ref.
-    /// Accepted writes of the current incarnation, maintained only when a
-    /// WAL is attached (CommitTxn logs them; RestartTxn clears them).
+    /// Accepted writes of the current incarnation, maintained when a WAL is
+    /// attached (CommitTxn logs them; RestartTxn clears them) and always in
+    /// multiversion mode (CommitTxn prunes the written chains).
     std::vector<ItemId> writes;
+    /// Multiversion mode: stamp-clock value at the incarnation's first
+    /// decided operation; 0 = not yet assigned. The minimum over live
+    /// incarnations is the GC watermark.
+    uint64_t begin_stamp = 0;
     explicit TxnState(size_t k) : ts(k) {}
   };
 
@@ -281,12 +359,86 @@ class ShardedMtkEngine {
     }
   };
 
+  /// One entry of a multiversion item's chain (the src/mvcc MvVersion
+  /// design under shard locking). Stamps come from the engine-wide
+  /// mv_stamp_ clock: begin_stamp when the version was installed,
+  /// end_stamp when a successor superseded it (0 while newest),
+  /// read_stamp at its latest read. A version whose end and read stamps
+  /// are both below the live watermark is invisible to every present and
+  /// future transaction and can be truncated (see MvPruneLocked).
+  struct MvVersion {
+    Access writer;  // kVirtualTxn = the initial (T0) base version.
+    uint64_t begin_stamp = 0;
+    uint64_t end_stamp = 0;
+    uint64_t read_stamp = 0;
+    std::vector<Access> readers;
+  };
+
   struct ItemState {
     Access top_reader;  // Inline mirrors of the stack tops (see
     Access top_writer;  // MtkScheduler::ItemState).
     std::vector<Access> readers;
     std::vector<Access> writers;
     uint64_t access_count = 0;  // For hot-item detection (III-D-5).
+    /// Multiversion chain: the newest version inline (hot in the common
+    /// newest-read / newest-install case), older versions behind it in
+    /// mv_older, oldest first. mv_init latches the lazy T0 base creation.
+    bool mv_init = false;
+    MvVersion mv_newest;
+    std::vector<MvVersion> mv_older;
+    /// Shard-coverage summary of the chain (num_shards <= 64 only): bit
+    /// (txn % num_shards) is set for every writer and reader linked into
+    /// the chain. A superset of the live population - dead accessors'
+    /// bits linger until MvUnlinkDeadLocked recomputes the mask - which
+    /// is sound for batch lockset coverage: a stale bit can only widen
+    /// the lockset, never hide a live accessor's shard. Turns the per-op
+    /// coverage check from a full chain walk into one mask test.
+    uint64_t mv_cover = 0;
+    /// mv_dead_epoch_ value at the chain's last dead-unlink; while no
+    /// incarnation has died engine-wide since, the chain can hold no
+    /// dead entry and the per-op unlink walk is skipped.
+    uint64_t mv_unlink_epoch = 0;
+  };
+
+  /// Registry deltas accumulated across one batch, then merged into a
+  /// per-shard pending buffer (under a shard lock the batch already holds)
+  /// and flushed to the registry only once the buffer has absorbed about
+  /// mirror_flush_ops events - so mirroring costs a handful of registry
+  /// touches per flush window instead of several per operation. The
+  /// per-shard EngineStats are still updated inline under the shard locks;
+  /// stats() flushes every buffer, keeping reconciliation exact there.
+  struct MirrorDelta {
+    uint64_t events = 0;  // Operations merged in; drives the flush trigger.
+    uint64_t accepted = 0;
+    uint64_t ignored = 0;
+    uint64_t hot_encodings = 0;
+    uint64_t batches = 0;
+    uint64_t batch_ops = 0;
+    uint64_t retries = 0;
+    uint64_t fallbacks = 0;
+    uint64_t batch_fallbacks = 0;
+    uint64_t contention = 0;
+    uint64_t compactions = 0;
+    uint64_t versions_installed = 0;
+    uint64_t versions_gc = 0;
+    uint64_t rejected[kNumAbortReasons] = {};
+
+    void MergeFrom(const MirrorDelta& d) {
+      events += d.events;
+      accepted += d.accepted;
+      ignored += d.ignored;
+      hot_encodings += d.hot_encodings;
+      batches += d.batches;
+      batch_ops += d.batch_ops;
+      retries += d.retries;
+      fallbacks += d.fallbacks;
+      batch_fallbacks += d.batch_fallbacks;
+      contention += d.contention;
+      compactions += d.compactions;
+      versions_installed += d.versions_installed;
+      versions_gc += d.versions_gc;
+      for (size_t r = 0; r < kNumAbortReasons; ++r) rejected[r] += d.rejected[r];
+    }
   };
 
   struct alignas(64) Shard {
@@ -301,6 +453,9 @@ class ShardedMtkEngine {
     TsElement ucount = 1;  // Raw last-column counters; encoded value is
     TsElement lcount = 0;  // raw * N + index.
     EngineStats stats;
+    /// Buffered registry deltas (EngineOptions::mirror_flush_ops); mutated
+    /// under mu, flushed by FlushMirrorLocked once past the threshold.
+    MirrorDelta pending;
     Shard() : dir(kDirSize) {}
   };
 
@@ -310,16 +465,6 @@ class ShardedMtkEngine {
     TxnState* state = nullptr;
   };
 
-  /// Registry deltas accumulated across one batch and flushed once after
-  /// the locks drop, so mirroring costs O(1) registry touches per batch
-  /// instead of one per operation. The per-shard EngineStats are still
-  /// updated inline under the shard locks.
-  struct MirrorDelta {
-    uint64_t accepted = 0;
-    uint64_t ignored = 0;
-    uint64_t hot_encodings = 0;
-    uint64_t rejected[kNumAbortReasons] = {};
-  };
 
   static uint64_t LoadLife(const TxnState& s) {
     return std::atomic_ref<uint64_t>(const_cast<TxnState&>(s).life)
@@ -376,6 +521,43 @@ class ShardedMtkEngine {
                           TxnState& si, const LiveRef& jr, const LiveRef& jw,
                           AbortReason* why, MirrorDelta& mir);
 
+  /// Multiversion decision body (the MvMtkScheduler read walk and two-phase
+  /// write placement run under shard locking): every shard referenced by
+  /// the chain's live writers and readers is held, plus shard(item) and
+  /// shard(txn). Installs/reads versions, encodes the MVSG edges through
+  /// SetStates, and classifies rejects (kVersionConflict for infeasible
+  /// write placements).
+  OpDecision DecideMvLocked(const Op& op, Shard& shx, ItemState& item,
+                            TxnState& si, AbortReason* why, MirrorDelta& mir);
+
+  /// Lazily creates the chain's virtual-T0 base version.
+  static void EnsureChainLocked(ItemState& item);
+
+  /// Unlinks versions whose writer is dead and reader entries that are
+  /// dead (permanent states, so safe under shard(item) alone); counts the
+  /// unlinked non-T0 versions as versions_gc. Requires shard(item).mu.
+  void MvUnlinkDeadLocked(Shard& shx, ItemState& item, MirrorDelta& mir);
+
+  /// Watermark truncation: after unlinking dead state, drops the
+  /// oldest-prefix of versions strictly older than the newest committed
+  /// version whose end and read stamps are both below `watermark` (no live
+  /// or future transaction can see them). Requires shard(item).mu.
+  /// `force` (sweeps: CompactAll, RecoverFrom) bypasses the hysteresis
+  /// gate that the per-commit incremental path uses to skip chains still
+  /// within keep_tail + slack of their floor.
+  void MvPruneLocked(Shard& shx, ItemState& item, uint64_t watermark,
+                     MirrorDelta& mir, bool force = false);
+
+  /// Merges `mir` into sh.pending under sh.mu; when the buffer crosses
+  /// mirror_flush_ops (or the threshold is 0), moves it into *flush so the
+  /// caller can ApplyMirror after dropping the lock. No-op registry-wise
+  /// when no registry is attached.
+  void MergePendingLocked(Shard& sh, const MirrorDelta& mir,
+                          MirrorDelta* flush);
+
+  /// Applies a flushed buffer to the registry mirrors; lock-free.
+  void ApplyMirror(const MirrorDelta& d);
+
   /// Acquires sh.mu, counting the acquisition as contended (per-shard
   /// stats, registry mirror, trace instant) when try_lock fails first.
   void LockShard(Shard& sh);
@@ -407,6 +589,27 @@ class ShardedMtkEngine {
   /// Fallback batches decided (EngineStats::batch_fallbacks).
   std::atomic<uint64_t> batch_fallbacks_{0};
 
+  // Multiversion clocks and gauges. The stamp clock orders version
+  // installs and reads for GC visibility only (serialization order is the
+  // vectors'); relaxed increments suffice because every chain mutation
+  // that uses a stamp happens under the item's shard lock.
+  /// Engine-wide begin/end/read stamp clock; next value to hand out.
+  std::atomic<uint64_t> mv_stamp_{1};
+  /// Oldest live incarnation's begin stamp as of the last CompactAll;
+  /// CommitTxn prunes written chains against it between sweeps.
+  std::atomic<uint64_t> mv_watermark_{0};
+  /// Versions currently linked (excluding T0 bases); the bounded-memory
+  /// acceptance gauge.
+  std::atomic<int64_t> live_versions_{0};
+  /// Install counter driving EngineOptions::install_crash.
+  std::atomic<uint64_t> mv_installs_{0};
+  /// Bumped (release) right after any store that sets an incarnation's
+  /// aborted bit. Items compare their mv_unlink_epoch against it to skip
+  /// the per-op dead-unlink walk when nothing can have died. Starts at 1
+  /// so a fresh item (epoch 0) always takes its first unlink, which also
+  /// seeds mv_cover.
+  std::atomic<uint64_t> mv_dead_epoch_{1};
+
   /// Registry mirrors, resolved once at construction; all null when
   /// options.metrics == nullptr, so the hot path pays one predictable
   /// branch per event in the detached configuration.
@@ -421,7 +624,10 @@ class ShardedMtkEngine {
   Counter* m_batch_ops_ = nullptr;
   Counter* m_hot_encodings_ = nullptr;
   Counter* m_batch_fallbacks_ = nullptr;
+  Counter* m_versions_installed_ = nullptr;
+  Counter* m_versions_gc_ = nullptr;
   Gauge* m_consec_aborts_ = nullptr;
+  Gauge* m_live_versions_ = nullptr;
 };
 
 }  // namespace mdts

@@ -30,6 +30,8 @@ const char* AbortReasonName(AbortReason reason) {
       return "retry_cap_exhausted";
     case AbortReason::kBatchThrottled:
       return "batch_throttled";
+    case AbortReason::kVersionConflict:
+      return "version_conflict";
     case AbortReason::kNumReasons:
       break;
   }
@@ -64,6 +66,8 @@ const char* AbortReasonDescription(AbortReason reason) {
       return "attempt cap reached; the transaction gave up";
     case AbortReason::kBatchThrottled:
       return "throttled while a livelocked batch drains its champion";
+    case AbortReason::kVersionConflict:
+      return "no feasible version-chain slot for the write";
     case AbortReason::kNumReasons:
       break;
   }

@@ -45,6 +45,10 @@ enum class AbortReason : uint8_t {
   kBatchThrottled,     // Engine livelock guardrail: the batch is in
                        // serialized-admission fallback and this operation's
                        // transaction is not the elected champion.
+  kVersionConflict,    // Multiversion write-write conflict: no feasible
+                       // version-chain slot (a newer version's writer, or a
+                       // reader of an older version, is already ordered
+                       // after the writer).
   kNumReasons,         // Sentinel: number of reasons (array sizing).
 };
 

@@ -255,6 +255,45 @@ void ParallelWal::TriggerCrashLocked(Stream& s,
   }
 }
 
+void ParallelWal::CrashNow(WalCrashPoint point) {
+  if (!ok_ || point == WalCrashPoint::kNone) return;
+  bool expected = false;
+  if (!crashed_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;  // Already crashed; the first image wins.
+  }
+  // Unlike TriggerCrashLocked there is no in-flight frame: the crash comes
+  // from outside the append path (e.g. between a version install and its
+  // commit append). Stream 0 stands in as the trigger stream for the
+  // point-specific image; the peers keep the default last-synced prefix.
+  Stream& s = streams_[0];
+  std::lock_guard<std::mutex> lock(s.mu);
+  switch (point) {
+    case WalCrashPoint::kBeforeFsync:
+      // Every unsynced byte on every stream is lost.
+      break;
+    case WalCrashPoint::kMidRecord: {
+      // The stream's pending records reach the disk followed by a partial
+      // frame header - the torn tail recovery must detect and truncate.
+      static constexpr uint8_t kTornTail[] = {0x28, 0x00, 0x00,
+                                              0x00, 0x5A, 0xA5};
+      s.buf.insert(s.buf.end(), std::begin(kTornTail), std::end(kTornTail));
+      FlushLocked(s);
+      s.surviving_override = s.flushed;
+      break;
+    }
+    case WalCrashPoint::kBetweenStreams:
+      // This stream's group commit completed; the peers lose theirs.
+      FlushLocked(s);
+      ::fdatasync(s.fd);
+      s.synced = s.flushed;
+      s.surviving_override = s.flushed;
+      break;
+    case WalCrashPoint::kNone:
+      break;
+  }
+}
+
 bool ParallelWal::AppendCommit(TxnId txn, const TimestampVector& vec,
                                std::span<const ItemId> writes,
                                WalAppendTicket* ticket) {

@@ -77,8 +77,11 @@ def render(series, endpoint):
                or n.endswith(".commits")}
     aborts = {n: r for n, r in rates.items()
               if ".aborts." in n or ".rejected." in n}
+    versions = {n: r for n, r in rates.items()
+                if n.endswith(".versions_installed")
+                or n.endswith(".versions_gc")}
     other = {n: r for n, r in rates.items()
-             if n not in commits and n not in aborts}
+             if n not in commits and n not in aborts and n not in versions}
 
     lines.append("throughput")
     for n in sorted(commits):
@@ -94,6 +97,15 @@ def render(series, endpoint):
                      f"{bar}")
     if not aborts:
         lines.append("  (none this window)")
+
+    if versions:
+        # Multiversion engines: install and GC rates side by side; a GC
+        # rate persistently below the install rate means chains are
+        # growing (check the live_versions gauge below).
+        lines.append("versions")
+        for n in sorted(versions):
+            lines.append(f"  {shorten(n):<{NAME_WIDTH}} "
+                         f"{versions[n]:>12.1f}/s")
 
     if other:
         lines.append("other rates")

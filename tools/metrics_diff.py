@@ -151,6 +151,25 @@ def main():
             upper = "0" if b == 0 else f"<=2^{b}-1"
             print(f"  bucket[{b}] ({upper}): {fmt_delta(deltas[b])}")
 
+    # Multiversion bookkeeping lint: when a snapshot carries the
+    # version-chain series, the live-version gauge should equal installs
+    # minus reclaims. A drained snapshot (taken after EngineStats, which
+    # flushes every mirror buffer) must satisfy it exactly; one taken
+    # mid-run can lag by the buffered counter deltas, so this is a warning
+    # and does not affect the exit code.
+    for label, counters, gauges in (("before", counters_a, gauges_a),
+                                    ("after", counters_b, gauges_b)):
+        if "engine.versions_installed" not in counters:
+            continue
+        installed = int(counters.get("engine.versions_installed", 0))
+        gc = int(counters.get("engine.versions_gc", 0))
+        live = int(gauges.get("engine.live_versions", 0))
+        if live != installed - gc:
+            print(f"warning ({label}): engine.live_versions={live} != "
+                  f"versions_installed={installed} - versions_gc={gc} "
+                  f"(= {installed - gc}; consistent only in drained "
+                  f"snapshots - buffered mirror deltas lag mid-run)")
+
     if changed == 0:
         print("snapshots match"
               + (f" within tolerance {args.tolerance}"
