@@ -26,6 +26,7 @@
 #include "dist/dmt_system.h"
 #include "engine/sharded_engine.h"
 #include "fault/fault.h"
+#include "obs/flight.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -63,7 +64,23 @@ std::string Audit(const DmtResult& r, uint32_t expected_txns) {
 }
 
 int Run(const char* trace_path, const char* metrics_path, int serve_port,
-        double sample_interval, double hold_seconds) {
+        double sample_interval, double hold_seconds,
+        const char* flight_path) {
+  // Optional flight recorder: every simulation cell and the WAL crash
+  // cells' engines record their commits/aborts (with timestamp vectors)
+  // into the same rings. Auto-dumped on each starvation alert and at each
+  // planned WAL crash point; the final dump at the end of the sweep is the
+  // file tools/flight_check.py audits.
+  std::unique_ptr<FlightRecorder> flight;
+  uint64_t flight_dumps = 0;
+  if (flight_path != nullptr) {
+    FlightRecorderOptions fo;
+    fo.rings = 4;  // One ring per site in the Base() topology.
+    fo.capacity = 512;
+    fo.k = 4;
+    flight = std::make_unique<FlightRecorder>(fo);
+  }
+
   // Optional live telemetry. The sampler is NOT started as a thread: every
   // simulation cell ticks it on SIMULATED time (DmtOptions::sampler), so
   // the exported series and any starvation alerts are deterministic for a
@@ -80,10 +97,19 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
     sampler = std::make_unique<Sampler>(so);
     StarvationWatchdogOptions wo;
     wo.source_gauge = "dmt.max_consecutive_aborts";
+    if (flight != nullptr) {
+      // Auto-dump the rings the moment starvation is raised: the dump
+      // holds the commits/aborts leading up to the alert.
+      wo.on_alert = [&flight, &flight_dumps,
+                     flight_path](const WatchdogAlert&) {
+        if (flight->DumpToFile(flight_path)) ++flight_dumps;
+      };
+    }
     sampler->AddStarvationWatchdog(wo);
     HttpExporterOptions ho;
     ho.registry = &GlobalMetrics();
     ho.sampler = sampler.get();
+    ho.flight = flight.get();
     ho.port = static_cast<uint16_t>(serve_port);
     exporter = std::make_unique<HttpExporter>(ho);
     if (!exporter->Start()) {
@@ -134,6 +160,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
           options.sampler = sampler.get();
           options.sample_interval = sample_interval;
         }
+        options.flight = flight.get();
         options.k = k;
         options.fault.drop_rate = loss;
         if (loss > 0) options.fault.jitter = 0.2;
@@ -190,6 +217,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
       options.sampler = sampler.get();
       options.sample_interval = sample_interval;
     }
+    options.flight = flight.get();
     options.max_attempts = 30;
     options.counter_sync_interval = 25.0;  // Exercises recovery resync.
     options.fault = s.plan;
@@ -238,11 +266,19 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
       wo2.sync_policy = policy;
       wo2.group_commit_ops = 8;
       wo2.crash = &plan;
+      if (flight != nullptr) {
+        // Dump before the WAL goes dark at the planned crash point: the
+        // post-mortem shows what was in flight when durability stopped.
+        wo2.on_crash = [&flight, &flight_dumps, flight_path] {
+          if (flight->DumpToFile(flight_path)) ++flight_dumps;
+        };
+      }
       ParallelWal wal(wo2);
       EngineOptions eo;
       eo.k = 4;
       eo.num_shards = 2;
       eo.starvation_fix = true;
+      eo.flight = flight.get();
       eo.wal = &wal;
       ShardedMtkEngine engine(eo);
       std::mt19937_64 rng(31 + static_cast<uint64_t>(point));
@@ -319,6 +355,16 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
     }
   }
 
+  if (flight != nullptr) {
+    if (flight->DumpToFile(flight_path)) ++flight_dumps;
+    std::printf(
+        "flight recorder: %llu commits, %llu aborts captured; %llu dump(s) "
+        "-> %s (audit with tools/flight_check.py)\n\n",
+        static_cast<unsigned long long>(flight->commits()),
+        static_cast<unsigned long long>(flight->aborts()),
+        static_cast<unsigned long long>(flight_dumps), flight_path);
+  }
+
   if (sampler != nullptr) {
     const std::vector<WatchdogAlert> alerts = sampler->alerts();
     std::printf(
@@ -357,10 +403,14 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
 }  // namespace mdts
 
 // Usage: fault_sweep [--trace[=PATH]] [--metrics=PATH] [--serve[=PORT]]
-//                    [--sample-ms=N]
+//                    [--sample-ms=N] [--flight[=PATH]]
 // --trace default PATH: fault_sweep_trace.json (Chrome trace_event JSON).
 // --metrics writes the cumulative MetricsSnapshot as JSON, the input
 // format of tools/metrics_diff.py.
+// --flight records every cell's commits/aborts in a flight recorder,
+// auto-dumped to PATH (default fault_sweep_flight.json) on each
+// starvation alert and WAL crash point, plus a final dump; audit the file
+// with tools/flight_check.py. Also served on /flight.json with --serve.
 // --serve starts the live telemetry exporter (default port 9464, 0 =
 // ephemeral) with a sampler ticked on SIMULATED time inside each cell;
 // --sample-ms sets that interval in simulated milliseconds (1 simulated
@@ -370,6 +420,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* metrics_path = nullptr;
+  const char* flight_path = nullptr;
   int serve_port = -1;            // < 0 means no exporter.
   double sample_interval = 5.0;   // Simulated time units between samples.
   double hold_seconds = 0.0;
@@ -389,11 +440,15 @@ int main(int argc, char** argv) {
       if (sample_interval <= 0) sample_interval = 5.0;
     } else if (std::strncmp(argv[i], "--hold=", 7) == 0) {
       hold_seconds = std::strtod(argv[i] + 7, nullptr);
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight_path = "fault_sweep_flight.json";
+    } else if (std::strncmp(argv[i], "--flight=", 9) == 0) {
+      flight_path = argv[i] + 9;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
   return mdts::Run(trace_path, metrics_path, serve_port, sample_interval,
-                   hold_seconds);
+                   hold_seconds, flight_path);
 }

@@ -36,6 +36,7 @@
 #include "core/mtk_scheduler.h"
 #include "core/types.h"
 #include "engine/sharded_engine.h"
+#include "obs/flight.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -341,6 +342,44 @@ std::string Fmt(double v, int prec = 2) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.*f", prec, v);
   return buf;
+}
+
+// A/B overhead measurement for the observability gates. Arms run in
+// adjacent pairs with the order flipped every other pair (machine-wide
+// drift taxes both arms alike instead of always the second), and the
+// reported overhead is the MEDIAN OF PER-PAIR DELTAS rather than a
+// comparison of per-arm medians: shared hosts show multi-hundred-ms
+// interference bursts that depress whichever arm they land on by 10%+,
+// and a burst corrupts one pair's delta (voted out by the median over
+// pairs) where it would shift a per-arm median. Calibrate with an A-vs-A
+// null: per-arm medians read up to +-7% on a busy box, the paired median
+// stays within the arm-length noise floor.
+struct AbOverhead {
+  std::vector<double> a_mops, b_mops;
+  double med_a = 0, med_b = 0, overhead_pct = 0;
+};
+
+template <typename A, typename B>
+AbOverhead MeasureAbOverhead(int pairs, A&& run_a, B&& run_b) {
+  AbOverhead r;
+  std::vector<double> deltas;
+  for (int p = 0; p < pairs; ++p) {
+    double a = 0, b = 0;
+    if (p % 2 == 0) {
+      a = run_a();
+      b = run_b();
+    } else {
+      b = run_b();
+      a = run_a();
+    }
+    r.a_mops.push_back(a);
+    r.b_mops.push_back(b);
+    if (a > 0) deltas.push_back((a - b) / a * 100.0);
+  }
+  r.med_a = Median(r.a_mops);
+  r.med_b = Median(r.b_mops);
+  r.overhead_pct = Median(deltas);
+  return r;
 }
 
 // ===========================================================================
@@ -733,8 +772,9 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
   // Part 3: observability overhead. Same engine cell as part 2 (k=3, low
   // contention, 32 shards), tracing runtime-disabled; the only difference
   // between the two arms is EngineOptions::metrics (nullptr = mirroring
-  // off). A/B pairs are interleaved and the medians compared, so drift
-  // (thermal, scheduler) hits both arms alike.
+  // off). Adjacent A/B pairs, order flipped per pair, median of per-pair
+  // deltas (see MeasureAbOverhead), so drift and interference bursts hit
+  // both arms alike.
   // -------------------------------------------------------------------
   const size_t obs_threads = hw >= 4 ? 4 : 1;
   std::printf("--- observability overhead: k=3, %u items, %zu threads ---\n",
@@ -748,21 +788,27 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
   const Workload obs_w = MakeWorkload(obs_threads, kLowContentionItems,
                                       kOpsPerTxn, kReadFraction, 42);
   (void)RunEngine(obs_eo, obs_w, obs_threads, 0.1);  // Warmup.
-  std::vector<double> base_mops, attached_mops;
   EngineStats obs_stats;
-  constexpr int kObsPairs = 7;
-  for (int p = 0; p < kObsPairs; ++p) {
-    obs_eo.metrics = nullptr;
-    base_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
-    obs_eo.metrics = &registry;
-    attached_mops.push_back(
-        Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3, &obs_stats)));
-  }
+  constexpr int kObsPairs = 9;
+  // Arm length: interference bursts on shared hosts run for a few hundred
+  // ms, so 0.3 s arms land entirely inside or outside a burst (+-8% per
+  // arm); 1 s arms integrate over it.
+  constexpr double kObsArmSecs = 1.0;
+  const AbOverhead part3 = MeasureAbOverhead(
+      kObsPairs,
+      [&] {
+        obs_eo.metrics = nullptr;
+        return Mops(RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs));
+      },
+      [&] {
+        obs_eo.metrics = &registry;
+        return Mops(
+            RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs, &obs_stats));
+      });
   obs_eo.metrics = nullptr;
-  const double med_base = Median(base_mops);
-  const double med_attached = Median(attached_mops);
-  const double obs_overhead_pct =
-      med_base > 0 ? (med_base - med_attached) / med_base * 100.0 : 0;
+  const double med_base = part3.med_a;
+  const double med_attached = part3.med_b;
+  const double obs_overhead_pct = part3.overhead_pct;
   std::printf(
       "baseline (no registry): %.2f Mops; metrics attached: %.2f Mops; "
       "overhead %.2f%% (tracing %s)\n",
@@ -779,6 +825,7 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
       {{"hardware_threads", JsonNum(hw)},
        {"threads", JsonNum(static_cast<double>(obs_threads))},
        {"ab_pairs", JsonNum(kObsPairs)},
+       {"ab_arm_seconds", JsonNum(kObsArmSecs)},
        {"baseline_mops", JsonNum(med_base)},
        {"metrics_attached_mops", JsonNum(med_attached)},
        {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
@@ -786,49 +833,113 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
        {"abort_reasons", obs_stats.reject_reasons.ToJson()}});
 
   // -------------------------------------------------------------------
+  // Part 3f: flight recorder + phase attribution overhead. Both arms run
+  // metrics-attached; the instrumented arm additionally records every
+  // commit/abort into a FlightRecorder and samples per-phase latencies at
+  // the default 1-in-64 rate, while the baseline arm sets
+  // phase_sample_shift = 63 (attribution effectively off) and no recorder.
+  // Adjacent A/B pairs, order flipped per pair, median of per-pair deltas
+  // (see MeasureAbOverhead). The acceptance bar is < 3%.
+  // -------------------------------------------------------------------
+  std::printf(
+      "\n--- flight recorder + phase attribution overhead ---\n");
+  FlightRecorderOptions fro;
+  fro.rings = 4;
+  fro.capacity = 256;
+  fro.k = 3;
+  uint64_t flight_commits = 0, flight_aborts = 0;
+  const AbOverhead part3f = MeasureAbOverhead(
+      kObsPairs,
+      [&] {
+        MetricsRegistry reg_a;
+        obs_eo.metrics = &reg_a;
+        obs_eo.flight = nullptr;
+        obs_eo.phase_sample_shift = 63;
+        return Mops(RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs));
+      },
+      [&] {
+        MetricsRegistry reg_b;
+        FlightRecorder flight(fro);
+        obs_eo.metrics = &reg_b;
+        obs_eo.flight = &flight;
+        obs_eo.phase_sample_shift = 6;
+        const double m =
+            Mops(RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs));
+        flight_commits = flight.commits();
+        flight_aborts = flight.aborts();
+        return m;
+      });
+  obs_eo.metrics = nullptr;
+  obs_eo.flight = nullptr;
+  obs_eo.phase_sample_shift = 6;
+  const double med_noflight = part3f.med_a;
+  const double med_flight = part3f.med_b;
+  const double flight_obs_overhead_pct = part3f.overhead_pct;
+  std::printf(
+      "metrics only: %.2f Mops; + flight recorder + 1-in-64 phase "
+      "attribution: %.2f Mops; overhead %.2f%% (bar: < 3%%)\n"
+      "last instrumented run captured %llu commits, %llu aborts\n",
+      med_noflight, med_flight, flight_obs_overhead_pct,
+      static_cast<unsigned long long>(flight_commits),
+      static_cast<unsigned long long>(flight_aborts));
+
+  UpsertBenchRecord(
+      out_path, "mt_throughput_flight_obs_overhead",
+      {{"hardware_threads", JsonNum(hw)},
+       {"threads", JsonNum(static_cast<double>(obs_threads))},
+       {"ab_pairs", JsonNum(kObsPairs)},
+       {"ab_arm_seconds", JsonNum(kObsArmSecs)},
+       {"flight_rings", JsonNum(static_cast<double>(fro.rings))},
+       {"flight_capacity", JsonNum(static_cast<double>(fro.capacity))},
+       {"phase_sample_shift", JsonNum(6)},
+       {"metrics_only_mops", JsonNum(med_noflight)},
+       {"flight_attached_mops", JsonNum(med_flight)},
+       {"flight_obs_overhead_pct", JsonNum(flight_obs_overhead_pct)}});
+
+  // -------------------------------------------------------------------
   // Part 3b: live telemetry overhead. Both arms run the metrics-attached
   // engine from part 3; the live arm additionally has a Sampler ticking
   // every 100 ms and an HTTP exporter listening (idle - no scraper) on the
-  // same registry. Interleaved A/B pairs, medians compared, as above. The
-  // acceptance bar is < 2%.
+  // same registry. Adjacent A/B pairs, order flipped per pair, median of
+  // per-pair deltas (see MeasureAbOverhead). The acceptance bar is < 2%.
   // -------------------------------------------------------------------
   std::printf(
       "\n--- live telemetry overhead: sampler @100ms + idle exporter ---\n");
   constexpr uint64_t kLiveSampleMs = 100;
-  std::vector<double> plain_mops, live_mops;
-  for (int p = 0; p < kObsPairs; ++p) {
-    {
-      MetricsRegistry plain_reg;
-      obs_eo.metrics = &plain_reg;
-      plain_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
-    }
-    {
-      MetricsRegistry live_reg;
-      obs_eo.metrics = &live_reg;
-      SamplerOptions so;
-      so.registry = &live_reg;
-      so.interval_ms = kLiveSampleMs;
-      Sampler sampler(so);
-      StarvationWatchdogOptions wo;
-      wo.source_gauge = "engine.max_consecutive_aborts";
-      sampler.AddStarvationWatchdog(wo);
-      sampler.Start();
-      HttpExporterOptions ho;
-      ho.registry = &live_reg;
-      ho.sampler = &sampler;
-      ho.port = 0;  // Ephemeral; idle listener, worst case for the bench.
-      HttpExporter exporter(ho);
-      const bool serving = exporter.Start();
-      live_mops.push_back(Mops(RunEngine(obs_eo, obs_w, obs_threads, 0.3)));
-      if (serving) exporter.Stop();
-      sampler.Stop();
-    }
-  }
+  const AbOverhead part3b = MeasureAbOverhead(
+      kObsPairs,
+      [&] {
+        MetricsRegistry plain_reg;
+        obs_eo.metrics = &plain_reg;
+        return Mops(RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs));
+      },
+      [&] {
+        MetricsRegistry live_reg;
+        obs_eo.metrics = &live_reg;
+        SamplerOptions so;
+        so.registry = &live_reg;
+        so.interval_ms = kLiveSampleMs;
+        Sampler sampler(so);
+        StarvationWatchdogOptions wo;
+        wo.source_gauge = "engine.max_consecutive_aborts";
+        sampler.AddStarvationWatchdog(wo);
+        sampler.Start();
+        HttpExporterOptions ho;
+        ho.registry = &live_reg;
+        ho.sampler = &sampler;
+        ho.port = 0;  // Ephemeral; idle listener, worst case for the bench.
+        HttpExporter exporter(ho);
+        const bool serving = exporter.Start();
+        const double m =
+            Mops(RunEngine(obs_eo, obs_w, obs_threads, kObsArmSecs));
+        if (serving) exporter.Stop();
+        sampler.Stop();
+        return m;
+      });
   obs_eo.metrics = nullptr;
-  const double med_plain = Median(plain_mops);
-  const double med_live = Median(live_mops);
-  const double live_obs_overhead_pct =
-      med_plain > 0 ? (med_plain - med_live) / med_plain * 100.0 : 0;
+  const double med_plain = part3b.med_a;
+  const double med_live = part3b.med_b;
+  const double live_obs_overhead_pct = part3b.overhead_pct;
   std::printf(
       "metrics attached: %.2f Mops; + sampler@%llums + exporter: %.2f Mops; "
       "overhead %.2f%% (bar: < 2%%)\n",
@@ -840,6 +951,7 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
       {{"hardware_threads", JsonNum(hw)},
        {"threads", JsonNum(static_cast<double>(obs_threads))},
        {"ab_pairs", JsonNum(kObsPairs)},
+       {"ab_arm_seconds", JsonNum(kObsArmSecs)},
        {"sample_interval_ms", JsonNum(kLiveSampleMs)},
        {"metrics_attached_mops", JsonNum(med_plain)},
        {"live_telemetry_mops", JsonNum(med_live)},
@@ -992,6 +1104,7 @@ int Run(const char* out_path, int serve_port, uint64_t sample_ms,
       {"scaling_4t_over_1t_low_contention_k3", JsonNum(scaling_4t)},
       {"obs_overhead_pct", JsonNum(obs_overhead_pct)},
       {"live_obs_overhead_pct", JsonNum(live_obs_overhead_pct)},
+      {"flight_obs_overhead_pct", JsonNum(flight_obs_overhead_pct)},
       {"note",
        JsonStr(hw >= 4 ? "thread counts within hardware parallelism"
                        : "hardware threads < 4: scaling ratio reflects "

@@ -733,6 +733,16 @@ void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   c_aborts_[static_cast<size_t>(reason)]->Add(1);
   MDTS_TRACE_AT_ARG(AbortReasonName(reason), 'i', 2, VectorSite(txn),
                     SimUs(), "txn", txn);
+  if (options_.flight != nullptr) {
+    // DMT aborts (timeouts, lease reclaims, down sites) have no single
+    // blocking transaction; the vector still tells the auditor how far the
+    // incarnation's ordering had progressed.
+    const uint32_t site = VectorSite(txn);
+    options_.flight->RecordAbort(site, txn, reason, /*blocker=*/0,
+                                 /*op=*/nullptr,
+                                 site < 32 ? (1u << site) : 0, &Ts(txn),
+                                 SimUs());
+  }
   ++rt.attempts;
   ++rt.consecutive_aborts;
   result_.max_consecutive_aborts = std::max<uint64_t>(
@@ -850,6 +860,12 @@ DmtResult DmtSim::Run() {
           h_response_->Record(static_cast<uint64_t>(response * 1000.0));
           MDTS_TRACE_AT_ARG("dmt.commit", 'i', 2, VectorSite(ev.txn),
                             SimUs(), "txn", ev.txn);
+          if (options_.flight != nullptr) {
+            const uint32_t site = VectorSite(ev.txn);
+            options_.flight->RecordCommit(site, ev.txn, Ts(ev.txn),
+                                          site < 32 ? (1u << site) : 0, {},
+                                          /*phase_us=*/nullptr, SimUs());
+          }
           MaybeCompactVectors();
           StartNextTxn(now_ +
                        rng_.Exponential(options_.mean_think_time) * 0.1);

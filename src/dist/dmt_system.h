@@ -8,6 +8,7 @@
 #include "core/timestamp_vector.h"
 #include "fault/fault.h"
 #include "obs/abort_reason.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "workload/generator.h"
@@ -100,6 +101,13 @@ struct DmtOptions {
   /// sampler should wrap the same registry this run publishes into.
   Sampler* sampler = nullptr;
   double sample_interval = 0.0;
+
+  /// Flight recorder fed one record per commit and per abort, carrying the
+  /// transaction's timestamp vector at that moment and the simulated-time
+  /// microsecond stamp. Records land in the ring of the transaction's
+  /// vector home site (ring = txn % rings), so a per-site drain mirrors the
+  /// partitioning. Null disables recording. Must outlive the run.
+  FlightRecorder* flight = nullptr;
 };
 
 /// Aggregate result of a DMT(k) run.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -13,6 +14,13 @@
 namespace mdts {
 
 namespace {
+
+/// Phase-attribution clock; read only on sampled batches/commits.
+uint64_t NowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
 
 /// Sorted set of shard indices for the deadlock-free ordered acquisition:
 /// insertion keeps the array ordered, membership is O(1) through the
@@ -58,6 +66,9 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
       t0_(options.k) {
   assert(options_.k >= 1);
   options_.num_shards = num_shards_;
+  if ((num_shards_ & (num_shards_ - 1)) == 0) {
+    shard_idx_mask_ = num_shards_ - 1;
+  }
   for (size_t s = 0; s < num_shards_; ++s) {
     shards_.emplace_back();
     shards_.back().index = static_cast<uint32_t>(s);
@@ -82,6 +93,15 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_versions_gc_ = reg->GetCounter("engine.versions_gc");
     m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
     m_live_versions_ = reg->GetGauge("engine.live_versions");
+    for (size_t p = 0; p < kNumTxnPhases; ++p) {
+      m_phase_[p] = reg->GetHistogram(
+          std::string("engine.phase.") +
+          TxnPhaseName(static_cast<TxnPhase>(p)) + "_us");
+    }
+    phase_mask_ = (uint64_t{1} << (options_.phase_sample_shift < 63
+                                       ? options_.phase_sample_shift
+                                       : 63)) -
+                  1;
   }
   // Shard 0's slot 0 is the virtual transaction, which lives outside the
   // chunked storage (and outside compaction); real ids there start at slot 1.
@@ -285,6 +305,13 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
 
   auto reject = [&]() {
     StoreLife(si, wi | 1);
+    if (options_.flight != nullptr) {
+      // Captured before the starvation-fix reset flushes TS(i).
+      options_.flight->RecordAbort(
+          i, i, cause, j.txn, &op,
+          ShardBit(shx.index) | ShardBit(ShardIndex(i)), &si.ts,
+          FlightRecorder::CoarseNowUs());
+    }
     if (options_.starvation_fix) {
       // Section III-D-4: flush TS(i), seed past the blocker.
       const TimestampVector& tb = j.state->ts;
@@ -318,9 +345,20 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   if (SetStates(shx, *j.state, si, j.txn, i, hot, mir, &cause)) {
     item.writers.push_back({i, inc_i});  // Line 12: WT(x) := i.
     item.top_writer = item.writers.back();
-    // Writes are tracked only for the WAL's commit record (CommitTxn swaps
-    // the list out; RestartTxn and the batch throttle clear it).
-    if (options_.wal != nullptr) si.writes.push_back(op.item);
+    // Writes are tracked for the WAL's commit record (CommitTxn swaps the
+    // list out; RestartTxn and the batch throttle clear it). With only a
+    // flight recorder attached the fixed-size fw fields suffice - the
+    // commit record wants the first kMaxWrites items, the count, and the
+    // shard mask, and the array costs no allocation.
+    if (options_.wal != nullptr) {
+      si.writes.push_back(op.item);
+    } else if (options_.flight != nullptr) {
+      if (si.fw_total < FlightRecorder::kMaxWrites) {
+        si.fw[si.fw_total] = op.item;
+      }
+      ++si.fw_total;
+      si.fw_mask |= ShardBit(shx.index);
+    }
     return accept();
   }
   if (options_.thomas_write_rule) {
@@ -574,6 +612,13 @@ OpDecision ShardedMtkEngine::DecideMvLocked(const Op& op, Shard& shx,
     ++st.read_rejects;
     StoreLife(si, wi | 1);
     mv_dead_epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.flight != nullptr) {
+      // Blocker 0: the whole chain refused, no single fixing transaction.
+      options_.flight->RecordAbort(
+          i, i, cause, kVirtualTxn, &op,
+          ShardBit(shx.index) | ShardBit(ShardIndex(i)), &si.ts,
+          FlightRecorder::CoarseNowUs());
+    }
     return refuse(cause);
   }
 
@@ -637,6 +682,14 @@ OpDecision ShardedMtkEngine::DecideMvLocked(const Op& op, Shard& shx,
   auto reject_write = [&]() {
     StoreLife(si, wi | 1);
     mv_dead_epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.flight != nullptr) {
+      // Captured before SeedAfter flushes TS(i). blocker.txn can be
+      // kVirtualTxn when no one accessor fixed the infeasibility.
+      options_.flight->RecordAbort(
+          i, i, AbortReason::kVersionConflict, blocker.txn, &op,
+          ShardBit(shx.index) | ShardBit(ShardIndex(i)), &si.ts,
+          FlightRecorder::CoarseNowUs());
+    }
     if (options_.starvation_fix) {
       // VectorTable::SeedAfter semantics: flush TS(i), seed just past the
       // blocker's first element (1 when the blocker has none).
@@ -759,6 +812,32 @@ void ShardedMtkEngine::ApplyMirror(const MirrorDelta& d) {
   }
 }
 
+void ShardedMtkEngine::RecordPhase(TxnPhase phase, uint64_t ns, TxnId tag) {
+  const uint64_t us = ns / 1000;
+  m_phase_[static_cast<size_t>(phase)]->RecordWithExemplar(us, tag);
+#if MDTS_TRACE_COMPILED
+  if (Tracer::Enabled()) {
+    // A completed span backdated over the measured slice, carrying the
+    // same transaction id the histogram exemplar points at - so a p99
+    // bucket resolves to a concrete Perfetto span via arg "txn".
+    static constexpr const char* kSpanNames[kNumTxnPhases] = {
+        "engine.phase.admission", "engine.phase.lock",
+        "engine.phase.decide",    "engine.phase.mv_read",
+        "engine.phase.wal_append", "engine.phase.fsync",
+        "engine.phase.ack"};
+    TraceEvent e;
+    e.name = kSpanNames[static_cast<size_t>(phase)];
+    e.ph = 'X';
+    const uint64_t now = Tracer::NowUs();
+    e.ts_us = now > us ? now - us : 0;
+    e.dur_us = us;
+    e.arg_name = "txn";
+    e.arg = tag;
+    Tracer::Get().Emit(e);
+  }
+#endif
+}
+
 void ShardedMtkEngine::LockShard(Shard& sh) {
   if (sh.mu.try_lock()) return;
   sh.mu.lock();
@@ -804,6 +883,27 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
     return 0;
   }
   if (reasons != nullptr) std::fill_n(reasons, n, AbortReason::kNone);
+
+  // Phase attribution (sampled): admission = batch entry to the first
+  // lock acquisition, lock = acquiring the sorted locksets (all rounds),
+  // decide = the decision loops minus the MV read walks, mv_read = the MV
+  // read-path decisions. Unsampled batches skip every clock read.
+  const bool phase_sampled = SamplePhases(batch_seq_);
+  uint64_t t_entry = 0;
+  uint64_t admission_ns = 0;
+  uint64_t lock_ns = 0;
+  uint64_t decide_ns = 0;
+  uint64_t mv_read_ns = 0;
+  TxnId phase_tag = kVirtualTxn;
+  if (phase_sampled) {
+    t_entry = NowNs();
+    for (const Op& op : ops) {
+      if (op.txn != kVirtualTxn) {
+        phase_tag = op.txn;
+        break;
+      }
+    }
+  }
 
   // Livelock guardrail: multi-op batches under heavy conflict can abort
   // each other forever (every round rejects some peer, every rejected peer
@@ -899,6 +999,11 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
   }
 
   for (size_t attempt = 0;; ++attempt) {
+    uint64_t t_lock0 = 0;
+    if (phase_sampled) {
+      t_lock0 = NowNs();
+      if (attempt == 0) admission_ns = t_lock0 - t_entry;
+    }
     const bool all = lock_all;  // Lock and unlock must use the same mode.
     if (all) {
       for (Shard& sh : shards_) LockShard(sh);
@@ -906,6 +1011,11 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
       for (size_t q = 0; q < want.count; ++q) {
         LockShard(shards_[want.At(q)]);
       }
+    }
+    uint64_t t_decide0 = 0;
+    if (phase_sampled) {
+      t_decide0 = NowNs();
+      lock_ns += t_decide0 - t_lock0;
     }
     const bool cross = all || want.count > 1;
 
@@ -947,8 +1057,19 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
         if (LifeAborted(wi) || LifeCommitted(wi)) {
           reason = AbortReason::kStaleTxn;
         } else {
+          if (options_.flight != nullptr) {
+            // Captured before the throttle reset flushes TS(i); the
+            // champion is the blocker the throttled peer waits out.
+            options_.flight->RecordAbort(
+                op.txn, op.txn, reason, champion, &op,
+                ShardBit(ShardIndex(op.item)) |
+                    ShardBit(ShardIndex(op.txn)),
+                &si.ts, FlightRecorder::CoarseNowUs());
+          }
           si.ts.Reset();
           si.writes.clear();
+          si.fw_total = 0;
+          si.fw_mask = 0;
           StoreLife(si, wi | 1);
           if (options_.multiversion) {
             mv_dead_epoch_.fetch_add(1, std::memory_order_release);
@@ -1036,7 +1157,14 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
         } else {
           ++shx.stats.single_shard_ops;
         }
-        const OpDecision d = DecideMvLocked(op, shx, item, si, why, mir);
+        OpDecision d;
+        if (phase_sampled && op.type == OpType::kRead) {
+          const uint64_t t0 = NowNs();
+          d = DecideMvLocked(op, shx, item, si, why, mir);
+          mv_read_ns += NowNs() - t0;
+        } else {
+          d = DecideMvLocked(op, shx, item, si, why, mir);
+        }
         decisions[q] = d;
         if (d == OpDecision::kAccept) ++accepted;
         decided[q] = 1;
@@ -1082,6 +1210,7 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
       decided[q] = 1;
       --undecided;
     }
+    if (phase_sampled) decide_ns += NowNs() - t_decide0;
 
     if (undecided == 0) {
       // Attribute the batch's retry work to a shard we still hold, and
@@ -1128,11 +1257,33 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
   // are themselves atomic); a batch that stays under the flush threshold
   // costs zero registry touches here.
   ApplyMirror(flush);
+  if (phase_sampled) {
+    RecordPhase(TxnPhase::kAdmission, admission_ns, phase_tag);
+    RecordPhase(TxnPhase::kLock, lock_ns, phase_tag);
+    RecordPhase(TxnPhase::kDecide,
+                decide_ns > mv_read_ns ? decide_ns - mv_read_ns : 0,
+                phase_tag);
+    if (options_.multiversion) {
+      RecordPhase(TxnPhase::kMvRead, mv_read_ns, phase_tag);
+    }
+  }
   return accepted;
 }
 
 void ShardedMtkEngine::CommitTxn(TxnId txn) {
   Shard& sh = ShardForTxn(txn);
+  FlightRecorder* const flight = options_.flight;
+  // The commit record's ring slot is always cold (slots cycle); start the
+  // lines toward L1 now so the record inside the commit-point lock below
+  // does not stall on them.
+  if (flight != nullptr) flight->PrefetchNext(txn);
+  // Commit-side phase attribution, sampled on its own sequence (a commit
+  // is not tied to any one batch): wal_append / fsync / ack.
+  const bool sampled = SamplePhases(commit_seq_);
+  uint64_t wal_append_ns = 0;
+  uint64_t fsync_ns = 0;
+  uint64_t ack_ns = 0;
+  TimestampVector fvec(options_.k);  // Flight record's committed vector.
   std::vector<ItemId> writes;
   if (options_.wal != nullptr) {
     // Snapshot the vector and write set under the lock, then log OUTSIDE
@@ -1152,18 +1303,73 @@ void ShardedMtkEngine::CommitTxn(TxnId txn) {
       // the WAL's sync policy) before the commit point below makes the
       // state observable as committed. Read-only transactions skip the
       // log - they leave no state for recovery to rebuild.
-      options_.wal->AppendCommit(txn, ts, writes);
+      if (sampled) {
+        // The ticket's sync_wait_us isolates the fdatasync the append ran
+        // from the encode + buffer time around it.
+        WalAppendTicket ticket;
+        const uint64_t t0 = NowNs();
+        options_.wal->AppendCommit(txn, ts, writes, &ticket);
+        const uint64_t total_ns = NowNs() - t0;
+        fsync_ns = ticket.sync_wait_us * 1000;
+        wal_append_ns = total_ns > fsync_ns ? total_ns - fsync_ns : 0;
+      } else {
+        options_.wal->AppendCommit(txn, ts, writes);
+      }
     }
+    if (flight != nullptr) fvec = std::move(ts);
   }
   {
+    const uint64_t t0 = sampled ? NowNs() : 0;
     std::lock_guard<std::mutex> g(sh.mu);
     TxnState& s = StateLocked(sh, txn);
     const uint64_t w = s.life;
     assert(!LifeAborted(w));
     StoreLife(s, w | 2);
-    // Without a WAL the write set is still tracked in multiversion mode;
-    // grab it here for the commit-side chain pruning below.
+    // Without a WAL the write set is still needed by multiversion mode
+    // (commit-side chain pruning below); grab it here in that case. The
+    // flight record reads it in place instead - see below.
     if (options_.multiversion && writes.empty()) writes.swap(s.writes);
+    if (sampled) ack_ns = NowNs() - t0;
+    if (flight != nullptr) {
+      // Recorded under the commit-point lock, straight from the live
+      // state: on the WAL-less path the vector is read in place and the
+      // write set comes from the fixed-size fw fields DecideLocked
+      // maintained (no copy, no swap-and-free, no mask loop per commit -
+      // a record is ~30 ns end to end and any of those would double it).
+      uint32_t phase_us[kNumTxnPhases] = {};
+      if (sampled) {
+        phase_us[static_cast<size_t>(TxnPhase::kWalAppend)] =
+            static_cast<uint32_t>(wal_append_ns / 1000);
+        phase_us[static_cast<size_t>(TxnPhase::kFsync)] =
+            static_cast<uint32_t>(fsync_ns / 1000);
+        phase_us[static_cast<size_t>(TxnPhase::kAck)] =
+            static_cast<uint32_t>(ack_ns / 1000);
+      }
+      if (options_.wal == nullptr && !options_.multiversion) {
+        const uint32_t kept =
+            std::min<uint32_t>(s.fw_total, FlightRecorder::kMaxWrites);
+        flight->RecordCommit(txn, txn, s.ts,
+                             s.fw_mask | ShardBit(sh.index),
+                             std::span<const ItemId>(s.fw, kept), s.fw_total,
+                             sampled ? phase_us : nullptr,
+                             FlightRecorder::CoarseNowUs());
+      } else {
+        // WAL / multiversion commits already own the full write list
+        // (swapped out of `s` by the sections above).
+        uint32_t mask = ShardBit(sh.index);
+        for (const ItemId x : writes) mask |= ShardBit(ShardIndex(x));
+        flight->RecordCommit(txn, txn, options_.wal != nullptr ? fvec : s.ts,
+                             mask, writes, sampled ? phase_us : nullptr,
+                             FlightRecorder::CoarseNowUs());
+      }
+    }
+  }
+  if (sampled) {
+    if (options_.wal != nullptr) {
+      RecordPhase(TxnPhase::kWalAppend, wal_append_ns, txn);
+      RecordPhase(TxnPhase::kFsync, fsync_ns, txn);
+    }
+    RecordPhase(TxnPhase::kAck, ack_ns, txn);
   }
   if (options_.multiversion && !writes.empty()) {
     // Commit-side GC: prune the chains this transaction wrote against the
@@ -1234,6 +1440,8 @@ void ShardedMtkEngine::RestartTxn(TxnId txn) {
   }
   // With the fix the seeded vector from the rejection is kept.
   s.writes.clear();   // The dead incarnation's writes are never logged.
+  s.fw_total = 0;     // ...and neither is its flight-tracked set.
+  s.fw_mask = 0;
   s.begin_stamp = 0;  // The new incarnation re-pins its GC horizon.
 }
 

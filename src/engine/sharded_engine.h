@@ -12,6 +12,7 @@
 #include "core/timestamp_vector.h"
 #include "core/types.h"
 #include "obs/abort_reason.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace mdts {
@@ -122,6 +123,26 @@ struct EngineOptions {
   /// k, and the WAL must outlive the engine. After a crash, recover with
   /// ParallelWal::Recover + RecoverFrom on a fresh engine.
   ParallelWal* wal = nullptr;
+
+  /// Flight recorder receiving a record per commit (with the committed
+  /// vector and write set) and per reject (with the classified reason and
+  /// the blocking transaction), captured at the decision/commit points
+  /// while the covering shard locks are still held - so a dump is a
+  /// consistent tail of engine history. Ring selection is txn %
+  /// FlightRecorder::rings(). Null disables (the default); must outlive
+  /// the engine. bench/mt_throughput part 3 measures the attached-vs-null
+  /// delta as flight_obs_overhead_pct (acceptance bar: < 3%).
+  FlightRecorder* flight = nullptr;
+
+  /// Phase attribution sampling: 1 in 2^phase_sample_shift batches (and,
+  /// independently, commits) gets its lifecycle timed and recorded into
+  /// the "engine.phase.*_us" histograms; the rest skip every clock read.
+  /// 0 samples everything (tests); the default (6: 1 in 64, still
+  /// thousands of samples per second at bench throughputs) keeps the
+  /// steady-clock + histogram overhead inside the flight_obs_overhead_pct
+  /// bar. Only meaningful with `metrics` attached - the histograms live
+  /// in the registry.
+  uint32_t phase_sample_shift = 6;
 
   /// Batched-admission livelock guardrail: after this many consecutive
   /// ProcessBatch calls (batch size >= 2, engine-wide) without a single
@@ -340,6 +361,14 @@ class ShardedMtkEngine {
     /// attached (CommitTxn logs them; RestartTxn clears them) and always in
     /// multiversion mode (CommitTxn prunes the written chains).
     std::vector<ItemId> writes;
+    /// Flight-only write tracking (no WAL, no multiversion - those modes
+    /// keep the full `writes` list above): the first kMaxWrites written
+    /// items, the lifetime count, and the touched-shard mask. Fixed-size
+    /// on purpose: it is everything the commit record needs, with no
+    /// per-transaction heap allocation on the hot path.
+    ItemId fw[FlightRecorder::kMaxWrites] = {};
+    uint32_t fw_total = 0;
+    uint32_t fw_mask = 0;
     /// Multiversion mode: stamp-clock value at the incarnation's first
     /// decided operation; 0 = not yet assigned. The minimum over live
     /// incarnations is the GC watermark.
@@ -484,6 +513,13 @@ class ShardedMtkEngine {
     return shards_[item % num_shards_];
   }
 
+  /// Shard index of `x` without the runtime division when the shard count
+  /// is a power of two (every bench/test configuration). The flight-record
+  /// paths run this per abort record; an idiv there is measurable.
+  size_t ShardIndex(uint64_t x) const {
+    return shard_idx_mask_ != 0 ? (x & shard_idx_mask_) : (x % num_shards_);
+  }
+
   /// Lock-free state lookup for liveness peeks; null only for ids never
   /// created (which a stack entry can never reference).
   TxnState* PeekState(TxnId txn) const;
@@ -558,6 +594,25 @@ class ShardedMtkEngine {
   /// Applies a flushed buffer to the registry mirrors; lock-free.
   void ApplyMirror(const MirrorDelta& d);
 
+  /// Records one attributed phase slice: microseconds into the
+  /// "engine.phase.<name>_us" histogram (exemplar-tagged with the
+  /// transaction id) and, when tracing is compiled+enabled, a matching
+  /// completed span carrying the same id - the p99-bucket-to-span link.
+  void RecordPhase(TxnPhase phase, uint64_t ns, TxnId tag);
+
+  /// True for the 1-in-2^phase_sample_shift events that get timed (always
+  /// false without a registry: the histograms would have nowhere to go).
+  bool SamplePhases(std::atomic<uint64_t>& seq) const {
+    return m_phase_[0] != nullptr &&
+           (seq.fetch_add(1, std::memory_order_relaxed) & phase_mask_) == 0;
+  }
+
+  /// Shard-coverage bit for the flight record's shard_mask (shards >= 32
+  /// are not representable and fold to no bit).
+  static uint32_t ShardBit(size_t shard) {
+    return shard < 32 ? (1u << shard) : 0;
+  }
+
   /// Acquires sh.mu, counting the acquisition as contended (per-shard
   /// stats, registry mirror, trace instant) when try_lock fails first.
   void LockShard(Shard& sh);
@@ -566,6 +621,9 @@ class ShardedMtkEngine {
 
   EngineOptions options_;
   size_t num_shards_;
+  /// num_shards_ - 1 when num_shards_ is a power of two, else 0 (sentinel:
+  /// fall back to the division). See ShardIndex().
+  uint64_t shard_idx_mask_ = 0;
   mutable std::deque<Shard> shards_;  // Deque: Shard is not movable.
   TxnState t0_;                       // Immutable after construction.
   /// Engine-wide commit counter driving the compact_every trigger. Relaxed:
@@ -628,6 +686,14 @@ class ShardedMtkEngine {
   Counter* m_versions_gc_ = nullptr;
   Gauge* m_consec_aborts_ = nullptr;
   Gauge* m_live_versions_ = nullptr;
+
+  /// Phase-attribution state: the per-phase histograms (null without a
+  /// registry), the sampling mask (2^phase_sample_shift - 1), and the
+  /// batch/commit sequence counters the sampling gate consumes.
+  Histogram* m_phase_[kNumTxnPhases] = {};
+  uint64_t phase_mask_ = 0;
+  mutable std::atomic<uint64_t> batch_seq_{0};
+  mutable std::atomic<uint64_t> commit_seq_{0};
 };
 
 }  // namespace mdts

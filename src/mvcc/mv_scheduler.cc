@@ -38,9 +38,18 @@ bool MvMtkScheduler::IsLiveVersion(const Version& v) {
 
 OpDecision MvMtkScheduler::Process(const Op& op) {
   const TxnId i = op.txn;
-  if (i == kVirtualTxn) return OpDecision::kReject;
+  ++ops_processed_;
+  if (i == kVirtualTxn) {
+    last_reject_ =
+        RejectInfo{AbortReason::kInvalidOp, op, kVirtualTxn, ops_processed_};
+    return OpDecision::kReject;
+  }
   TxnState& state = State(i);
-  if (state.aborted || state.committed) return OpDecision::kReject;
+  if (state.aborted || state.committed) {
+    last_reject_ =
+        RejectInfo{AbortReason::kStaleTxn, op, kVirtualTxn, ops_processed_};
+    return OpDecision::kReject;
+  }
   ItemState& item = Item(op.item);
 
   if (op.type == OpType::kRead) {
@@ -65,6 +74,9 @@ OpDecision MvMtkScheduler::Process(const Op& op) {
     }
     ++stats_.read_rejects;  // Only reachable in degenerate vector states.
     state.aborted = true;
+    // No single blocker: the whole chain - down to T0's version - refused.
+    last_reject_ = RejectInfo{AbortReason::kEncodingExhausted, op,
+                              kVirtualTxn, ops_processed_};
     return OpDecision::kReject;
   }
 
@@ -73,6 +85,8 @@ OpDecision MvMtkScheduler::Process(const Op& op) {
   auto reject_write = [&]() {
     ++stats_.write_rejects;
     state.aborted = true;
+    last_reject_ = RejectInfo{AbortReason::kVersionConflict, op, blocker,
+                              ops_processed_};
     if (options_.starvation_fix) vectors_.SeedAfter(i, blocker);
     return OpDecision::kReject;
   };
@@ -167,6 +181,18 @@ OpDecision MvMtkScheduler::Process(const Op& op) {
                        Version{i, state.incarnation, {}});
   ++stats_.versions_created;
   return OpDecision::kAccept;
+}
+
+std::string MvMtkScheduler::ExplainLastReject() {
+  if (last_reject_.reason == AbortReason::kNone) return "no rejection yet";
+  std::string out = FormatReject(OpName(last_reject_.op), last_reject_.reason,
+                                 last_reject_.blocker);
+  if (last_reject_.reason == AbortReason::kVersionConflict &&
+      last_reject_.blocker != kVirtualTxn) {
+    out += "; blocker vector " +
+           std::string(vectors_.Ts(last_reject_.blocker).ToString());
+  }
+  return out;
 }
 
 void MvMtkScheduler::CommitTxn(TxnId txn) {

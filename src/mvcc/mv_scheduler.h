@@ -94,6 +94,28 @@ class MvMtkScheduler {
 
   const MvMtkStats& stats() const { return stats_; }
 
+  /// The transaction that caused the most recent rejection: for a write,
+  /// the reader or writer whose already-fixed order made every insertion
+  /// slot infeasible; kVirtualTxn when no single transaction is to blame
+  /// (read-walk failure, stale/invalid submissions, or a phase-1 refusal
+  /// on writer order alone).
+  TxnId LastBlocker() const { return last_reject_.blocker; }
+
+  /// Classified cause, operation and blocker of the most recent rejection.
+  const RejectInfo& last_reject() const { return last_reject_; }
+
+  /// Human-readable one-liner for the most recent rejection. MV-era
+  /// kVersionConflict rejections with a concrete blocker also render the
+  /// blocking transaction's current timestamp vector, e.g.
+  ///   "W3[x7] rejected: version_conflict (...; blocker T2);
+  ///    blocker vector <2,*,*>".
+  /// (Non-const: rendering the vector goes through the auto-creating
+  /// VectorTable accessor.)
+  std::string ExplainLastReject();
+
+  /// Number of operations handed to Process so far.
+  uint64_t operations_processed() const { return ops_processed_; }
+
   /// Human-readable dump of an item's version chain.
   std::string DumpVersions(ItemId item);
 
@@ -128,6 +150,8 @@ class MvMtkScheduler {
 
   MvMtkOptions options_;
   MvMtkStats stats_;
+  RejectInfo last_reject_;
+  uint64_t ops_processed_ = 0;
   VectorTable vectors_;
   std::vector<TxnState> txns_;
   std::vector<ItemState> items_;

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flight.h"
+
 namespace mdts {
 
 namespace {
@@ -152,6 +154,7 @@ void HttpExporter::HandleConnection(int fd) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   char buf[4096];
   size_t used = 0;
+  bool complete = false;
   while (used < sizeof buf - 1) {
     const ssize_t n = ::recv(fd, buf + used, sizeof buf - 1 - used, 0);
     if (n <= 0) return;  // Timeout, reset, or EOF before a full header.
@@ -159,25 +162,35 @@ void HttpExporter::HandleConnection(int fd) {
     buf[used] = '\0';
     if (std::strstr(buf, "\r\n\r\n") != nullptr ||
         std::strstr(buf, "\n\n") != nullptr) {
+      complete = true;
       break;
     }
   }
-  // Request line: METHOD SP PATH SP VERSION.
+  // Request line: METHOD SP PATH SP VERSION. A header block that overflows
+  // the buffer, or a line with no parseable path, is answered with a 400
+  // rather than a silent close - the scraper learns its request was the
+  // problem.
   std::string path;
-  {
+  bool bad = !complete;
+  if (!bad) {
     const char* sp1 = std::strchr(buf, ' ');
-    if (sp1 == nullptr) return;
-    const char* sp2 = std::strchr(sp1 + 1, ' ');
-    if (sp2 == nullptr) return;
-    path.assign(sp1 + 1, sp2);
-    const size_t q = path.find('?');
-    if (q != std::string::npos) path.resize(q);  // Queries are ignored.
+    const char* sp2 = sp1 != nullptr ? std::strchr(sp1 + 1, ' ') : nullptr;
+    if (sp2 == nullptr || sp2 == sp1 + 1) {
+      bad = true;
+    } else {
+      path.assign(sp1 + 1, sp2);
+      const size_t q = path.find('?');
+      if (q != std::string::npos) path.resize(q);  // Queries are ignored.
+    }
   }
 
   std::string body;
   const char* content_type = "text/plain; charset=utf-8";
   const char* status = "200 OK";
-  if (path == "/metrics") {
+  if (bad) {
+    status = "400 Bad Request";
+    body = "bad request\n";
+  } else if (path == "/metrics") {
     body = PrometheusText(options_.registry->Snapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/metrics.json") {
@@ -189,6 +202,49 @@ void HttpExporter::HandleConnection(int fd) {
                : std::string(
                      "{\"interval_ms\": 0, \"samples_taken\": 0, "
                      "\"windows\": [], \"alerts\": []}\n");
+    content_type = "application/json";
+  } else if (path == "/phases.json") {
+    // Per-phase latency attribution from the "engine.phase.*_us"
+    // histograms, including the exemplar (worst value + the transaction
+    // id tagging it) the plain /metrics expositions do not carry.
+    const MetricsSnapshot snap = options_.registry->Snapshot();
+    body = "{\"phases\": {";
+    bool first = true;
+    for (const auto& [name, h] : snap.histograms) {
+      static constexpr char kPrefix[] = "engine.phase.";
+      static constexpr size_t kPrefixLen = sizeof kPrefix - 1;
+      if (name.compare(0, kPrefixLen, kPrefix) != 0) continue;
+      std::string phase = name.substr(kPrefixLen);
+      if (phase.size() > 3 && phase.compare(phase.size() - 3, 3, "_us") == 0) {
+        phase.resize(phase.size() - 3);
+      }
+      body += first ? "" : ", ";
+      first = false;
+      body += "\"" + phase + "\": {\"count\": ";
+      AppendU64(&body, h.count);
+      body += ", \"sum_us\": ";
+      AppendU64(&body, h.sum);
+      body += ", \"p50_us\": ";
+      AppendU64(&body, h.Percentile(50));
+      body += ", \"p99_us\": ";
+      AppendU64(&body, h.Percentile(99));
+      body += ", \"max_us\": ";
+      AppendU64(&body, h.max);
+      body += ", \"exemplar\": {\"value_us\": ";
+      AppendU64(&body, h.exemplar_value);
+      body += ", \"txn\": ";
+      AppendU64(&body, h.exemplar_tag);
+      body += "}}";
+    }
+    body += "}}\n";
+    content_type = "application/json";
+  } else if (path == "/flight.json") {
+    body = options_.flight != nullptr
+               ? options_.flight->ToJson()
+               : std::string("{\"meta\": {\"rings\": 0, \"capacity\": 0, "
+                             "\"k\": 0}, \"totals\": {\"commits\": 0, "
+                             "\"aborts\": 0, \"abort_reasons\": {}}, "
+                             "\"records\": []}");
     content_type = "application/json";
   } else if (path == "/healthz") {
     body = "ok\n";

@@ -11,6 +11,8 @@
 
 namespace mdts {
 
+class FlightRecorder;  // src/obs/flight.h
+
 struct HttpExporterOptions {
   /// Registry served by /metrics and /metrics.json. Required; must outlive
   /// the exporter.
@@ -19,6 +21,10 @@ struct HttpExporterOptions {
   /// Sampler served by /series.json; null makes that endpoint answer an
   /// empty series. Must outlive the exporter when set.
   Sampler* sampler = nullptr;
+
+  /// Flight recorder served by /flight.json; null makes that endpoint
+  /// answer an empty dump. Must outlive the exporter when set.
+  const FlightRecorder* flight = nullptr;
 
   /// TCP port on 127.0.0.1. 0 binds an ephemeral port; read it back with
   /// port() after Start().
@@ -32,7 +38,15 @@ struct HttpExporterOptions {
 ///   /metrics       Prometheus text exposition format 0.0.4
 ///   /metrics.json  MetricsSnapshot::ToJson()
 ///   /series.json   Sampler::SeriesJson() (windowed rates + alerts)
+///   /phases.json   "engine.phase.*" histograms with exemplars (per-phase
+///                  latency attribution: count/p50/p99/max plus the worst
+///                  value's transaction id)
+///   /flight.json   FlightRecorder::ToJson() (last-N commit/abort records)
 ///   /healthz       200 "ok"
+///
+/// Malformed requests (no parseable "METHOD SP PATH SP" request line, or a
+/// header block exceeding the 4 KiB read buffer) get a 400; unknown paths
+/// get a 404 - a misbehaving scraper sees an answer, not a silent close.
 ///
 /// Scrape-volume traffic only (a Prometheus pull every few seconds, one
 /// mdtop poller): requests are served sequentially and each response is a

@@ -44,6 +44,8 @@ HistogramSnapshot Histogram::Snapshot() const {
   }
   for (uint64_t b : out.buckets) out.count += b;
   out.min = out.count ? min : 0;
+  out.exemplar_value = ex_value_.load(std::memory_order_relaxed);
+  out.exemplar_tag = ex_tag_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -107,6 +107,12 @@ struct HistogramSnapshot {
   uint64_t min = 0;  // Meaningful only when count > 0.
   uint64_t max = 0;
 
+  /// Worst recorded value and its caller-supplied tag (a transaction id in
+  /// the engine's phase histograms, linking the bucket to a trace span).
+  /// Only populated by RecordWithExemplar; (0, 0) when never tagged.
+  uint64_t exemplar_value = 0;
+  uint64_t exemplar_tag = 0;
+
   double mean() const {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0;
   }
@@ -146,6 +152,21 @@ class Histogram {
     }
   }
 
+  /// Record plus exemplar maintenance: when `value` is at least the worst
+  /// value seen so far, (value, tag) becomes the histogram's exemplar - so
+  /// the snapshot's top bucket always points at a concrete culprit (the
+  /// engine tags with the transaction id, which also names the matching
+  /// trace span). The two exemplar stores are relaxed and unpaired; a racy
+  /// mix of two same-magnitude exemplars is tolerated - the exemplar is a
+  /// debugging pointer, not an accounting value.
+  void RecordWithExemplar(uint64_t value, uint64_t tag) {
+    Record(value);
+    if (value >= ex_value_.load(std::memory_order_relaxed)) {
+      ex_value_.store(value, std::memory_order_relaxed);
+      ex_tag_.store(tag, std::memory_order_relaxed);
+    }
+  }
+
   HistogramSnapshot Snapshot() const;
 
  private:
@@ -172,6 +193,8 @@ class Histogram {
   static void AtomicMax(std::atomic<uint64_t>& a, uint64_t v);
 
   Slot slots_[kSlots];
+  std::atomic<uint64_t> ex_value_{0};
+  std::atomic<uint64_t> ex_tag_{0};
 };
 
 /// Deterministic (name-sorted) copy of a registry's state.

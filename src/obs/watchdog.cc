@@ -62,6 +62,7 @@ void StarvationWatchdog::Evaluate(uint64_t seq, double now) {
                                       streak_first_time_, now, true});
       alert_gauge_->Set(1);
       raises_->Add(1);
+      if (options_.on_alert) options_.on_alert(alerts_.back());
     } else if (streak_ > options_.min_windows) {
       WatchdogAlert& a = alerts_.back();
       a.peak = streak_peak_;

@@ -2,6 +2,7 @@
 #define MDTS_OBS_WATCHDOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ struct StarvationWatchdogOptions {
   /// Consecutive windows above the threshold before the alert raises
   /// ("more than one sampling window": >= 2 filters one-window blips).
   size_t min_windows = 2;
+
+  /// Invoked at each raise (once per alert, not per sustaining window),
+  /// from the Evaluate call that raised - the flight-recorder auto-dump
+  /// hook. Runs on the sampler's tick thread.
+  std::function<void(const WatchdogAlert&)> on_alert;
 };
 
 /// Consecutive-abort starvation detector, driven once per sampling window

@@ -267,31 +267,34 @@ void ParallelWal::CrashNow(WalCrashPoint point) {
   // commit append). Stream 0 stands in as the trigger stream for the
   // point-specific image; the peers keep the default last-synced prefix.
   Stream& s = streams_[0];
-  std::lock_guard<std::mutex> lock(s.mu);
-  switch (point) {
-    case WalCrashPoint::kBeforeFsync:
-      // Every unsynced byte on every stream is lost.
-      break;
-    case WalCrashPoint::kMidRecord: {
-      // The stream's pending records reach the disk followed by a partial
-      // frame header - the torn tail recovery must detect and truncate.
-      static constexpr uint8_t kTornTail[] = {0x28, 0x00, 0x00,
-                                              0x00, 0x5A, 0xA5};
-      s.buf.insert(s.buf.end(), std::begin(kTornTail), std::end(kTornTail));
-      FlushLocked(s);
-      s.surviving_override = s.flushed;
-      break;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    switch (point) {
+      case WalCrashPoint::kBeforeFsync:
+        // Every unsynced byte on every stream is lost.
+        break;
+      case WalCrashPoint::kMidRecord: {
+        // The stream's pending records reach the disk followed by a partial
+        // frame header - the torn tail recovery must detect and truncate.
+        static constexpr uint8_t kTornTail[] = {0x28, 0x00, 0x00,
+                                                0x00, 0x5A, 0xA5};
+        s.buf.insert(s.buf.end(), std::begin(kTornTail), std::end(kTornTail));
+        FlushLocked(s);
+        s.surviving_override = s.flushed;
+        break;
+      }
+      case WalCrashPoint::kBetweenStreams:
+        // This stream's group commit completed; the peers lose theirs.
+        FlushLocked(s);
+        ::fdatasync(s.fd);
+        s.synced = s.flushed;
+        s.surviving_override = s.flushed;
+        break;
+      case WalCrashPoint::kNone:
+        break;
     }
-    case WalCrashPoint::kBetweenStreams:
-      // This stream's group commit completed; the peers lose theirs.
-      FlushLocked(s);
-      ::fdatasync(s.fd);
-      s.synced = s.flushed;
-      s.surviving_override = s.flushed;
-      break;
-    case WalCrashPoint::kNone:
-      break;
   }
+  if (options_.on_crash) options_.on_crash();
 }
 
 bool ParallelWal::AppendCommit(TxnId txn, const TimestampVector& vec,
@@ -323,6 +326,7 @@ bool ParallelWal::AppendCommit(TxnId txn, const TimestampVector& vec,
     if (crashed_.compare_exchange_strong(expected, true,
                                          std::memory_order_acq_rel)) {
       TriggerCrashLocked(s, frame);
+      if (options_.on_crash) options_.on_crash();
     }
     append_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -333,15 +337,30 @@ bool ParallelWal::AppendCommit(TxnId txn, const TimestampVector& vec,
   if (ticket != nullptr) {
     ticket->stream = idx;
     ticket->end_offset = s.flushed + s.buf.size();
+    ticket->sync_wait_us = 0;
   }
   if (m_appends_ != nullptr) m_appends_->Add(1);
   if (m_bytes_ != nullptr) m_bytes_->Add(frame.size());
+  // Clock reads only when the caller asked for the ticket (phase
+  // attribution); the unticketed hot path stays clock-free.
+  const auto sync_timed = [&] {
+    if (ticket == nullptr) {
+      SyncLocked(s);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    SyncLocked(s);
+    ticket->sync_wait_us = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
   switch (options_.sync_policy) {
     case WalSyncPolicy::kEveryCommit:
-      SyncLocked(s);
+      sync_timed();
       break;
     case WalSyncPolicy::kGroupCommit:
-      if (s.pending_records >= options_.group_commit_ops) SyncLocked(s);
+      if (s.pending_records >= options_.group_commit_ops) sync_timed();
       break;
     case WalSyncPolicy::kNone:
       // Keep the user-space buffer bounded; write() without sync.

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <span>
@@ -95,6 +96,13 @@ struct WalOptions {
   /// bytes that would have survived a real crash at that point (see
   /// WalCrashPoint). Must outlive the ParallelWal.
   const WalCrashPlan* crash = nullptr;
+
+  /// Invoked exactly once, at the moment an injected crash fires (either
+  /// the armed plan's triggering append or an external CrashNow call) -
+  /// the last chance to dump in-memory diagnostics (the flight recorder)
+  /// before the harness's planned _Exit. Runs on the crashing thread,
+  /// possibly while a stream lock is held: must not call back into the WAL.
+  std::function<void()> on_crash;
 };
 
 /// One decoded commit record: the transaction, its MT(k) vector (the
@@ -163,6 +171,10 @@ struct WalStats {
 struct WalAppendTicket {
   uint32_t stream = 0;
   uint64_t end_offset = 0;  ///< File offset one past the record's frame.
+  /// Microseconds the append spent inside the policy-triggered fdatasync
+  /// covering this record (0 when the append returned without syncing).
+  /// The engine's fsync-phase attribution source.
+  uint64_t sync_wait_us = 0;
 };
 
 namespace wal_internal {

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "gtest/gtest.h"
+#include "mvcc/mv_scheduler.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
 
@@ -85,6 +86,57 @@ TEST(ExplainTest, RecordingOffByDefaultKeepsSchedulerLean) {
   for (const Op& op : log.ops()) s.Process(op);
   EXPECT_TRUE(s.encodings().empty());
   EXPECT_EQ(s.operations_processed(), 4u);
+}
+
+// --- Multiversion (MV-era) explain ---
+
+TEST(ExplainTest, MvVersionConflictExplainedWithBlockerVector) {
+  MvMtkOptions options;
+  options.k = 3;
+  MvMtkScheduler s(options);
+  // T4 reads the initial version of x; T5 < T4 is then fixed via z. T5's
+  // write of x has no feasible slot: every slot lies at or above the
+  // initial version, whose reader T4 is already ordered after T5.
+  ASSERT_EQ(s.Process(Op{4, OpType::kRead, 0}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{5, OpType::kRead, 2}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{4, OpType::kWrite, 2}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{5, OpType::kWrite, 0}), OpDecision::kReject);
+  EXPECT_EQ(s.LastBlocker(), 4u);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kVersionConflict);
+  EXPECT_EQ(s.last_reject().op, (Op{5, OpType::kWrite, 0}));
+  EXPECT_EQ(s.last_reject().position, 4u);
+  const std::string e = s.ExplainLastReject();
+  EXPECT_NE(e.find("version_conflict"), std::string::npos) << e;
+  EXPECT_NE(e.find("T4"), std::string::npos) << e;
+  EXPECT_NE(e.find("blocker vector " + std::string(s.Ts(4).ToString())),
+            std::string::npos)
+      << e;
+}
+
+TEST(ExplainTest, MvStaleSubmissionExplainedWithoutVector) {
+  MvMtkOptions options;
+  MvMtkScheduler s(options);
+  ASSERT_EQ(s.Process(Op{4, OpType::kRead, 0}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{5, OpType::kRead, 2}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{4, OpType::kWrite, 2}), OpDecision::kAccept);
+  ASSERT_EQ(s.Process(Op{5, OpType::kWrite, 0}), OpDecision::kReject);
+  // A follow-up operation from the now-aborted T5 is a stale submission
+  // with no blocker and no vector rendering.
+  ASSERT_EQ(s.Process(Op{5, OpType::kRead, 1}), OpDecision::kReject);
+  EXPECT_EQ(s.last_reject().reason, AbortReason::kStaleTxn);
+  EXPECT_EQ(s.LastBlocker(), kVirtualTxn);
+  const std::string e = s.ExplainLastReject();
+  EXPECT_NE(e.find("stale_txn"), std::string::npos) << e;
+  EXPECT_EQ(e.find("blocker vector"), std::string::npos) << e;
+}
+
+TEST(ExplainTest, MvNoRejectionYet) {
+  MvMtkOptions options;
+  MvMtkScheduler s(options);
+  EXPECT_EQ(s.ExplainLastReject(), "no rejection yet");
+  ASSERT_EQ(s.Process(Op{1, OpType::kWrite, 0}), OpDecision::kAccept);
+  EXPECT_EQ(s.ExplainLastReject(), "no rejection yet");
+  EXPECT_EQ(s.operations_processed(), 1u);
 }
 
 // --- Trace I/O ---

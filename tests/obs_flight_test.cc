@@ -1,0 +1,571 @@
+// Flight recorder + latency attribution suite (labeled `obs-flight` so the
+// asan-obs-flight / tsan-obs-flight presets run exactly this binary under
+// the sanitizers):
+//   - FlightRecorder unit coverage: seqlock ring round trips, overwrite
+//     semantics, capacity rounding, write-set truncation, JSON/dump shape;
+//   - engine integration: commit/reject records reconcile exactly with
+//     EngineStats, commit records carry the committed vector and write set,
+//     and phase_sample_shift = 0 deterministically populates every
+//     "engine.phase.*_us" histogram (multiversion + WAL run, so the
+//     mv_read / wal_append / fsync phases exist too);
+//   - the two auto-dump triggers: StarvationWatchdogOptions::on_alert and
+//     WalOptions::on_crash both produce a parseable dump file;
+//   - the HTTP surfacing: /phases.json (with exemplars) and /flight.json
+//     over a real localhost socket, plus the 400/404 error answers.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/timestamp_vector.h"
+#include "core/types.h"
+#include "engine/sharded_engine.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "obs/flight.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
+#include "wal/wal.h"
+
+namespace mdts {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("mdts_flight_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ===========================================================================
+// FlightRecorder unit coverage.
+// ===========================================================================
+
+TEST(FlightRecorderTest, CommitRoundTripAllFields) {
+  FlightRecorderOptions fo;
+  fo.rings = 2;
+  fo.capacity = 8;
+  fo.k = 3;
+  FlightRecorder flight(fo);
+
+  TimestampVector vec(3);
+  vec.Set(0, 5);
+  vec.Set(2, -7);  // Slot 1 stays undefined.
+  const ItemId writes[] = {11, 42};
+  uint32_t phase_us[kNumTxnPhases] = {};
+  phase_us[static_cast<size_t>(TxnPhase::kLock)] = 3;
+  phase_us[static_cast<size_t>(TxnPhase::kAck)] = 9;
+  flight.RecordCommit(/*ring=*/1, /*txn=*/7, vec, /*shard_mask=*/0b10,
+                      writes, phase_us, /*time_us=*/1234);
+
+  const std::vector<FlightRecord> records = flight.Drain();
+  ASSERT_EQ(records.size(), 1u);
+  const FlightRecord& r = records[0];
+  EXPECT_EQ(r.txn, 7u);
+  EXPECT_TRUE(r.commit);
+  EXPECT_TRUE(r.phases_sampled);
+  EXPECT_EQ(r.ring, 1u);
+  EXPECT_EQ(r.time_us, 1234u);
+  EXPECT_EQ(r.shard_mask, 0b10u);
+  EXPECT_EQ(r.writes_total, 2u);
+  ASSERT_EQ(r.writes.size(), 2u);
+  EXPECT_EQ(r.writes[0], 11u);
+  EXPECT_EQ(r.writes[1], 42u);
+  ASSERT_EQ(r.k, 3u);
+  ASSERT_EQ(r.vec.size(), 3u);
+  EXPECT_EQ(r.vec[0], 5);
+  EXPECT_EQ(r.vec[1], kUndefinedElement);
+  EXPECT_EQ(r.vec[2], -7);
+  EXPECT_EQ(r.phase_us[static_cast<size_t>(TxnPhase::kLock)], 3u);
+  EXPECT_EQ(r.phase_us[static_cast<size_t>(TxnPhase::kAck)], 9u);
+  EXPECT_EQ(flight.commits(), 1u);
+  EXPECT_EQ(flight.aborts(), 0u);
+}
+
+TEST(FlightRecorderTest, AbortRoundTripReasonBlockerOp) {
+  FlightRecorderOptions fo;
+  fo.k = 2;
+  FlightRecorder flight(fo);
+
+  TimestampVector vec(2);
+  vec.Set(0, 3);
+  const Op op{9, OpType::kWrite, 77};
+  flight.RecordAbort(/*ring=*/0, /*txn=*/9, AbortReason::kVersionConflict,
+                     /*blocker=*/4, &op, /*shard_mask=*/1, &vec,
+                     /*time_us=*/55);
+  // A reject with no vector snapshot (DMT aborts mid-flight) is legal too.
+  flight.RecordAbort(0, 10, AbortReason::kLexOrder, 0, nullptr, 0, nullptr,
+                     56);
+
+  const std::vector<FlightRecord> records = flight.Drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].seq, records[1].seq);
+  const FlightRecord& a = records[0];
+  EXPECT_FALSE(a.commit);
+  EXPECT_FALSE(a.phases_sampled);
+  EXPECT_EQ(a.reason, AbortReason::kVersionConflict);
+  EXPECT_EQ(a.blocker, 4u);
+  ASSERT_TRUE(a.has_op);
+  EXPECT_EQ(a.op.type, OpType::kWrite);
+  EXPECT_EQ(a.op.item, 77u);
+  ASSERT_EQ(a.k, 2u);
+  EXPECT_EQ(a.vec[0], 3);
+  EXPECT_EQ(a.vec[1], kUndefinedElement);
+  const FlightRecord& b = records[1];
+  EXPECT_EQ(b.reason, AbortReason::kLexOrder);
+  EXPECT_FALSE(b.has_op);
+  EXPECT_EQ(b.k, 0u);  // No vector was captured.
+  EXPECT_TRUE(b.vec.empty());
+
+  EXPECT_EQ(flight.aborts(), 2u);
+  const AbortReasonCounts reasons = flight.abort_reasons();
+  EXPECT_EQ(
+      reasons.counts[static_cast<size_t>(AbortReason::kVersionConflict)], 1u);
+  EXPECT_EQ(reasons.counts[static_cast<size_t>(AbortReason::kLexOrder)], 1u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestKeepsNewest) {
+  FlightRecorderOptions fo;
+  fo.rings = 1;
+  fo.capacity = 4;
+  fo.k = 1;
+  FlightRecorder flight(fo);
+  TimestampVector vec(1);
+  for (TxnId t = 1; t <= 10; ++t) {
+    vec.Set(0, static_cast<TsElement>(t));
+    flight.RecordCommit(0, t, vec, 0, {}, nullptr, t);
+  }
+  const std::vector<FlightRecord> records = flight.Drain();
+  ASSERT_EQ(records.size(), 4u);
+  // The ring keeps the newest 4 (txns 7..10); lifetime totals keep all 10.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].txn, 7u + i);
+    if (i > 0) {
+      EXPECT_GT(records[i].seq, records[i - 1].seq);
+    }
+  }
+  EXPECT_EQ(flight.commits(), 10u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpAndRingsClamp) {
+  FlightRecorderOptions fo;
+  fo.rings = 0;    // Clamped to 1.
+  fo.capacity = 5;  // Rounded up to 8.
+  FlightRecorder flight(fo);
+  EXPECT_EQ(flight.rings(), 1u);
+  EXPECT_EQ(flight.capacity(), 8u);
+}
+
+TEST(FlightRecorderTest, WriteSetTruncationKeepsTotal) {
+  FlightRecorderOptions fo;
+  fo.k = 1;
+  FlightRecorder flight(fo);
+  TimestampVector vec(1);
+  vec.Set(0, 1);
+  const std::vector<ItemId> writes = {1, 2, 3, 4, 5, 6};
+  flight.RecordCommit(0, 1, vec, 0, writes, nullptr, 1);
+  const std::vector<FlightRecord> records = flight.Drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].writes.size(), FlightRecorder::kMaxWrites);
+  EXPECT_EQ(records[0].writes_total, 6u);
+  EXPECT_EQ(records[0].writes[0], 1u);
+}
+
+TEST(FlightRecorderTest, JsonAndDumpShape) {
+  FlightRecorderOptions fo;
+  fo.rings = 1;
+  fo.capacity = 4;
+  fo.k = 2;
+  FlightRecorder flight(fo);
+  TimestampVector vec(2);
+  vec.Set(0, 9);  // Slot 1 undefined: rendered "*".
+  const ItemId writes[] = {5};
+  flight.RecordCommit(0, 3, vec, 1, writes, nullptr, 100);
+  flight.RecordAbort(0, 4, AbortReason::kStaleTxn, 0, nullptr, 0, &vec, 101);
+
+  const std::string json = flight.ToJson();
+  EXPECT_NE(json.find("\"meta\": {\"rings\": 1, \"capacity\": 4, \"k\": 2}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"totals\": {\"commits\": 1, \"aborts\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"event\": \"commit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"event\": \"abort\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\": \"stale_txn\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"vec\": [9, \"*\"]"), std::string::npos) << json;
+
+  const std::string path = FreshDir("dump") + "/flight.json";
+  ASSERT_TRUE(flight.DumpToFile(path));
+  EXPECT_EQ(ReadFile(path), json);
+}
+
+// ===========================================================================
+// Engine integration: totals reconcile, records carry protocol state, and
+// shift-0 sampling deterministically fills every phase histogram.
+// ===========================================================================
+
+struct DriveOutcome {
+  uint64_t commits = 0;
+  uint64_t rejects = 0;
+};
+
+// Seeded single-threaded closed loop: each transaction runs a few random
+// ops and commits unless one was rejected (lazy abort: the rejected
+// transaction is simply abandoned, as MtkScheduler semantics allow).
+DriveOutcome Drive(ShardedMtkEngine& engine, uint64_t seed, TxnId txns,
+                   ItemId items, size_t ops_per_txn, int read_pct) {
+  std::mt19937_64 rng(seed);
+  DriveOutcome out;
+  for (TxnId t = 1; t <= txns; ++t) {
+    bool alive = true;
+    for (size_t q = 0; q < ops_per_txn && alive; ++q) {
+      const Op op{t,
+                  static_cast<int>(rng() % 100) < read_pct ? OpType::kRead
+                                                           : OpType::kWrite,
+                  static_cast<ItemId>(rng() % items)};
+      AbortReason why = AbortReason::kNone;
+      if (engine.Process(op, &why) == OpDecision::kReject) {
+        ++out.rejects;
+        alive = false;
+      }
+    }
+    if (alive) {
+      engine.CommitTxn(t);
+      ++out.commits;
+    }
+  }
+  return out;
+}
+
+uint64_t HistCount(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return h.count;
+  }
+  return 0;
+}
+
+TEST(EngineFlightTest, TotalsReconcileWithEngineStats) {
+  FlightRecorderOptions fo;
+  fo.rings = 2;
+  fo.capacity = 1024;  // Larger than the run: nothing is overwritten.
+  fo.k = 3;
+  FlightRecorder flight(fo);
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 2;
+  eo.flight = &flight;
+  ShardedMtkEngine engine(eo);
+
+  const DriveOutcome out =
+      Drive(engine, /*seed=*/17, /*txns=*/200, /*items=*/8,
+            /*ops_per_txn=*/4, /*read_pct=*/50);
+  ASSERT_GT(out.commits, 0u);
+  ASSERT_GT(out.rejects, 0u) << "conflict workload produced no rejects";
+
+  // Lifetime totals match the engine's own accounting exactly...
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(flight.commits(), out.commits);
+  EXPECT_EQ(flight.aborts(), out.rejects);
+  EXPECT_EQ(flight.aborts(), stats.rejected);
+  const AbortReasonCounts fr = flight.abort_reasons();
+  for (size_t r = 0; r < kNumAbortReasons; ++r) {
+    EXPECT_EQ(fr.counts[r], stats.reject_reasons.counts[r])
+        << AbortReasonName(static_cast<AbortReason>(r));
+  }
+  // ...and the oversized ring retained every record.
+  const std::vector<FlightRecord> records = flight.Drain();
+  EXPECT_EQ(records.size(), out.commits + out.rejects);
+}
+
+TEST(EngineFlightTest, CommitRecordsCarryVectorWritesAndSampledPhases) {
+  MetricsRegistry reg;
+  FlightRecorderOptions fo;
+  fo.rings = 1;
+  fo.capacity = 1024;
+  fo.k = 3;
+  FlightRecorder flight(fo);
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 1;
+  eo.metrics = &reg;
+  eo.flight = &flight;
+  eo.phase_sample_shift = 0;  // Sample every batch and every commit.
+  ShardedMtkEngine engine(eo);
+
+  const DriveOutcome out = Drive(engine, 23, 60, 16, 3, 30);
+  ASSERT_GT(out.commits, 0u);
+
+  uint64_t commit_records = 0;
+  for (const FlightRecord& r : flight.Drain()) {
+    if (!r.commit) {
+      // Engine rejects carry the refused operation and a classified reason.
+      EXPECT_NE(r.reason, AbortReason::kNone);
+      EXPECT_TRUE(r.has_op);
+      continue;
+    }
+    ++commit_records;
+    EXPECT_EQ(r.k, 3u);
+    ASSERT_EQ(r.vec.size(), 3u);
+    // A committed writer's vector snapshot is live state: at least one
+    // element defined once the transaction ordered against anything. The
+    // write set mirrors what the transaction actually wrote.
+    EXPECT_EQ(r.writes.size(),
+              std::min<size_t>(r.writes_total, FlightRecorder::kMaxWrites));
+    // shift 0 with a registry: every commit's phases were measured.
+    EXPECT_TRUE(r.phases_sampled) << "txn " << r.txn;
+  }
+  EXPECT_EQ(commit_records, out.commits);
+}
+
+TEST(EngineFlightTest, ShiftZeroPopulatesAllSevenPhaseHistograms) {
+  // Multiversion + WAL: the only configuration where all seven lifecycle
+  // phases exist (mv_read needs version-chain reads, wal_append/fsync need
+  // a log). kEveryCommit makes the fsync wait nonzero-eligible on every
+  // commit; shift 0 times everything, so each histogram must have samples.
+  MetricsRegistry reg;
+  WalOptions wo;
+  wo.dir = FreshDir("phases");
+  wo.num_streams = 1;
+  wo.k = 3;
+  wo.sync_policy = WalSyncPolicy::kEveryCommit;
+  ParallelWal wal(wo);
+  ASSERT_TRUE(wal.ok());
+
+  EngineOptions eo;
+  eo.k = 3;
+  eo.num_shards = 2;
+  eo.multiversion = true;
+  eo.metrics = &reg;
+  eo.wal = &wal;
+  eo.phase_sample_shift = 0;
+  ShardedMtkEngine engine(eo);
+
+  const DriveOutcome out = Drive(engine, 31, 80, 16, 4, 50);
+  ASSERT_GT(out.commits, 0u);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (size_t p = 0; p < kNumTxnPhases; ++p) {
+    const std::string name =
+        std::string("engine.phase.") +
+        TxnPhaseName(static_cast<TxnPhase>(p)) + "_us";
+    EXPECT_GT(HistCount(snap, name), 0u) << name;
+  }
+}
+
+// ===========================================================================
+// Auto-dump triggers: watchdog alert and WAL crash hook.
+// ===========================================================================
+
+TEST(WatchdogFlightTest, AlertAutoDumpsTheRecorder) {
+  const std::string path = FreshDir("watchdog") + "/flight.json";
+  FlightRecorderOptions fo;
+  fo.k = 1;
+  FlightRecorder flight(fo);
+  TimestampVector vec(1);
+  vec.Set(0, 1);
+  flight.RecordCommit(0, 1, vec, 0, {}, nullptr, 10);
+
+  MetricsRegistry reg;
+  Gauge* source = reg.GetGauge("engine.max_consecutive_aborts");
+  SamplerOptions so;
+  so.registry = &reg;
+  Sampler sampler(so);
+  StarvationWatchdogOptions wo;
+  wo.source_gauge = "engine.max_consecutive_aborts";
+  wo.threshold = 4;
+  wo.min_windows = 2;
+  uint64_t dumps = 0;
+  wo.on_alert = [&flight, &dumps, &path](const WatchdogAlert&) {
+    if (flight.DumpToFile(path)) ++dumps;
+  };
+  sampler.AddStarvationWatchdog(wo);
+
+  source->SetMax(10);
+  sampler.TickOnce(1.0);
+  EXPECT_EQ(dumps, 0u);  // One window: streak not yet an alert.
+  source->SetMax(12);
+  sampler.TickOnce(2.0);  // Second window above threshold: raise + dump.
+  ASSERT_EQ(dumps, 1u);
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"records\": [{"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"event\": \"commit\""), std::string::npos) << dump;
+
+  source->SetMax(15);
+  sampler.TickOnce(3.0);  // Sustaining window: no second dump per raise.
+  EXPECT_EQ(dumps, 1u);
+}
+
+TEST(WalCrashFlightTest, OnCrashAutoDumpsTheRecorder) {
+  const std::string dir = FreshDir("crash");
+  const std::string path = dir + "/flight.json";
+  FlightRecorderOptions fo;
+  fo.k = 2;
+  FlightRecorder flight(fo);
+
+  WalCrashPlan plan;
+  plan.point = WalCrashPoint::kBeforeFsync;
+  plan.at_append = 2;
+  WalOptions wo;
+  wo.dir = dir + "/wal";
+  wo.num_streams = 1;
+  wo.k = 2;
+  wo.crash = &plan;
+  uint64_t dumps = 0;
+  wo.on_crash = [&flight, &dumps, &path] {
+    if (flight.DumpToFile(path)) ++dumps;
+  };
+  ParallelWal wal(wo);
+  ASSERT_TRUE(wal.ok());
+
+  TimestampVector vec(2);
+  vec.Set(0, 1);
+  const std::vector<ItemId> writes = {3};
+  ASSERT_TRUE(wal.AppendCommit(1, vec, writes));
+  flight.RecordCommit(0, 1, vec, 0, writes, nullptr, 1);
+  EXPECT_EQ(dumps, 0u);
+  vec.Set(0, 2);
+  wal.AppendCommit(2, vec, writes);  // The armed append: crash fires.
+  EXPECT_TRUE(wal.crashed());
+  ASSERT_EQ(dumps, 1u);
+  // The dump captured the state up to the crash: the one recorded commit.
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"totals\": {\"commits\": 1"), std::string::npos)
+      << dump;
+}
+
+// ===========================================================================
+// HTTP surfacing: /phases.json + /flight.json, and the 400/404 answers.
+// ===========================================================================
+
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+TEST(HttpFlightTest, PhasesAndFlightEndpointsServeJson) {
+  MetricsRegistry reg;
+  // One attributed phase sample with an exemplar, as RecordPhase publishes.
+  reg.GetHistogram("engine.phase.lock_us")->RecordWithExemplar(120, 7);
+  FlightRecorderOptions fo;
+  fo.k = 2;
+  FlightRecorder flight(fo);
+  TimestampVector vec(2);
+  vec.Set(0, 4);
+  const ItemId writes[] = {9};
+  flight.RecordCommit(0, 3, vec, 1, writes, nullptr, 42);
+
+  HttpExporterOptions ho;
+  ho.registry = &reg;
+  ho.flight = &flight;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+
+  const std::string phases = HttpGet(exporter.port(), "/phases.json");
+  EXPECT_NE(phases.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(phases.find("application/json"), std::string::npos);
+  EXPECT_NE(phases.find("\"lock\": {\"count\": 1"), std::string::npos)
+      << phases;
+  EXPECT_NE(phases.find("\"exemplar\": {\"value_us\": 120, \"txn\": 7}"),
+            std::string::npos)
+      << phases;
+
+  const std::string fjson = HttpGet(exporter.port(), "/flight.json");
+  EXPECT_NE(fjson.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(fjson.find("\"event\": \"commit\""), std::string::npos) << fjson;
+  EXPECT_NE(fjson.find("\"txn\": 3"), std::string::npos) << fjson;
+  EXPECT_NE(fjson.find("\"vec\": [4, \"*\"]"), std::string::npos) << fjson;
+  exporter.Stop();
+}
+
+TEST(HttpFlightTest, FlightEndpointWithoutRecorderAnswersEmptyDump) {
+  MetricsRegistry reg;
+  HttpExporterOptions ho;
+  ho.registry = &reg;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+  const std::string body = HttpGet(exporter.port(), "/flight.json");
+  EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("\"records\": []"), std::string::npos) << body;
+  exporter.Stop();
+}
+
+TEST(HttpFlightTest, MalformedAndUnknownRequestsGetErrorAnswers) {
+  MetricsRegistry reg;
+  HttpExporterOptions ho;
+  ho.registry = &reg;
+  ho.port = 0;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+
+  // No parseable "METHOD SP PATH SP" request line: 400, not a silent close.
+  const std::string garbage = RawRequest(exporter.port(), "garbage\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+
+  // A header block overflowing the exporter's 4 KiB read buffer: 400.
+  std::string oversized = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  oversized.append(8192, 'x');
+  oversized += "\r\n\r\n";
+  const std::string too_big = RawRequest(exporter.port(), oversized);
+  EXPECT_NE(too_big.find("400"), std::string::npos) << too_big;
+
+  // Unknown path: 404.
+  const std::string missing = HttpGet(exporter.port(), "/no-such");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+  exporter.Stop();
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Offline vector-clock audit of a FlightRecorder dump.
+
+Usage:
+    tools/flight_check.py DUMP.json [--verbose]
+
+The dump is the JSON written by FlightRecorder::DumpToFile (or served on
+/flight.json): ring metadata, lifetime totals, and the last-N commit/abort
+records, each carrying the transaction's timestamp vector at that moment.
+
+What is checked - and, importantly, what is NOT. In MT(k) the commit
+wall-clock order deliberately does NOT match the vector order (late
+ordering is the whole point of the protocol), so the audit never compares
+timestamps against vector positions. The sound invariants are:
+
+  1. Record integrity: sequence numbers are unique, vectors have at most
+     their declared k elements, phase breakdowns appear only on records
+     whose commit sampled them, and every abort carries a real reason.
+     A kVersionConflict blocker MAY be 0: a write refused on writer order
+     alone (or by a whole version chain) has no single fixing transaction.
+
+  2. Vector consistency of committed writers: two commit records that
+     share a written item are ordered writers of that item, so their
+     vectors must not be identical-and-fully-defined (Definition 6 would
+     call the transactions the same), and when the Definition-6 partial
+     order CAN compare them, the raw lexicographic order (undefined = -inf,
+     the refinement WAL recovery sorts by) must agree with it.
+
+  3. Totals reconciliation: the per-reason abort counts derived from the
+     ring contents never exceed the recorder's lifetime AbortReasonCounts,
+     the per-reason lifetime counts sum to the lifetime abort total, and
+     the ring never holds more commits/aborts than the totals claim.
+
+Exits 0 when every check passes, 1 on violations, 2 on bad input.
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+UNDEFINED = "*"  # Rendering of kUndefinedElement in the dump.
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"flight_check: cannot read {path}: {e}")
+    if not isinstance(dump, dict) or "records" not in dump:
+        sys.exit(f"flight_check: {path}: not a flight recorder dump")
+    return dump
+
+
+def def6_compare(a, b):
+    """Definition-6 partial order over two rendered vectors.
+
+    Returns "less", "greater", "identical" (equal on common positions and
+    both fully defined), or "undetermined". Positions where either side is
+    undefined are skipped; the first common-defined differing position
+    decides.
+    """
+    n = min(len(a), len(b))
+    for p in range(n):
+        if a[p] == UNDEFINED or b[p] == UNDEFINED:
+            continue
+        if a[p] < b[p]:
+            return "less"
+        if a[p] > b[p]:
+            return "greater"
+    if UNDEFINED in a or UNDEFINED in b or len(a) != len(b):
+        return "undetermined"
+    return "identical"
+
+
+def raw_lex_compare(a, b):
+    """Total order refinement: lexicographic with undefined = -infinity
+    (what ParallelWal::Recover sorts recovered commits by)."""
+    n = max(len(a), len(b))
+    for p in range(n):
+        av = a[p] if p < len(a) else UNDEFINED
+        bv = b[p] if p < len(b) else UNDEFINED
+        ka = (0,) if av == UNDEFINED else (1, av)
+        kb = (0,) if bv == UNDEFINED else (1, bv)
+        if ka < kb:
+            return "less"
+        if ka > kb:
+            return "greater"
+    return "equal"
+
+
+def check_integrity(records, violations):
+    seen_seq = {}
+    for r in records:
+        seq = r.get("seq")
+        if seq in seen_seq:
+            violations.append(
+                f"duplicate seq {seq} (records for T{seen_seq[seq]} and "
+                f"T{r.get('txn')})")
+        else:
+            seen_seq[seq] = r.get("txn")
+        vec = r.get("vec", [])
+        k = r.get("k", len(vec))
+        if len(vec) != k:
+            violations.append(
+                f"seq {seq}: vector has {len(vec)} elements, record "
+                f"declares k={k}")
+        if r.get("event") == "abort":
+            if not r.get("reason"):
+                violations.append(f"seq {seq}: abort without a reason")
+            if "phases" in r:
+                violations.append(
+                    f"seq {seq}: abort carries a phase breakdown "
+                    f"(only sampled commits do)")
+        elif r.get("event") != "commit":
+            violations.append(f"seq {seq}: unknown event "
+                              f"{r.get('event')!r}")
+
+
+def check_writer_vectors(records, violations, verbose):
+    """Pairwise Definition-6 audit of commit records sharing a written
+    item. Undetermined pairs are fine (the protocol orders lazily); the
+    violations are identical fully-defined vectors and a comparable pair
+    whose raw lexicographic refinement disagrees."""
+    by_item = {}
+    for r in records:
+        if r.get("event") != "commit":
+            continue
+        for item in r.get("writes", []):
+            by_item.setdefault(item, []).append(r)
+    pairs = comparable = 0
+    for item, writers in sorted(by_item.items()):
+        for i in range(len(writers)):
+            for j in range(i + 1, len(writers)):
+                a, b = writers[i], writers[j]
+                if a.get("txn") == b.get("txn"):
+                    continue  # Same transaction, later incarnation/cell.
+                pairs += 1
+                order = def6_compare(a["vec"], b["vec"])
+                if order == "identical":
+                    violations.append(
+                        f"item {item}: committed writers T{a['txn']} "
+                        f"(seq {a['seq']}) and T{b['txn']} (seq {b['seq']}) "
+                        f"have identical fully-defined vectors {a['vec']}")
+                    continue
+                if order == "undetermined":
+                    continue
+                comparable += 1
+                raw = raw_lex_compare(a["vec"], b["vec"])
+                if raw != order:
+                    violations.append(
+                        f"item {item}: T{a['txn']} vs T{b['txn']} is "
+                        f"'{order}' under Definition 6 but '{raw}' under "
+                        f"the raw lexicographic refinement "
+                        f"({a['vec']} vs {b['vec']})")
+    if verbose:
+        print(f"  writer-pair audit: {pairs} pairs sharing an item, "
+              f"{comparable} Definition-6 comparable")
+
+
+def check_totals(dump, records, violations, verbose):
+    totals = dump.get("totals", {})
+    lifetime_reasons = totals.get("abort_reasons", {})
+    lifetime_aborts = int(totals.get("aborts", 0))
+    lifetime_commits = int(totals.get("commits", 0))
+
+    ring_reasons = {}
+    ring_commits = ring_aborts = 0
+    for r in records:
+        if r.get("event") == "commit":
+            ring_commits += 1
+        else:
+            ring_aborts += 1
+            reason = r.get("reason", "?")
+            ring_reasons[reason] = ring_reasons.get(reason, 0) + 1
+
+    if sum(lifetime_reasons.values()) != lifetime_aborts:
+        violations.append(
+            f"lifetime abort reasons sum to "
+            f"{sum(lifetime_reasons.values())}, totals claim "
+            f"{lifetime_aborts}")
+    if ring_commits > lifetime_commits:
+        violations.append(
+            f"ring holds {ring_commits} commits, totals claim only "
+            f"{lifetime_commits}")
+    if ring_aborts > lifetime_aborts:
+        violations.append(
+            f"ring holds {ring_aborts} aborts, totals claim only "
+            f"{lifetime_aborts}")
+    for reason, n in sorted(ring_reasons.items()):
+        if n > int(lifetime_reasons.get(reason, 0)):
+            violations.append(
+                f"ring holds {n} '{reason}' aborts, lifetime count is "
+                f"{lifetime_reasons.get(reason, 0)}")
+    if verbose:
+        print(f"  totals: ring {ring_commits} commits / {ring_aborts} "
+              f"aborts; lifetime {lifetime_commits} / {lifetime_aborts}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Audit a FlightRecorder JSON dump.")
+    parser.add_argument("dump")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-check statistics")
+    args = parser.parse_args()
+
+    dump = load(args.dump)
+    records = dump.get("records", [])
+    meta = dump.get("meta", {})
+    print(f"flight dump: {len(records)} records "
+          f"({meta.get('rings', '?')} rings x "
+          f"{meta.get('capacity', '?')} slots, k={meta.get('k', '?')})")
+
+    violations = []
+    check_integrity(records, violations)
+    check_writer_vectors(records, violations, args.verbose)
+    check_totals(dump, records, violations, args.verbose)
+
+    if violations:
+        print(f"FAIL: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("ok: commit order is vector-consistent and the abort records "
+          "reconcile with the lifetime counts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

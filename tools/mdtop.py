@@ -8,9 +8,12 @@ Polls http://HOST:PORT/series.json (the windowed Sampler export served by
 `mt_throughput --serve` / `fault_sweep --serve`) and redraws one screen per
 poll: the newest window's counter rates split into throughput (commit
 counters) and an abort-reason mix with proportional bars, the gauge values,
-and the most recent starvation-watchdog alerts. --once prints a single
-frame without clearing the screen and exits (scriptable; the docs' sample
-output comes from it).
+and the most recent starvation-watchdog alerts. When the exporter also
+serves /phases.json (per-transaction latency attribution), a phases pane
+shows each lifecycle phase's count, mean, p50/p99, max, and the exemplar
+transaction behind the worst sample. --once prints a single frame without
+clearing the screen and exits (scriptable; the docs' sample output comes
+from it).
 
 Standard library only; no third-party dependencies. Exits 0 on Ctrl-C,
 1 when the exporter cannot be reached.
@@ -27,6 +30,9 @@ Sample frame:
     gauges
       dmt.max_consecutive_aborts                  12
       obs.starvation_alert.dmt.max_consec...       1  ALERT
+    phases (lifetime, us)
+      lock        n=1284 mean=3 p50=1 p99=15 max=412  worst T731
+      wal_append  n=1284 mean=48 p50=31 p99=255 max=1023  worst T98
     alerts (latest first)
       {"source": "dmt.max_consecutive_aborts", "threshold": 8, ...}
 """
@@ -54,7 +60,37 @@ def shorten(name):
     return name[: NAME_WIDTH - 3] + "..."
 
 
-def render(series, endpoint):
+# Lifecycle order of the engine's phase timers; phases the exporter reports
+# that are not listed here (future additions) render after these, sorted.
+PHASE_ORDER = ["admission", "lock", "decide", "mv_read", "wal_append",
+               "fsync", "ack"]
+
+
+def render_phases(phases, lines):
+    """Append the per-phase latency attribution pane: one row per lifecycle
+    phase with count, mean, p50/p99, max (all microseconds, lifetime
+    distribution) and the exemplar - the transaction id stamped on the
+    worst sample, the hop from a bad percentile to a flight-recorder or
+    trace lookup."""
+    named = [p for p in PHASE_ORDER if p in phases]
+    named += sorted(p for p in phases if p not in PHASE_ORDER)
+    rows = [p for p in named if phases[p].get("count", 0)]
+    if not rows:
+        return
+    lines.append("phases (lifetime, us)")
+    width = max(len(p) for p in rows)
+    for p in rows:
+        h = phases[p]
+        count = h.get("count", 0)
+        mean = h.get("sum_us", 0) // max(count, 1)
+        ex = h.get("exemplar", {})
+        lines.append(
+            f"  {p:<{width}}  n={count} mean={mean} "
+            f"p50={h.get('p50_us', 0)} p99={h.get('p99_us', 0)} "
+            f"max={h.get('max_us', 0)}  worst T{ex.get('txn', '?')}")
+
+
+def render(series, endpoint, phases=None):
     windows = series.get("windows", [])
     alerts = series.get("alerts", [])
     lines = []
@@ -130,6 +166,9 @@ def render(series, endpoint):
                          f"n={h.get('count', 0)} p50={h.get('p50', 0)} "
                          f"p99={h.get('p99', 0)}")
 
+    if phases:
+        render_phases(phases, lines)
+
     if alerts:
         lines.append("alerts (latest first)")
         for a in list(reversed(alerts))[:5]:
@@ -150,6 +189,7 @@ def main():
 
     endpoint = f"{args.host}:{args.port}"
     url = f"http://{endpoint}/series.json"
+    phases_url = f"http://{endpoint}/phases.json"
     try:
         while True:
             try:
@@ -158,7 +198,14 @@ def main():
                     json.JSONDecodeError) as e:
                 print(f"mdtop: cannot fetch {url}: {e}", file=sys.stderr)
                 return 1
-            frame = render(series, endpoint)
+            try:
+                # Best-effort: the pane is empty when the run carries no
+                # metrics registry or predates the phase timers.
+                phases = fetch(phases_url, timeout=2.0).get("phases", {})
+            except (urllib.error.URLError, OSError, TimeoutError,
+                    json.JSONDecodeError):
+                phases = {}
+            frame = render(series, endpoint, phases)
             if args.once:
                 sys.stdout.write(frame)
                 return 0

@@ -72,6 +72,14 @@ def delta_percentile(deltas, p, max_clamp):
     return max_clamp
 
 
+def full_percentile(hist, p):
+    """Percentile of one snapshot's full histogram distribution (not the
+    delta window): the comparison basis for the per-phase regression
+    check, where before/after are usually two independent runs."""
+    buckets = {int(k): int(v) for k, v in hist.get("buckets", {}).items()}
+    return delta_percentile(buckets, p, int(hist.get("max", 0)))
+
+
 def presence_note(name, section_a, section_b):
     """Annotation for a metric present in only one snapshot: a registry
     grows instruments lazily (e.g. wal.* only appears once a WAL is
@@ -150,6 +158,25 @@ def main():
         for b in sorted(deltas):
             upper = "0" if b == 0 else f"<=2^{b}-1"
             print(f"  bucket[{b}] ({upper}): {fmt_delta(deltas[b])}")
+
+    # Per-phase latency attribution: the "engine.phase.*_us" histogram
+    # family holds per-transaction phase latencies in microseconds
+    # (admission / lock / decide / mv_read / wal_append / fsync / ack). A
+    # phase whose p99 moved up by more than the tolerance is flagged as a
+    # regression and fails the diff - CI's one-line answer to "which phase
+    # got slower between these two runs".
+    for name in sorted(set(hists_a) & set(hists_b)):
+        if not name.startswith("engine.phase."):
+            continue
+        pa = full_percentile(hists_a[name], 99)
+        pb = full_percentile(hists_b[name], 99)
+        if pb > pa + args.tolerance:
+            changed += 1
+            print(f"phase regression {name}: p99 {pa} -> {pb} us "
+                  f"(+{pb - pa}"
+                  + (f", tolerance {args.tolerance}" if args.tolerance
+                     else "")
+                  + ")")
 
     # Multiversion bookkeeping lint: when a snapshot carries the
     # version-chain series, the live-version gauge should equal installs
