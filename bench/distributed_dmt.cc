@@ -4,11 +4,18 @@
 // global serializability; shows the effect of periodic counter
 // synchronization under unbalanced load.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "classify/classes.h"
+#include "common/bench_clock.h"
+#include "common/bench_json.h"
 #include "common/table_printer.h"
 #include "dist/dmt_system.h"
+#include "obs/dspan.h"
+#include "obs/metrics.h"
 
 namespace mdts {
 namespace {
@@ -29,7 +36,72 @@ DmtOptions Base(uint64_t seed) {
   return options;
 }
 
-int Run() {
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+// One wall-clock measurement of the distributed simulation: transactions
+// per second of real time, optionally with the distributed tracer (span
+// ring + path collector + the dmt.path.* instruments) attached at the
+// given per-transaction sampling shift. A private registry keeps the
+// arms from polluting the global metrics.
+double TxnsPerSec(bool traced, uint32_t sample_shift) {
+  DmtOptions options = Base(13);
+  options.num_sites = 4;
+  options.num_txns = 400;
+  options.concurrency = 12;
+  MetricsRegistry registry;
+  options.metrics = &registry;
+  std::unique_ptr<SpanRing> spans;
+  std::unique_ptr<PathCollector> paths;
+  if (traced) {
+    SpanRingOptions sro;
+    sro.rings = 4;
+    sro.capacity = 1024;
+    spans = std::make_unique<SpanRing>(sro);
+    paths = std::make_unique<PathCollector>(16);
+    options.spans = spans.get();
+    options.paths = paths.get();
+    options.trace_sample_shift = sample_shift;
+  }
+  Stopwatch sw;
+  const DmtResult r = RunDmtSimulation(options);
+  const double secs = sw.ElapsedSeconds();
+  if (r.committed + r.gave_up != options.num_txns) ++failures;
+  return secs > 0 ? static_cast<double>(options.num_txns) / secs : 0.0;
+}
+
+// Paired A/B overhead of tracing at `sample_shift`, as a percent of the
+// untraced arm. Arms run in adjacent pairs with the order flipped every
+// other pair, and the headline is the median of per-pair deltas (the same
+// noise discipline as mt_throughput's observability gates): interference
+// bursts corrupt one pair's delta instead of shifting a per-arm median.
+struct AbResult {
+  double base_tps = 0.0;
+  double traced_tps = 0.0;
+  double overhead_pct = 0.0;
+};
+
+AbResult MeasureTraceOverhead(int pairs, uint32_t sample_shift) {
+  std::vector<double> base_tps, traced_tps, deltas;
+  for (int p = 0; p < pairs; ++p) {
+    double a = 0, b = 0;  // a = untraced baseline, b = tracer attached.
+    if (p % 2 == 0) {
+      a = TxnsPerSec(false, 0);
+      b = TxnsPerSec(true, sample_shift);
+    } else {
+      b = TxnsPerSec(true, sample_shift);
+      a = TxnsPerSec(false, 0);
+    }
+    base_tps.push_back(a);
+    traced_tps.push_back(b);
+    if (a > 0) deltas.push_back((a - b) / a * 100.0);
+  }
+  return {Median(base_tps), Median(traced_tps), Median(deltas)};
+}
+
+int Run(const char* out_path) {
   std::printf("=== DMT(k): decentralized concurrency control ===\n\n");
 
   TablePrinter table({"sites", "committed", "aborts", "max consec aborts",
@@ -91,10 +163,46 @@ int Run() {
     load.AddRow({std::to_string(s), std::to_string(r.ops_per_site[s])});
   }
   std::printf("%s\n", load.ToString().c_str());
+
+  // Distributed tracing overhead, A/B. The gated configuration samples 1
+  // in 64 transactions (trace_sample_shift = 6) - the flight-recorder
+  // discipline: the always-on production setting must stay under the
+  // established < 3% bar. Full fidelity (shift 0, what fault_sweep and
+  // the tests run: every transaction traced, exact per-txn
+  // reconciliation) is measured the same way and recorded honestly - on
+  // this time-compressed simulator an event costs ~100ns of wall clock,
+  // so tracing every one of the ~100 spans a transaction produces is a
+  // significant fraction of the run, not a rounding error.
+  std::printf("--- distributed tracing overhead (A/B, paired) ---\n");
+  constexpr int kPairs = 9;
+  const AbResult sampled = MeasureTraceOverhead(kPairs, 6);
+  const AbResult full = MeasureTraceOverhead(kPairs, 0);
+  std::printf(
+      "sampled 1/64: untraced %.0f txns/s, traced %.0f txns/s; overhead "
+      "%.2f%% (bar: < 3%%)\nfull fidelity: untraced %.0f txns/s, traced "
+      "%.0f txns/s; overhead %.2f%% (recorded, not gated)\n[%s] the "
+      "sampled tracer stays off the simulation's critical path\n\n",
+      sampled.base_tps, sampled.traced_tps, sampled.overhead_pct,
+      full.base_tps, full.traced_tps, full.overhead_pct,
+      sampled.overhead_pct < 3.0 ? "ok" : "ABOVE BAR");
+  UpsertBenchRecord(
+      out_path, "dmt_trace_overhead",
+      {{"pairs", JsonNum(kPairs)},
+       {"sample_shift", JsonNum(6)},
+       {"untraced_txns_per_sec", JsonNum(sampled.base_tps)},
+       {"traced_txns_per_sec", JsonNum(sampled.traced_tps)},
+       {"trace_overhead_pct", JsonNum(sampled.overhead_pct)},
+       {"full_fidelity_overhead_pct", JsonNum(full.overhead_pct)}});
+
   return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mdts
 
-int main() { return mdts::Run(); }
+// Usage: distributed_dmt [results.json]
+// The optional argument overrides where the tracing-overhead record is
+// upserted (default BENCH_core.json in the working directory).
+int main(int argc, char** argv) {
+  return mdts::Run(argc > 1 ? argv[1] : "BENCH_core.json");
+}

@@ -15,17 +15,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "classify/classes.h"
+#include "common/bench_json.h"
 #include "common/table_printer.h"
 #include "core/types.h"
 #include "dist/dmt_system.h"
 #include "engine/sharded_engine.h"
 #include "fault/fault.h"
+#include "obs/dspan.h"
 #include "obs/flight.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
@@ -64,8 +68,60 @@ std::string Audit(const DmtResult& r, uint32_t expected_txns) {
 }
 
 int Run(const char* trace_path, const char* metrics_path, int serve_port,
-        double sample_interval, double hold_seconds,
-        const char* flight_path) {
+        double sample_interval, double hold_seconds, const char* flight_path,
+        const char* paths_path) {
+  // Optional distributed tracer: a per-site span ring plus a critical-path
+  // collector attached to every DMT(k) cell. The collector is snapshotted
+  // and cleared after each cell, so the final --paths file holds one entry
+  // per cell - the input tools/critical_path.py audits - and the per-cell
+  // segment shares land in BENCH_core.json as the message-count/latency
+  // baseline for the replication work (ROADMAP item 4).
+  std::unique_ptr<SpanRing> spans;
+  std::unique_ptr<PathCollector> paths;
+  std::vector<std::string> cell_dumps;
+  std::string bench_cells;
+  if (paths_path != nullptr) {
+    SpanRingOptions sro;
+    sro.rings = 4;  // One ring per site in the Base() topology.
+    sro.capacity = 1024;
+    spans = std::make_unique<SpanRing>(sro);
+    paths = std::make_unique<PathCollector>(/*top_n=*/12);
+  }
+  auto capture_cell = [&](const std::string& scenario, double loss, int crash,
+                          size_t k, const DmtResult& r) {
+    if (paths == nullptr) return;
+    cell_dumps.push_back("{\"cell\": {\"scenario\": " + JsonStr(scenario) +
+                         ", \"loss\": " + JsonNum(loss) +
+                         ", \"crash\": " + std::to_string(crash) +
+                         ", \"k\": " + std::to_string(k) +
+                         "}, \"paths\": " + paths->ToJson() + "}");
+    std::string b = "{\"scenario\": " + JsonStr(scenario) +
+                    ", \"loss\": " + JsonNum(loss) +
+                    ", \"crash\": " + std::to_string(crash) +
+                    ", \"k\": " + std::to_string(k) +
+                    ", \"paths\": " + std::to_string(r.paths_extracted) +
+                    ", \"total_us\": " + std::to_string(r.path_total_us) +
+                    ", \"messages\": " + std::to_string(r.messages_sent) +
+                    ", \"hops\": " + std::to_string(r.hops_recorded) +
+                    ", \"p99_response\": " + JsonNum(r.p99_response_time) +
+                    ", \"share\": {";
+    for (size_t s = 0; s < kNumDistSegments; ++s) {
+      if (s != 0) b += ", ";
+      const double share =
+          r.path_total_us > 0 ? static_cast<double>(r.path_seg_us[s]) /
+                                    static_cast<double>(r.path_total_us)
+                              : 0.0;
+      b += std::string("\"") + DistSegmentName(static_cast<DistSegment>(s)) +
+           "\": " + JsonNum(share);
+    }
+    b += "}}";
+    // One physical line: UpsertBenchRecord stores each record as a single
+    // getline()-able line, so an embedded newline here would be sheared
+    // off by the next bench's upsert.
+    if (!bench_cells.empty()) bench_cells += ", ";
+    bench_cells += b;
+    paths->Clear();  // Next cell starts from an empty collector.
+  };
   // Optional flight recorder: every simulation cell and the WAL crash
   // cells' engines record their commits/aborts (with timestamp vectors)
   // into the same rings. Auto-dumped on each starvation alert and at each
@@ -110,6 +166,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
     ho.registry = &GlobalMetrics();
     ho.sampler = sampler.get();
     ho.flight = flight.get();
+    ho.paths = paths.get();
     ho.port = static_cast<uint16_t>(serve_port);
     exporter = std::make_unique<HttpExporter>(ho);
     if (!exporter->Start()) {
@@ -161,6 +218,8 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
           options.sample_interval = sample_interval;
         }
         options.flight = flight.get();
+        options.spans = spans.get();
+        options.paths = paths.get();
         options.k = k;
         options.fault.drop_rate = loss;
         if (loss > 0) options.fault.jitter = 0.2;
@@ -170,6 +229,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
           options.fault.crashes.push_back({3, 220.0, 260.0});
         }
         DmtResult r = RunDmtSimulation(options);
+        capture_cell("grid", loss, crash, k, r);
         table.AddRow(
             {FormatDouble(loss, 2), crash ? "yes" : "no", std::to_string(k),
              std::to_string(r.committed),
@@ -218,10 +278,14 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
       options.sample_interval = sample_interval;
     }
     options.flight = flight.get();
+    options.spans = spans.get();
+    options.paths = paths.get();
     options.max_attempts = 30;
     options.counter_sync_interval = 25.0;  // Exercises recovery resync.
     options.fault = s.plan;
     DmtResult r = RunDmtSimulation(options);
+    capture_cell(s.name, s.plan.drop_rate, s.plan.crashes.empty() ? 0 : 1,
+                 options.k, r);
     stress.AddRow({s.name, std::to_string(r.committed),
                    std::to_string(r.gave_up),
                    std::to_string(r.lock_retries),
@@ -365,6 +429,37 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
         static_cast<unsigned long long>(flight_dumps), flight_path);
   }
 
+  if (paths != nullptr) {
+    std::string dump = "{\"cells\": [\n";
+    for (size_t c = 0; c < cell_dumps.size(); ++c) {
+      dump += cell_dumps[c];
+      dump += c + 1 < cell_dumps.size() ? ",\n" : "\n";
+    }
+    dump += "]}\n";
+    std::ofstream out(paths_path, std::ios::trunc);
+    out << dump;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", paths_path);
+      ++failures;
+    } else {
+      std::printf(
+          "critical paths: %zu cells, %llu spans recorded (%llu hops) -> %s "
+          "(audit with tools/critical_path.py)\n",
+          cell_dumps.size(),
+          static_cast<unsigned long long>(spans->recorded()),
+          static_cast<unsigned long long>(spans->hops()), paths_path);
+    }
+    // Per-cell segment shares: the replication baseline ROADMAP item 4
+    // will be compared against.
+    BenchFields fields;
+    fields.emplace_back("cells", "[" + bench_cells + "]");
+    if (UpsertBenchRecord("BENCH_core.json", "fault_sweep_critical_path",
+                          fields)) {
+      std::printf(
+          "recorded per-cell critical-path shares into BENCH_core.json\n\n");
+    }
+  }
+
   if (sampler != nullptr) {
     const std::vector<WatchdogAlert> alerts = sampler->alerts();
     std::printf(
@@ -403,7 +498,7 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
 }  // namespace mdts
 
 // Usage: fault_sweep [--trace[=PATH]] [--metrics=PATH] [--serve[=PORT]]
-//                    [--sample-ms=N] [--flight[=PATH]]
+//                    [--sample-ms=N] [--flight[=PATH]] [--paths[=PATH]]
 // --trace default PATH: fault_sweep_trace.json (Chrome trace_event JSON).
 // --metrics writes the cumulative MetricsSnapshot as JSON, the input
 // format of tools/metrics_diff.py.
@@ -411,6 +506,11 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
 // auto-dumped to PATH (default fault_sweep_flight.json) on each
 // starvation alert and WAL crash point, plus a final dump; audit the file
 // with tools/flight_check.py. Also served on /flight.json with --serve.
+// --paths attaches the distributed tracer to every DMT(k) cell and writes
+// each cell's critical-path dump to PATH (default fault_sweep_paths.json;
+// audit with tools/critical_path.py), records per-cell segment shares
+// into BENCH_core.json, and serves the live collector on /paths.json with
+// --serve.
 // --serve starts the live telemetry exporter (default port 9464, 0 =
 // ephemeral) with a sampler ticked on SIMULATED time inside each cell;
 // --sample-ms sets that interval in simulated milliseconds (1 simulated
@@ -421,6 +521,7 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
+  const char* paths_path = nullptr;
   int serve_port = -1;            // < 0 means no exporter.
   double sample_interval = 5.0;   // Simulated time units between samples.
   double hold_seconds = 0.0;
@@ -444,11 +545,15 @@ int main(int argc, char** argv) {
       flight_path = "fault_sweep_flight.json";
     } else if (std::strncmp(argv[i], "--flight=", 9) == 0) {
       flight_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--paths") == 0) {
+      paths_path = "fault_sweep_paths.json";
+    } else if (std::strncmp(argv[i], "--paths=", 8) == 0) {
+      paths_path = argv[i] + 8;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
   return mdts::Run(trace_path, metrics_path, serve_port, sample_interval,
-                   hold_seconds, flight_path);
+                   hold_seconds, flight_path, paths_path);
 }

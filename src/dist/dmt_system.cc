@@ -49,6 +49,17 @@ struct Event {
   // doubles as the site id for kSiteCrash/kSiteRecover.
   uint64_t gen = 0;
 
+  // Compact TraceContext, filled only on remote sends of a traced run:
+  // send time, the sender transaction's open segment span (the hop's
+  // parent), and how many positions of the transaction's MT(k) vector were
+  // defined at send time. Definedness only grows within an incarnation
+  // (Definition 6 refines the vector monotonically), which is the order
+  // tools/critical_path.py re-audits over a transaction's hops. Zero for
+  // local calls and untraced runs; never consulted by the protocol itself.
+  double sent = 0.0;
+  uint64_t parent_span = 0;
+  uint8_t sent_defined = 0;
+
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
@@ -96,6 +107,21 @@ struct TxnRuntime {
   bool committed = false;
   uint32_t committed_incarnation = 0;
   double first_start = 0.0;
+};
+
+// Per-transaction tracer state: the currently open segment span plus the
+// closed spans and per-class sums accumulated across the transaction's
+// whole attempt chain (one root spans every incarnation). Reset to the
+// default state when the finished path is extracted.
+struct TxnTrace {
+  uint64_t root = 0;      // Root span id; 0 = not started (or extracted).
+  uint64_t seg_span = 0;  // Open segment span id; 0 = none open.
+  DistSegment seg = DistSegment::kProcessing;
+  uint32_t seg_site = 0;
+  uint32_t seg_inc = 0;    // Incarnation at segment open.
+  double seg_start = 0.0;  // Simulated open time.
+  uint64_t seg_us[kNumDistSegments] = {};
+  std::vector<DistSpan> spans;  // Kept only when a PathCollector is attached.
 };
 
 // Globally ordered record of accepted operations, filtered at the end to
@@ -161,6 +187,20 @@ class DmtSim {
           AbortReasonName(static_cast<AbortReason>(r)));
     }
     g_consec_aborts_ = registry_->GetGauge("dmt.max_consecutive_aborts");
+    tracing_ = options_.spans != nullptr || options_.paths != nullptr;
+    trace_mask_ = options_.trace_sample_shift >= 32
+                      ? ~uint64_t{0}
+                      : (uint64_t{1} << options_.trace_sample_shift) - 1;
+    if (tracing_) {
+      for (size_t s = 0; s < kNumDistSegments; ++s) {
+        const char* seg = DistSegmentName(static_cast<DistSegment>(s));
+        h_path_[s] = registry_->GetHistogram(std::string("dmt.path.") + seg +
+                                             "_us");
+        c_cpath_[s] = registry_->GetCounter(
+            std::string("dmt.critical_path.") + seg + "_us");
+      }
+      c_cpath_total_ = registry_->GetCounter("dmt.critical_path.total_us");
+    }
   }
 
   DmtResult Run();
@@ -254,6 +294,20 @@ class DmtSim {
   void MaybeCompactVectors();
   void PublishMetrics();
 
+  // --- Distributed tracer (active iff options_.spans or options_.paths;
+  // every hook is gated on tracing_, draws no randomness and pushes no
+  // events, so a traced run's simulation is bit-identical to untraced) ---
+  uint64_t Us(double t) const { return static_cast<uint64_t>(t * 1000.0); }
+  uint8_t DefinedCount(const TimestampVector& v) const;
+  uint64_t NewSpanId() { return ++next_span_id_; }
+  void RecordSpan(TxnId txn, const DistSpan& span);
+  void OpenSeg(TxnId txn, DistSegment seg, uint32_t site);
+  void CloseSeg(TxnId txn, bool aborted);
+  void SegTransition(TxnId txn, DistSegment seg, uint32_t site);
+  void RecordHop(const Event& ev, uint32_t site);
+  void IgnoreHop(const Event& ev);
+  void ExtractPath(TxnId txn, bool committed);
+
   DmtOptions options_;
   Rng rng_;
   FaultInjector injector_;
@@ -294,6 +348,15 @@ class DmtSim {
   Counter* c_committed_ = nullptr;
   Counter* c_aborts_[kNumAbortReasons] = {};
   Gauge* g_consec_aborts_ = nullptr;
+
+  // Distributed tracer state (see the helper block above).
+  bool tracing_ = false;
+  uint64_t trace_mask_ = 0;  ///< Txn sampled iff (txn & trace_mask_) == 0.
+  uint64_t next_span_id_ = 0;
+  std::vector<TxnTrace> traces_;
+  Histogram* h_path_[kNumDistSegments] = {};
+  Counter* c_cpath_[kNumDistSegments] = {};
+  Counter* c_cpath_total_ = nullptr;
 };
 
 void DmtSim::Push(double time, Event::Kind kind, TxnId txn, uint64_t ctx,
@@ -320,9 +383,154 @@ void DmtSim::Send(uint32_t from, uint32_t to, Event::Kind kind, TxnId txn,
   if (deliveries.size() > 1) {
     result_.messages_duplicated += deliveries.size() - 1;
   }
-  for (double latency : deliveries) {
-    Push(now_ + latency, kind, txn, ctx, object, gen);
+  // TraceContext: every copy of the message carries the same send-time
+  // snapshot, so a duplicated delivery is recognizable as the same hop.
+  double sent = 0.0;
+  uint64_t parent_span = 0;
+  uint8_t sent_defined = 0;
+  if (tracing_ && txn != 0 && !txns_[txn].done && traces_[txn].root != 0) {
+    sent = now_;
+    parent_span = traces_[txn].seg_span;
+    sent_defined = DefinedCount(Ts(txn));
   }
+  for (double latency : deliveries) {
+    Event e{now_ + latency, ++seq_, kind, txn, ctx, object, gen};
+    e.sent = sent;
+    e.parent_span = parent_span;
+    e.sent_defined = sent_defined;
+    queue_.push(e);
+  }
+}
+
+uint8_t DmtSim::DefinedCount(const TimestampVector& v) const {
+  uint8_t n = 0;
+  for (size_t m = 0; m < v.size(); ++m) {
+    if (v.IsDefined(m)) ++n;
+  }
+  return n;
+}
+
+void DmtSim::RecordSpan(TxnId txn, const DistSpan& span) {
+  ++result_.spans_closed;
+  if (span.aborted) ++result_.spans_aborted;
+  if (options_.spans != nullptr) options_.spans->Record(span.site, span);
+  if (options_.paths != nullptr) traces_[txn].spans.push_back(span);
+}
+
+void DmtSim::OpenSeg(TxnId txn, DistSegment seg, uint32_t site) {
+  TxnTrace& tr = traces_[txn];
+  tr.seg_span = NewSpanId();
+  ++result_.spans_opened;
+  tr.seg = seg;
+  tr.seg_site = site;
+  tr.seg_inc = txns_[txn].incarnation;
+  tr.seg_start = now_;
+}
+
+void DmtSim::CloseSeg(TxnId txn, bool aborted) {
+  TxnTrace& tr = traces_[txn];
+  if (tr.seg_span == 0) return;
+  DistSpan s;
+  s.id = tr.seg_span;
+  s.parent = tr.root;
+  s.txn = txn;
+  s.incarnation = tr.seg_inc;
+  s.site = tr.seg_site;
+  s.segment = tr.seg;
+  s.aborted = aborted;
+  s.start_us = Us(tr.seg_start);
+  s.end_us = SimUs();
+  s.defined = DefinedCount(Ts(txn));
+  tr.seg_us[static_cast<size_t>(tr.seg)] += s.end_us - s.start_us;
+  tr.seg_span = 0;
+  RecordSpan(txn, s);
+}
+
+void DmtSim::SegTransition(TxnId txn, DistSegment seg, uint32_t site) {
+  if (!tracing_) return;
+  TxnTrace& tr = traces_[txn];
+  if (tr.root == 0) return;
+  // Same class at the same site (e.g. a timeout re-send of the pending
+  // request): the open span simply continues.
+  if (tr.seg_span != 0 && tr.seg == seg && tr.seg_site == site) return;
+  CloseSeg(txn, /*aborted=*/false);
+  OpenSeg(txn, seg, site);
+}
+
+/// Records the message-hop span of a FRESH delivery - one that actually
+/// advances the protocol at `site`. Duplicate, stale and dead-context
+/// deliveries go through IgnoreHop instead (first-delivery-wins), so a
+/// dup storm never inflates the path.
+void DmtSim::RecordHop(const Event& ev, uint32_t site) {
+  if (!tracing_ || ev.parent_span == 0) return;  // Untraced or a local call.
+  if (traces_[ev.txn].seg_span != ev.parent_span) {
+    // Superseded causal context: the segment open at send time has already
+    // closed (e.g. a crash wiped the wait queue, the retry re-sent from a
+    // fresh segment, and then a jitter-delayed copy of the ORIGINAL send
+    // landed). The protocol action proceeds regardless; only the trace
+    // files the delivery as stale, keeping parent-covers-child intact.
+    ++result_.dup_hops_ignored;
+    return;
+  }
+  DistSpan s;
+  s.id = NewSpanId();
+  ++result_.spans_opened;  // A hop opens and closes in one step.
+  s.parent = ev.parent_span;
+  s.txn = ev.txn;
+  s.incarnation = contexts_[ev.ctx].incarnation;
+  s.site = site;
+  s.segment = DistSegment::kNetwork;
+  s.hop = true;
+  s.start_us = Us(ev.sent);
+  s.end_us = SimUs();
+  s.defined = ev.sent_defined;
+  ++result_.hops_recorded;
+  RecordSpan(ev.txn, s);
+}
+
+void DmtSim::IgnoreHop(const Event& ev) {
+  if (tracing_ && ev.parent_span != 0) ++result_.dup_hops_ignored;
+}
+
+/// Closes the finished transaction's root span and publishes its critical
+/// path. Because the segment classes partition [first_start, now], the
+/// per-class sums telescope to exactly the end-to-end latency in integer
+/// microseconds - the reconciliation tools/critical_path.py re-checks.
+void DmtSim::ExtractPath(TxnId txn, bool committed) {
+  TxnTrace& tr = traces_[txn];
+  if (tr.root == 0) return;
+  ++result_.spans_closed;  // The root closes with the transaction itself.
+  uint64_t total = 0;
+  for (size_t s = 0; s < kNumDistSegments; ++s) {
+    const uint64_t us = tr.seg_us[s];
+    result_.path_seg_us[s] += us;
+    total += us;
+    c_cpath_[s]->Add(us);
+    if (us > 0) h_path_[s]->RecordWithExemplar(us, txn);
+  }
+  result_.path_total_us += total;
+  c_cpath_total_->Add(total);
+  ++result_.paths_extracted;
+  MDTS_TRACE_AT_ARG("dmt.path", 'i', 2, VectorSite(txn), SimUs(), "txn", txn);
+  if (options_.paths != nullptr) {
+    TxnPathRecord rec;
+    rec.txn = txn;
+    rec.committed = committed;
+    rec.attempts = txns_[txn].incarnation + 1;
+    rec.root = tr.root;
+    rec.start_us = Us(txns_[txn].first_start);
+    rec.end_us = SimUs();
+    for (size_t s = 0; s < kNumDistSegments; ++s) rec.seg_us[s] = tr.seg_us[s];
+    rec.spans = std::move(tr.spans);
+    const TimestampVector& v = Ts(txn);
+    rec.k = v.size();
+    const size_t keep = std::min(v.size(), FlightRecorder::kMaxVecElements);
+    for (size_t m = 0; m < keep; ++m) {
+      rec.vec.push_back(v.IsDefined(m) ? v.Get(m) : kUndefinedElement);
+    }
+    options_.paths->Add(std::move(rec));
+  }
+  tr = TxnTrace{};  // root back to 0: extracted, frees the span storage.
 }
 
 bool DmtSim::DistSet(TxnId j, TxnId i, uint32_t site, AbortReason* why) {
@@ -409,6 +617,10 @@ void DmtSim::BeginLocking(uint64_t ctx_id) {
 
 void DmtSim::RequestLock(uint64_t ctx_id, ObjectId object) {
   OpContext& ctx = contexts_[ctx_id];
+  // The context is now blocked on the wire toward the object's home site;
+  // transitioning BEFORE the send makes the new network span the parent
+  // the request hop is recorded under (parent covers child).
+  SegTransition(ctx.txn, DistSegment::kNetwork, ObjectSite(object));
   ++ctx.request_epoch;  // Stales any outstanding timeout for this context.
   Send(ctx.site, ObjectSite(object), Event::Kind::kLockArrive, ctx.txn,
        ctx_id, object);
@@ -428,6 +640,9 @@ void DmtSim::Grant(ObjectId object, LockState* lock, uint64_t ctx_id) {
          lock->generation);
   }
   OpContext& ctx = contexts_[ctx_id];
+  // The grant travels back: a queued waiter leaves lock_wait for the wire
+  // (an immediate grant is already in the request's network segment).
+  SegTransition(ctx.txn, DistSegment::kNetwork, ObjectSite(object));
   Send(ObjectSite(object), ctx.site, Event::Kind::kGrantArrive, ctx.txn,
        ctx_id, object, lock->generation);
 }
@@ -443,12 +658,16 @@ void DmtSim::GrantNextWaiter(ObjectId object, LockState* lock) {
 }
 
 void DmtSim::OnLockArrive(const Event& ev) {
-  if (!CtxActive(ev.ctx)) return;  // Stale request; never grant to the dead.
+  if (!CtxActive(ev.ctx)) {
+    IgnoreHop(ev);
+    return;  // Stale request; never grant to the dead.
+  }
   LockState& lock = locks_[ev.object];
   if (lock.held) {
     if (lock.holder_ctx == ev.ctx) {
       // Duplicate request after a lost grant: re-send the grant (requests
       // are idempotent).
+      IgnoreHop(ev);
       Send(ObjectSite(ev.object), contexts_[ev.ctx].site,
            Event::Kind::kGrantArrive, ev.txn, ev.ctx, ev.object,
            lock.generation);
@@ -458,11 +677,19 @@ void DmtSim::OnLockArrive(const Event& ev) {
         std::find(lock.waiters.begin(), lock.waiters.end(), ev.ctx) !=
         lock.waiters.end();
     if (!queued) {
+      // Fresh request that has to wait: record its hop under the sender's
+      // network segment, then move the transaction into lock_wait at the
+      // object's home site until a grant frees it.
+      RecordHop(ev, ObjectSite(ev.object));
+      SegTransition(ev.txn, DistSegment::kLockWait, ObjectSite(ev.object));
       ++result_.lock_waits;
       lock.waiters.push_back(ev.ctx);
+    } else {
+      IgnoreHop(ev);
     }
     return;
   }
+  RecordHop(ev, ObjectSite(ev.object));
   Grant(ev.object, &lock, ev.ctx);
 }
 
@@ -471,17 +698,23 @@ void DmtSim::OnGrantArrive(const Event& ev) {
   if (!CtxActive(ev.ctx)) {
     // The context died while the grant was in flight: hand the lock
     // straight back so waiters advance (the lease would reclaim it anyway).
+    IgnoreHop(ev);
     Send(ctx.site, ObjectSite(ev.object), Event::Kind::kReleaseArrive,
          ev.txn, ev.ctx, ev.object, ev.gen);
     return;
   }
   for (const HeldLock& h : ctx.held) {
-    if (h.object == ev.object) return;  // Duplicate of a grant we hold.
+    if (h.object == ev.object) {
+      IgnoreHop(ev);
+      return;  // Duplicate of a grant we hold.
+    }
   }
   if (ctx.next_lock >= ctx.lock_plan.size() ||
       ctx.lock_plan[ctx.next_lock] != ev.object) {
+    IgnoreHop(ev);
     return;  // Stale grant from a superseded acquisition step.
   }
+  RecordHop(ev, ctx.site);
   ctx.held.push_back({ev.object, ev.gen});
   ctx.retries = 0;
   ++ctx.request_epoch;  // Cancels the pending timeout for this request.
@@ -547,6 +780,9 @@ void DmtSim::FinishOp(uint64_t ctx_id) {
   TxnRuntime& rt = txns_[ctx.txn];
   if (accepted) {
     MDTS_TRACE_AT_ARG("dmt.op", 'i', 2, ctx.site, SimUs(), "txn", ctx.txn);
+    // The op is scheduled: locks are released and the transaction thinks
+    // locally until it issues the next op.
+    SegTransition(ctx.txn, DistSegment::kProcessing, ctx.site);
     executed_.push_back(ExecutedOp{ctx.op, rt.incarnation});
     ++rt.next_op;
     IssueNext(ctx.txn, now_ + rng_.Exponential(options_.mean_think_time));
@@ -677,6 +913,17 @@ void DmtSim::PublishMetrics() {
   add("dmt.down_site_aborts", result_.down_site_aborts);
   add("dmt.ops_scheduled", result_.ops_scheduled);
   add("dmt.vectors_released", result_.vectors_released);
+  // Tracer counters only exist when tracing is attached, so an untraced
+  // run's registry is untouched. "dmt.path.*_us" histograms and the
+  // "dmt.critical_path.*" counters record live at path extraction.
+  if (tracing_) {
+    add("dmt.spans_opened", result_.spans_opened);
+    add("dmt.spans_closed", result_.spans_closed);
+    add("dmt.spans_aborted", result_.spans_aborted);
+    add("dmt.hops_recorded", result_.hops_recorded);
+    add("dmt.dup_hops_ignored", result_.dup_hops_ignored);
+    add("dmt.paths_extracted", result_.paths_extracted);
+  }
 }
 
 void DmtSim::MaybeCompactVectors() {
@@ -728,6 +975,10 @@ void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   TxnRuntime& rt = txns_[txn];
   if (rt.done || rt.aborted) return;
   rt.aborted = true;
+  // Whatever segment the incarnation died in - mid-wire, queued behind a
+  // lock on a crashing site, mid-decision - is closed-as-aborted here, so
+  // spans never leak across crashes, lease reclaims or timeouts.
+  if (tracing_) CloseSeg(txn, /*aborted=*/true);
   ++result_.aborts;
   result_.abort_reasons.Add(reason);
   c_aborts_[static_cast<size_t>(reason)]->Add(1);
@@ -753,6 +1004,7 @@ void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   if (rt.attempts >= options_.max_attempts) {
     ++result_.gave_up;
     rt.done = true;
+    if (tracing_) ExtractPath(txn, /*committed=*/false);
     MaybeCompactVectors();
     StartNextTxn(now_ + options_.restart_delay);
     return;
@@ -763,6 +1015,14 @@ void DmtSim::HandleAbort(TxnId txn, AbortReason reason) {
   const double delay =
       restart_backoff_.ExpJitterDelay(rt.consecutive_aborts - 1, &rng_);
   h_backoff_->Record(static_cast<uint64_t>(delay * 1000.0));
+  if (tracing_) {
+    // The restart wait is part of the path. Crash-induced retries get
+    // their own class so the crashed share stays visible in the breakdown.
+    OpenSeg(txn,
+            reason == AbortReason::kDownSite ? DistSegment::kSiteDownRetry
+                                             : DistSegment::kBackoff,
+            VectorSite(txn));
+  }
   Push(now_ + delay, Event::Kind::kRestart, txn, 0, 0);
 }
 
@@ -774,6 +1034,7 @@ DmtResult DmtSim::Run() {
   num_items_ = w.num_items;
 
   txns_.resize(options_.num_txns + 1);
+  if (tracing_) traces_.resize(options_.num_txns + 1);
   for (TxnId t = 1; t <= options_.num_txns; ++t) {
     txns_[t].program = programs[t - 1];
   }
@@ -841,12 +1102,28 @@ DmtResult DmtSim::Run() {
         ++rt.incarnation;
         rt.next_op = 0;
         Ts(ev.txn).Reset();
+        // Backoff over: the new incarnation starts processing.
+        SegTransition(ev.txn, DistSegment::kProcessing, VectorSite(ev.txn));
         Push(now_, Event::Kind::kIssue, ev.txn, 0, 0);
         break;
       }
       case Event::Kind::kIssue: {
         TxnRuntime& rt = txns_[ev.txn];
         if (rt.done || rt.aborted) break;
+        if (tracing_ && traces_[ev.txn].root == 0 &&
+            (ev.txn & trace_mask_) == 0) {
+          // First issue of a SAMPLED transaction: open its root span and
+          // initial processing segment at the vector home site. Unsampled
+          // transactions never get a root, and every other tracer hook
+          // keys off the root / the send-time parent span, so they pay
+          // nothing further.
+          traces_[ev.txn].root = NewSpanId();
+          ++result_.spans_opened;
+          // A typical transaction closes a few dozen spans; reserving up
+          // front keeps the per-span push_back off the allocator.
+          if (options_.paths != nullptr) traces_[ev.txn].spans.reserve(64);
+          OpenSeg(ev.txn, DistSegment::kProcessing, VectorSite(ev.txn));
+        }
         if (rt.next_op >= rt.program.size()) {
           ++result_.committed;
           c_committed_->Add(1);
@@ -865,6 +1142,10 @@ DmtResult DmtSim::Run() {
             options_.flight->RecordCommit(site, ev.txn, Ts(ev.txn),
                                           site < 32 ? (1u << site) : 0, {},
                                           /*phase_us=*/nullptr, SimUs());
+          }
+          if (tracing_) {
+            CloseSeg(ev.txn, /*aborted=*/false);
+            ExtractPath(ev.txn, /*committed=*/true);
           }
           MaybeCompactVectors();
           StartNextTxn(now_ +

@@ -8,6 +8,7 @@
 #include "core/timestamp_vector.h"
 #include "fault/fault.h"
 #include "obs/abort_reason.h"
+#include "obs/dspan.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -108,6 +109,35 @@ struct DmtOptions {
   /// vector home site (ring = txn % rings), so a per-site drain mirrors the
   /// partitioning. Null disables recording. Must outlive the run.
   FlightRecorder* flight = nullptr;
+
+  /// Cross-site causal tracing. Attaching either pointer turns the tracer
+  /// on: every message carries a compact TraceContext (send time, the
+  /// sender's open segment span, the defined prefix of the transaction's
+  /// MT(k) vector), each transaction's timeline is attributed to the
+  /// DistSegment classes, and per-hop network spans are recorded at the
+  /// receiver when a fresh (non-duplicate, non-stale) delivery advances
+  /// the protocol. Both null (the default) keeps the simulation on the
+  /// zero-cost untraced path, bit-identical to an untraced run either way.
+  ///
+  /// `spans`: per-site ring every closed span is recorded into (ring =
+  /// site). `paths`: collector fed one assembled TxnPathRecord - the span
+  /// DAG plus the critical-path breakdown - per finished transaction.
+  /// Tracing also publishes "dmt.path.<class>_us" histograms and
+  /// cumulative "dmt.critical_path.<class>_us" counters into the registry.
+  /// Must outlive the run.
+  SpanRing* spans = nullptr;
+  PathCollector* paths = nullptr;
+
+  /// Trace 1 in 2^trace_sample_shift transactions (0 = every one). The
+  /// choice is deterministic on the txn id (no RNG drawn), an unsampled
+  /// transaction never opens a root so it pays nothing beyond a zeroed
+  /// trace context on its sends, and every SAMPLED transaction keeps the
+  /// full exact-reconciliation guarantees. Full fidelity (shift 0) costs
+  /// a meaningful fraction of this time-compressed simulator's ~100ns
+  /// events; the overhead gate in bench/distributed_dmt runs at the
+  /// sampled setting (the flight-recorder discipline) and records the
+  /// full-fidelity cost honestly alongside.
+  uint32_t trace_sample_shift = 0;
 };
 
 /// Aggregate result of a DMT(k) run.
@@ -141,6 +171,22 @@ struct DmtResult {
   // by the live span, not num_txns, now that compaction runs).
   uint64_t vectors_released = 0;
   uint64_t final_live_vectors = 0;
+
+  // Distributed tracing (all zero unless DmtOptions::spans or ::paths is
+  // attached). The leak invariant spans_opened == spans_closed holds at
+  // the end of every run - spans open at a crash, lease reclaim or
+  // timeout are closed-as-aborted, never leaked.
+  uint64_t spans_opened = 0;
+  uint64_t spans_closed = 0;
+  uint64_t spans_aborted = 0;      // Closed by an abort.
+  uint64_t hops_recorded = 0;      // Message-hop spans on recorded paths.
+  uint64_t dup_hops_ignored = 0;   // Duplicate/stale deliveries deduped.
+  uint64_t paths_extracted = 0;    // One per finished transaction.
+  /// Critical-path microseconds per segment class, summed over every
+  /// finished transaction; sums to path_total_us exactly (the classes
+  /// partition each transaction's timeline).
+  uint64_t path_seg_us[kNumDistSegments] = {};
+  uint64_t path_total_us = 0;
 
   /// Operations scheduled at each site (load balance view).
   std::vector<uint64_t> ops_per_site;

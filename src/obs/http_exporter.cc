@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/dspan.h"
 #include "obs/flight.h"
 
 namespace mdts {
@@ -245,6 +246,14 @@ void HttpExporter::HandleConnection(int fd) {
                              "\"k\": 0}, \"totals\": {\"commits\": 0, "
                              "\"aborts\": 0, \"abort_reasons\": {}}, "
                              "\"records\": []}");
+    content_type = "application/json";
+  } else if (path == "/paths.json") {
+    body = options_.paths != nullptr
+               ? options_.paths->ToJson()
+               : std::string("{\"meta\": {\"retained\": 0, \"top_n\": 0}, "
+                             "\"aggregates\": {\"paths\": 0, \"committed\": "
+                             "0, \"total_us\": 0, \"segments\": {}}, "
+                             "\"txns\": []}");
     content_type = "application/json";
   } else if (path == "/healthz") {
     body = "ok\n";

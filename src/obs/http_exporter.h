@@ -12,6 +12,7 @@
 namespace mdts {
 
 class FlightRecorder;  // src/obs/flight.h
+class PathCollector;   // src/obs/dspan.h
 
 struct HttpExporterOptions {
   /// Registry served by /metrics and /metrics.json. Required; must outlive
@@ -25,6 +26,11 @@ struct HttpExporterOptions {
   /// Flight recorder served by /flight.json; null makes that endpoint
   /// answer an empty dump. Must outlive the exporter when set.
   const FlightRecorder* flight = nullptr;
+
+  /// Path collector served by /paths.json (distributed critical paths);
+  /// null makes that endpoint answer an empty dump. Must outlive the
+  /// exporter when set.
+  const PathCollector* paths = nullptr;
 
   /// TCP port on 127.0.0.1. 0 binds an ephemeral port; read it back with
   /// port() after Start().
@@ -42,6 +48,8 @@ struct HttpExporterOptions {
 ///                  latency attribution: count/p50/p99/max plus the worst
 ///                  value's transaction id)
 ///   /flight.json   FlightRecorder::ToJson() (last-N commit/abort records)
+///   /paths.json    PathCollector::ToJson() (distributed critical-path
+///                  aggregates + the top-N slowest transactions' span DAGs)
 ///   /healthz       200 "ok"
 ///
 /// Malformed requests (no parseable "METHOD SP PATH SP" request line, or a

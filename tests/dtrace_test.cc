@@ -1,0 +1,570 @@
+// Distributed tracing tests: the per-site SpanRing, the PathCollector,
+// and the DMT(k) causal tracer end to end - the leak invariant
+// (spans_opened == spans_closed, even across crashes, lease reclaims and
+// duplicate storms), exact critical-path reconciliation (the segment
+// classes partition each transaction's timeline, so per-class sums
+// telescope to the end-to-end latency in integer simulated microseconds),
+// parent-covers-child and send-happens-before-receive on every hop,
+// Definition-6 definedness monotonicity, bit-identical determinism of a
+// traced run against an untraced one, and /paths.json over a REAL
+// localhost socket.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classify/classes.h"
+#include "dist/dmt_system.h"
+#include "gtest/gtest.h"
+#include "obs/dspan.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+
+namespace mdts {
+namespace {
+
+// ===========================================================================
+// Minimal HTTP client: one blocking GET against the exporter's real socket.
+// ===========================================================================
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// ===========================================================================
+
+DmtOptions BaseOptions(uint64_t seed) {
+  DmtOptions options;
+  options.k = 3;
+  options.num_sites = 3;
+  options.num_txns = 40;
+  options.concurrency = 6;
+  options.message_latency = 0.5;
+  options.mean_think_time = 1.0;
+  options.restart_delay = 3.0;
+  options.seed = seed;
+  options.workload.num_items = 9;
+  options.workload.min_ops = 2;
+  options.workload.max_ops = 3;
+  options.workload.read_fraction = 0.6;
+  return options;
+}
+
+/// The tracer's structural invariants over one retained record:
+///  - segment spans are children of the root, tile [start_us, end_us]
+///    with no gaps or overlaps, and their per-class sums equal both
+///    seg_us and the end-to-end latency EXACTLY (integer simulated us);
+///  - every hop's parent is a segment span that covers it, and the send
+///    happens-before the receive;
+///  - within one incarnation the hops' defined counts never shrink in
+///    (send time, id) order (Definition 6 refines the order
+///    monotonically).
+void CheckRecord(const TxnPathRecord& t) {
+  std::set<uint64_t> ids;
+  std::map<uint64_t, const DistSpan*> segs_by_id;
+  std::vector<const DistSpan*> segs, hops;
+  for (const DistSpan& s : t.spans) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "T" << t.txn << ": dup id";
+    EXPECT_EQ(s.txn, t.txn);
+    (s.hop ? hops : segs).push_back(&s);
+    if (!s.hop) segs_by_id[s.id] = &s;
+  }
+  auto by_start = [](const DistSpan* a, const DistSpan* b) {
+    return a->start_us != b->start_us ? a->start_us < b->start_us
+                                      : a->id < b->id;
+  };
+  std::sort(segs.begin(), segs.end(), by_start);
+  std::sort(hops.begin(), hops.end(), by_start);
+
+  ASSERT_FALSE(segs.empty()) << "T" << t.txn;
+  uint64_t seg_us[kNumDistSegments] = {};
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const DistSpan& s = *segs[i];
+    EXPECT_EQ(s.parent, t.root) << "T" << t.txn;
+    EXPECT_LE(s.start_us, s.end_us) << "T" << t.txn;
+    if (i > 0) {
+      EXPECT_EQ(segs[i - 1]->end_us, s.start_us)
+          << "T" << t.txn << ": segments do not tile";
+    }
+    seg_us[static_cast<size_t>(s.segment)] += s.end_us - s.start_us;
+  }
+  EXPECT_EQ(segs.front()->start_us, t.start_us) << "T" << t.txn;
+  EXPECT_EQ(segs.back()->end_us, t.end_us) << "T" << t.txn;
+  uint64_t total = 0;
+  for (size_t c = 0; c < kNumDistSegments; ++c) {
+    EXPECT_EQ(seg_us[c], t.seg_us[c]) << "T" << t.txn << " class " << c;
+    total += seg_us[c];
+  }
+  EXPECT_EQ(total, t.latency_us()) << "T" << t.txn;
+
+  std::map<uint32_t, uint8_t> defined_floor;  // Per incarnation.
+  for (const DistSpan* h : hops) {
+    EXPECT_LE(h->start_us, h->end_us)
+        << "T" << t.txn << ": receive precedes send";
+    auto it = segs_by_id.find(h->parent);
+    ASSERT_NE(it, segs_by_id.end())
+        << "T" << t.txn << ": hop " << h->id << " parent missing";
+    EXPECT_LE(it->second->start_us, h->start_us) << "T" << t.txn;
+    EXPECT_GE(it->second->end_us, h->end_us) << "T" << t.txn;
+    uint8_t& floor = defined_floor[h->incarnation];
+    EXPECT_GE(h->defined, floor)
+        << "T" << t.txn << ": defined count shrank within incarnation "
+        << h->incarnation;
+    floor = std::max(floor, h->defined);
+  }
+}
+
+// ===========================================================================
+// SpanRing.
+// ===========================================================================
+
+DistSpan MakeSpan(uint64_t id, uint32_t site, bool hop) {
+  DistSpan s;
+  s.id = id;
+  s.parent = id / 2;
+  s.txn = id % 7;
+  s.incarnation = static_cast<uint32_t>(id % 3);
+  s.site = site;
+  s.segment = static_cast<DistSegment>(id % kNumDistSegments);
+  s.hop = hop;
+  s.aborted = id % 5 == 0;
+  s.start_us = 10 * id;
+  s.end_us = 10 * id + 4;
+  s.defined = static_cast<uint8_t>(id % 4);
+  return s;
+}
+
+TEST(SpanRingTest, RoundTripsEveryField) {
+  SpanRingOptions sro;
+  sro.rings = 2;
+  sro.capacity = 8;
+  SpanRing ring(sro);
+  const DistSpan in = MakeSpan(42, 1, true);
+  ring.Record(in.site, in);
+  const std::vector<DistSpan> out = ring.Drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, in.id);
+  EXPECT_EQ(out[0].parent, in.parent);
+  EXPECT_EQ(out[0].txn, in.txn);
+  EXPECT_EQ(out[0].incarnation, in.incarnation);
+  EXPECT_EQ(out[0].site, in.site);
+  EXPECT_EQ(out[0].segment, in.segment);
+  EXPECT_EQ(out[0].hop, in.hop);
+  EXPECT_EQ(out[0].aborted, in.aborted);
+  EXPECT_EQ(out[0].start_us, in.start_us);
+  EXPECT_EQ(out[0].end_us, in.end_us);
+  EXPECT_EQ(out[0].defined, in.defined);
+}
+
+TEST(SpanRingTest, WrapsKeepingTheNewestAndCountsLifetimeTotals) {
+  SpanRingOptions sro;
+  sro.rings = 1;
+  sro.capacity = 8;
+  SpanRing ring(sro);
+  for (uint64_t id = 1; id <= 100; ++id) ring.Record(0, MakeSpan(id, 0, id % 2 == 0));
+  const std::vector<DistSpan> out = ring.Drain();
+  ASSERT_EQ(out.size(), 8u);  // Bounded by capacity...
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, 93 + i);  // ...retaining the newest, sorted by id.
+  }
+  EXPECT_EQ(ring.recorded(), 100u);  // Lifetime totals are not bounded.
+  EXPECT_EQ(ring.hops(), 50u);
+  EXPECT_EQ(ring.aborted(), 20u);
+}
+
+TEST(SpanRingTest, SitesMapToRingsSoOneSiteCannotEvictAnother) {
+  SpanRingOptions sro;
+  sro.rings = 2;
+  sro.capacity = 4;
+  SpanRing ring(sro);
+  for (uint64_t id = 1; id <= 50; ++id) ring.Record(0, MakeSpan(id, 0, false));
+  ring.Record(1, MakeSpan(1000, 1, false));  // Site 1 -> the other ring.
+  std::vector<DistSpan> out = ring.Drain();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.back().id, 1000u);  // Survived site 0's churn.
+}
+
+TEST(SpanRingTest, ConcurrentDrainNeverObservesTornSlots) {
+  // One writer hammering a tiny ring, one reader draining concurrently:
+  // the seqlock must yield only fully written spans (every drained span
+  // matches what MakeSpan(id) wrote - a torn slot would mix two ids'
+  // fields). The generation check (id -> fields) is what makes tearing
+  // observable.
+  SpanRingOptions sro;
+  sro.rings = 1;
+  sro.capacity = 4;
+  SpanRing ring(sro);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t id = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.Record(0, MakeSpan(id, 0, id % 2 == 0));
+      ++id;
+    }
+  });
+  for (int round = 0; round < 2000; ++round) {
+    for (const DistSpan& s : ring.Drain()) {
+      const DistSpan want = MakeSpan(s.id, 0, s.id % 2 == 0);
+      ASSERT_EQ(s.parent, want.parent) << "torn slot, id=" << s.id;
+      ASSERT_EQ(s.start_us, want.start_us) << "torn slot, id=" << s.id;
+      ASSERT_EQ(s.end_us, want.end_us) << "torn slot, id=" << s.id;
+      ASSERT_EQ(s.txn, want.txn) << "torn slot, id=" << s.id;
+      ASSERT_EQ(s.defined, want.defined) << "torn slot, id=" << s.id;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// ===========================================================================
+// PathCollector.
+// ===========================================================================
+
+TxnPathRecord MakeRecord(TxnId txn, uint64_t latency_us, bool committed) {
+  TxnPathRecord t;
+  t.txn = txn;
+  t.committed = committed;
+  t.attempts = 1;
+  t.root = txn * 100;
+  t.start_us = 1000;
+  t.end_us = 1000 + latency_us;
+  t.seg_us[static_cast<size_t>(DistSegment::kProcessing)] = latency_us;
+  t.k = 3;
+  return t;
+}
+
+TEST(PathCollectorTest, RetainsTopNSlowestButAggregatesEverything) {
+  PathCollector collector(4);
+  for (TxnId txn = 1; txn <= 20; ++txn) {
+    collector.Add(MakeRecord(txn, 10 * txn, txn % 3 != 0));
+  }
+  const std::vector<TxnPathRecord> slowest = collector.Slowest();
+  ASSERT_EQ(slowest.size(), 4u);  // Bounded by top_n...
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    EXPECT_EQ(slowest[i].latency_us(), (20 - i) * 10);  // ...slowest first.
+  }
+  const PathCollector::Aggregates agg = collector.aggregates();
+  EXPECT_EQ(agg.paths, 20u);  // Aggregates cover every record added.
+  EXPECT_EQ(agg.committed, 14u);
+  EXPECT_EQ(agg.total_us, 10u * (20 * 21 / 2));
+  EXPECT_EQ(agg.seg_us[static_cast<size_t>(DistSegment::kProcessing)],
+            agg.total_us);
+
+  collector.Clear();
+  EXPECT_TRUE(collector.Slowest().empty());
+  EXPECT_EQ(collector.aggregates().paths, 0u);
+}
+
+// ===========================================================================
+// The DMT(k) tracer end to end.
+// ===========================================================================
+
+TEST(DmtTraceTest, TracingDoesNotPerturbTheSimulation) {
+  // The tracer draws no randomness, schedules no events and changes no
+  // delivery order, so a traced run must be BIT-IDENTICAL to an untraced
+  // one - determinism is the property that makes every other test here
+  // reproducible.
+  DmtOptions options = BaseOptions(5);
+  options.fault.drop_rate = 0.1;
+  options.fault.jitter = 0.3;
+  options.fault.duplicate_rate = 0.1;
+  const DmtResult plain = RunDmtSimulation(options);
+
+  SpanRingOptions sro;
+  sro.rings = 4;
+  sro.capacity = 256;
+  SpanRing spans(sro);
+  PathCollector paths(8);
+  options.spans = &spans;
+  options.paths = &paths;
+  const DmtResult traced = RunDmtSimulation(options);
+
+  EXPECT_EQ(plain.committed, traced.committed);
+  EXPECT_EQ(plain.aborts, traced.aborts);
+  EXPECT_EQ(plain.gave_up, traced.gave_up);
+  EXPECT_EQ(plain.messages_sent, traced.messages_sent);
+  EXPECT_EQ(plain.lock_waits, traced.lock_waits);
+  EXPECT_EQ(plain.messages_dropped, traced.messages_dropped);
+  EXPECT_DOUBLE_EQ(plain.makespan, traced.makespan);
+  EXPECT_EQ(plain.committed_history.ToString(),
+            traced.committed_history.ToString());
+  EXPECT_EQ(plain.spans_opened, 0u);  // Untraced run records nothing.
+  EXPECT_GT(traced.spans_opened, 0u);
+}
+
+TEST(DmtTraceTest, CleanRunPathsReconcileExactly) {
+  DmtOptions options = BaseOptions(3);
+  SpanRingOptions sro;
+  sro.rings = 4;
+  sro.capacity = 1024;
+  SpanRing spans(sro);
+  PathCollector paths(64);
+  options.spans = &spans;
+  options.paths = &paths;
+  const DmtResult r = RunDmtSimulation(options);
+
+  EXPECT_EQ(r.committed + r.gave_up, options.num_txns);
+  EXPECT_EQ(r.spans_opened, r.spans_closed);  // The leak invariant.
+  EXPECT_EQ(r.spans_aborted, r.aborts);       // One aborted close per abort.
+  EXPECT_EQ(r.paths_extracted, r.committed + r.gave_up);
+  uint64_t total = 0;
+  for (size_t c = 0; c < kNumDistSegments; ++c) total += r.path_seg_us[c];
+  EXPECT_EQ(total, r.path_total_us);  // Classes partition the timelines.
+
+  const PathCollector::Aggregates agg = paths.aggregates();
+  EXPECT_EQ(agg.paths, r.paths_extracted);
+  EXPECT_EQ(agg.committed, r.committed);
+  EXPECT_EQ(agg.total_us, r.path_total_us);
+  for (size_t c = 0; c < kNumDistSegments; ++c) {
+    EXPECT_EQ(agg.seg_us[c], r.path_seg_us[c]);
+  }
+  const std::vector<TxnPathRecord> slowest = paths.Slowest();
+  ASSERT_FALSE(slowest.empty());
+  for (const TxnPathRecord& t : slowest) CheckRecord(t);
+  // Every closed span lands in the ring except the per-transaction root,
+  // which closes bookkeeping-only at path extraction.
+  EXPECT_EQ(spans.recorded(), r.spans_closed - r.paths_extracted);
+}
+
+TEST(DmtTraceTest, CrashClosesOpenSpansAsAbortedNeverLeaks) {
+  // A site crash wipes its lock tables mid-flight: transactions blocked
+  // there abort via lease expiry / timeouts / down-site rejections. Every
+  // segment span open at such an abort must be closed-as-aborted - the
+  // opened == closed invariant holding under crashes is the point.
+  DmtOptions options = BaseOptions(9);
+  options.num_txns = 30;
+  options.fault.crashes.push_back({1, 20.0, 35.0});
+  SpanRingOptions sro;
+  sro.rings = 4;
+  sro.capacity = 1024;
+  SpanRing spans(sro);
+  PathCollector paths(32);
+  options.spans = &spans;
+  options.paths = &paths;
+  const DmtResult r = RunDmtSimulation(options);
+
+  EXPECT_EQ(r.committed + r.gave_up, 30u);
+  EXPECT_GT(r.aborts, 0u);  // The crash must actually bite.
+  EXPECT_EQ(r.spans_opened, r.spans_closed);
+  EXPECT_EQ(r.spans_aborted, r.aborts);
+  EXPECT_GT(r.spans_aborted, 0u);
+  EXPECT_EQ(spans.aborted(), r.spans_aborted);
+  for (const TxnPathRecord& t : paths.Slowest()) {
+    CheckRecord(t);
+    // Crash-driven retries surface as site_down_retry / backoff segments
+    // on the slow paths; the record keeps attempts honest.
+    EXPECT_GE(t.attempts, 1u);
+  }
+}
+
+TEST(DmtTraceTest, DuplicateStormsAreDedupedNotDoubleCounted) {
+  // Duplicated deliveries (and re-sent requests racing their jittered
+  // originals) must not inflate the trace: only the first delivery that
+  // matches the sender's still-open segment becomes a hop, the rest are
+  // counted as dup_hops_ignored. CheckRecord's parent-covers-child pass
+  // is what a stale hop would break.
+  DmtOptions options = BaseOptions(7);
+  options.fault.duplicate_rate = 0.4;
+  options.fault.jitter = 0.5;
+  PathCollector paths(32);
+  options.paths = &paths;
+  const DmtResult r = RunDmtSimulation(options);
+
+  EXPECT_GT(r.messages_duplicated, 0u);
+  EXPECT_GT(r.dup_hops_ignored, 0u);
+  EXPECT_EQ(r.spans_opened, r.spans_closed);
+  EXPECT_EQ(r.spans_aborted, r.aborts);
+  for (const TxnPathRecord& t : paths.Slowest()) CheckRecord(t);
+}
+
+TEST(DmtTraceTest, SeedSweepSpansNeverLeakUnderFaults) {
+  // The durability-style property sweep: 50 seeded configurations mixing
+  // drops, duplicates, jitter, crashes and counter sync (the same grid as
+  // dist_test's DSR sweep), each asserting the leak invariant, the abort
+  // accounting, one extracted path per finished transaction and exact
+  // critical-path reconciliation on every retained record.
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    DmtOptions options = BaseOptions(seed * 17 + 1);
+    options.num_txns = 24;
+    options.num_sites = 2 + seed % 3;
+    options.workload.num_items = 6;  // Contention.
+    if (seed % 3 == 0) options.counter_sync_interval = 4.0;
+    if (seed % 2 == 0) {
+      options.fault.drop_rate =
+          0.05 + 0.15 * static_cast<double>(seed % 4) / 3.0;
+      options.fault.jitter = 0.3;
+    }
+    if (seed % 4 == 1) options.fault.duplicate_rate = 0.1;
+    if (seed % 5 == 0) {
+      options.fault.crashes.push_back(
+          {static_cast<uint32_t>(seed % options.num_sites), 30.0,
+           30.0 + 10.0 * static_cast<double>(seed % 7)});
+    }
+    SpanRingOptions sro;
+    sro.rings = 4;
+    sro.capacity = 512;
+    SpanRing spans(sro);
+    PathCollector paths(8);
+    options.spans = &spans;
+    options.paths = &paths;
+    const DmtResult r = RunDmtSimulation(options);
+
+    EXPECT_EQ(r.committed + r.gave_up, 24u) << "seed=" << seed;
+    EXPECT_EQ(r.spans_opened, r.spans_closed) << "seed=" << seed;
+    EXPECT_EQ(r.spans_aborted, r.aborts) << "seed=" << seed;
+    EXPECT_EQ(r.paths_extracted, r.committed + r.gave_up) << "seed=" << seed;
+    uint64_t total = 0;
+    for (size_t c = 0; c < kNumDistSegments; ++c) total += r.path_seg_us[c];
+    EXPECT_EQ(total, r.path_total_us) << "seed=" << seed;
+    EXPECT_TRUE(IsDsr(r.committed_history)) << "seed=" << seed;
+    for (const TxnPathRecord& t : paths.Slowest()) CheckRecord(t);
+  }
+}
+
+TEST(DmtTraceTest, SamplingTracesExactlyTheSelectedTransactions) {
+  // trace_sample_shift = 2 deterministically samples txn ids divisible by
+  // 4 - no RNG drawn, so the simulation stays bit-identical - and every
+  // sampled transaction keeps the full reconciliation guarantees while
+  // unsampled ones record nothing.
+  DmtOptions options = BaseOptions(5);
+  const DmtResult plain = RunDmtSimulation(options);
+  PathCollector paths(64);
+  options.paths = &paths;
+  options.trace_sample_shift = 2;
+  const DmtResult sampled = RunDmtSimulation(options);
+
+  EXPECT_EQ(plain.committed, sampled.committed);
+  EXPECT_DOUBLE_EQ(plain.makespan, sampled.makespan);
+  EXPECT_EQ(sampled.paths_extracted, 10u);  // Txns 4, 8, ..., 40.
+  EXPECT_EQ(sampled.spans_opened, sampled.spans_closed);
+  const std::vector<TxnPathRecord> slowest = paths.Slowest();
+  EXPECT_EQ(slowest.size(), 10u);
+  for (const TxnPathRecord& t : slowest) {
+    EXPECT_EQ(t.txn % 4, 0u);
+    CheckRecord(t);
+  }
+}
+
+TEST(DmtTraceTest, RegistryCountersReconcileWithTheResult) {
+  DmtOptions options = BaseOptions(11);
+  options.fault.drop_rate = 0.1;
+  options.fault.jitter = 0.3;
+  MetricsRegistry registry;
+  options.metrics = &registry;
+  PathCollector paths(8);
+  options.paths = &paths;
+  const DmtResult r = RunDmtSimulation(options);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("dmt.spans_opened"), r.spans_opened);
+  EXPECT_EQ(snap.CounterValue("dmt.spans_closed"), r.spans_closed);
+  EXPECT_EQ(snap.CounterValue("dmt.spans_aborted"), r.spans_aborted);
+  EXPECT_EQ(snap.CounterValue("dmt.hops_recorded"), r.hops_recorded);
+  EXPECT_EQ(snap.CounterValue("dmt.dup_hops_ignored"), r.dup_hops_ignored);
+  EXPECT_EQ(snap.CounterValue("dmt.paths_extracted"), r.paths_extracted);
+  EXPECT_EQ(snap.CounterValue("dmt.critical_path.total_us"),
+            r.path_total_us);
+  uint64_t by_class = 0;
+  for (size_t c = 0; c < kNumDistSegments; ++c) {
+    by_class += snap.CounterValue(
+        std::string("dmt.critical_path.") +
+        DistSegmentName(static_cast<DistSegment>(c)) + "_us");
+  }
+  EXPECT_EQ(by_class, r.path_total_us);
+  // The dmt.path.* histograms record one sample per nonzero segment.
+  uint64_t hist_sum = 0;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("dmt.path.", 0) == 0) hist_sum += h.sum;
+  }
+  EXPECT_EQ(hist_sum, r.path_total_us);
+
+  // An untraced run must leave the tracer instruments unregistered.
+  MetricsRegistry untraced;
+  DmtOptions plain = BaseOptions(11);
+  plain.metrics = &untraced;
+  RunDmtSimulation(plain);
+  EXPECT_EQ(untraced.Snapshot().CounterValue("dmt.spans_opened"), 0u);
+}
+
+TEST(DmtTraceTest, PathsJsonServedOverARealSocket) {
+  DmtOptions options = BaseOptions(13);
+  PathCollector paths(8);
+  options.paths = &paths;
+  RunDmtSimulation(options);
+
+  MetricsRegistry registry;
+  HttpExporterOptions ho;
+  ho.registry = &registry;
+  ho.port = 0;
+  ho.paths = &paths;
+  HttpExporter exporter(ho);
+  ASSERT_TRUE(exporter.Start());
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string response = HttpGet(exporter.port(), "/paths.json");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = BodyOf(response);
+  EXPECT_EQ(body, paths.ToJson());
+  EXPECT_NE(body.find("\"aggregates\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"critical_path_us\""), std::string::npos) << body;
+  exporter.Stop();
+
+  // Without a collector the endpoint degrades to an explicit empty body,
+  // not a 404 - mdtop treats it as "no paths yet".
+  HttpExporterOptions bare;
+  bare.registry = &registry;
+  bare.port = 0;
+  HttpExporter empty(bare);
+  ASSERT_TRUE(empty.Start());
+  const std::string none = BodyOf(HttpGet(empty.port(), "/paths.json"));
+  EXPECT_NE(none.find("\"paths\": 0"), std::string::npos) << none;
+  empty.Stop();
+}
+
+}  // namespace
+}  // namespace mdts

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Offline audit + renderer for DMT(k) distributed critical-path dumps.
+
+Usage:
+    tools/critical_path.py DUMP.json [--top N] [--verbose]
+
+The dump is the JSON written by `fault_sweep --paths=...` ({"cells": [...]}
+with one PathCollector snapshot per sweep cell) or a single collector
+snapshot as served on /paths.json. Each retained transaction carries its
+full span DAG: segment spans (children of the root) that tile the
+transaction's timeline across the classes network / lock_wait / backoff /
+site_down_retry / processing, and message-hop spans (children of the
+segment open at SEND time) recorded at the receiving site.
+
+Checked invariants:
+
+  1. Span DAG shape: span ids are unique, every segment span's parent is
+     the transaction's root, every hop's parent is a segment span of the
+     same transaction that COVERS it (parent.start <= hop.start and
+     hop.end <= parent.end) - and a hop's send happens-before its receive
+     (start <= end). Simulated time makes these exact, not approximate.
+
+  2. Critical-path reconciliation: the segment spans tile
+     [start_us, end_us] with no gaps or overlaps, so the per-class sums -
+     both recomputed from the spans and as the dump's critical_path_us
+     map - telescope to exactly the end-to-end latency. Everything is in
+     integer simulated microseconds, so "within rounding" means equal.
+
+  3. Definition-6 vector order: within one incarnation the MT(k) vector
+     only gains defined positions (Definition 6 refines the order
+     monotonically), so a transaction's hops, in send order, must carry a
+     non-decreasing defined count per incarnation. Across committed
+     transactions of a cell, two fully-defined final vectors must never be
+     identical (Definition 6 would call the transactions the same).
+
+  4. Aggregates sanity: a cell never retains more paths than its collector
+     saw or than its top_n allows, retained paths are sorted slowest
+     first, and committed never exceeds paths.
+
+Exits 0 when every check passes, 1 on violations, 2 on bad input.
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+UNDEFINED = "*"  # Rendering of kUndefinedElement in the dump.
+SEGMENTS = ["network", "lock_wait", "backoff", "site_down_retry",
+            "processing"]
+BAR = {"network": "N", "lock_wait": "L", "backoff": "b",
+       "site_down_retry": "D", "processing": "p"}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"critical_path: cannot read {path}: {e}")
+    if isinstance(dump, dict) and "cells" in dump:
+        cells = dump["cells"]
+    elif isinstance(dump, dict) and "txns" in dump:
+        # A bare /paths.json collector snapshot: treat as one cell.
+        cells = [{"cell": {"scenario": "live"}, "paths": dump}]
+    else:
+        sys.exit(f"critical_path: {path}: not a critical-path dump")
+    for c in cells:
+        if "paths" not in c or "txns" not in c["paths"]:
+            sys.exit(f"critical_path: {path}: malformed cell entry")
+    return cells
+
+
+def cell_name(cell):
+    meta = cell.get("cell", {})
+    name = str(meta.get("scenario", "?"))
+    for key in ("loss", "crash", "k"):
+        if key in meta:
+            name += f" {key}={meta[key]}"
+    return name
+
+
+def check_txn(name, t, violations):
+    txn = t.get("txn")
+    where = f"{name}: T{txn}"
+    spans = t.get("spans", [])
+    ids = [s["id"] for s in spans]
+    if len(ids) != len(set(ids)):
+        violations.append(f"{where}: duplicate span ids")
+    segs = sorted((s for s in spans if not s["hop"]),
+                  key=lambda s: (s["start_us"], s["id"]))
+    hops = sorted((s for s in spans if s["hop"]),
+                  key=lambda s: (s["start_us"], s["id"]))
+    root = t.get("root")
+
+    # 1. DAG shape.
+    by_id = {s["id"]: s for s in segs}
+    for s in segs:
+        if s["parent"] != root:
+            violations.append(
+                f"{where}: segment span {s['id']} has parent "
+                f"{s['parent']}, expected the root {root}")
+        if s["end_us"] < s["start_us"]:
+            violations.append(f"{where}: segment span {s['id']} ends "
+                              f"before it starts")
+    for h in hops:
+        if h["start_us"] > h["end_us"]:
+            violations.append(
+                f"{where}: hop {h['id']} receive at {h['end_us']} precedes "
+                f"its send at {h['start_us']}")
+        parent = by_id.get(h["parent"])
+        if parent is None:
+            violations.append(
+                f"{where}: hop {h['id']} parent {h['parent']} is not a "
+                f"segment span of the transaction")
+        elif not (parent["start_us"] <= h["start_us"]
+                  and h["end_us"] <= parent["end_us"]):
+            violations.append(
+                f"{where}: hop {h['id']} [{h['start_us']}, {h['end_us']}] "
+                f"escapes its parent segment [{parent['start_us']}, "
+                f"{parent['end_us']}]")
+
+    # 2. Tiling + reconciliation (integer simulated us: exact equality).
+    if segs:
+        if segs[0]["start_us"] != t["start_us"]:
+            violations.append(
+                f"{where}: first segment starts at {segs[0]['start_us']}, "
+                f"transaction at {t['start_us']}")
+        if segs[-1]["end_us"] != t["end_us"]:
+            violations.append(
+                f"{where}: last segment ends at {segs[-1]['end_us']}, "
+                f"transaction at {t['end_us']}")
+        for a, b in zip(segs, segs[1:]):
+            if a["end_us"] != b["start_us"]:
+                violations.append(
+                    f"{where}: segments {a['id']} and {b['id']} do not "
+                    f"tile ({a['end_us']} vs {b['start_us']})")
+    else:
+        violations.append(f"{where}: no segment spans")
+    recomputed = {c: 0 for c in SEGMENTS}
+    for s in segs:
+        recomputed.setdefault(s["class"], 0)
+        recomputed[s["class"]] += s["end_us"] - s["start_us"]
+    claimed = t.get("critical_path_us", {})
+    for c in SEGMENTS:
+        if recomputed.get(c, 0) != int(claimed.get(c, 0)):
+            violations.append(
+                f"{where}: class '{c}' sums to {recomputed.get(c, 0)} from "
+                f"the spans but critical_path_us claims {claimed.get(c, 0)}")
+    latency = t["end_us"] - t["start_us"]
+    if latency != t.get("latency_us"):
+        violations.append(f"{where}: latency_us {t.get('latency_us')} != "
+                          f"end - start = {latency}")
+    if sum(recomputed.values()) != latency:
+        violations.append(
+            f"{where}: segment sums total {sum(recomputed.values())} us, "
+            f"end-to-end latency is {latency} us")
+
+    # 3. Definition-6 monotonicity over the hops, per incarnation.
+    last = {}
+    for h in hops:
+        inc = h.get("incarnation", 0)
+        if h["defined"] < last.get(inc, 0):
+            violations.append(
+                f"{where}: hop {h['id']} (incarnation {inc}) carries "
+                f"defined={h['defined']} after an earlier hop carried "
+                f"{last[inc]} - the vector lost definedness")
+        last[inc] = max(last.get(inc, 0), h["defined"])
+    return len(segs), len(hops)
+
+
+def check_cell(cell, violations, verbose):
+    name = cell_name(cell)
+    paths = cell["paths"]
+    txns = paths.get("txns", [])
+    meta = paths.get("meta", {})
+    agg = paths.get("aggregates", {})
+
+    # 4. Aggregates sanity.
+    if len(txns) > int(meta.get("top_n", len(txns))):
+        violations.append(f"{name}: retains {len(txns)} paths, top_n is "
+                          f"{meta.get('top_n')}")
+    if len(txns) > int(agg.get("paths", 0)):
+        violations.append(f"{name}: retains {len(txns)} paths, aggregates "
+                          f"saw only {agg.get('paths')}")
+    if int(agg.get("committed", 0)) > int(agg.get("paths", 0)):
+        violations.append(f"{name}: committed exceeds extracted paths")
+    latencies = [t.get("latency_us", 0) for t in txns]
+    if latencies != sorted(latencies, reverse=True):
+        violations.append(f"{name}: retained paths are not sorted "
+                          f"slowest-first")
+
+    nseg = nhop = 0
+    for t in txns:
+        s, h = check_txn(name, t, violations)
+        nseg += s
+        nhop += h
+
+    # Committed final vectors must be distinct when fully defined.
+    seen = {}
+    for t in txns:
+        if not t.get("committed"):
+            continue
+        vec = tuple(t.get("vec", []))
+        if not vec or UNDEFINED in vec or len(vec) < int(t.get("k", 0)):
+            continue  # Partially defined or truncated: not comparable.
+        if vec in seen and seen[vec] != t["txn"]:
+            violations.append(
+                f"{name}: committed T{seen[vec]} and T{t['txn']} share the "
+                f"identical fully-defined vector {list(vec)}")
+        seen[vec] = t["txn"]
+    if verbose:
+        print(f"  {name}: {len(txns)} paths retained "
+              f"({agg.get('paths', 0)} extracted), {nseg} segment spans, "
+              f"{nhop} hops")
+    return txns
+
+
+def render(all_txns, top):
+    print(f"\ntop {min(top, len(all_txns))} slowest transactions "
+          f"(bar: {', '.join(f'{v}={k}' for k, v in BAR.items())}):")
+    width = 44
+    for name, t in sorted(all_txns, key=lambda e: -e[1]["latency_us"])[:top]:
+        latency = max(t["latency_us"], 1)
+        bar = ""
+        for c in SEGMENTS:
+            cells = round(int(t["critical_path_us"].get(c, 0))
+                          * width / latency)
+            bar += BAR[c] * cells
+        state = "committed" if t.get("committed") else "GAVE UP"
+        hops = sum(1 for s in t.get("spans", []) if s["hop"])
+        print(f"  T{t['txn']:<4} {t['latency_us']:>9} us  "
+              f"{bar:<{width}.{width}}  {state}, "
+              f"{t.get('attempts', '?')} attempt(s), {hops} hops  [{name}]")
+        shares = ", ".join(
+            f"{c} {100.0 * int(t['critical_path_us'].get(c, 0)) / latency:.0f}%"
+            for c in SEGMENTS if int(t["critical_path_us"].get(c, 0)) > 0)
+        print(f"        {shares}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Audit and render a DMT(k) critical-path dump.")
+    parser.add_argument("dump")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest transactions to render (default 5)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-cell statistics")
+    args = parser.parse_args()
+
+    cells = load(args.dump)
+    total_paths = sum(int(c["paths"].get("aggregates", {}).get("paths", 0))
+                      for c in cells)
+    print(f"critical-path dump: {len(cells)} cell(s), "
+          f"{total_paths} extracted paths")
+
+    violations = []
+    all_txns = []
+    for cell in cells:
+        for t in check_cell(cell, violations, args.verbose):
+            all_txns.append((cell_name(cell), t))
+
+    if violations:
+        print(f"FAIL: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    if all_txns and args.top > 0:
+        render(all_txns, args.top)
+    print("ok: every span DAG is vector-order-consistent and every "
+          "critical path reconciles exactly with its end-to-end latency")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

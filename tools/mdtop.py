@@ -11,7 +11,11 @@ counters) and an abort-reason mix with proportional bars, the gauge values,
 and the most recent starvation-watchdog alerts. When the exporter also
 serves /phases.json (per-transaction latency attribution), a phases pane
 shows each lifecycle phase's count, mean, p50/p99, max, and the exemplar
-transaction behind the worst sample. --once prints a single frame without
+transaction behind the worst sample. A distributed pane lists the dmt.*
+rates - or an explicit "no dist metrics" placeholder when the exporter is
+engine-only - and, when /paths.json is live (fault_sweep --serve --paths),
+a critical-path pane with the per-segment-class share of distributed time
+and the slowest transactions. --once prints a single frame without
 clearing the screen and exits (scriptable; the docs' sample output comes
 from it).
 
@@ -90,7 +94,33 @@ def render_phases(phases, lines):
             f"max={h.get('max_us', 0)}  worst T{ex.get('txn', '?')}")
 
 
-def render(series, endpoint, phases=None):
+def render_paths(paths, lines):
+    """Append the distributed critical-path pane fed by /paths.json: the
+    collector's lifetime per-segment-class split of where distributed
+    transactions spend their time, plus the slowest retained transactions
+    (the ones worth pulling out of the dump with tools/critical_path.py)."""
+    agg = paths.get("aggregates", {}) if paths else {}
+    total = int(agg.get("total_us", 0))
+    if not agg.get("paths"):
+        return
+    lines.append("critical paths (lifetime, us)")
+    lines.append(f"  {agg.get('paths', 0)} paths extracted "
+                 f"({agg.get('committed', 0)} committed), "
+                 f"{total} us on the critical path")
+    segments = {n: int(v) for n, v in agg.get("segments", {}).items() if v}
+    peak = max(segments.values(), default=0)
+    for n in sorted(segments, key=segments.get, reverse=True):
+        share = 100.0 * segments[n] / total if total else 0.0
+        bar = "#" * int(round(segments[n] / peak * BAR_WIDTH)) if peak else ""
+        lines.append(f"  {shorten(n):<{NAME_WIDTH}} {share:>11.1f}%  {bar}")
+    for t in paths.get("txns", [])[:3]:
+        lines.append(f"  slowest T{t.get('txn', '?')}: "
+                     f"{t.get('latency_us', 0)} us, "
+                     f"{t.get('attempts', '?')} attempt(s), "
+                     + ("committed" if t.get("committed") else "gave up"))
+
+
+def render(series, endpoint, phases=None, paths=None):
     windows = series.get("windows", [])
     alerts = series.get("alerts", [])
     lines = []
@@ -116,8 +146,11 @@ def render(series, endpoint, phases=None):
     versions = {n: r for n, r in rates.items()
                 if n.endswith(".versions_installed")
                 or n.endswith(".versions_gc")}
+    dist = {n: r for n, r in rates.items() if n.startswith("dmt.")
+            and n not in commits and n not in aborts}
     other = {n: r for n, r in rates.items()
-             if n not in commits and n not in aborts and n not in versions}
+             if n not in commits and n not in aborts and n not in versions
+             and n not in dist}
 
     lines.append("throughput")
     for n in sorted(commits):
@@ -148,6 +181,17 @@ def render(series, endpoint, phases=None):
         for n in sorted(other, key=other.get, reverse=True)[:8]:
             lines.append(f"  {shorten(n):<{NAME_WIDTH}} {other[n]:>12.1f}/s")
 
+    # Distributed pane: always drawn so an engine-only exporter reads as
+    # "dist metrics absent" rather than as a silently missing pane.
+    lines.append("distributed (dmt)")
+    if dist:
+        for n in sorted(dist, key=dist.get, reverse=True)[:8]:
+            lines.append(f"  {shorten(n):<{NAME_WIDTH}} {dist[n]:>12.1f}/s")
+    elif any(n.startswith("dmt.") for n in rates):
+        lines.append("  (dmt counters idle this window)")
+    else:
+        lines.append("  (no dist metrics: engine-only exporter)")
+
     gauges = w.get("gauges", {})
     if gauges:
         lines.append("gauges")
@@ -168,6 +212,9 @@ def render(series, endpoint, phases=None):
 
     if phases:
         render_phases(phases, lines)
+
+    if paths:
+        render_paths(paths, lines)
 
     if alerts:
         lines.append("alerts (latest first)")
@@ -190,6 +237,7 @@ def main():
     endpoint = f"{args.host}:{args.port}"
     url = f"http://{endpoint}/series.json"
     phases_url = f"http://{endpoint}/phases.json"
+    paths_url = f"http://{endpoint}/paths.json"
     try:
         while True:
             try:
@@ -205,7 +253,14 @@ def main():
             except (urllib.error.URLError, OSError, TimeoutError,
                     json.JSONDecodeError):
                 phases = {}
-            frame = render(series, endpoint, phases)
+            try:
+                # Best-effort: empty unless a PathCollector is attached
+                # (fault_sweep --serve with tracing on).
+                paths = fetch(paths_url, timeout=2.0)
+            except (urllib.error.URLError, OSError, TimeoutError,
+                    json.JSONDecodeError):
+                paths = {}
+            frame = render(series, endpoint, phases, paths)
             if args.once:
                 sys.stdout.write(frame)
                 return 0

@@ -10,9 +10,12 @@ deltas, the per-bucket count deltas, and the p50/p99 DERIVED FROM THE
 DELTA distribution - the percentiles of just the events recorded between
 the two snapshots, mirroring HistogramSnapshot::Percentile (power-of-two
 buckets, bucket b covering values up to 2^b - 1, clamped by the after-side
-max). With --all, unchanged entries are listed too. --tolerance=N treats
-absolute deltas up to N as unchanged (useful when comparing runs with
-small nondeterministic counters, e.g. retry or lock-wait tallies).
+max). The per-phase regression check flags any "engine.phase.*_us" or
+"dmt.path.*_us" histogram whose full-distribution p99 rose by more than
+the tolerance. With --all, unchanged entries are listed too.
+--tolerance=N treats absolute deltas up to N as unchanged (useful when
+comparing runs with small nondeterministic counters, e.g. retry or
+lock-wait tallies).
 
 Exits 0 when the snapshots match (within tolerance), 1 when anything
 differs, 2 on bad input.
@@ -161,12 +164,16 @@ def main():
 
     # Per-phase latency attribution: the "engine.phase.*_us" histogram
     # family holds per-transaction phase latencies in microseconds
-    # (admission / lock / decide / mv_read / wal_append / fsync / ack). A
-    # phase whose p99 moved up by more than the tolerance is flagged as a
-    # regression and fails the diff - CI's one-line answer to "which phase
-    # got slower between these two runs".
+    # (admission / lock / decide / mv_read / wal_append / fsync / ack),
+    # and "dmt.path.*_us" holds the distributed critical-path segment
+    # classes (network / lock_wait / backoff / site_down_retry /
+    # processing) in simulated microseconds. A phase or segment whose p99
+    # moved up by more than the tolerance is flagged as a regression and
+    # fails the diff - CI's one-line answer to "which phase got slower
+    # between these two runs".
     for name in sorted(set(hists_a) & set(hists_b)):
-        if not name.startswith("engine.phase."):
+        if not (name.startswith("engine.phase.")
+                or name.startswith("dmt.path.")):
             continue
         pa = full_percentile(hists_a[name], 99)
         pb = full_percentile(hists_b[name], 99)
