@@ -511,13 +511,29 @@ int Run(const char* trace_path, const char* metrics_path, int serve_port,
 // audit with tools/critical_path.py), records per-cell segment shares
 // into BENCH_core.json, and serves the live collector on /paths.json with
 // --serve.
+// Bare-flag dump defaults resolve NEXT TO THE BINARY (build/bench/ in the
+// standard layout), not in the caller's cwd - `./build/bench/fault_sweep
+// --paths` from a checkout used to drop a multi-MB artifact into the repo
+// root. An explicit --flag=PATH still goes exactly where it says.
 // --serve starts the live telemetry exporter (default port 9464, 0 =
 // ephemeral) with a sampler ticked on SIMULATED time inside each cell;
 // --sample-ms sets that interval in simulated milliseconds (1 simulated
 // time unit = 1 s; default 5000, i.e. every 5 time units). The sweep
 // itself finishes in a fraction of a wall-clock second, so --hold=SECS
 // keeps the exporter up that long afterwards for scrapers / mdtop.
+// Resolves a bare-flag dump default to sit next to the binary instead of
+// the caller's cwd. Falls back to the bare name (cwd) when the executable
+// path cannot be resolved.
+static std::string SelfDirDefault(const char* name) {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec || !self.has_parent_path()) return name;
+  return (self.parent_path() / name).string();
+}
+
 int main(int argc, char** argv) {
+  std::string trace_store, flight_store, paths_store;  // Bare-flag defaults.
   const char* trace_path = nullptr;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
@@ -527,7 +543,8 @@ int main(int argc, char** argv) {
   double hold_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
-      trace_path = "fault_sweep_trace.json";
+      trace_store = SelfDirDefault("fault_sweep_trace.json");
+      trace_path = trace_store.c_str();
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
@@ -542,11 +559,13 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--hold=", 7) == 0) {
       hold_seconds = std::strtod(argv[i] + 7, nullptr);
     } else if (std::strcmp(argv[i], "--flight") == 0) {
-      flight_path = "fault_sweep_flight.json";
+      flight_store = SelfDirDefault("fault_sweep_flight.json");
+      flight_path = flight_store.c_str();
     } else if (std::strncmp(argv[i], "--flight=", 9) == 0) {
       flight_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--paths") == 0) {
-      paths_path = "fault_sweep_paths.json";
+      paths_store = SelfDirDefault("fault_sweep_paths.json");
+      paths_path = paths_store.c_str();
     } else if (std::strncmp(argv[i], "--paths=", 8) == 0) {
       paths_path = argv[i] + 8;
     } else {

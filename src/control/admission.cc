@@ -1,0 +1,336 @@
+#include "control/admission.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mdts {
+
+namespace {
+
+/// Deterministic short float rendering for trace lines (%.6g, no locale).
+void AppendNum(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+/// The reject classes a wider vector can absorb: conflicts lost to
+/// encoding capacity or to an order fixed through the (too-few) shared
+/// elements - as opposed to staleness, throttling, or invalid input,
+/// which no amount of dimensions helps.
+bool VectorClassReason(size_t r) {
+  const AbortReason a = static_cast<AbortReason>(r);
+  return a == AbortReason::kLexOrder ||
+         a == AbortReason::kEncodingExhausted ||
+         a == AbortReason::kVersionConflict;
+}
+
+}  // namespace
+
+const char* AdmissionActionName(AdmissionAction action) {
+  switch (action) {
+    case AdmissionAction::kGrow:
+      return "grow";
+    case AdmissionAction::kShrink:
+      return "shrink";
+    case AdmissionAction::kEmergencyShrink:
+      return "emergency_shrink";
+    case AdmissionAction::kWidenK:
+      return "widen_k";
+    case AdmissionAction::kNarrowK:
+      return "narrow_k";
+  }
+  return "unknown";
+}
+
+std::string AdmissionDecision::ToString() const {
+  std::string out = "seq=";
+  AppendU64(&out, seq);
+  out += " t=";
+  AppendNum(&out, time);
+  out += " action=";
+  out += AdmissionActionName(action);
+  out += " batch=";
+  AppendU64(&out, batch_size);
+  out += " k=";
+  AppendU64(&out, k);
+  out += " abort_rate=";
+  AppendNum(&out, abort_rate);
+  out += " vector_frac=";
+  AppendNum(&out, vector_frac);
+  out += " commits=";
+  AppendU64(&out, window_commits);
+  out += " rejects=";
+  AppendU64(&out, window_rejects);
+  out += " fallbacks=";
+  AppendU64(&out, window_fallbacks);
+  return out;
+}
+
+AdmissionController::AdmissionController(
+    const AdmissionControlOptions& options)
+    : options_(options),
+      num_groups_(options.num_groups < 1 ? 1 : options.num_groups),
+      k_(1) {
+  assert(options_.registry != nullptr);
+  options_.num_groups = num_groups_;
+  if (options_.min_batch < 1) options_.min_batch = 1;
+  if (options_.max_batch < options_.min_batch) {
+    options_.max_batch = options_.min_batch;
+  }
+  if (options_.shrink_factor < 2) options_.shrink_factor = 2;
+  if (options_.grow_step < 1) options_.grow_step = 1;
+  if (options_.min_k < 1) options_.min_k = 1;
+
+  // k bounds: the engine's physical vector size caps widening; without an
+  // engine the cap is max_k (or min_k when unset - nothing to widen into).
+  uint32_t start_k = options_.min_k;
+  if (options_.engine != nullptr) {
+    physical_k_ = static_cast<uint32_t>(options_.engine->options().k);
+    start_k = static_cast<uint32_t>(options_.engine->active_k());
+  } else {
+    physical_k_ = options_.max_k != 0 ? options_.max_k : options_.min_k;
+    start_k = physical_k_;
+  }
+  if (options_.max_k != 0 && options_.max_k < physical_k_) {
+    physical_k_ = options_.max_k;
+  }
+  if (physical_k_ < options_.min_k) physical_k_ = options_.min_k;
+  if (start_k < options_.min_k) start_k = options_.min_k;
+  if (start_k > physical_k_) start_k = physical_k_;
+  k_.store(start_k, std::memory_order_relaxed);
+
+  const uint32_t start_batch =
+      options_.initial_batch != 0
+          ? (options_.initial_batch < options_.min_batch
+                 ? options_.min_batch
+                 : (options_.initial_batch > options_.max_batch
+                        ? options_.max_batch
+                        : options_.initial_batch))
+          : options_.max_batch;
+  batch_ = std::make_unique<std::atomic<uint32_t>[]>(num_groups_);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    batch_[g].store(start_batch, std::memory_order_relaxed);
+  }
+
+  MetricsRegistry* reg = options_.registry;
+  c_commits_ = reg->GetCounter("engine.commits");
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    c_rejected_[r] =
+        reg->GetCounter(std::string("engine.rejected.") +
+                        AbortReasonName(static_cast<AbortReason>(r)));
+  }
+  c_fallbacks_ = reg->GetCounter("engine.batch_fallbacks");
+  c_contention_ = reg->GetCounter("engine.lock_contention");
+
+  g_batch_ = reg->GetGauge("engine.adaptive.batch_size");
+  g_k_ = reg->GetGauge("engine.adaptive.k");
+  m_grows_ = reg->GetCounter("engine.adaptive.grows");
+  m_shrinks_ = reg->GetCounter("engine.adaptive.shrinks");
+  m_k_switches_ = reg->GetCounter("engine.adaptive.k_switches");
+  g_batch_->Set(start_batch);
+  g_k_->Set(start_k);
+
+  // Baseline the sensors at attach time so the first window only covers
+  // activity after construction.
+  last_commits_ = c_commits_->Value();
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    last_rejects_[r] = c_rejected_[r]->Value();
+  }
+  last_fallbacks_ = c_fallbacks_->Value();
+  last_contention_ = c_contention_->Value();
+}
+
+void AdmissionController::ActuateLocked(uint64_t seq, double now,
+                                        AdmissionAction action,
+                                        uint32_t new_batch, uint32_t new_k,
+                                        double abort_rate, double vector_frac,
+                                        uint64_t commits, uint64_t rejects,
+                                        uint64_t fallbacks) {
+  for (size_t g = 0; g < num_groups_; ++g) {
+    batch_[g].store(new_batch, std::memory_order_relaxed);
+  }
+  k_.store(new_k, std::memory_order_relaxed);
+  if (options_.engine != nullptr &&
+      (action == AdmissionAction::kWidenK ||
+       action == AdmissionAction::kNarrowK)) {
+    options_.engine->SetActiveK(new_k);
+  }
+  g_batch_->Set(new_batch);
+  g_k_->Set(new_k);
+  switch (action) {
+    case AdmissionAction::kGrow:
+      grows_.fetch_add(1, std::memory_order_relaxed);
+      m_grows_->Add(1);
+      break;
+    case AdmissionAction::kShrink:
+    case AdmissionAction::kEmergencyShrink:
+      shrinks_.fetch_add(1, std::memory_order_relaxed);
+      m_shrinks_->Add(1);
+      break;
+    case AdmissionAction::kWidenK:
+    case AdmissionAction::kNarrowK:
+      k_switches_.fetch_add(1, std::memory_order_relaxed);
+      m_k_switches_->Add(1);
+      break;
+  }
+
+  AdmissionDecision d;
+  d.seq = seq;
+  d.time = now;
+  d.action = action;
+  d.batch_size = new_batch;
+  d.k = new_k;
+  d.abort_rate = abort_rate;
+  d.vector_frac = vector_frac;
+  d.window_commits = commits;
+  d.window_rejects = rejects;
+  d.window_fallbacks = fallbacks;
+  if (trace_.size() >= options_.trace_capacity) {
+    trace_.erase(trace_.begin());
+  }
+  trace_.push_back(d);
+
+  if (options_.flight != nullptr) {
+    // Control events share the transaction records' dump; the timestamp is
+    // the window time in microseconds, so sim-time driven runs stay
+    // deterministic (no wall clock).
+    options_.flight->RecordControl(
+        AdmissionActionName(action), new_batch, new_k,
+        static_cast<uint64_t>(now * 1e6));
+  }
+}
+
+void AdmissionController::TickOnce(uint64_t seq, double now) {
+  std::lock_guard<std::mutex> g(mu_);
+
+  // Window deltas from the cumulative mirrors.
+  const uint64_t commits_cum = c_commits_->Value();
+  const uint64_t commits = commits_cum - last_commits_;
+  last_commits_ = commits_cum;
+  uint64_t rejects = 0;
+  uint64_t vector_rejects = 0;
+  for (size_t r = 1; r < kNumAbortReasons; ++r) {
+    const uint64_t cum = c_rejected_[r]->Value();
+    const uint64_t d = cum - last_rejects_[r];
+    last_rejects_[r] = cum;
+    rejects += d;
+    if (VectorClassReason(r)) vector_rejects += d;
+  }
+  const uint64_t fallbacks_cum = c_fallbacks_->Value();
+  const uint64_t fallbacks = fallbacks_cum - last_fallbacks_;
+  last_fallbacks_ = fallbacks_cum;
+  const uint64_t contention_cum = c_contention_->Value();
+  const uint64_t contention = contention_cum - last_contention_;
+  last_contention_ = contention_cum;
+
+  if (cooldown_ > 0) --cooldown_;
+
+  const uint64_t ops = commits + rejects;
+  if (ops < options_.min_window_ops) return;  // No signal this window.
+
+  const double abort_rate =
+      static_cast<double>(rejects) / static_cast<double>(ops);
+  const double vector_frac =
+      rejects > 0 ? static_cast<double>(vector_rejects) /
+                        static_cast<double>(rejects)
+                  : 0.0;
+  const double contention_per_op =
+      static_cast<double>(contention) / static_cast<double>(ops);
+  const bool pressured = abort_rate >= options_.abort_rate_shrink ||
+                         fallbacks > 0 ||
+                         contention_per_op > options_.contention_per_op_shrink;
+  const bool quiet = !pressured && abort_rate <= options_.abort_rate_quiet;
+
+  const uint32_t batch = batch_[0].load(std::memory_order_relaxed);
+  const uint32_t k = k_.load(std::memory_order_relaxed);
+
+  // Batch actuator: multiplicative shrink on pressure (outside the
+  // cool-down), additive grow after a quiet dwell. The middle band only
+  // resets the quiet streak - hysteresis against dithering at the cliff.
+  if (pressured) {
+    quiet_streak_ = 0;
+    if (cooldown_ == 0 && batch > options_.min_batch) {
+      uint32_t nb = batch / options_.shrink_factor;
+      if (nb < options_.min_batch) nb = options_.min_batch;
+      cooldown_ = options_.cooldown_windows;
+      ActuateLocked(seq, now, AdmissionAction::kShrink, nb, k, abort_rate,
+                    vector_frac, commits, rejects, fallbacks);
+    }
+  } else if (quiet) {
+    ++quiet_streak_;
+    if (quiet_streak_ >= options_.quiet_windows_to_grow && cooldown_ == 0 &&
+        batch < options_.max_batch) {
+      uint32_t nb = batch + options_.grow_step;
+      if (nb > options_.max_batch) nb = options_.max_batch;
+      quiet_streak_ = 0;
+      ActuateLocked(seq, now, AdmissionAction::kGrow, nb, k, abort_rate,
+                    vector_frac, commits, rejects, fallbacks);
+    }
+  } else {
+    quiet_streak_ = 0;
+  }
+
+  // k actuator: widen while vector-capacity rejects dominate a pressured
+  // window (the extra dimensions buy encoding room exactly there), narrow
+  // back once the load has been quiet long enough that the dimensions
+  // stopped paying. Both re-read the batch gauge - a shrink above may
+  // have changed it within this same tick.
+  const uint32_t cur_batch = batch_[0].load(std::memory_order_relaxed);
+  if (pressured && vector_frac >= options_.widen_reject_frac &&
+      rejects > 0) {
+    narrow_streak_ = 0;
+    ++widen_streak_;
+    if (widen_streak_ >= options_.widen_dwell && k < physical_k_) {
+      widen_streak_ = 0;
+      ActuateLocked(seq, now, AdmissionAction::kWidenK, cur_batch, k + 1,
+                    abort_rate, vector_frac, commits, rejects, fallbacks);
+    }
+  } else if (quiet) {
+    widen_streak_ = 0;
+    ++narrow_streak_;
+    if (narrow_streak_ >= options_.narrow_dwell && k > options_.min_k) {
+      narrow_streak_ = 0;
+      ActuateLocked(seq, now, AdmissionAction::kNarrowK, cur_batch, k - 1,
+                    abort_rate, vector_frac, commits, rejects, fallbacks);
+    }
+  } else {
+    widen_streak_ = 0;
+    narrow_streak_ = 0;
+  }
+}
+
+void AdmissionController::EmergencyShrink(uint64_t seq, double now) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint32_t batch = batch_[0].load(std::memory_order_relaxed);
+  cooldown_ = options_.cooldown_windows;
+  quiet_streak_ = 0;
+  if (batch <= options_.min_batch) return;
+  ActuateLocked(seq, now, AdmissionAction::kEmergencyShrink,
+                options_.min_batch, k_.load(std::memory_order_relaxed),
+                0.0, 0.0, 0, 0, 0);
+}
+
+std::vector<AdmissionDecision> AdmissionController::decisions() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return trace_;
+}
+
+std::string AdmissionController::TraceString() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::string out;
+  for (const AdmissionDecision& d : trace_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdts

@@ -1,0 +1,227 @@
+#ifndef MDTS_CONTROL_ADMISSION_H_
+#define MDTS_CONTROL_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace mdts {
+
+/// What the controller did in one actuation (AdmissionDecision::action).
+enum class AdmissionAction : uint8_t {
+  kGrow,             ///< Additive batch-size increase.
+  kShrink,           ///< Multiplicative batch-size decrease.
+  kEmergencyShrink,  ///< Watchdog-alert path: straight to min_batch.
+  kWidenK,           ///< active_k + 1 (MT(k+) widening).
+  kNarrowK,          ///< active_k - 1.
+};
+
+/// Stable snake_case identifier ("grow", "shrink", ...).
+const char* AdmissionActionName(AdmissionAction action);
+
+/// One controller actuation, with the window signals that justified it.
+/// The trace of these is the controller's deterministic decision record:
+/// driven by manual Sampler::TickOnce on simulated time over a fixed
+/// workload schedule, two runs produce bit-identical traces (ToString has
+/// no wall-clock, pointer, or locale dependence).
+struct AdmissionDecision {
+  uint64_t seq = 0;   ///< Sampler window sequence that triggered it.
+  double time = 0.0;  ///< Window timestamp (the tick's `now`).
+  AdmissionAction action = AdmissionAction::kGrow;
+  uint32_t batch_size = 0;  ///< Advisory batch size AFTER the action.
+  uint32_t k = 0;           ///< Active protocol width AFTER the action.
+  double abort_rate = 0.0;  ///< Window rejects / (commits + rejects).
+  /// Vector-capacity share of the window's rejects: the kLexOrder +
+  /// kEncodingExhausted + kVersionConflict fraction - the reject classes
+  /// a wider k can actually absorb (more elements = more encoding room).
+  double vector_frac = 0.0;
+  uint64_t window_commits = 0;
+  uint64_t window_rejects = 0;
+  uint64_t window_fallbacks = 0;  ///< engine.batch_fallbacks delta.
+
+  /// One line, fixed field order: "seq=3 t=1.5 action=shrink batch=4 k=3
+  /// abort_rate=0.71 vector_frac=0.12 commits=9 rejects=22 fallbacks=1".
+  std::string ToString() const;
+};
+
+struct AdmissionControlOptions {
+  /// Registry carrying the engine's mirrors ("engine.commits",
+  /// "engine.rejected.<reason>", "engine.batch_fallbacks",
+  /// "engine.lock_contention") - the controller's sensors - and receiving
+  /// its own "engine.adaptive.*" gauges/counters. Required; must outlive
+  /// the controller.
+  MetricsRegistry* registry = nullptr;
+
+  /// Engine whose runtime width the k actuator drives (SetActiveK).
+  /// Optional: null means the controller only tracks k internally (tests
+  /// that exercise the state machine without an engine).
+  ShardedMtkEngine* engine = nullptr;
+
+  /// Flight recorder receiving one control event per actuation. Optional.
+  FlightRecorder* flight = nullptr;
+
+  /// Independent batch-size slots ("shard groups" - a bench driver maps
+  /// its thread groups onto them). Every decision currently actuates all
+  /// groups uniformly; the per-group storage is the read-side contract:
+  /// batch_size(g) is one relaxed atomic load, safe on the admission hot
+  /// path. Clamped to >= 1.
+  size_t num_groups = 1;
+
+  /// Batch-size actuator range and AIMD steps.
+  uint32_t min_batch = 1;
+  uint32_t max_batch = 32;
+  uint32_t grow_step = 4;       ///< Additive increase per grow.
+  uint32_t shrink_factor = 2;   ///< Divisor per shrink (>= 2).
+  uint32_t initial_batch = 0;   ///< 0 = start at max_batch (optimistic).
+
+  /// Window classification. A window is PRESSURED when its abort rate is
+  /// >= abort_rate_shrink, its engine.batch_fallbacks delta is nonzero, or
+  /// its lock-contention-per-op exceeds contention_per_op_shrink; QUIET
+  /// when the abort rate is <= abort_rate_quiet and none of those fire.
+  /// In between, streaks reset but nothing actuates (hysteresis band).
+  double abort_rate_shrink = 0.5;
+  double abort_rate_quiet = 0.2;
+  double contention_per_op_shrink = 2.0;
+
+  /// Dwell / cool-down (in sampler windows): grow only after this many
+  /// consecutive quiet windows, and never within cooldown_windows of a
+  /// shrink - the cliff-oscillation guard: a shrink's effect needs at
+  /// least one full window to show in the sensors, so reacting faster
+  /// than the cool-down would re-decide on pre-shrink evidence.
+  uint64_t quiet_windows_to_grow = 2;
+  uint64_t cooldown_windows = 2;
+
+  /// k actuator (MT(k+) runtime width). Widen by one after widen_dwell
+  /// consecutive pressured windows whose rejects are dominated (>=
+  /// widen_reject_frac) by the vector-capacity classes; narrow by one
+  /// after narrow_dwell consecutive quiet windows. Bounds: [min_k,
+  /// engine's physical k] (max_k caps it further when nonzero).
+  double widen_reject_frac = 0.5;
+  uint64_t widen_dwell = 2;
+  uint64_t narrow_dwell = 8;
+  uint32_t min_k = 1;
+  uint32_t max_k = 0;  ///< 0 = the engine's physical k (or initial k).
+
+  /// Windows with fewer than this many decided operations carry no signal
+  /// (a batch boundary can land anywhere in them); they are skipped
+  /// without touching any streak.
+  uint64_t min_window_ops = 16;
+
+  /// Decisions retained for decisions()/TraceString(); the oldest are
+  /// dropped past this. Plenty for any test or bench run.
+  size_t trace_capacity = 4096;
+};
+
+/// Closed-loop admission controller: consumes the engine's registry
+/// mirrors window by window (drive it from Sampler::AddTickHook, after
+/// the watchdogs) and feeds two actuators back into admission - the
+/// advisory per-group batch size (AIMD with hysteresis and cool-down) and
+/// the engine's runtime MT(k+) width (SetActiveK). The starvation
+/// watchdog's alert path plugs into EmergencyShrink, replacing its
+/// alert-only behavior with an immediate collapse to min_batch.
+///
+/// Thread safety: TickOnce / EmergencyShrink / decisions() serialize on
+/// one mutex; batch_size() and active_k() are lock-free reads, safe to
+/// call from admission loops concurrent with ticking. Determinism: given
+/// the same tick sequence over the same counter history, the controller
+/// makes the same decisions - it reads only registry values and its own
+/// state, never a clock.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionControlOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Consumes the window that ended at `now` (sampler-window semantics:
+  /// pass the Sampler tick's seq/now straight through) and actuates.
+  void TickOnce(uint64_t seq, double now);
+
+  /// Watchdog-alert path: collapse every group to min_batch immediately
+  /// and start a fresh cool-down. `seq`/`now` tag the decision (pass the
+  /// alert's last_seq/last_time). No-op when already at min_batch.
+  void EmergencyShrink(uint64_t seq, double now);
+
+  /// Current advisory batch size for a group (groups beyond num_groups
+  /// fold onto group 0). Lock-free.
+  uint32_t batch_size(size_t group = 0) const {
+    return batch_[group < num_groups_ ? group : 0].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Current active protocol width the controller believes in. Lock-free.
+  uint32_t active_k() const { return k_.load(std::memory_order_relaxed); }
+
+  /// Copy of the retained decision trace, oldest first.
+  std::vector<AdmissionDecision> decisions() const;
+
+  /// The trace as ToString() lines joined with '\n' (bit-identical across
+  /// deterministic replays).
+  std::string TraceString() const;
+
+  uint64_t grows() const { return grows_.load(std::memory_order_relaxed); }
+  uint64_t shrinks() const {
+    return shrinks_.load(std::memory_order_relaxed);
+  }
+  uint64_t k_switches() const {
+    return k_switches_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionControlOptions& options() const { return options_; }
+
+ private:
+  /// Applies `action`, records it (trace, registry, flight), and publishes
+  /// the new batch/k gauges. mu_ held.
+  void ActuateLocked(uint64_t seq, double now, AdmissionAction action,
+                     uint32_t new_batch, uint32_t new_k, double abort_rate,
+                     double vector_frac, uint64_t commits, uint64_t rejects,
+                     uint64_t fallbacks);
+
+  AdmissionControlOptions options_;
+  size_t num_groups_;
+  uint32_t physical_k_;  ///< Upper bound for the k actuator.
+
+  // Sensors (stable registry pointers, resolved once).
+  Counter* c_commits_ = nullptr;
+  Counter* c_rejected_[kNumAbortReasons] = {};
+  Counter* c_fallbacks_ = nullptr;
+  Counter* c_contention_ = nullptr;
+
+  // Published state ("engine.adaptive.*").
+  Gauge* g_batch_ = nullptr;
+  Gauge* g_k_ = nullptr;
+  Counter* m_grows_ = nullptr;
+  Counter* m_shrinks_ = nullptr;
+  Counter* m_k_switches_ = nullptr;
+
+  mutable std::mutex mu_;
+  // Last-seen cumulative sensor values (window deltas subtract these).
+  uint64_t last_commits_ = 0;
+  uint64_t last_rejects_[kNumAbortReasons] = {};
+  uint64_t last_fallbacks_ = 0;
+  uint64_t last_contention_ = 0;
+  // Streak state (see AdmissionControlOptions).
+  uint64_t quiet_streak_ = 0;
+  uint64_t widen_streak_ = 0;
+  uint64_t narrow_streak_ = 0;
+  uint64_t cooldown_ = 0;
+  std::vector<AdmissionDecision> trace_;
+
+  // Lock-free read side.
+  std::unique_ptr<std::atomic<uint32_t>[]> batch_;
+  std::atomic<uint32_t> k_;
+  std::atomic<uint64_t> grows_{0};
+  std::atomic<uint64_t> shrinks_{0};
+  std::atomic<uint64_t> k_switches_{0};
+};
+
+}  // namespace mdts
+
+#endif  // MDTS_CONTROL_ADMISSION_H_

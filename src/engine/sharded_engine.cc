@@ -66,6 +66,8 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
       t0_(options.k) {
   assert(options_.k >= 1);
   options_.num_shards = num_shards_;
+  active_k_.store(static_cast<uint32_t>(options_.k),
+                  std::memory_order_relaxed);
   if ((num_shards_ & (num_shards_ - 1)) == 0) {
     shard_idx_mask_ = num_shards_ - 1;
   }
@@ -91,6 +93,7 @@ ShardedMtkEngine::ShardedMtkEngine(const EngineOptions& options)
     m_batch_fallbacks_ = reg->GetCounter("engine.batch_fallbacks");
     m_versions_installed_ = reg->GetCounter("engine.versions_installed");
     m_versions_gc_ = reg->GetCounter("engine.versions_gc");
+    m_commits_ = reg->GetCounter("engine.commits");
     m_consec_aborts_ = reg->GetGauge("engine.max_consecutive_aborts");
     m_live_versions_ = reg->GetGauge("engine.live_versions");
     for (size_t p = 0; p < kNumTxnPhases; ++p) {
@@ -244,9 +247,16 @@ bool ShardedMtkEngine::SetStates(Shard& shx, TxnState& sj, TxnState& si,
     TsElement Upper(TsElement above) { return e->NextUpper(*sh, above); }
     TsElement Lower(TsElement below) { return e->NextLower(*sh, below); }
   };
+  // New encodings use the runtime MT(k+) width, not the physical k: the
+  // vectors stay physically k wide (Compare walks them in full, and the
+  // elements beyond the active width hold the constants every narrower
+  // encoding fixes), so decisions made under different widths stay
+  // mutually consistent - Theorem 5's shared-prefix composite on one
+  // store. See SetActiveK.
   const EncodeOutcome out = EncodeDependency(
-      cr, options_.k, sj.ts, si.ts, j == kVirtualTxn, hot_item,
-      options_.optimized_encoding, Counters{this, &shx});
+      cr, active_k_.load(std::memory_order_relaxed), sj.ts, si.ts,
+      j == kVirtualTxn, hot_item, options_.optimized_encoding,
+      Counters{this, &shx});
   shx.stats.elements_assigned += out.elements_assigned;
   if (out.hot_path) {
     ++shx.stats.hot_encodings;
@@ -268,10 +278,11 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
   EngineStats& st = shx.stats;
   const TxnId i = op.txn;
 
-  auto refuse = [&](AbortReason reason) {
+  auto refuse = [&](AbortReason reason, TxnId blocker = kVirtualTxn) {
     ++st.rejected;
     st.reject_reasons.Add(reason);
     ++mir.rejected[static_cast<size_t>(reason)];
+    NoteRejectLocked(shx, reason, op, blocker);
     if (why != nullptr) *why = reason;
     return OpDecision::kReject;
   };
@@ -319,7 +330,7 @@ OpDecision ShardedMtkEngine::DecideLocked(const Op& op, Shard& shx,
       si.ts.Reset();
       si.ts.Set(0, tb.Get(0) + 1);
     }
-    return refuse(cause);
+    return refuse(cause, j.txn);
   };
 
   if (op.type == OpType::kRead) {
@@ -545,10 +556,11 @@ OpDecision ShardedMtkEngine::DecideMvLocked(const Op& op, Shard& shx,
   EngineStats& st = shx.stats;
   const TxnId i = op.txn;
 
-  auto refuse = [&](AbortReason reason) {
+  auto refuse = [&](AbortReason reason, TxnId blocker = kVirtualTxn) {
     ++st.rejected;
     st.reject_reasons.Add(reason);
     ++mir.rejected[static_cast<size_t>(reason)];
+    NoteRejectLocked(shx, reason, op, blocker);
     if (why != nullptr) *why = reason;
     return OpDecision::kReject;
   };
@@ -697,7 +709,7 @@ OpDecision ShardedMtkEngine::DecideMvLocked(const Op& op, Shard& shx,
       si.ts.Reset();
       si.ts.Set(0, tb.IsDefined(0) ? tb.Get(0) + 1 : 1);
     }
-    return refuse(AbortReason::kVersionConflict);
+    return refuse(AbortReason::kVersionConflict, blocker.txn);
   };
   if (chosen == chain_len) {
     return reject_write();
@@ -836,6 +848,42 @@ void ShardedMtkEngine::RecordPhase(TxnPhase phase, uint64_t ns, TxnId tag) {
     Tracer::Get().Emit(e);
   }
 #endif
+}
+
+void ShardedMtkEngine::SetActiveK(size_t k) {
+  if (k < 1) k = 1;
+  if (k > options_.k) k = options_.k;
+  active_k_.store(static_cast<uint32_t>(k), std::memory_order_relaxed);
+}
+
+void ShardedMtkEngine::NoteRejectLocked(Shard& shx, AbortReason reason,
+                                        const Op& op, TxnId blocker,
+                                        uint64_t fallback_round) {
+  RejectRecord& r = shx.last_reject;
+  r.seq = reject_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  r.reason = reason;
+  r.op = op;
+  r.blocker = blocker;
+  r.fallback_round = fallback_round;
+}
+
+std::string ShardedMtkEngine::ExplainLastReject() const {
+  RejectRecord newest;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    if (sh.last_reject.seq > newest.seq) newest = sh.last_reject;
+  }
+  if (newest.seq == 0) return "no rejection yet";
+  std::string out =
+      FormatReject(OpName(newest.op), newest.reason,
+                   newest.blocker == kVirtualTxn
+                       ? 0
+                       : static_cast<uint32_t>(newest.blocker));
+  if (newest.reason == AbortReason::kBatchThrottled) {
+    out += "; champion T" + std::to_string(newest.blocker) +
+           ", fallback round " + std::to_string(newest.fallback_round);
+  }
+  return out;
 }
 
 void ShardedMtkEngine::LockShard(Shard& sh) {
@@ -1031,6 +1079,7 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
         ++shx.stats.rejected;
         shx.stats.reject_reasons.Add(AbortReason::kInvalidOp);
         ++mir.rejected[static_cast<size_t>(AbortReason::kInvalidOp)];
+        NoteRejectLocked(shx, AbortReason::kInvalidOp, op, kVirtualTxn);
         if (why != nullptr) *why = AbortReason::kInvalidOp;
         decisions[q] = OpDecision::kReject;
         decided[q] = 1;
@@ -1078,6 +1127,12 @@ size_t ShardedMtkEngine::ProcessBatch(std::span<const Op> ops,
         ++shx.stats.rejected;
         shx.stats.reject_reasons.Add(reason);
         ++mir.rejected[static_cast<size_t>(reason)];
+        NoteRejectLocked(
+            shx, reason, op,
+            reason == AbortReason::kBatchThrottled ? champion : kVirtualTxn,
+            reason == AbortReason::kBatchThrottled
+                ? batch_fallbacks_.load(std::memory_order_relaxed)
+                : 0);
         if (why != nullptr) *why = reason;
         decisions[q] = OpDecision::kReject;
         decided[q] = 1;
@@ -1325,6 +1380,7 @@ void ShardedMtkEngine::CommitTxn(TxnId txn) {
     const uint64_t w = s.life;
     assert(!LifeAborted(w));
     StoreLife(s, w | 2);
+    if (m_commits_ != nullptr) m_commits_->Add(1);
     // Without a WAL the write set is still needed by multiversion mode
     // (commit-side chain pruning below); grab it here in that case. The
     // flight record reads it in place instead - see below.

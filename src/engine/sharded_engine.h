@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/mtk_scheduler.h"
@@ -312,6 +313,28 @@ class ShardedMtkEngine {
   bool IsAborted(TxnId txn) const;
   bool IsCommitted(TxnId txn) const;
 
+  /// Runtime protocol width: how many of the k physical vector elements new
+  /// dependency encodings may use (the MT(k+) composite run on one physical
+  /// store - Theorem 5's shared-prefix property is what makes mixing sound:
+  /// a dependency encoded at width h is exactly an MT(h) encoding, and
+  /// Compare walks the full physical vectors, where elements beyond h hold
+  /// the constants every lower-width encoding also fixes, so decisions made
+  /// at different widths order consistently). Clamped to [1, options().k].
+  /// Thread-safe and cheap (one relaxed store); decisions concurrent with a
+  /// switch use whichever width they load - both are sound. This is the
+  /// admission controller's k actuator.
+  void SetActiveK(size_t k);
+  size_t active_k() const {
+    return active_k_.load(std::memory_order_relaxed);
+  }
+
+  /// Explain-style rendering of the most recent rejection (engine-wide,
+  /// by reject order): FormatReject plus, for kBatchThrottled, the
+  /// guardrail context - the champion transaction the throttled peer was
+  /// waiting out and the fallback round that decided it. Takes each shard
+  /// lock in turn; "no rejection yet" before the first reject.
+  std::string ExplainLastReject() const;
+
   /// Copy of the transaction's current vector, taken under its shard lock.
   TimestampVector TsSnapshot(TxnId txn) const;
 
@@ -470,6 +493,21 @@ class ShardedMtkEngine {
     }
   };
 
+  /// Most recent rejection decided on a shard, recorded under its mutex at
+  /// the decision point (the locks the reject paths already hold) and read
+  /// back by ExplainLastReject. `seq` comes from the engine-wide
+  /// reject_seq_ ticket, so the newest record across shards is the one
+  /// with the largest seq. For kBatchThrottled, `blocker` is the elected
+  /// champion and `fallback_round` the value of the engine-wide fallback
+  /// counter when the throttle fired (0 for every other reason).
+  struct RejectRecord {
+    uint64_t seq = 0;  ///< 0 = no rejection recorded yet.
+    AbortReason reason = AbortReason::kNone;
+    Op op;
+    TxnId blocker = kVirtualTxn;
+    uint64_t fallback_round = 0;
+  };
+
   struct alignas(64) Shard {
     mutable std::mutex mu;
     uint32_t index = 0;
@@ -485,6 +523,8 @@ class ShardedMtkEngine {
     /// Buffered registry deltas (EngineOptions::mirror_flush_ops); mutated
     /// under mu, flushed by FlushMirrorLocked once past the threshold.
     MirrorDelta pending;
+    /// Newest rejection decided on this shard (see RejectRecord).
+    RejectRecord last_reject;
     Shard() : dir(kDirSize) {}
   };
 
@@ -613,6 +653,11 @@ class ShardedMtkEngine {
     return shard < 32 ? (1u << shard) : 0;
   }
 
+  /// Overwrites shx.last_reject with a fresh-ticketed record; requires
+  /// shx.mu (every reject path already holds the item shard's mutex).
+  void NoteRejectLocked(Shard& shx, AbortReason reason, const Op& op,
+                        TxnId blocker, uint64_t fallback_round = 0);
+
   /// Acquires sh.mu, counting the acquisition as contended (per-shard
   /// stats, registry mirror, trace instant) when try_lock fails first.
   void LockShard(Shard& sh);
@@ -646,6 +691,13 @@ class ShardedMtkEngine {
   std::atomic<uint64_t> champion_missing_{0};
   /// Fallback batches decided (EngineStats::batch_fallbacks).
   std::atomic<uint64_t> batch_fallbacks_{0};
+
+  /// Runtime MT(k+) width (see SetActiveK); initialized to options_.k.
+  /// Relaxed everywhere: any value a decision loads is a sound width, and
+  /// vector storage is always the physical k.
+  std::atomic<uint32_t> active_k_{1};
+  /// Ticket clock ordering RejectRecords across shards.
+  std::atomic<uint64_t> reject_seq_{0};
 
   // Multiversion clocks and gauges. The stamp clock orders version
   // installs and reads for GC visibility only (serialization order is the
@@ -684,6 +736,10 @@ class ShardedMtkEngine {
   Counter* m_batch_fallbacks_ = nullptr;
   Counter* m_versions_installed_ = nullptr;
   Counter* m_versions_gc_ = nullptr;
+  /// Unbuffered commit mirror ("engine.commits"): bumped at the commit
+  /// point so windowed goodput - the admission controller's reward signal -
+  /// is never a flush window stale, unlike the buffered counters above.
+  Counter* m_commits_ = nullptr;
   Gauge* m_consec_aborts_ = nullptr;
   Gauge* m_live_versions_ = nullptr;
 

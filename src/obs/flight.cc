@@ -86,6 +86,15 @@ std::string FlightRecord::ToJson() const {
   return out;
 }
 
+std::string ControlEvent::ToJson() const {
+  std::string out = "{\"seq\": " + std::to_string(seq);
+  out += ", \"time_us\": " + std::to_string(time_us);
+  out += ", \"event\": \"control\", \"action\": \"" + action + "\"";
+  out += ", \"batch_size\": " + std::to_string(batch_size);
+  out += ", \"k\": " + std::to_string(k) + "}";
+  return out;
+}
+
 namespace {
 
 uint64_t RoundUpPow2(uint64_t v) {
@@ -220,6 +229,24 @@ void FlightRecorder::RecordAbort(size_t ring, TxnId txn, AbortReason reason,
          0, {}, nullptr, vec, time_us);
 }
 
+void FlightRecorder::RecordControl(std::string action, uint32_t batch_size,
+                                   uint32_t k, uint64_t time_us) {
+  ControlEvent ev;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ev.time_us = time_us;
+  ev.action = std::move(action);
+  ev.batch_size = batch_size;
+  ev.k = k;
+  std::lock_guard<std::mutex> g(control_mu_);
+  control_.push_back(std::move(ev));
+  if (control_.size() > mask_ + 1) control_.pop_front();
+}
+
+std::vector<ControlEvent> FlightRecorder::ControlEvents() const {
+  std::lock_guard<std::mutex> g(control_mu_);
+  return {control_.begin(), control_.end()};
+}
+
 std::vector<FlightRecord> FlightRecorder::Drain() const {
   std::vector<FlightRecord> out;
   uint64_t words[kPayloadWords];
@@ -311,7 +338,19 @@ std::string FlightRecorder::ToJson() const {
     if (q != 0) out += ", ";
     out += records[q].ToJson();
   }
-  out += "]}";
+  out += "]";
+  // Control events only appear when an actuator recorded any, so dumps
+  // from uncontrolled runs are byte-identical to the pre-control format.
+  const std::vector<ControlEvent> control = ControlEvents();
+  if (!control.empty()) {
+    out += ", \"control\": [";
+    for (size_t q = 0; q < control.size(); ++q) {
+      if (q != 0) out += ", ";
+      out += control[q].ToJson();
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 

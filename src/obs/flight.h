@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -67,6 +69,21 @@ struct FlightRecord {
   size_t k = 0;
 
   /// {"seq": ..., "event": "commit"|"abort", "vec": [1, "*", ...], ...}.
+  std::string ToJson() const;
+};
+
+/// One control-plane decision captured alongside the transaction records:
+/// what an actuator (the admission controller) did and the state it left
+/// behind. Kept in its own small ring so transaction totals and the
+/// commit/abort reconciliation audits are untouched.
+struct ControlEvent {
+  uint64_t seq = 0;      ///< Shares the recorder's global sequence space.
+  uint64_t time_us = 0;  ///< Caller's record-point clock.
+  std::string action;    ///< "grow", "shrink", "emergency_shrink", ...
+  uint32_t batch_size = 0;  ///< Advisory batch size after the action.
+  uint32_t k = 0;           ///< Active protocol dimension after the action.
+
+  /// {"seq": ..., "event": "control", "action": ..., ...}.
   std::string ToJson() const;
 };
 
@@ -133,6 +150,16 @@ class FlightRecorder {
   void RecordAbort(size_t ring, TxnId txn, AbortReason reason, TxnId blocker,
                    const Op* op, uint32_t shard_mask,
                    const TimestampVector* vec, uint64_t time_us);
+
+  /// Records a control-plane decision (admission-controller actuation).
+  /// Mutex-guarded, not wait-free: decisions arrive at sampler cadence
+  /// (tens of Hz), never on the transaction hot path. The ring keeps the
+  /// last `capacity` events; ToJson() includes them under "control".
+  void RecordControl(std::string action, uint32_t batch_size, uint32_t k,
+                     uint64_t time_us);
+
+  /// Snapshot of the retained control events, oldest first.
+  std::vector<ControlEvent> ControlEvents() const;
 
   /// Prefetches (for write) the slot the ring's next record will land in.
   /// Call it on transaction-commit entry, a few hundred nanoseconds ahead
@@ -211,6 +238,9 @@ class FlightRecorder {
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_by_reason_[kNumAbortReasons] = {};
+
+  mutable std::mutex control_mu_;
+  std::deque<ControlEvent> control_;  ///< Last `capacity` control events.
 };
 
 }  // namespace mdts
